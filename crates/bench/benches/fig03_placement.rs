@@ -1,0 +1,70 @@
+//! Fig. 3(c): DRAM-sized vs buffer-sized operation-packed LUT.
+//!
+//! A 512×512×512 GEMM at W1A3 on a single DPU, sweeping the packing degree
+//! p = 1..6. The DRAM-sized LUT pays a full DRAM access per lookup (row
+//! activation + DMA setup dominate); the buffer-sized LUT pays single-cycle
+//! WRAM accesses but is capacity-capped at p = 3 (§V-A). The paper's
+//! takeaway — "the local-buffer LUT consistently outperforms the DRAM-based
+//! LUT across all packing degrees" — motivates the buffer-first base
+//! design.
+
+use bench::{banner, Table};
+use localut::capacity::{max_p_op, op_lut_bytes};
+use localut::GemmDims;
+use pim_sim::{DpuConfig, DpuTimings};
+use quant::NumericFormat;
+
+fn main() {
+    banner(
+        "Fig 3(c)",
+        "DRAM-sized vs buffer-sized operation-packed LUT (512x512x512, W1A3, 1 DPU)",
+    );
+    let wf = NumericFormat::Bipolar;
+    let af = NumericFormat::Int(3);
+    let dims = GemmDims { m: 512, k: 512, n: 512 };
+    let cfg = DpuConfig::upmem();
+    let t = DpuTimings::upmem();
+
+    // Per-lookup costs.
+    // DRAM-sized LUT: every lookup is a short random DRAM access
+    // (activation + DMA setup + entry transfer).
+    let dram_lookup_s = (t.row_activate_cycles
+        + t.dma_setup_cycles
+        + 2.0 / t.dram_bytes_per_cycle)
+        * t.cycle_seconds();
+    // Buffer-sized LUT: the 6-instruction OP lookup composite.
+    let costs = &cfg.processor.costs;
+    let buf_lookup_s = t.instruction_seconds(u64::from(costs.op_lookup));
+
+    let p_dram_max = max_p_op(wf, af, cfg.bank_lut_budget());
+    let p_buf_max = max_p_op(wf, af, cfg.wram_lut_budget());
+
+    let mut table = Table::new(&[
+        "p",
+        "DRAM-sized LUT (s)",
+        "Buffer-sized LUT (s)",
+        "DRAM LUT bytes",
+    ]);
+    for p in 1..=6u32 {
+        let lookups = dims.m as u64 * (dims.k as u64).div_ceil(u64::from(p)) * dims.n as u64;
+        let dram = if p <= p_dram_max {
+            format!("{:.3}", lookups as f64 * dram_lookup_s)
+        } else {
+            "infeasible".into()
+        };
+        let buf = if p <= p_buf_max {
+            format!("{:.3}", lookups as f64 * buf_lookup_s)
+        } else {
+            "infeasible".into()
+        };
+        let bytes = op_lut_bytes(wf, af, p)
+            .map_or("overflow".into(), |b| format!("{b}"));
+        table.row(vec![p.to_string(), dram, buf, bytes]);
+    }
+    table.print();
+    println!(
+        "\n  feasible p: DRAM-sized <= {p_dram_max}, buffer-sized <= {p_buf_max} (paper: 6 and 3)"
+    );
+    println!("  Expected shape: buffer-sized curve sits well below the DRAM-sized curve");
+    println!("  wherever both are feasible (single-cycle SRAM vs row-activation DRAM).");
+}

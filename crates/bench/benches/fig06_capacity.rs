@@ -1,0 +1,52 @@
+//! Fig. 6: LUT capacity vs packing degree for W1A3.
+//!
+//! Four curves (operation-packed LUT, canonical LUT, reordering LUT, and
+//! canonical + reordering) plus the total reduction-rate line, which the
+//! paper reports as 1.68× (p=2) rising to ~358× (p=8).
+
+use bench::{banner, Table};
+use localut::capacity::{
+    canonical_lut_bytes, localut_bytes, op_lut_bytes, reorder_lut_bytes,
+};
+use quant::NumericFormat;
+
+fn main() {
+    banner("Fig 6", "LUT capacity vs packing degree (W1A3)");
+    let wf = NumericFormat::Bipolar;
+    let af = NumericFormat::Int(3);
+
+    let mut table = Table::new(&[
+        "p",
+        "op-packed (B)",
+        "canonical (B)",
+        "reordering (B)",
+        "canonical+reordering (B)",
+        "reduction rate",
+    ]);
+    let mut reductions = Vec::new();
+    for p in 2..=8u32 {
+        let op = op_lut_bytes(wf, af, p).expect("within range");
+        let canon = canonical_lut_bytes(wf, af, p).expect("within range");
+        let reord = reorder_lut_bytes(wf, p).expect("within range");
+        let total = localut_bytes(wf, af, p).expect("within range");
+        let reduction = op as f64 / total as f64;
+        reductions.push((p, reduction));
+        table.row(vec![
+            p.to_string(),
+            op.to_string(),
+            canon.to_string(),
+            reord.to_string(),
+            total.to_string(),
+            format!("{reduction:.2}x"),
+        ]);
+    }
+    table.print();
+
+    let first = reductions.first().expect("non-empty").1;
+    let last = reductions.last().expect("non-empty").1;
+    println!("\n  total reduction band: {first:.2}x (p=2) .. {last:.1}x (p=8)");
+    println!("  paper reports: 1.68x .. ~358x");
+    assert!((first - 1.68).abs() < 0.05, "p=2 reduction off: {first}");
+    assert!((300.0..420.0).contains(&last), "p=8 reduction off: {last}");
+    println!("  [check] band matches the paper");
+}

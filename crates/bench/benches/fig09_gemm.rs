@@ -1,0 +1,71 @@
+//! Fig. 9: GEMM speedup across methods, bitwidths, and the two
+//! representative matrix shapes.
+//!
+//! (M, K, N) ∈ {(768, 768, 128), (3072, 768, 128)} × {W1A3, W1A4, W2A2,
+//! W4A4} × the six methods, all normalized to Naive PIM on the 2048-DPU
+//! system. The paper reports LoCaLUT at 2.87× geomean over Naive PIM and
+//! 1.77× over LTC (up to 4.73× and 1.93×).
+
+use bench::{banner, geomean, Table};
+use localut::tiling::DistributedGemm;
+use localut::{GemmDims, Method};
+use quant::BitConfig;
+
+fn main() {
+    banner("Fig 9", "GEMM speedup over Naive PIM (2048 DPUs)");
+    let dist = DistributedGemm::upmem_server();
+    let shapes = [
+        GemmDims { m: 768, k: 768, n: 128 },
+        GemmDims { m: 3072, k: 768, n: 128 },
+    ];
+    let configs = BitConfig::paper_integer_configs();
+
+    let mut localut_over_naive = Vec::new();
+    let mut localut_over_ltc = Vec::new();
+    let mut peak_naive = 0.0f64;
+    let mut peak_ltc = 0.0f64;
+
+    for dims in shapes {
+        println!("\n  (M, K, N) = {dims}");
+        let mut table = Table::new(&[
+            "config",
+            "Naive PIM",
+            "LTC (PIM)",
+            "OP",
+            "OP+LC",
+            "OP+LC+RC",
+            "LoCaLUT",
+        ]);
+        for cfg in configs {
+            let wf = cfg.weight_format();
+            let af = cfg.activation_format();
+            let naive = dist
+                .cost(Method::NaivePim, dims, wf, af)
+                .expect("naive always feasible")
+                .total_seconds();
+            let mut cells = vec![cfg.to_string()];
+            let mut per_method = Vec::new();
+            for method in Method::ALL {
+                let speedup = match dist.cost(method, dims, wf, af) {
+                    Ok(c) => naive / c.total_seconds(),
+                    Err(_) => f64::NAN,
+                };
+                per_method.push(speedup);
+                cells.push(format!("{speedup:.2}"));
+            }
+            table.row(cells);
+            let ltc = per_method[1];
+            let localut = per_method[5];
+            localut_over_naive.push(localut);
+            localut_over_ltc.push(localut / ltc);
+            peak_naive = peak_naive.max(localut);
+            peak_ltc = peak_ltc.max(localut / ltc);
+        }
+        table.print();
+    }
+
+    println!("\n  geomean LoCaLUT over Naive PIM: {:.2}x (paper: 2.87x)", geomean(&localut_over_naive));
+    println!("  geomean LoCaLUT over LTC:       {:.2}x (paper: 1.77x)", geomean(&localut_over_ltc));
+    println!("  peak    LoCaLUT over Naive PIM: {peak_naive:.2}x (paper: up to 4.73x)");
+    println!("  peak    LoCaLUT over LTC:       {peak_ltc:.2}x (paper: up to 1.93x)");
+}

@@ -1,0 +1,63 @@
+//! Fig. 10: end-to-end DNN model speedup over Naive PIM.
+//!
+//! BERT (W1A3/W1A4/W2A2/W4A4), ViT (W2A2/W4A4), OPT (W4A4) with the four
+//! plotted methods. The paper reports LoCaLUT at 1.77× geomean over Naive
+//! PIM and 1.82× over LTC, with the LoCaLUT-specific optimizations adding
+//! 22% over plain OP.
+
+use bench::{banner, geomean, Table};
+use dnn::{InferenceSim, ModelConfig, Workload};
+use localut::Method;
+use quant::BitConfig;
+
+fn main() {
+    banner("Fig 10", "End-to-end DNN speedup over Naive PIM");
+    let sim = InferenceSim::upmem_server();
+    let batch = 32;
+    let cases: Vec<(ModelConfig, &str)> = vec![
+        (ModelConfig::bert_base(), "W1A3"),
+        (ModelConfig::bert_base(), "W1A4"),
+        (ModelConfig::bert_base(), "W2A2"),
+        (ModelConfig::bert_base(), "W4A4"),
+        (ModelConfig::vit_base(), "W2A2"),
+        (ModelConfig::vit_base(), "W4A4"),
+        (ModelConfig::opt_125m(), "W4A4"),
+    ];
+    let methods = [Method::NaivePim, Method::Ltc, Method::Op, Method::LoCaLut];
+
+    let mut table = Table::new(&["model", "config", "Naive PIM", "LTC (PIM)", "OP", "LoCaLUT"]);
+    let mut over_naive = Vec::new();
+    let mut over_ltc = Vec::new();
+    let mut over_op = Vec::new();
+    for (model, cfg_str) in cases {
+        let cfg: BitConfig = cfg_str.parse().expect("valid config");
+        let wl = Workload::prefill(model.clone(), batch);
+        let naive = sim
+            .run(Method::NaivePim, cfg, &wl)
+            .expect("naive feasible")
+            .total_seconds();
+        let mut cells = vec![model.name.to_owned(), cfg_str.to_owned()];
+        let mut speeds = Vec::new();
+        for method in methods {
+            let s = naive
+                / sim
+                    .run(method, cfg, &wl)
+                    .expect("method feasible")
+                    .total_seconds();
+            speeds.push(s);
+            cells.push(format!("{s:.2}"));
+        }
+        table.row(cells);
+        over_naive.push(speeds[3]);
+        over_ltc.push(speeds[3] / speeds[1]);
+        over_op.push(speeds[3] / speeds[2]);
+    }
+    table.print();
+
+    println!("\n  geomean LoCaLUT over Naive PIM: {:.2}x (paper: 1.77x)", geomean(&over_naive));
+    println!("  geomean LoCaLUT over LTC:       {:.2}x (paper: 1.82x)", geomean(&over_ltc));
+    println!(
+        "  LoCaLUT optimizations over OP:  +{:.0}% (paper: +22%)",
+        (geomean(&over_op) - 1.0) * 100.0
+    );
+}

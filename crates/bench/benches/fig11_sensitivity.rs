@@ -1,0 +1,43 @@
+//! Fig. 11: sensitivity to the weight matrix dimensions.
+//!
+//! LoCaLUT speedup over Naive PIM as a heat map over M, K ∈ {128..1024}
+//! with N = 128, for W1A3 and W2A2. The paper reports a ~2.86× geomean
+//! under both settings and robustness across all sizes.
+
+use bench::{banner, geomean};
+use localut::tiling::DistributedGemm;
+use localut::{GemmDims, Method};
+use quant::BitConfig;
+
+fn main() {
+    banner("Fig 11", "Speedup over Naive PIM vs weight matrix size (N=128)");
+    let dist = DistributedGemm::upmem_server();
+    let sizes = [128usize, 256, 384, 512, 640, 768, 896, 1024];
+
+    for cfg_str in ["W1A3", "W2A2"] {
+        let cfg: BitConfig = cfg_str.parse().expect("valid");
+        let (wf, af) = (cfg.weight_format(), cfg.activation_format());
+        println!("\n  {cfg_str} (rows: M, cols: K)");
+        print!("  {:>6}", "M\\K");
+        for &k in &sizes {
+            print!("  {k:>6}");
+        }
+        println!();
+        let mut all = Vec::new();
+        for &m in &sizes {
+            print!("  {m:>6}");
+            for &k in &sizes {
+                let dims = GemmDims { m, k, n: 128 };
+                let s = dist
+                    .speedup_over(Method::LoCaLut, Method::NaivePim, dims, wf, af)
+                    .expect("feasible");
+                all.push(s);
+                print!("  {s:>6.2}");
+            }
+            println!();
+        }
+        let g = geomean(&all);
+        let min = all.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!("  geomean: {g:.2}x, min: {min:.2}x (paper: 2.86x geomean, >1x everywhere)");
+    }
+}

@@ -1,0 +1,71 @@
+//! Fig. 14: energy comparison across methods and models.
+//!
+//! Energy of full-model inference for Naive PIM, LTC, OP-LUT and LoCaLUT
+//! on the seven model/bitwidth cases. The paper reports LoCaLUT at 3.37×
+//! less energy than Naive PIM and 1.88× less than LTC for W1Ax; parity
+//! with OP at W2A2; and 1.16× over Naive PIM at W4A4 where LTC/OP fall
+//! behind. Absolute Joules depend on the meter (see DESIGN.md §6); ratios
+//! are the reproduction target.
+
+use bench::{banner, geomean, Table};
+use dnn::{InferenceSim, ModelConfig, Workload};
+use localut::Method;
+use pim_sim::EnergyModel;
+use quant::BitConfig;
+
+fn main() {
+    banner("Fig 14", "Inference energy (J) by method");
+    let sim = InferenceSim::upmem_server();
+    let energy_model = EnergyModel::upmem();
+    let sys = sim.dist.system.config().clone();
+    let batch = 32;
+    let cases: Vec<(ModelConfig, &str)> = vec![
+        (ModelConfig::bert_base(), "W1A3"),
+        (ModelConfig::bert_base(), "W1A4"),
+        (ModelConfig::bert_base(), "W2A2"),
+        (ModelConfig::bert_base(), "W4A4"),
+        (ModelConfig::vit_base(), "W2A2"),
+        (ModelConfig::vit_base(), "W4A4"),
+        (ModelConfig::opt_125m(), "W4A4"),
+    ];
+    let methods = [Method::NaivePim, Method::Ltc, Method::Op, Method::LoCaLut];
+
+    let mut table = Table::new(&[
+        "model", "config", "Naive-PIM", "LTC", "OP-LUT", "LoCaLUT", "Naive/LoCaLUT",
+    ]);
+    let mut w1_ratio_naive = Vec::new();
+    let mut w1_ratio_ltc = Vec::new();
+    let mut w4_ratio_naive = Vec::new();
+    for (model, cfg_str) in cases {
+        let cfg: BitConfig = cfg_str.parse().expect("valid");
+        let wl = Workload::prefill(model.clone(), batch);
+        let mut joules = Vec::new();
+        for method in methods {
+            let report = sim.run(method, cfg, &wl).expect("feasible");
+            joules.push(energy_model.system_energy(&sys, &report.profile).total_j());
+        }
+        let ratio = joules[0] / joules[3];
+        let mut cells = vec![model.name.to_owned(), cfg_str.to_owned()];
+        cells.extend(joules.iter().map(|j| format!("{j:.2}")));
+        cells.push(format!("{ratio:.2}x"));
+        table.row(cells);
+        if cfg_str.starts_with("W1") {
+            w1_ratio_naive.push(ratio);
+            w1_ratio_ltc.push(joules[1] / joules[3]);
+        }
+        if cfg_str == "W4A4" {
+            w4_ratio_naive.push(ratio);
+        }
+    }
+    table.print();
+
+    println!(
+        "\n  W1Ax: LoCaLUT energy reduction vs Naive-PIM {:.2}x (paper: 3.37x), vs LTC {:.2}x (paper: 1.88x)",
+        geomean(&w1_ratio_naive),
+        geomean(&w1_ratio_ltc)
+    );
+    println!(
+        "  W4A4: LoCaLUT vs Naive-PIM {:.2}x (paper: 1.16x)",
+        geomean(&w4_ratio_naive)
+    );
+}

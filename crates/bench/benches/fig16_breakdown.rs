@@ -1,0 +1,103 @@
+//! Fig. 16: execution-time breakdowns.
+//!
+//! (a) BERT end-to-end phases for PIM-DL vs LoCaLUT (W2A2, W1A3): PIM-DL
+//! spends little on PIM GEMM but pays a large host centroid-selection
+//! phase; LoCaLUT's host work (quantization, packing & sorting) is much
+//! lighter. (b) The LoCaLUT GEMM kernel itself: reordering-LUT index
+//! calculation dominates, canonical/reordering accesses are small
+//! (reordering access ≈ 6.9% in the paper).
+
+use bench::{banner, pq_model_cost, Table};
+use dnn::{InferenceSim, ModelConfig, Phase, Workload};
+use localut::plan::Planner;
+use localut::{GemmDims, Method};
+use pim_sim::{Category, DpuConfig};
+use pq::{PqConfig, PqCostModel, PqVariant};
+use quant::BitConfig;
+
+fn main() {
+    banner("Fig 16(a)", "BERT execution breakdown (% of total)");
+    let sim = InferenceSim::upmem_server();
+    let model = ModelConfig::bert_base();
+    let batch = 32;
+    let wl = Workload::prefill(model.clone(), batch);
+
+    let mut table = Table::new(&[
+        "system",
+        "GEMM on PIM",
+        "Matrix Transfer",
+        "Centroid Selection",
+        "Data reordering",
+        "Quantization",
+        "Packing & Sorting",
+        "Others",
+    ]);
+    // PIM-DL row.
+    let pq = pq_model_cost(
+        &model,
+        batch,
+        &PqConfig::standard(PqVariant::PimDl),
+        &PqCostModel::upmem_server(),
+    );
+    let pq_total = pq.total_seconds();
+    let pct = |s: f64| format!("{:.1}", 100.0 * s / pq_total);
+    table.row(vec![
+        "PIM-DL".into(),
+        pct(pq.pim.total_seconds()),
+        pct(pq.host.seconds(Category::HostTransfer)),
+        pct(pq.host.seconds(Category::HostCentroid)),
+        pct(pq.host.seconds(Category::Other)),
+        pct(pq.host.seconds(Category::HostQuantize)),
+        pct(pq.host.seconds(Category::HostSortPack)),
+        pct(pq.host.seconds(Category::HostCompute)),
+    ]);
+    // LoCaLUT rows.
+    for cfg_str in ["W2A2", "W1A3"] {
+        let cfg: BitConfig = cfg_str.parse().expect("valid");
+        let report = sim.run(Method::LoCaLut, cfg, &wl).expect("feasible");
+        let total = report.total_seconds();
+        let p = |phase: Phase| format!("{:.1}", 100.0 * report.phase_seconds(phase) / total);
+        table.row(vec![
+            format!("LoCaLUT ({cfg_str})"),
+            p(Phase::GemmOnPim),
+            p(Phase::MatrixTransfer),
+            p(Phase::CentroidSelection),
+            p(Phase::DataReordering),
+            p(Phase::Quantization),
+            p(Phase::PackingSorting),
+            p(Phase::Others),
+        ]);
+    }
+    table.print();
+    println!("\n  Expected shape: PIM-DL's centroid selection dominates its host time;");
+    println!("  LoCaLUT's host overhead (quantization + packing/sorting) is lighter.");
+
+    banner("Fig 16(b)", "LoCaLUT GEMM kernel breakdown (W1A3, % of kernel)");
+    let dpu = DpuConfig::upmem();
+    let dims = GemmDims { m: 3072, k: 768, n: 128 };
+    let plan = Planner::new(dpu.clone())
+        .plan(dims, "W1A3".parse::<BitConfig>().expect("valid").weight_format(),
+              "W1A3".parse::<BitConfig>().expect("valid").activation_format(), Some(2))
+        .expect("plannable");
+    let cost = plan.cost(&dpu, dims);
+    let total = cost.total_seconds();
+    let mut table = Table::new(&["category", "share (%)"]);
+    for cat in [
+        Category::CanonicalLookup,
+        Category::ReorderLookup,
+        Category::IndexCalc,
+        Category::Accumulate,
+        Category::LutLoad,
+        Category::DataTransfer,
+        Category::OutputWriteback,
+    ] {
+        table.row(vec![
+            cat.label().to_owned(),
+            format!("{:.1}", 100.0 * cost.seconds(cat) / total),
+        ]);
+    }
+    table.print();
+    let reorder_pct = 100.0 * cost.seconds(Category::ReorderLookup) / total;
+    println!("\n  reordering LUT access: {reorder_pct:.1}% (paper: 6.9%)");
+    println!("  Expected shape: index calculation dominates; LUT accesses are small.");
+}

@@ -1,0 +1,58 @@
+//! Fig. 17: execution time and energy vs CPU and GPU.
+//!
+//! GEMM (M, K, N) = (12288, 192, 65536) across bitwidths on the Xeon Gold
+//! 5215 roofline, the RTX 2080 Ti roofline, and LoCaLUT on the 2048-DPU
+//! system. The paper's shape: LoCaLUT always beats the CPU; it beats the
+//! GPU at low bitwidths but loses at W4A4 (no sub-8-bit GPU datapath vs a
+//! native one).
+
+use bench::{banner, Table};
+use localut::tiling::DistributedGemm;
+use localut::{GemmDims, Method};
+use pim_sim::EnergyModel;
+use quant::BitConfig;
+use xpu::XpuModel;
+
+fn main() {
+    banner("Fig 17", "GEMM vs CPU/GPU (M=12288, K=192, N=65536)");
+    let dist = DistributedGemm::upmem_server();
+    let energy_model = EnergyModel::upmem();
+    let sys = dist.system.config().clone();
+    let cpu = XpuModel::xeon_gold_5215();
+    let gpu = XpuModel::rtx_2080ti();
+    let dims = GemmDims { m: 12288, k: 192, n: 65536 };
+
+    let mut time = Table::new(&["config", "CPU (s)", "GPU (s)", "LoCaLUT (s)"]);
+    let mut energy = Table::new(&["config", "CPU (J)", "GPU (J)", "LoCaLUT (J)"]);
+    for cfg_str in ["W1A3", "W1A4", "W2A2", "W4A4"] {
+        let cfg: BitConfig = cfg_str.parse().expect("valid");
+        let (m, k, n) = (dims.m as u64, dims.k as u64, dims.n as u64);
+        let cpu_t = cpu.gemm_seconds(m, k, n, cfg.bw, cfg.ba);
+        let gpu_t = gpu.gemm_seconds(m, k, n, cfg.bw, cfg.ba);
+        let profile = dist
+            .cost(Method::LoCaLut, dims, cfg.weight_format(), cfg.activation_format())
+            .expect("feasible");
+        let lut_t = profile.total_seconds();
+        let lut_j = energy_model.system_energy(&sys, &profile).total_j();
+        time.row(vec![
+            cfg_str.into(),
+            format!("{cpu_t:.3}"),
+            format!("{gpu_t:.3}"),
+            format!("{lut_t:.3}"),
+        ]);
+        energy.row(vec![
+            cfg_str.into(),
+            format!("{:.1}", cpu.gemm_energy_j(m, k, n, cfg.bw, cfg.ba)),
+            format!("{:.1}", gpu.gemm_energy_j(m, k, n, cfg.bw, cfg.ba)),
+            format!("{lut_j:.1}"),
+        ]);
+        let vs_cpu = cpu_t / lut_t;
+        let vs_gpu = gpu_t / lut_t;
+        println!("  {cfg_str}: {vs_cpu:.1}x vs CPU, {vs_gpu:.2}x vs GPU");
+    }
+    println!("\n  (a) execution time:");
+    time.print();
+    println!("\n  (b) energy:");
+    energy.print();
+    println!("\n  Expected shape: LoCaLUT > CPU everywhere; > GPU at W1/W2, < GPU at W4A4.");
+}

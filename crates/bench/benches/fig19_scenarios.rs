@@ -1,0 +1,88 @@
+//! Fig. 19: LoCaLUT in real-world serving scenarios.
+//!
+//! (a) Prefill-only (BERT, W1A3) vs prefill+decode (OPT, W4A4, 4/8/16
+//! output tokens), OP vs LoCaLUT, phase-decomposed. The paper reports
+//! 1.34× prefill and 1.27× decode speedups.
+//! (b) Batch-size sweep 32..512: LoCaLUT speedup over OP for BERT (W1A3),
+//! ViT (W2A2), OPT (W4A4) — gains grow with batch via bank parallelism.
+
+use bench::{banner, Table};
+use dnn::{InferenceSim, ModelConfig, Workload};
+use localut::Method;
+use quant::BitConfig;
+
+fn main() {
+    banner("Fig 19(a)", "Prefill/decode phases: OP vs LoCaLUT");
+    let sim = InferenceSim::upmem_server();
+    let batch = 32;
+
+    let mut table = Table::new(&[
+        "workload", "method", "prefill (s)", "decode (s)", "total (s)",
+    ]);
+    let mut prefill_speedups = Vec::new();
+    let mut decode_speedups = Vec::new();
+
+    let bert_wl = Workload::prefill(ModelConfig::bert_base(), batch);
+    let bert_cfg: BitConfig = "W1A3".parse().expect("valid");
+    let mut bert_times = Vec::new();
+    for method in [Method::Op, Method::LoCaLut] {
+        let r = sim.run(method, bert_cfg, &bert_wl).expect("feasible");
+        table.row(vec![
+            "BERT (prefill)".into(),
+            method.label().into(),
+            format!("{:.4}", r.prefill_seconds),
+            "-".into(),
+            format!("{:.4}", r.total_seconds()),
+        ]);
+        bert_times.push(r.prefill_seconds);
+    }
+    prefill_speedups.push(bert_times[0] / bert_times[1]);
+
+    let opt_cfg: BitConfig = "W4A4".parse().expect("valid");
+    for out in [4u32, 8, 16] {
+        let wl = Workload::with_decode(ModelConfig::opt_125m(), batch, out);
+        let mut rows = Vec::new();
+        for method in [Method::Op, Method::LoCaLut] {
+            let r = sim.run(method, opt_cfg, &wl).expect("feasible");
+            table.row(vec![
+                format!("OPT (out {out})"),
+                method.label().into(),
+                format!("{:.4}", r.prefill_seconds),
+                format!("{:.4}", r.decode_seconds),
+                format!("{:.4}", r.total_seconds()),
+            ]);
+            rows.push(r);
+        }
+        prefill_speedups.push(rows[0].prefill_seconds / rows[1].prefill_seconds);
+        decode_speedups.push(rows[0].decode_seconds / rows[1].decode_seconds);
+    }
+    table.print();
+    println!(
+        "\n  prefill speedup over OP: {:.2}x (paper: 1.34x); decode: {:.2}x (paper: 1.27x)",
+        bench::geomean(&prefill_speedups),
+        bench::geomean(&decode_speedups)
+    );
+
+    banner("Fig 19(b)", "Batch-size sweep: LoCaLUT speedup over OP");
+    let cases: Vec<(ModelConfig, &str)> = vec![
+        (ModelConfig::bert_base(), "W1A3"),
+        (ModelConfig::vit_base(), "W2A2"),
+        (ModelConfig::opt_125m(), "W4A4"),
+    ];
+    let batches = [32usize, 64, 128, 256, 512];
+    let mut table = Table::new(&["model", "config", "b=32", "b=64", "b=128", "b=256", "b=512"]);
+    for (model, cfg_str) in cases {
+        let cfg: BitConfig = cfg_str.parse().expect("valid");
+        let mut cells = vec![model.name.to_owned(), cfg_str.to_owned()];
+        for &b in &batches {
+            let wl = Workload::prefill(model.clone(), b);
+            let s = sim
+                .speedup_over(Method::LoCaLut, Method::Op, cfg, &wl)
+                .expect("feasible");
+            cells.push(format!("{s:.2}"));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("\n  Expected shape: consistent >1x speedup over OP, holding or growing with batch.");
+}

@@ -1,0 +1,153 @@
+//! Shared helpers for the figure-regeneration bench targets.
+//!
+//! Every `benches/figNN_*.rs` target is a `harness = false` binary that
+//! reruns one of the paper's experiments on the simulator and prints the
+//! same rows/series the paper plots. `cargo bench --workspace` regenerates
+//! the full evaluation; `EXPERIMENTS.md` records paper-vs-measured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dnn::hostops::HostOpModel;
+use dnn::layer::{layer_gemms, layer_host_ops};
+use dnn::ModelConfig;
+use pim_sim::{Category, CycleLedger, Profile, SystemProfile};
+use pq::{PqConfig, PqCostModel};
+
+/// Geometric mean of positive values (1.0 for an empty slice).
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Prints a figure banner.
+pub fn banner(fig: &str, title: &str) {
+    println!();
+    println!("================================================================");
+    println!("{fig}: {title}");
+    println!("================================================================");
+}
+
+/// A simple aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let cols: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            println!("  {}", cols.join("  "));
+        };
+        line(&self.header);
+        println!(
+            "  {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// End-to-end BERT-style system cost under a PQ baseline: the per-layer
+/// GEMM stream through [`PqCostModel`] plus the same host "Others" ops the
+/// LoCaLUT inference model charges (attention, softmax, norms, GELU).
+#[must_use]
+pub fn pq_model_cost(
+    model: &ModelConfig,
+    batch: usize,
+    pq_cfg: &PqConfig,
+    cost_model: &PqCostModel,
+) -> SystemProfile {
+    let tokens = batch * model.seq_len;
+    let mut total = SystemProfile::default();
+    for gemm in layer_gemms(model, tokens) {
+        let one = cost_model.gemm_cost(pq_cfg, gemm.dims.m, gemm.dims.k, gemm.dims.n);
+        total = total.merged(&one.scaled(u64::from(gemm.count)));
+    }
+    let host_model = HostOpModel::xeon();
+    let counts = layer_host_ops(model, tokens, model.seq_len);
+    let ops = host_model.other_ops(&counts);
+    let mut others = CycleLedger::new();
+    others.charge(
+        Category::HostCompute,
+        cost_model.system.host_ops_seconds(ops),
+    );
+    others.host_ops = ops;
+    total = total.merged(&SystemProfile {
+        host: Profile::from_ledger(others),
+        pim: Profile::new(),
+    });
+    total.scaled(u64::from(model.layers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq::PqVariant;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.row(vec!["1".into()]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn pq_model_cost_is_positive_and_centroid_heavy() {
+        let cost = pq_model_cost(
+            &ModelConfig::bert_base(),
+            8,
+            &PqConfig::standard(PqVariant::PimDl),
+            &PqCostModel::upmem_server(),
+        );
+        assert!(cost.total_seconds() > 0.0);
+        assert!(cost.host.seconds(Category::HostCentroid) > cost.pim.total_seconds());
+    }
+}

@@ -1,0 +1,122 @@
+//! Model shape configurations for the paper's three workloads (§VI-A).
+
+/// Which of the paper's models a configuration describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Encoder-only language model (prefill-only inference).
+    Bert,
+    /// Decoder-only language model (prefill + autoregressive decode).
+    Opt,
+    /// Vision transformer (prefill-only over image patches).
+    Vit,
+}
+
+/// Transformer shape configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Display name.
+    pub name: &'static str,
+    /// Model family.
+    pub kind: ModelKind,
+    /// Number of transformer layers.
+    pub layers: u32,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// FFN intermediate dimension.
+    pub ffn: usize,
+    /// Attention heads.
+    pub heads: u32,
+    /// Default sequence length (tokens per sample; the paper caps GLUE
+    /// inputs at 128 and ViT-Base/16 at 224² → 196 patches + CLS).
+    pub seq_len: usize,
+}
+
+impl ModelConfig {
+    /// BERT-base: 12 layers, hidden 768, FFN 3072, 12 heads, seq 128
+    /// (110 M parameters).
+    #[must_use]
+    pub fn bert_base() -> Self {
+        ModelConfig {
+            name: "BERT",
+            kind: ModelKind::Bert,
+            layers: 12,
+            hidden: 768,
+            ffn: 3072,
+            heads: 12,
+            seq_len: 128,
+        }
+    }
+
+    /// OPT-125M: 12 layers, hidden 768, FFN 3072, 12 heads, seq 128.
+    #[must_use]
+    pub fn opt_125m() -> Self {
+        ModelConfig {
+            name: "OPT",
+            kind: ModelKind::Opt,
+            layers: 12,
+            hidden: 768,
+            ffn: 3072,
+            heads: 12,
+            seq_len: 128,
+        }
+    }
+
+    /// ViT-Base: 12 layers, hidden 768, FFN 3072, 12 heads, 197 tokens
+    /// (86 M parameters).
+    #[must_use]
+    pub fn vit_base() -> Self {
+        ModelConfig {
+            name: "ViT",
+            kind: ModelKind::Vit,
+            layers: 12,
+            hidden: 768,
+            ffn: 3072,
+            heads: 12,
+            seq_len: 197,
+        }
+    }
+
+    /// All three evaluation models.
+    #[must_use]
+    pub fn paper_models() -> [ModelConfig; 3] {
+        [Self::bert_base(), Self::opt_125m(), Self::vit_base()]
+    }
+
+    /// Parameter count of the GEMM weights per layer
+    /// (QKV + output projection + two FFN matrices).
+    #[must_use]
+    pub fn gemm_params_per_layer(&self) -> u64 {
+        let h = self.hidden as u64;
+        let f = self.ffn as u64;
+        4 * h * h + 2 * h * f
+    }
+
+    /// Whether inference includes an autoregressive decode phase.
+    #[must_use]
+    pub fn has_decode(&self) -> bool {
+        self.kind == ModelKind::Opt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_models_have_expected_shapes() {
+        let bert = ModelConfig::bert_base();
+        assert_eq!((bert.layers, bert.hidden, bert.ffn), (12, 768, 3072));
+        let vit = ModelConfig::vit_base();
+        assert_eq!(vit.seq_len, 197);
+        assert!(!vit.has_decode());
+        assert!(ModelConfig::opt_125m().has_decode());
+    }
+
+    #[test]
+    fn parameter_counts_are_plausible() {
+        // BERT-base GEMM weights: 12 * (4*768² + 2*768*3072) ≈ 85 M.
+        let bert = ModelConfig::bert_base();
+        let total = u64::from(bert.layers) * bert.gemm_params_per_layer();
+        assert!((80_000_000..90_000_000).contains(&total), "{total}");
+    }
+}

@@ -1,0 +1,388 @@
+//! End-to-end inference timing (Fig. 10, Fig. 16a, Fig. 19) on top of the
+//! distributed GEMM model.
+//!
+//! Prefill runs every layer's GEMM stream at `batch × seq_len` tokens;
+//! decode (OPT) runs one token per step per sample with a growing KV cache
+//! handled by the host attention (Fig. 8). Host and PIM phases serialize,
+//! as on UPMEM.
+
+use crate::config::{ModelConfig, ModelKind};
+use crate::hostops::HostOpModel;
+use crate::layer::{layer_gemms, layer_host_ops};
+use localut::tiling::DistributedGemm;
+use localut::{LocaLutError, Method};
+use pim_sim::{Category, CycleLedger, Profile, SystemProfile};
+use quant::BitConfig;
+
+/// The Fig. 16(a) execution phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// GEMM kernels on the PIM banks.
+    GemmOnPim,
+    /// Host ↔ PIM matrix transfers.
+    MatrixTransfer,
+    /// PQ centroid selection (PQ baselines only; zero here).
+    CentroidSelection,
+    /// Data layout reordering (PQ baselines only; zero here).
+    DataReordering,
+    /// Host-side quantization/dequantization.
+    Quantization,
+    /// Host-side activation packing and sorting.
+    PackingSorting,
+    /// Everything else the host runs (attention, softmax, norms, GELU).
+    Others,
+}
+
+impl Phase {
+    /// All phases in Fig. 16(a) legend order.
+    pub const ALL: [Phase; 7] = [
+        Phase::GemmOnPim,
+        Phase::MatrixTransfer,
+        Phase::CentroidSelection,
+        Phase::DataReordering,
+        Phase::Quantization,
+        Phase::PackingSorting,
+        Phase::Others,
+    ];
+
+    /// Figure label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::GemmOnPim => "GEMM on PIM",
+            Phase::MatrixTransfer => "Matrix Transfer",
+            Phase::CentroidSelection => "Centroid Selection",
+            Phase::DataReordering => "Data reordering",
+            Phase::Quantization => "Quantization",
+            Phase::PackingSorting => "Packing & Sorting",
+            Phase::Others => "Others",
+        }
+    }
+}
+
+/// An inference workload: model, batch, and decode length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// The model configuration.
+    pub model: ModelConfig,
+    /// Batch size (samples processed together).
+    pub batch: usize,
+    /// Autoregressive output tokens (0 for prefill-only models).
+    pub decode_tokens: u32,
+}
+
+impl Workload {
+    /// A prefill-only workload.
+    #[must_use]
+    pub fn prefill(model: ModelConfig, batch: usize) -> Self {
+        Workload {
+            model,
+            batch,
+            decode_tokens: 0,
+        }
+    }
+
+    /// A prefill + decode workload (OPT-style).
+    #[must_use]
+    pub fn with_decode(model: ModelConfig, batch: usize, decode_tokens: u32) -> Self {
+        Workload {
+            model,
+            batch,
+            decode_tokens,
+        }
+    }
+}
+
+/// An end-to-end inference timing report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceReport {
+    /// Prefill seconds.
+    pub prefill_seconds: f64,
+    /// Decode seconds (0 without decode).
+    pub decode_seconds: f64,
+    /// Merged host+PIM profile (for the energy model).
+    pub profile: SystemProfile,
+}
+
+impl InferenceReport {
+    /// Total end-to-end seconds.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.prefill_seconds + self.decode_seconds
+    }
+
+    /// Seconds per Fig. 16(a) phase.
+    #[must_use]
+    pub fn phase_seconds(&self, phase: Phase) -> f64 {
+        match phase {
+            Phase::GemmOnPim => self.profile.pim.total_seconds(),
+            Phase::MatrixTransfer => self.profile.host.seconds(Category::HostTransfer),
+            Phase::CentroidSelection | Phase::DataReordering => 0.0,
+            Phase::Quantization => self.profile.host.seconds(Category::HostQuantize),
+            Phase::PackingSorting => self.profile.host.seconds(Category::HostSortPack),
+            Phase::Others => self.profile.host.seconds(Category::HostCompute),
+        }
+    }
+
+    /// `(phase, seconds)` pairs in legend order.
+    #[must_use]
+    pub fn phases(&self) -> Vec<(Phase, f64)> {
+        Phase::ALL
+            .iter()
+            .map(|&p| (p, self.phase_seconds(p)))
+            .collect()
+    }
+}
+
+/// The end-to-end inference simulator.
+#[derive(Debug, Clone)]
+pub struct InferenceSim {
+    /// The distributed GEMM model (system + kernel config).
+    pub dist: DistributedGemm,
+    /// Host-op cost weights.
+    pub host_model: HostOpModel,
+}
+
+impl InferenceSim {
+    /// The paper's 2048-DPU UPMEM server.
+    #[must_use]
+    pub fn upmem_server() -> Self {
+        InferenceSim {
+            dist: DistributedGemm::upmem_server(),
+            host_model: HostOpModel::xeon(),
+        }
+    }
+
+    /// Times one phase (all layers) at `tokens` new tokens attending over
+    /// `context` tokens, scaled by `repeats`.
+    fn phase_cost(
+        &self,
+        method: Method,
+        cfg: BitConfig,
+        model: &ModelConfig,
+        tokens: usize,
+        context: usize,
+        repeats: u64,
+    ) -> Result<SystemProfile, LocaLutError> {
+        let wf = cfg.weight_format();
+        let af = cfg.activation_format();
+        let mut total = SystemProfile::default();
+        for gemm in layer_gemms(model, tokens) {
+            let one = self.dist.cost(method, gemm.dims, wf, af)?;
+            total = total.merged(&one.scaled(u64::from(gemm.count)));
+        }
+        // Host "Others": attention + softmax + norms + GELU.
+        let counts = layer_host_ops(model, tokens, context);
+        let ops = self.host_model.other_ops(&counts);
+        let mut others = CycleLedger::new();
+        others.charge(
+            Category::HostCompute,
+            self.dist.system.host_ops_seconds(ops),
+        );
+        others.host_ops = ops;
+        total = total.merged(&SystemProfile {
+            host: Profile::from_ledger(others),
+            pim: Profile::new(),
+        });
+        Ok(total.scaled(repeats * u64::from(model.layers)))
+    }
+
+    /// One-time initialization cost of `method` at `cfg` (§V-A): building
+    /// the LUT images on the host and broadcasting them to all banks, plus
+    /// loading buffer-resident images into WRAM. Amortized across an
+    /// entire serving session, so reported separately from per-inference
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Kernel feasibility errors.
+    pub fn init_cost(
+        &self,
+        method: Method,
+        cfg: BitConfig,
+    ) -> Result<SystemProfile, LocaLutError> {
+        use localut::capacity::{localut_bytes, max_p_localut, max_p_op, op_lut_bytes};
+        let wf = cfg.weight_format();
+        let af = cfg.activation_format();
+        let dpu = &self.dist.gemm.dpu;
+        // Bytes of the broadcast LUT image (zero for LUT-free methods).
+        let (image_bytes, build_entries) = match method {
+            Method::NaivePim | Method::Ltc => (0u64, 0u64),
+            Method::Op => {
+                let p = max_p_op(wf, af, dpu.wram_lut_budget());
+                let b = op_lut_bytes(wf, af, p).unwrap_or(0) as u64;
+                (b, b)
+            }
+            Method::OpLc | Method::OpLcRc => {
+                let p = max_p_localut(wf, af, dpu.wram_lut_budget());
+                let b = localut_bytes(wf, af, p).unwrap_or(0) as u64;
+                (b, b)
+            }
+            Method::LoCaLut => {
+                let p = max_p_localut(wf, af, dpu.bank_lut_budget());
+                let b = localut_bytes(wf, af, p).unwrap_or(0) as u64;
+                (b, b)
+            }
+        };
+        let mut host = CycleLedger::new();
+        // Host builds each entry (~4 ops: decode, multiply-accumulate p
+        // times amortized, store) and broadcasts the image once.
+        host.charge(
+            Category::HostCompute,
+            self.dist.system.host_ops_seconds(4 * build_entries),
+        );
+        host.charge(
+            Category::HostTransfer,
+            self.dist.system.broadcast_seconds(image_bytes),
+        );
+        host.host_bytes = image_bytes;
+        host.host_ops = 4 * build_entries;
+        // Buffer-resident images additionally stream bank → WRAM once.
+        let mut pim = CycleLedger::new();
+        if !matches!(method, Method::NaivePim | Method::Ltc | Method::LoCaLut) {
+            pim.charge(
+                Category::LutLoad,
+                dpu.timings.dram_stream_seconds(image_bytes),
+            );
+            pim.dram_read_bytes = image_bytes;
+        }
+        Ok(SystemProfile {
+            host: Profile::from_ledger(host),
+            pim: Profile::from_ledger(pim),
+        })
+    }
+
+    /// Runs a full inference workload under `method` and `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Kernel feasibility errors.
+    pub fn run(
+        &self,
+        method: Method,
+        cfg: BitConfig,
+        workload: &Workload,
+    ) -> Result<InferenceReport, LocaLutError> {
+        let model = &workload.model;
+        let prefill_tokens = workload.batch * model.seq_len;
+        let prefill = self.phase_cost(method, cfg, model, prefill_tokens, model.seq_len, 1)?;
+
+        let decode = if workload.decode_tokens > 0 && model.kind == ModelKind::Opt {
+            // Each decode step: one token per sample, KV context grows by
+            // one; attention context averaged over the steps.
+            let steps = u64::from(workload.decode_tokens);
+            let avg_context = model.seq_len + workload.decode_tokens as usize / 2;
+            self.phase_cost(method, cfg, model, workload.batch, avg_context, steps)?
+        } else {
+            SystemProfile::default()
+        };
+
+        Ok(InferenceReport {
+            prefill_seconds: prefill.total_seconds(),
+            decode_seconds: decode.total_seconds(),
+            profile: prefill.merged(&decode),
+        })
+    }
+
+    /// End-to-end speedup of `method` over `baseline`.
+    ///
+    /// # Errors
+    ///
+    /// Kernel feasibility errors.
+    pub fn speedup_over(
+        &self,
+        method: Method,
+        baseline: Method,
+        cfg: BitConfig,
+        workload: &Workload,
+    ) -> Result<f64, LocaLutError> {
+        let a = self.run(method, cfg, workload)?.total_seconds();
+        let b = self.run(baseline, cfg, workload)?.total_seconds();
+        Ok(b / a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w1a3() -> BitConfig {
+        "W1A3".parse().unwrap()
+    }
+
+    #[test]
+    fn bert_prefill_has_no_decode() {
+        let sim = InferenceSim::upmem_server();
+        let wl = Workload::prefill(ModelConfig::bert_base(), 32);
+        let r = sim.run(Method::LoCaLut, w1a3(), &wl).unwrap();
+        assert!(r.prefill_seconds > 0.0);
+        assert_eq!(r.decode_seconds, 0.0);
+    }
+
+    #[test]
+    fn opt_decode_adds_time() {
+        let sim = InferenceSim::upmem_server();
+        let cfg: BitConfig = "W4A4".parse().unwrap();
+        let no_decode = Workload::prefill(ModelConfig::opt_125m(), 8);
+        let with_decode = Workload::with_decode(ModelConfig::opt_125m(), 8, 8);
+        let a = sim.run(Method::LoCaLut, cfg, &no_decode).unwrap();
+        let b = sim.run(Method::LoCaLut, cfg, &with_decode).unwrap();
+        assert!(b.decode_seconds > 0.0);
+        assert!(b.total_seconds() > a.total_seconds());
+        assert!((a.prefill_seconds - b.prefill_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn localut_beats_naive_end_to_end() {
+        // Fig. 10: LoCaLUT outperforms Naive PIM end-to-end (1.77x geomean).
+        let sim = InferenceSim::upmem_server();
+        let wl = Workload::prefill(ModelConfig::bert_base(), 32);
+        let s = sim
+            .speedup_over(Method::LoCaLut, Method::NaivePim, w1a3(), &wl)
+            .unwrap();
+        assert!(s > 1.2, "end-to-end speedup {s} too small");
+    }
+
+    #[test]
+    fn phase_breakdown_sums_to_total() {
+        let sim = InferenceSim::upmem_server();
+        let wl = Workload::prefill(ModelConfig::vit_base(), 16);
+        let r = sim.run(Method::LoCaLut, "W2A2".parse().unwrap(), &wl).unwrap();
+        let sum: f64 = r.phases().iter().map(|(_, s)| s).sum();
+        assert!((sum - r.total_seconds()).abs() < 1e-9 * r.total_seconds().max(1.0));
+        assert!(r.phase_seconds(Phase::GemmOnPim) > 0.0);
+        assert!(r.phase_seconds(Phase::PackingSorting) > 0.0);
+        assert_eq!(r.phase_seconds(Phase::CentroidSelection), 0.0);
+    }
+
+    #[test]
+    fn init_cost_reflects_lut_sizes() {
+        let sim = InferenceSim::upmem_server();
+        let cfg = w1a3();
+        let naive = sim.run(Method::NaivePim, cfg, &Workload::prefill(ModelConfig::bert_base(), 8));
+        assert!(naive.is_ok());
+        let i_naive = sim.init_cost(Method::NaivePim, cfg).unwrap();
+        let i_op = sim.init_cost(Method::Op, cfg).unwrap();
+        let i_localut = sim.init_cost(Method::LoCaLut, cfg).unwrap();
+        // LUT-free methods have no init cost.
+        assert_eq!(i_naive.total_seconds(), 0.0);
+        // LoCaLUT's DRAM-resident image (p=8, ~12 MB) dwarfs OP's 4 KB.
+        assert!(i_localut.total_seconds() > i_op.total_seconds() * 10.0);
+        // But init amortizes: it stays below one BERT inference.
+        let one_inference = sim
+            .run(Method::LoCaLut, cfg, &Workload::prefill(ModelConfig::bert_base(), 32))
+            .unwrap()
+            .total_seconds();
+        assert!(i_localut.total_seconds() < one_inference);
+    }
+
+    #[test]
+    fn bigger_batches_take_longer() {
+        let sim = InferenceSim::upmem_server();
+        let small = Workload::prefill(ModelConfig::bert_base(), 8);
+        let big = Workload::prefill(ModelConfig::bert_base(), 64);
+        let a = sim.run(Method::Op, w1a3(), &small).unwrap();
+        let b = sim.run(Method::Op, w1a3(), &big).unwrap();
+        assert!(b.total_seconds() > a.total_seconds());
+    }
+}

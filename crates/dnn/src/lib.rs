@@ -1,0 +1,33 @@
+//! # dnn — transformer workload substrate
+//!
+//! The paper evaluates LoCaLUT end-to-end on BERT-base, OPT-125M and
+//! ViT-Base (§VI-A). Execution-time results depend on the models only
+//! through their *GEMM shape streams* and the host-side operations between
+//! GEMMs (Fig. 8: the PIM banks run QKV projection, output projection and
+//! FFN; the host runs attention, softmax, normalization, GELU, and
+//! quantize/dequantize). This crate provides:
+//!
+//! * [`config::ModelConfig`] — exact shape configurations of the three
+//!   models.
+//! * [`layer`] — the per-layer GEMM stream and host-op counts (Fig. 8).
+//! * [`hostops`] — the host-side operation cost model.
+//! * [`inference`] — end-to-end prefill/decode timing with the Fig. 16(a)
+//!   phase breakdown, on top of `localut::tiling`.
+//! * [`tasks`] — synthetic GLUE-like classification tasks used by the
+//!   accuracy experiments (Fig. 15, Fig. 21b). *Substitution note*: the
+//!   paper fine-tunes real checkpoints on GLUE/ImageNet; we measure the
+//!   approximation fidelity of the identical numeric pipelines
+//!   (quantization, PQ, float reordering) on synthetic linear-teacher
+//!   tasks instead, which exercises the same compute paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod hostops;
+pub mod inference;
+pub mod layer;
+pub mod tasks;
+
+pub use config::{ModelConfig, ModelKind};
+pub use inference::{InferenceReport, InferenceSim, Phase, Workload};

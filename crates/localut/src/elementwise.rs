@@ -1,0 +1,230 @@
+//! Elementwise operation-packed LUTs (§VII-A): "LUTs' reconfigurability
+//! allows supporting other operations (e.g., bitwise xor), provided they
+//! fit within the LUT capacity budget."
+//!
+//! An elementwise LUT packs `p` independent applications of an arbitrary
+//! binary code-level operator `f: code × code → code` into one lookup: the
+//! table is indexed by two packed operand vectors and each entry is the
+//! packed result vector. Unlike inner-product LUTs there is no reduction,
+//! so canonicalization does not apply — but the capacity-for-computation
+//! tradeoff (and the buffer/bank placement question) is identical, which is
+//! why this lives beside the GEMM machinery.
+
+use crate::packed::{check_index_width, pack_index, unpack_index};
+use crate::LocaLutError;
+
+/// A packed LUT for an arbitrary elementwise binary operation on codes.
+///
+/// # Examples
+///
+/// ```
+/// use localut::elementwise::ElementwiseLut;
+///
+/// // Four 2-bit XORs per lookup (§VII-A's example operation).
+/// let lut = ElementwiseLut::xor(2, 4, 1 << 20)?;
+/// assert_eq!(lut.apply(&[0, 1, 2, 3], &[3, 3, 3, 3]), vec![3, 2, 1, 0]);
+/// # Ok::<(), localut::LocaLutError>(())
+/// ```
+pub struct ElementwiseLut {
+    bits: u8,
+    p: u32,
+    side: u64,
+    /// `entries[b * side + a]` = packed results of `f(a_i, b_i)`.
+    entries: Vec<u64>,
+    name: &'static str,
+}
+
+impl core::fmt::Debug for ElementwiseLut {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ElementwiseLut")
+            .field("name", &self.name)
+            .field("bits", &self.bits)
+            .field("p", &self.p)
+            .field("entries", &self.entries.len())
+            .finish()
+    }
+}
+
+impl ElementwiseLut {
+    /// Precomputes the LUT for `op` over `bits`-wide codes at packing
+    /// degree `p`.
+    ///
+    /// `op` must map valid codes to valid codes (`< 2^bits`); results are
+    /// masked to the code width defensively.
+    ///
+    /// # Errors
+    ///
+    /// * [`LocaLutError::IndexSpaceTooWide`] when `2 · bits · p > 26` (the
+    ///   table has `2^(2·bits·p)` entries — elementwise packing explodes
+    ///   twice as fast as inner products, §III-A's tradeoff in its
+    ///   harshest form).
+    /// * [`LocaLutError::BudgetExceeded`] when the entry count exceeds
+    ///   `max_entries`.
+    pub fn build(
+        name: &'static str,
+        bits: u8,
+        p: u32,
+        max_entries: u64,
+        mut op: impl FnMut(u16, u16) -> u16,
+    ) -> Result<Self, LocaLutError> {
+        check_index_width(bits, p)?;
+        if 2 * u32::from(bits) * p > 26 {
+            return Err(LocaLutError::IndexSpaceTooWide { bits, p });
+        }
+        let side = 1u64 << (u32::from(bits) * p);
+        let total = (side as u128) * (side as u128);
+        if total > u128::from(max_entries) {
+            return Err(LocaLutError::BudgetExceeded {
+                required: total,
+                budget: max_entries,
+            });
+        }
+        let mask = (1u16 << bits) - 1;
+        let mut entries = Vec::with_capacity(total as usize);
+        for b in 0..side {
+            let bcodes = unpack_index(b, bits, p);
+            for a in 0..side {
+                let acodes = unpack_index(a, bits, p);
+                let result: Vec<u16> = acodes
+                    .iter()
+                    .zip(&bcodes)
+                    .map(|(&x, &y)| op(x, y) & mask)
+                    .collect();
+                entries.push(pack_index(&result, bits));
+            }
+        }
+        Ok(ElementwiseLut {
+            bits,
+            p,
+            side,
+            entries,
+            name,
+        })
+    }
+
+    /// A packed bitwise-XOR LUT (the §VII-A example).
+    ///
+    /// # Errors
+    ///
+    /// See [`ElementwiseLut::build`].
+    pub fn xor(bits: u8, p: u32, max_entries: u64) -> Result<Self, LocaLutError> {
+        Self::build("xor", bits, p, max_entries, |a, b| a ^ b)
+    }
+
+    /// A packed saturating-add LUT.
+    ///
+    /// # Errors
+    ///
+    /// See [`ElementwiseLut::build`].
+    pub fn saturating_add(bits: u8, p: u32, max_entries: u64) -> Result<Self, LocaLutError> {
+        let max = (1u16 << bits) - 1;
+        Self::build("saturating-add", bits, p, max_entries, move |a, b| {
+            (a + b).min(max)
+        })
+    }
+
+    /// The operation's display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The packing degree.
+    #[must_use]
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+
+    /// Entry count, `2^(2·bits·p)`.
+    #[must_use]
+    pub fn entry_count(&self) -> u64 {
+        self.side * self.side
+    }
+
+    /// One lookup: `p` elementwise operations at once, on packed indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    #[must_use]
+    pub fn lookup(&self, a: u64, b: u64) -> u64 {
+        assert!(a < self.side && b < self.side, "elementwise LUT index out of range");
+        self.entries[(b * self.side + a) as usize]
+    }
+
+    /// Applies the packed operation to two equal-length code slices,
+    /// chunking by `p` (the tail uses a partial pack, which is safe because
+    /// missing lanes are zero-filled on both operands).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices' lengths differ or a code exceeds the width.
+    #[must_use]
+    pub fn apply(&self, a: &[u16], b: &[u16]) -> Vec<u16> {
+        assert_eq!(a.len(), b.len(), "operand length mismatch");
+        let p = self.p as usize;
+        let mut out = Vec::with_capacity(a.len());
+        for (ca, cb) in a.chunks(p).zip(b.chunks(p)) {
+            let packed = self.lookup(pack_index(ca, self.bits), pack_index(cb, self.bits));
+            out.extend(unpack_index(packed, self.bits, ca.len() as u32));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_lut_is_exact_exhaustively() {
+        let lut = ElementwiseLut::xor(2, 2, 1 << 16).unwrap();
+        for a in 0..4u16 {
+            for b in 0..4u16 {
+                for c in 0..4u16 {
+                    for d in 0..4u16 {
+                        let out = lut.apply(&[a, b], &[c, d]);
+                        assert_eq!(out, vec![a ^ c, b ^ d]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_add_saturates() {
+        let lut = ElementwiseLut::saturating_add(3, 2, 1 << 16).unwrap();
+        assert_eq!(lut.apply(&[7, 3], &[7, 2]), vec![7, 5]);
+        assert_eq!(lut.apply(&[0, 0], &[0, 7]), vec![0, 7]);
+    }
+
+    #[test]
+    fn ragged_tail_is_handled() {
+        let lut = ElementwiseLut::xor(2, 3, 1 << 16).unwrap();
+        let a = [1u16, 2, 3, 0, 1];
+        let b = [3u16, 3, 3, 3, 3];
+        let expect: Vec<u16> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        assert_eq!(lut.apply(&a, &b), expect);
+    }
+
+    #[test]
+    fn capacity_guards() {
+        // 2*3*5 = 30 bits of index -> over the 26-bit elementwise cap.
+        assert!(matches!(
+            ElementwiseLut::xor(3, 5, u64::MAX),
+            Err(LocaLutError::IndexSpaceTooWide { .. })
+        ));
+        assert!(matches!(
+            ElementwiseLut::xor(2, 2, 10),
+            Err(LocaLutError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn entry_count_formula() {
+        let lut = ElementwiseLut::xor(1, 4, 1 << 16).unwrap();
+        assert_eq!(lut.entry_count(), 256); // (2^4)^2
+        assert_eq!(lut.name(), "xor");
+        assert_eq!(lut.p(), 4);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for the LoCaLUT core crate.
+
+use core::fmt;
+use pim_sim::SimError;
+use quant::QuantError;
+
+/// Errors produced by LUT construction, planning, and kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocaLutError {
+    /// A packing degree of zero (or otherwise unusable) was requested.
+    InvalidPackingDegree(u32),
+    /// The packed index space exceeds what the implementation addresses
+    /// (`bits * p` must stay ≤ 48).
+    IndexSpaceTooWide {
+        /// Bits per element.
+        bits: u8,
+        /// Packing degree.
+        p: u32,
+    },
+    /// A LUT would exceed the given capacity budget in bytes.
+    BudgetExceeded {
+        /// Bytes the LUT needs.
+        required: u128,
+        /// Bytes available.
+        budget: u64,
+    },
+    /// The operands' shapes are incompatible (`W.cols != A.rows`).
+    DimensionMismatch {
+        /// `K` according to the weight matrix.
+        w_k: usize,
+        /// `K` according to the activation matrix.
+        a_k: usize,
+    },
+    /// `K` is not divisible by `p` and the activation format has no exact
+    /// zero code to pad with.
+    UnpaddableRemainder {
+        /// The remainder `K % p`.
+        remainder: usize,
+    },
+    /// A kernel was asked to run on a floating-point format it does not
+    /// support.
+    UnsupportedFormat(&'static str),
+    /// An underlying simulator error (WRAM/bank exhaustion).
+    Sim(SimError),
+    /// An underlying quantization error.
+    Quant(QuantError),
+}
+
+impl fmt::Display for LocaLutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocaLutError::InvalidPackingDegree(p) => write!(f, "invalid packing degree {p}"),
+            LocaLutError::IndexSpaceTooWide { bits, p } => {
+                write!(f, "packed index space too wide: {bits} bits x p={p} exceeds 48 bits")
+            }
+            LocaLutError::BudgetExceeded { required, budget } => {
+                write!(f, "lut of {required} bytes exceeds budget of {budget} bytes")
+            }
+            LocaLutError::DimensionMismatch { w_k, a_k } => {
+                write!(f, "dimension mismatch: weight K={w_k} vs activation K={a_k}")
+            }
+            LocaLutError::UnpaddableRemainder { remainder } => {
+                write!(
+                    f,
+                    "cannot pad K remainder of {remainder}: activation format has no zero code"
+                )
+            }
+            LocaLutError::UnsupportedFormat(what) => {
+                write!(f, "unsupported numeric format for this kernel: {what}")
+            }
+            LocaLutError::Sim(e) => write!(f, "simulator error: {e}"),
+            LocaLutError::Quant(e) => write!(f, "quantization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LocaLutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LocaLutError::Sim(e) => Some(e),
+            LocaLutError::Quant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for LocaLutError {
+    fn from(e: SimError) -> Self {
+        LocaLutError::Sim(e)
+    }
+}
+
+impl From<QuantError> for LocaLutError {
+    fn from(e: QuantError) -> Self {
+        LocaLutError::Quant(e)
+    }
+}

@@ -1,0 +1,247 @@
+//! Floating-point LUT GEMM (§VI-K): the same packed/canonical machinery
+//! over FP4/FP8/FP16 codes.
+//!
+//! LUT entry *counts* depend only on bitwidth, so canonicalization carries
+//! over unchanged; entry *values* become floats. One subtlety is unique to
+//! floats: a canonical-LUT entry accumulates its `p` products in
+//! sorted-activation order, while an operation-packed entry accumulates in
+//! original order — so the reordering LUT changes the fp accumulation
+//! order. Fig. 21(b) shows the accuracy impact is negligible; this module
+//! provides both orders so that experiment (and any user worried about it)
+//! can measure the difference directly.
+//!
+//! Entries are computed on demand instead of materializing tables: float
+//! canonical LUTs are often too large to hold in host memory (fp4 weights
+//! at `p = 4` already need 2.5×10⁸ entries), and on-demand evaluation is
+//! numerically identical — asserted against a real
+//! [`CanonicalLut<f32>`](crate::canonical::CanonicalLut) in the tests.
+
+use crate::gemm::GemmDims;
+use crate::perm::sort_permutation;
+use crate::LocaLutError;
+use quant::{NumericFormat, QMatrix};
+
+/// The accumulation order of a packed inner product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccumOrder {
+    /// Operation-packed LUT order: products summed as laid out.
+    Original,
+    /// Canonical-LUT order: products summed in sorted-activation order
+    /// (what a canonicalized entry stores after weight reordering).
+    Canonical,
+}
+
+/// A float LUT-GEMM evaluator at a fixed packing degree.
+///
+/// # Examples
+///
+/// ```
+/// use localut::fgemm::{AccumOrder, FloatGemm};
+/// use quant::{NumericFormat, Quantizer};
+///
+/// let q = Quantizer::symmetric(NumericFormat::Fp4);
+/// let w = q.quantize_matrix(&[1.0, -0.5, 2.0, 0.25], 2, 2)?;
+/// let a = q.quantize_matrix(&[3.0, 0.5, -1.0, 1.5], 2, 2)?;
+/// let fg = FloatGemm::new(NumericFormat::Fp4, NumericFormat::Fp4, 2)?;
+/// let canonical = fg.run(&w, &a, AccumOrder::Canonical)?;
+/// let original = fg.run(&w, &a, AccumOrder::Original)?;
+/// // Same products, possibly different fp rounding — Fig. 21(b).
+/// assert_eq!(canonical.len(), 4);
+/// assert!((canonical[0] - original[0]).abs() < 1e-4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloatGemm {
+    wf: NumericFormat,
+    af: NumericFormat,
+    p: u32,
+}
+
+impl FloatGemm {
+    /// Creates the evaluator.
+    ///
+    /// # Errors
+    ///
+    /// [`LocaLutError::InvalidPackingDegree`] when `p == 0`.
+    pub fn new(wf: NumericFormat, af: NumericFormat, p: u32) -> Result<Self, LocaLutError> {
+        if p == 0 {
+            return Err(LocaLutError::InvalidPackingDegree(0));
+        }
+        Ok(FloatGemm { wf, af, p })
+    }
+
+    /// The packing degree.
+    #[must_use]
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+
+    /// Runs the GEMM in the chosen accumulation order; outputs are
+    /// unscaled code-level products (multiply by `w.scale() * a.scale()`
+    /// to dequantize).
+    ///
+    /// # Errors
+    ///
+    /// [`LocaLutError::DimensionMismatch`] on incompatible shapes or when
+    /// the operand formats differ from the evaluator's.
+    pub fn run(
+        &self,
+        w: &QMatrix,
+        a: &QMatrix,
+        order: AccumOrder,
+    ) -> Result<Vec<f32>, LocaLutError> {
+        if w.format() != self.wf || a.format() != self.af {
+            return Err(LocaLutError::UnsupportedFormat(
+                "operand formats differ from the evaluator's configured formats",
+            ));
+        }
+        let dims = GemmDims::of(w, a)?;
+        let p = self.p as usize;
+        // Float formats all have a zero code (code 0 decodes to +0.0).
+        let zero = self.af.encode_nearest_f32(0.0) as u16;
+        let kblocks = dims.k.div_ceil(p);
+
+        let mut out = vec![0.0f32; dims.m * dims.n];
+        let mut acodes = vec![0u16; p];
+        let mut wcodes = vec![0u16; p];
+        for n in 0..dims.n {
+            for kb in 0..kblocks {
+                for (i, ac) in acodes.iter_mut().enumerate() {
+                    let k = kb * p + i;
+                    *ac = if k < dims.k { a.code_at(k, n) } else { zero };
+                }
+                let perm = sort_permutation(&acodes);
+                for m in 0..dims.m {
+                    for (i, wc) in wcodes.iter_mut().enumerate() {
+                        let k = kb * p + i;
+                        *wc = if k < dims.k { w.code_at(m, k) } else { 0 };
+                    }
+                    let partial = match order {
+                        AccumOrder::Original => self.packed_entry(&wcodes, &acodes),
+                        AccumOrder::Canonical => {
+                            self.canonical_entry(&wcodes, &acodes, &perm)
+                        }
+                    };
+                    out[m * dims.n + n] += partial;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The value an operation-packed LUT entry would store.
+    #[must_use]
+    pub fn packed_entry(&self, wcodes: &[u16], acodes: &[u16]) -> f32 {
+        let mut acc = 0.0f32;
+        for (&wc, &ac) in wcodes.iter().zip(acodes) {
+            acc += self.wf.decode_f32(u32::from(wc)) * self.af.decode_f32(u32::from(ac));
+        }
+        acc
+    }
+
+    /// The value a canonical-LUT entry would store (sorted-activation
+    /// accumulation order).
+    #[must_use]
+    pub fn canonical_entry(&self, wcodes: &[u16], acodes: &[u16], perm: &[u8]) -> f32 {
+        let mut acc = 0.0f32;
+        for &i in perm {
+            let i = usize::from(i);
+            acc += self.wf.decode_f32(u32::from(wcodes[i]))
+                * self.af.decode_f32(u32::from(acodes[i]));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::CanonicalLut;
+    use crate::gemm::reference_gemm;
+    use crate::packed::pack_index;
+    use crate::perm::apply;
+    use crate::value::LutValue;
+    use quant::Quantizer;
+
+    fn operands(m: usize, k: usize, n: usize, f: NumericFormat) -> (QMatrix, QMatrix) {
+        let q = Quantizer::symmetric(f);
+        let wdata: Vec<f32> = (0..m * k).map(|i| ((i * 7 + 1) % 11) as f32 * 0.3 - 1.5).collect();
+        let adata: Vec<f32> = (0..k * n).map(|i| ((i * 5 + 2) % 13) as f32 * 0.25 - 1.5).collect();
+        (
+            q.quantize_matrix(&wdata, m, k).unwrap(),
+            q.quantize_matrix(&adata, k, n).unwrap(),
+        )
+    }
+
+    #[test]
+    fn both_orders_match_the_reference_approximately() {
+        let (w, a) = operands(6, 14, 4, NumericFormat::Fp4);
+        let reference: Vec<f32> = reference_gemm(&w, &a).unwrap();
+        let fg = FloatGemm::new(NumericFormat::Fp4, NumericFormat::Fp4, 3).unwrap();
+        for order in [AccumOrder::Original, AccumOrder::Canonical] {
+            let out = fg.run(&w, &a, order).unwrap();
+            for (x, y) in out.iter().zip(&reference) {
+                assert!(x.approx_eq(*y), "{order:?}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_entry_matches_materialized_lut() {
+        let f = NumericFormat::Fp4;
+        let lut = CanonicalLut::<f32>::build(f, f, 2, 1 << 20).unwrap();
+        let fg = FloatGemm::new(f, f, 2).unwrap();
+        for wa in (0u16..16).step_by(3) {
+            for wb in (0u16..16).step_by(5) {
+                for aa in (0u16..16).step_by(2) {
+                    for ab in (0u16..16).step_by(7) {
+                        let (wc, ac) = ([wa, wb], [aa, ab]);
+                        let perm = sort_permutation(&ac);
+                        let sorted = apply(&perm, &ac);
+                        let row = pack_index(&apply(&perm, &wc), 4);
+                        let col = lut.column_of(&sorted).unwrap();
+                        let expect = lut.lookup(row, col);
+                        let got = fg.canonical_entry(&wc, &ac, &perm);
+                        assert!(
+                            (expect - got).abs() <= 1e-5 * expect.abs().max(1.0),
+                            "w={wc:?} a={ac:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fp8_and_fp16_work() {
+        for f in [NumericFormat::Fp8, NumericFormat::Fp16] {
+            let (w, a) = operands(3, 8, 2, f);
+            let reference: Vec<f32> = reference_gemm(&w, &a).unwrap();
+            let fg = FloatGemm::new(f, f, 4).unwrap();
+            let out = fg.run(&w, &a, AccumOrder::Canonical).unwrap();
+            for (x, y) in out.iter().zip(&reference) {
+                assert!(x.approx_eq(*y), "{f:?}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_difference_is_tiny_but_measurable_machinery_works() {
+        let (w, a) = operands(4, 21, 3, NumericFormat::Fp16);
+        let fg = FloatGemm::new(NumericFormat::Fp16, NumericFormat::Fp16, 3).unwrap();
+        let orig = fg.run(&w, &a, AccumOrder::Original).unwrap();
+        let canon = fg.run(&w, &a, AccumOrder::Canonical).unwrap();
+        // Same math, possibly different rounding; always within fp tolerance.
+        for (x, y) in orig.iter().zip(&canon) {
+            assert!(x.approx_eq(*y), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn mismatched_formats_rejected() {
+        let (w, a) = operands(2, 4, 2, NumericFormat::Fp4);
+        let fg = FloatGemm::new(NumericFormat::Fp8, NumericFormat::Fp4, 2).unwrap();
+        assert!(fg.run(&w, &a, AccumOrder::Original).is_err());
+        assert!(FloatGemm::new(NumericFormat::Fp4, NumericFormat::Fp4, 0).is_err());
+    }
+}

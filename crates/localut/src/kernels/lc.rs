@@ -1,0 +1,233 @@
+//! The "OP+LC" design point (§IV-A): canonical LUT in the buffer with
+//! weight reordering done **in software** on the DPU.
+//!
+//! Canonicalization shrinks the LUT enough to raise `p` (3 → 5 at W1A3),
+//! but each lookup must now reorder the packed weight vector by the
+//! activation's sorting permutation — an unpack/permute/repack sequence the
+//! in-order DPU core executes painfully slowly. Fig. 9 shows this design
+//! *losing* to plain OP despite the higher `p`; the reordering LUT (§IV-B)
+//! exists to fix exactly this.
+
+use crate::canonical::CanonicalLut;
+use crate::capacity::{canonical_lut_bytes, max_p_canonical_only};
+use crate::gemm::{GemmDims, GemmResult};
+use crate::kernels::{
+    charge_operand_input, charge_output, group_codes, pad_code_for, require_integer,
+    weight_group_codes, MAX_MATERIALIZED_ENTRIES,
+};
+use crate::packed::pack_index;
+use crate::perm::{apply, sort_permutation};
+use crate::LocaLutError;
+use pim_sim::{Category, Dpu, DpuConfig, Profile};
+use quant::{NumericFormat, QMatrix};
+
+/// The canonicalization-with-software-reordering kernel.
+#[derive(Debug, Clone)]
+pub struct LcKernel {
+    cfg: DpuConfig,
+    wf: NumericFormat,
+    af: NumericFormat,
+    p: u32,
+}
+
+impl LcKernel {
+    /// Creates the kernel with the largest `p` whose canonical LUT alone
+    /// fits the WRAM LUT budget.
+    ///
+    /// # Errors
+    ///
+    /// [`LocaLutError::BudgetExceeded`] when not even `p = 1` fits, or
+    /// format errors.
+    pub fn auto(
+        cfg: DpuConfig,
+        wf: NumericFormat,
+        af: NumericFormat,
+    ) -> Result<Self, LocaLutError> {
+        require_integer(wf, af)?;
+        let budget = cfg.wram_lut_budget();
+        let p = max_p_canonical_only(wf, af, budget);
+        if p == 0 {
+            return Err(LocaLutError::BudgetExceeded {
+                required: canonical_lut_bytes(wf, af, 1).unwrap_or(u128::MAX),
+                budget,
+            });
+        }
+        Ok(LcKernel { cfg, wf, af, p })
+    }
+
+    /// Creates the kernel with an explicit packing degree.
+    ///
+    /// # Errors
+    ///
+    /// Format or degree errors.
+    pub fn with_p(
+        cfg: DpuConfig,
+        wf: NumericFormat,
+        af: NumericFormat,
+        p: u32,
+    ) -> Result<Self, LocaLutError> {
+        require_integer(wf, af)?;
+        if p == 0 {
+            return Err(LocaLutError::InvalidPackingDegree(0));
+        }
+        Ok(LcKernel { cfg, wf, af, p })
+    }
+
+    /// The chosen packing degree.
+    #[must_use]
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+
+    fn lookups(&self, dims: GemmDims) -> u64 {
+        dims.m as u64 * (dims.k as u64).div_ceil(u64::from(self.p)) * dims.n as u64
+    }
+
+    fn groups(&self, dims: GemmDims) -> u64 {
+        (dims.k as u64).div_ceil(u64::from(self.p)) * dims.n as u64
+    }
+
+    /// One-time initialization cost: loading the canonical LUT image into
+    /// WRAM (once at model load, §V-A — not per GEMM).
+    #[must_use]
+    pub fn setup_cost(&self) -> Profile {
+        let mut dpu = Dpu::new(self.cfg.clone());
+        let lut_bytes = canonical_lut_bytes(self.wf, self.af, self.p).unwrap_or(u128::MAX) as u64;
+        dpu.charge_dram_stream(lut_bytes, Category::LutLoad);
+        dpu.profile()
+    }
+
+    fn charge(&self, dims: GemmDims, dpu: &mut Dpu) {
+        charge_operand_input(dpu, dims, self.wf.bits(), self.af.bits());
+        // The host ships each group's sorting permutation (p packed 3-bit
+        // indices ≈ 2 bytes per group).
+        dpu.charge_dram_stream(2 * self.groups(dims), Category::DataTransfer);
+        let n = self.lookups(dims);
+        let costs = &self.cfg.processor.costs;
+        // Software weight reorder per lookup: unpack/permute/repack.
+        dpu.charge_instrs(n * u64::from(costs.reorder_sw(self.p)), Category::IndexCalc);
+        // Then the usual address calc + canonical load + accumulate.
+        dpu.charge_instrs(2 * n, Category::IndexCalc);
+        dpu.charge_wram_accesses(n, Category::CanonicalLookup);
+        dpu.charge_instrs(2 * n, Category::Accumulate);
+        charge_output(dpu, dims);
+    }
+
+    /// Analytic cost for the given dimensions.
+    #[must_use]
+    pub fn cost(&self, dims: GemmDims) -> Profile {
+        let mut dpu = Dpu::new(self.cfg.clone());
+        self.charge(dims, &mut dpu);
+        dpu.profile()
+    }
+
+    /// Runs the GEMM through the canonical LUT with software reordering.
+    ///
+    /// # Errors
+    ///
+    /// Shape, padding, or budget errors.
+    pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+        let dims = GemmDims::of(w, a)?;
+        if w.format() != self.wf || a.format() != self.af {
+            return Err(LocaLutError::UnsupportedFormat(
+                "operand formats differ from the kernel's configured formats",
+            ));
+        }
+        let p = self.p as usize;
+        let pad = pad_code_for(self.af, dims.k, p)?;
+        let lut = CanonicalLut::<i32>::build(self.wf, self.af, self.p, MAX_MATERIALIZED_ENTRIES)?;
+        let kblocks = dims.k.div_ceil(p);
+
+        let mut values = vec![0i32; dims.m * dims.n];
+        for n in 0..dims.n {
+            for kb in 0..kblocks {
+                // Host side: sort the activation group, ship sorted codes +
+                // permutation.
+                let acodes = group_codes(a, kb, n, p, pad);
+                let perm = sort_permutation(&acodes);
+                let sorted = apply(&perm, &acodes);
+                let col = lut.column_of(&sorted)?;
+                for m in 0..dims.m {
+                    // DPU side: software reorder of the weight codes.
+                    let wcodes = weight_group_codes(w, m, kb, p);
+                    let reordered = apply(&perm, &wcodes);
+                    let row = pack_index(&reordered, self.wf.bits());
+                    values[m * dims.n + n] += lut.lookup(row, col);
+                }
+            }
+        }
+
+        let mut dpu = Dpu::new(self.cfg.clone());
+        self.charge(dims, &mut dpu);
+        Ok(GemmResult {
+            values,
+            dims,
+            profile: dpu.profile(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::reference_gemm;
+    use quant::Quantizer;
+
+    fn operands(m: usize, k: usize, n: usize, wf: NumericFormat, af: NumericFormat) -> (QMatrix, QMatrix) {
+        let wdata: Vec<f32> = (0..m * k).map(|i| ((i * 11 + 4) % 5) as f32 - 2.0).collect();
+        let adata: Vec<f32> = (0..k * n).map(|i| ((i * 7 + 3) % 9) as f32 - 4.0).collect();
+        (
+            Quantizer::symmetric(wf).quantize_matrix(&wdata, m, k).unwrap(),
+            Quantizer::symmetric(af).quantize_matrix(&adata, k, n).unwrap(),
+        )
+    }
+
+    #[test]
+    fn auto_picks_paper_p_for_w1a3() {
+        // §V-A: canonicalization raises p_local to 5 (canonical-only fit).
+        let k = LcKernel::auto(DpuConfig::upmem(), NumericFormat::Bipolar, NumericFormat::Int(3))
+            .unwrap();
+        assert_eq!(k.p(), 5);
+    }
+
+    #[test]
+    fn run_matches_reference() {
+        let (w, a) = operands(5, 10, 3, NumericFormat::Bipolar, NumericFormat::Int(3));
+        let kernel =
+            LcKernel::with_p(DpuConfig::upmem(), NumericFormat::Bipolar, NumericFormat::Int(3), 5)
+                .unwrap();
+        let out = kernel.run(&w, &a).unwrap();
+        assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap());
+    }
+
+    #[test]
+    fn ragged_k_matches_reference() {
+        let (w, a) = operands(3, 8, 2, NumericFormat::Int(2), NumericFormat::Int(2));
+        let kernel =
+            LcKernel::with_p(DpuConfig::upmem(), NumericFormat::Int(2), NumericFormat::Int(2), 3)
+                .unwrap();
+        let out = kernel.run(&w, &a).unwrap();
+        assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap());
+    }
+
+    #[test]
+    fn run_profile_equals_cost() {
+        let (w, a) = operands(4, 6, 2, NumericFormat::Int(2), NumericFormat::Int(3));
+        let kernel =
+            LcKernel::with_p(DpuConfig::upmem(), NumericFormat::Int(2), NumericFormat::Int(3), 3)
+                .unwrap();
+        let out = kernel.run(&w, &a).unwrap();
+        assert_eq!(out.profile, kernel.cost(out.dims));
+    }
+
+    #[test]
+    fn software_reordering_dominates_index_calc() {
+        // §VI-B: OP+LC "performance drops significantly from the added
+        // ordering overhead".
+        let kernel =
+            LcKernel::with_p(DpuConfig::upmem(), NumericFormat::Bipolar, NumericFormat::Int(3), 5)
+                .unwrap();
+        let cost = kernel.cost(GemmDims { m: 256, k: 255, n: 32 });
+        assert!(cost.fraction(Category::IndexCalc) > 0.5);
+    }
+}

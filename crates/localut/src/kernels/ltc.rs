@@ -1,0 +1,197 @@
+//! The LUT Tensor Core baseline adapted to PIM (§VI-A "LTC (PIM)").
+//!
+//! LTC/T-MAC-style bit-serial designs restrict weights to one bit per pass:
+//! activations are grouped `g` at a time, a `2^g`-entry table of activation
+//! subset sums is generated **at runtime** per activation group, and each
+//! weight bit-plane indexes the table with its `g` bits; plane results are
+//! shifted and accumulated. This keeps tables tiny (good for logic chips)
+//! but costs one pass per weight bit and runtime table generation — the
+//! "low LUT packing degrees" the paper blames for LTC's PIM performance.
+
+use crate::gemm::{GemmDims, GemmResult};
+use crate::kernels::{charge_operand_input, charge_output, require_integer};
+use crate::LocaLutError;
+use pim_sim::{Category, Dpu, DpuConfig, Profile};
+use quant::{NumericFormat, QMatrix};
+
+/// The bit-serial baseline kernel.
+#[derive(Debug, Clone)]
+pub struct LtcKernel {
+    cfg: DpuConfig,
+}
+
+impl LtcKernel {
+    /// Creates the kernel for a DPU configuration.
+    #[must_use]
+    pub fn new(cfg: DpuConfig) -> Self {
+        LtcKernel { cfg }
+    }
+
+    /// Number of bit-serial weight planes for a format (bipolar weights
+    /// need a single pass: `w = 2c − 1` is an affine function of one bit).
+    fn planes(wf: NumericFormat) -> u32 {
+        match wf {
+            NumericFormat::Bipolar => 1,
+            other => u32::from(other.bits()),
+        }
+    }
+
+    fn charge(&self, dims: GemmDims, wf: NumericFormat, af: NumericFormat, dpu: &mut Dpu) {
+        let costs = &self.cfg.processor.costs;
+        let g = u64::from(costs.ltc_group);
+        let groups = (dims.k as u64).div_ceil(g) * dims.n as u64;
+        charge_operand_input(dpu, dims, wf.bits(), af.bits());
+        // Runtime table generation: 2^g entries per activation group.
+        let table_entries = groups * (1u64 << g);
+        dpu.charge_instrs(
+            table_entries * u64::from(costs.ltc_table_entry_build),
+            Category::Compute,
+        );
+        // Bit-plane lookups: one per (weight row, group, plane).
+        let lookups = dims.m as u64 * groups * u64::from(Self::planes(wf));
+        dpu.charge_instrs(lookups * u64::from(costs.ltc_lookup), Category::Compute);
+        charge_output(dpu, dims);
+    }
+
+    /// Analytic cost for the given dimensions and formats.
+    #[must_use]
+    pub fn cost(&self, dims: GemmDims, wf: NumericFormat, af: NumericFormat) -> Profile {
+        let mut dpu = Dpu::new(self.cfg.clone());
+        self.charge(dims, wf, af, &mut dpu);
+        dpu.profile()
+    }
+
+    /// Runs the bit-serial GEMM and returns exact outputs + profile.
+    ///
+    /// # Errors
+    ///
+    /// Shape or format errors.
+    pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+        require_integer(w.format(), a.format())?;
+        let dims = GemmDims::of(w, a)?;
+        let (wf, af) = (w.format(), a.format());
+        let g = self.cfg.processor.costs.ltc_group as usize;
+        let kblocks = dims.k.div_ceil(g);
+        let bw = u32::from(wf.bits());
+
+        let mut values = vec![0i32; dims.m * dims.n];
+        let mut table = vec![0i32; 1 << g];
+        for n in 0..dims.n {
+            for kb in 0..kblocks {
+                let glen = g.min(dims.k - kb * g);
+                // Runtime table: subset sums of the group's activations.
+                let mut group_sum = 0i32;
+                table[0] = 0;
+                for idx in 1usize..(1 << glen) {
+                    let lsb = idx.trailing_zeros() as usize;
+                    let av = af
+                        .decode_int(u32::from(a.code_at(kb * g + lsb, n)))
+                        .expect("integer format");
+                    table[idx] = table[idx ^ (1 << lsb)] + av;
+                }
+                for i in 0..glen {
+                    group_sum += af
+                        .decode_int(u32::from(a.code_at(kb * g + i, n)))
+                        .expect("integer format");
+                }
+                for m in 0..dims.m {
+                    let acc = &mut values[m * dims.n + n];
+                    match wf {
+                        NumericFormat::Bipolar => {
+                            // w = 2c − 1: dot = 2·table[idx] − Σa.
+                            let mut idx = 0usize;
+                            for i in 0..glen {
+                                idx |= usize::from(w.code_at(m, kb * g + i) & 1) << i;
+                            }
+                            *acc += 2 * table[idx] - group_sum;
+                        }
+                        _ => {
+                            // Two's complement: Σ_{b<bw−1} 2^b·plane_b −
+                            // 2^(bw−1)·plane_{bw−1}.
+                            for b in 0..bw {
+                                let mut idx = 0usize;
+                                for i in 0..glen {
+                                    let bit = (w.code_at(m, kb * g + i) >> b) & 1;
+                                    idx |= usize::from(bit) << i;
+                                }
+                                let scale = if b + 1 == bw && matches!(wf, NumericFormat::Int(_))
+                                {
+                                    -(1i32 << b)
+                                } else {
+                                    1i32 << b
+                                };
+                                *acc += scale * table[idx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut dpu = Dpu::new(self.cfg.clone());
+        self.charge(dims, wf, af, &mut dpu);
+        Ok(GemmResult {
+            values,
+            dims,
+            profile: dpu.profile(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::reference_gemm;
+    use quant::Quantizer;
+
+    fn check_matches_reference(wf: NumericFormat, af: NumericFormat, m: usize, k: usize, n: usize) {
+        let wdata: Vec<f32> = (0..m * k).map(|i| ((i * 7 + 3) % 13) as f32 - 6.0).collect();
+        let adata: Vec<f32> = (0..k * n).map(|i| ((i * 5 + 1) % 11) as f32 - 5.0).collect();
+        let w = Quantizer::symmetric(wf).quantize_matrix(&wdata, m, k).unwrap();
+        let a = Quantizer::symmetric(af).quantize_matrix(&adata, k, n).unwrap();
+        let kernel = LtcKernel::new(DpuConfig::upmem());
+        let out = kernel.run(&w, &a).unwrap();
+        assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap(), "{wf:?}x{af:?}");
+    }
+
+    #[test]
+    fn bipolar_weights_match_reference() {
+        check_matches_reference(NumericFormat::Bipolar, NumericFormat::Int(3), 5, 9, 4);
+    }
+
+    #[test]
+    fn int_weights_match_reference() {
+        check_matches_reference(NumericFormat::Int(2), NumericFormat::Int(2), 4, 8, 3);
+        check_matches_reference(NumericFormat::Int(4), NumericFormat::Int(4), 3, 10, 5);
+    }
+
+    #[test]
+    fn ragged_k_not_multiple_of_group() {
+        check_matches_reference(NumericFormat::Int(3), NumericFormat::Int(3), 4, 7, 2);
+        check_matches_reference(NumericFormat::Bipolar, NumericFormat::Int(4), 2, 5, 2);
+    }
+
+    #[test]
+    fn run_profile_equals_cost() {
+        let w = Quantizer::symmetric(NumericFormat::Int(2))
+            .quantize_matrix(&[0.5; 24], 4, 6)
+            .unwrap();
+        let a = Quantizer::symmetric(NumericFormat::Int(3))
+            .quantize_matrix(&[0.25; 12], 6, 2)
+            .unwrap();
+        let kernel = LtcKernel::new(DpuConfig::upmem());
+        let out = kernel.run(&w, &a).unwrap();
+        assert_eq!(out.profile, kernel.cost(out.dims, NumericFormat::Int(2), NumericFormat::Int(3)));
+    }
+
+    #[test]
+    fn cost_scales_with_weight_bits() {
+        // Bit-serial: W4 needs ~4x the lookups of W1.
+        let kernel = LtcKernel::new(DpuConfig::upmem());
+        let dims = GemmDims { m: 128, k: 128, n: 32 };
+        let w1 = kernel.cost(dims, NumericFormat::Bipolar, NumericFormat::Int(4));
+        let w4 = kernel.cost(dims, NumericFormat::Int(4), NumericFormat::Int(4));
+        let ratio = w4.seconds(Category::Compute) / w1.seconds(Category::Compute);
+        assert!((3.0..4.5).contains(&ratio), "ratio {ratio}");
+    }
+}

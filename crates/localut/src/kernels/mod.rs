@@ -1,0 +1,160 @@
+//! The six GEMM kernels of the paper's evaluation (§VI-A).
+//!
+//! Every kernel is **functional + timed**: `run` computes the exact output
+//! through the kernel's actual data structures (LUTs, bit-serial tables, or
+//! plain MACs) while an analytic `cost` twin charges the identical event
+//! counts for given dimensions. The two stay consistent by construction —
+//! both call one private `charge` routine whose event counts depend only on
+//! dimensions (the dataflows are data-independent) — and tests assert
+//! `run(...).profile == cost(dims)`.
+//!
+//! | Kernel | Design point | Paper |
+//! |---|---|---|
+//! | [`NaiveKernel`]     | int MACs on the DPU            | "Naive PIM" |
+//! | [`LtcKernel`]       | bit-serial runtime LUTs        | "LTC (PIM)" |
+//! | [`OpKernel`]        | buffer-resident packed LUT     | "OP" (§III) |
+//! | [`LcKernel`]        | + canonicalization, sw reorder | "OP+LC" (§IV-A) |
+//! | [`RcKernel`]        | + reordering LUT               | "OP+LC+RC" (§IV-B) |
+//! | [`StreamingKernel`] | + LUT slice streaming          | "LoCaLUT" (§IV-C) |
+
+mod lc;
+mod ltc;
+mod naive;
+mod op;
+mod rc;
+mod streaming;
+
+pub use lc::LcKernel;
+pub use ltc::LtcKernel;
+pub use naive::NaiveKernel;
+pub use op::OpKernel;
+pub use rc::RcKernel;
+pub use streaming::StreamingKernel;
+
+use crate::gemm::GemmDims;
+use crate::LocaLutError;
+use pim_sim::{Category, Dpu};
+use quant::{NumericFormat, QMatrix};
+
+/// Guard against accidentally materializing astronomically large LUTs in
+/// host memory during functional runs. All UPMEM-budget-feasible LUTs fit
+/// comfortably (the largest, W1A3 at `p = 8`, is ~12 M entries).
+pub(crate) const MAX_MATERIALIZED_ENTRIES: u64 = 1 << 26;
+
+/// Ensures both operand formats decode to exact integers.
+pub(crate) fn require_integer(
+    wf: NumericFormat,
+    af: NumericFormat,
+) -> Result<(), LocaLutError> {
+    if !wf.is_integer() || !af.is_integer() {
+        return Err(LocaLutError::UnsupportedFormat(
+            "integer kernels require integer weight/activation formats",
+        ));
+    }
+    Ok(())
+}
+
+/// The activation code that decodes to integer zero, used to pad `K` up to
+/// a multiple of `p` (`None` for formats without a zero, e.g. bipolar).
+pub(crate) fn zero_code(af: NumericFormat) -> Option<u16> {
+    af.encode_int(0).ok().map(|c| c as u16)
+}
+
+/// Extracts the `p` activation codes of group (`kb`, `n`), padding past `K`
+/// with `pad`.
+pub(crate) fn group_codes(a: &QMatrix, kb: usize, n: usize, p: usize, pad: u16) -> Vec<u16> {
+    (0..p)
+        .map(|i| {
+            let k = kb * p + i;
+            if k < a.rows() {
+                a.code_at(k, n)
+            } else {
+                pad
+            }
+        })
+        .collect()
+}
+
+/// Extracts the `p` weight codes of row `m` for K-block `kb`, padding past
+/// `K` with code 0 (the activation pad is zero-valued, so any weight code
+/// contributes nothing).
+pub(crate) fn weight_group_codes(w: &QMatrix, m: usize, kb: usize, p: usize) -> Vec<u16> {
+    (0..p)
+        .map(|i| {
+            let k = kb * p + i;
+            if k < w.cols() {
+                w.code_at(m, k)
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+/// Resolves the zero pad code or errors when `K % p != 0` and none exists.
+pub(crate) fn pad_code_for(
+    af: NumericFormat,
+    k: usize,
+    p: usize,
+) -> Result<u16, LocaLutError> {
+    let remainder = k % p;
+    match zero_code(af) {
+        Some(c) => Ok(c),
+        None if remainder == 0 => Ok(0), // never used
+        None => Err(LocaLutError::UnpaddableRemainder { remainder }),
+    }
+}
+
+/// Charges the common operand input streams (weights + activations,
+/// bank → WRAM) to [`Category::DataTransfer`].
+pub(crate) fn charge_operand_input(dpu: &mut Dpu, dims: GemmDims, bw: u8, ba: u8) {
+    dpu.charge_dram_stream(
+        dims.weight_bytes(bw) + dims.activation_bytes(ba),
+        Category::DataTransfer,
+    );
+}
+
+/// Charges the output writeback (WRAM → bank).
+pub(crate) fn charge_output(dpu: &mut Dpu, dims: GemmDims) {
+    dpu.charge_dram_writeback(dims.output_bytes(), Category::OutputWriteback);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quant::Quantizer;
+
+    #[test]
+    fn zero_code_per_format() {
+        assert_eq!(zero_code(NumericFormat::Int(3)), Some(0));
+        assert_eq!(zero_code(NumericFormat::Uint(2)), Some(0));
+        assert_eq!(zero_code(NumericFormat::Bipolar), None);
+    }
+
+    #[test]
+    fn pad_code_requires_zero_only_for_remainders() {
+        assert!(pad_code_for(NumericFormat::Bipolar, 6, 3).is_ok());
+        assert!(matches!(
+            pad_code_for(NumericFormat::Bipolar, 7, 3),
+            Err(LocaLutError::UnpaddableRemainder { remainder: 1 })
+        ));
+        assert_eq!(pad_code_for(NumericFormat::Int(3), 7, 3).unwrap(), 0);
+    }
+
+    #[test]
+    fn group_codes_pads_past_k() {
+        let a = Quantizer::symmetric(NumericFormat::Int(3))
+            .quantize_matrix(&[1.0, 2.0, 3.0, -1.0, -2.0, -3.0], 3, 2)
+            .unwrap();
+        let g = group_codes(&a, 1, 0, 2, 9);
+        assert_eq!(g[0], a.code_at(2, 0));
+        assert_eq!(g[1], 9); // padded
+    }
+
+    #[test]
+    fn require_integer_rejects_floats() {
+        assert!(require_integer(NumericFormat::Int(2), NumericFormat::Int(3)).is_ok());
+        assert!(require_integer(NumericFormat::Fp4, NumericFormat::Int(3)).is_err());
+        assert!(require_integer(NumericFormat::Bipolar, NumericFormat::Fp8).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! The Naive PIM baseline: matrix multiplication on the DPU's arithmetic
+//! units, without any LUTs (§VI-A).
+//!
+//! UPMEM DPUs multiply natively only at 8 bits; every MAC costs a fixed
+//! instruction sequence regardless of how few bits the operands carry —
+//! which is precisely the inefficiency LUT packing exploits.
+
+use crate::gemm::{reference_gemm, GemmDims, GemmResult};
+use crate::kernels::{charge_operand_input, charge_output, require_integer};
+use crate::LocaLutError;
+use pim_sim::{Category, Dpu, DpuConfig, Profile};
+use quant::{NumericFormat, QMatrix};
+
+/// The MAC-based baseline kernel.
+#[derive(Debug, Clone)]
+pub struct NaiveKernel {
+    cfg: DpuConfig,
+}
+
+impl NaiveKernel {
+    /// Creates the kernel for a DPU configuration.
+    #[must_use]
+    pub fn new(cfg: DpuConfig) -> Self {
+        NaiveKernel { cfg }
+    }
+
+    fn charge(&self, dims: GemmDims, wf: NumericFormat, af: NumericFormat, dpu: &mut Dpu) {
+        let bw = wf.bits();
+        let ba = af.bits();
+        charge_operand_input(dpu, dims, bw, ba);
+        let per_mac = self.cfg.processor.costs.naive_mac(u32::from(bw), u32::from(ba));
+        dpu.charge_instrs(dims.macs() * u64::from(per_mac), Category::Compute);
+        charge_output(dpu, dims);
+    }
+
+    /// Analytic cost for the given dimensions and formats.
+    #[must_use]
+    pub fn cost(&self, dims: GemmDims, wf: NumericFormat, af: NumericFormat) -> Profile {
+        let mut dpu = Dpu::new(self.cfg.clone());
+        self.charge(dims, wf, af, &mut dpu);
+        dpu.profile()
+    }
+
+    /// Runs the GEMM (direct MACs) and returns exact outputs + profile.
+    ///
+    /// # Errors
+    ///
+    /// Shape or format errors.
+    pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+        require_integer(w.format(), a.format())?;
+        let dims = GemmDims::of(w, a)?;
+        let values: Vec<i32> = reference_gemm(w, a)?;
+        let mut dpu = Dpu::new(self.cfg.clone());
+        self.charge(dims, w.format(), a.format(), &mut dpu);
+        Ok(GemmResult {
+            values,
+            dims,
+            profile: dpu.profile(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quant::Quantizer;
+
+    fn operands() -> (QMatrix, QMatrix) {
+        let w = Quantizer::symmetric(NumericFormat::Int(4))
+            .quantize_matrix(&(0..12).map(|i| (i as f32) - 6.0).collect::<Vec<_>>(), 3, 4)
+            .unwrap();
+        let a = Quantizer::symmetric(NumericFormat::Int(4))
+            .quantize_matrix(&(0..8).map(|i| 1.0 - (i as f32) * 0.3).collect::<Vec<_>>(), 4, 2)
+            .unwrap();
+        (w, a)
+    }
+
+    #[test]
+    fn run_matches_reference() {
+        let (w, a) = operands();
+        let kernel = NaiveKernel::new(DpuConfig::upmem());
+        let out = kernel.run(&w, &a).unwrap();
+        assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap());
+    }
+
+    #[test]
+    fn run_profile_equals_cost() {
+        let (w, a) = operands();
+        let kernel = NaiveKernel::new(DpuConfig::upmem());
+        let out = kernel.run(&w, &a).unwrap();
+        let cost = kernel.cost(out.dims, w.format(), a.format());
+        assert_eq!(out.profile, cost);
+    }
+
+    #[test]
+    fn compute_dominates_large_gemm() {
+        let kernel = NaiveKernel::new(DpuConfig::upmem());
+        let dims = GemmDims { m: 256, k: 256, n: 64 };
+        let p = kernel.cost(dims, NumericFormat::Bipolar, NumericFormat::Int(3));
+        assert!(p.fraction(Category::Compute) > 0.8);
+    }
+
+    #[test]
+    fn wide_operands_cost_more() {
+        let kernel = NaiveKernel::new(DpuConfig::upmem());
+        let dims = GemmDims { m: 64, k: 64, n: 64 };
+        let narrow = kernel.cost(dims, NumericFormat::Int(4), NumericFormat::Int(4));
+        let wide = kernel.cost(dims, NumericFormat::Int(4), NumericFormat::Int(16));
+        assert!(wide.total_seconds() > narrow.total_seconds());
+    }
+
+    #[test]
+    fn rejects_float_formats() {
+        let w = QMatrix::from_codes(vec![0, 1], 1, 2, NumericFormat::Fp4, 1.0).unwrap();
+        let a = QMatrix::from_codes(vec![0, 1], 2, 1, NumericFormat::Fp4, 1.0).unwrap();
+        let kernel = NaiveKernel::new(DpuConfig::upmem());
+        assert!(matches!(
+            kernel.run(&w, &a),
+            Err(LocaLutError::UnsupportedFormat(_))
+        ));
+    }
+}

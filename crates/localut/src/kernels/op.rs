@@ -1,0 +1,245 @@
+//! The operation-packed LUT design point ("OP", §III): a buffer-resident
+//! packed LUT at the largest `p` fitting the WRAM LUT budget.
+//!
+//! The host pre-packs activation vectors into column indices; the DPU packs
+//! weight codes into row indices and performs one single-cycle WRAM lookup
+//! per `p` MACs. Without canonicalization, `p_local` tops out at 3 for
+//! W1A3 (§V-A).
+
+use crate::capacity::{max_p_op, op_lut_bytes};
+use crate::gemm::{GemmDims, GemmResult};
+use crate::kernels::{
+    charge_operand_input, charge_output, group_codes, pad_code_for, require_integer,
+    weight_group_codes, MAX_MATERIALIZED_ENTRIES,
+};
+use crate::packed::{pack_index, OpPackedLut};
+use crate::LocaLutError;
+use pim_sim::{Category, Dpu, DpuConfig, Profile};
+use quant::{NumericFormat, QMatrix};
+
+/// The buffer-resident operation-packed LUT kernel.
+#[derive(Debug, Clone)]
+pub struct OpKernel {
+    cfg: DpuConfig,
+    wf: NumericFormat,
+    af: NumericFormat,
+    p: u32,
+}
+
+impl OpKernel {
+    /// Creates the kernel with the largest `p` whose packed LUT fits the
+    /// WRAM LUT budget (§V-A's "without canonicalization" design point).
+    ///
+    /// # Errors
+    ///
+    /// [`LocaLutError::BudgetExceeded`] when not even `p = 1` fits, or
+    /// [`LocaLutError::UnsupportedFormat`] on float formats.
+    pub fn auto(
+        cfg: DpuConfig,
+        wf: NumericFormat,
+        af: NumericFormat,
+    ) -> Result<Self, LocaLutError> {
+        require_integer(wf, af)?;
+        let budget = cfg.wram_lut_budget();
+        let p = max_p_op(wf, af, budget);
+        if p == 0 {
+            return Err(LocaLutError::BudgetExceeded {
+                required: op_lut_bytes(wf, af, 1).unwrap_or(u128::MAX),
+                budget,
+            });
+        }
+        Ok(OpKernel { cfg, wf, af, p })
+    }
+
+    /// Creates the kernel with an explicit packing degree (tests/ablations).
+    ///
+    /// # Errors
+    ///
+    /// Format or degree errors.
+    pub fn with_p(
+        cfg: DpuConfig,
+        wf: NumericFormat,
+        af: NumericFormat,
+        p: u32,
+    ) -> Result<Self, LocaLutError> {
+        require_integer(wf, af)?;
+        if p == 0 {
+            return Err(LocaLutError::InvalidPackingDegree(0));
+        }
+        Ok(OpKernel { cfg, wf, af, p })
+    }
+
+    /// The chosen packing degree.
+    #[must_use]
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+
+    fn lookups(&self, dims: GemmDims) -> u64 {
+        dims.m as u64 * (dims.k as u64).div_ceil(u64::from(self.p)) * dims.n as u64
+    }
+
+    /// One-time initialization cost: loading the LUT image into WRAM.
+    /// LUT contents depend only on the formats and `p`, so this happens
+    /// once at model load (§V-A), not per GEMM.
+    #[must_use]
+    pub fn setup_cost(&self) -> Profile {
+        let mut dpu = Dpu::new(self.cfg.clone());
+        let lut_bytes = op_lut_bytes(self.wf, self.af, self.p).unwrap_or(u128::MAX) as u64;
+        dpu.charge_dram_stream(lut_bytes, Category::LutLoad);
+        dpu.profile()
+    }
+
+    fn charge(&self, dims: GemmDims, dpu: &mut Dpu) {
+        charge_operand_input(dpu, dims, self.wf.bits(), self.af.bits());
+        // Per lookup (op_lookup total): index/address arithmetic, one WRAM
+        // entry load, and 3 accumulate/loop instructions.
+        let n = self.lookups(dims);
+        let total = u64::from(self.cfg.processor.costs.op_lookup);
+        let accum = 3u64.min(total.saturating_sub(1));
+        let index = total - 1 - accum;
+        dpu.charge_instrs(index * n, Category::IndexCalc);
+        dpu.charge_wram_accesses(n, Category::CanonicalLookup);
+        dpu.charge_instrs(accum * n, Category::Accumulate);
+        charge_output(dpu, dims);
+    }
+
+    /// Analytic cost for the given dimensions.
+    #[must_use]
+    pub fn cost(&self, dims: GemmDims) -> Profile {
+        let mut dpu = Dpu::new(self.cfg.clone());
+        self.charge(dims, &mut dpu);
+        dpu.profile()
+    }
+
+    /// Runs the GEMM through the materialized packed LUT.
+    ///
+    /// # Errors
+    ///
+    /// Shape, padding, or budget errors.
+    pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+        let dims = GemmDims::of(w, a)?;
+        if w.format() != self.wf || a.format() != self.af {
+            return Err(LocaLutError::UnsupportedFormat(
+                "operand formats differ from the kernel's configured formats",
+            ));
+        }
+        let p = self.p as usize;
+        let pad = pad_code_for(self.af, dims.k, p)?;
+        let lut = OpPackedLut::<i32>::build(self.wf, self.af, self.p, MAX_MATERIALIZED_ENTRIES)?;
+        let kblocks = dims.k.div_ceil(p);
+
+        let mut values = vec![0i32; dims.m * dims.n];
+        for n in 0..dims.n {
+            for kb in 0..kblocks {
+                // Host-side packing: the activation column index.
+                let acodes = group_codes(a, kb, n, p, pad);
+                let col = pack_index(&acodes, self.af.bits());
+                for m in 0..dims.m {
+                    let wcodes = weight_group_codes(w, m, kb, p);
+                    let row = pack_index(&wcodes, self.wf.bits());
+                    values[m * dims.n + n] += lut.lookup(row, col);
+                }
+            }
+        }
+
+        let mut dpu = Dpu::new(self.cfg.clone());
+        self.charge(dims, &mut dpu);
+        Ok(GemmResult {
+            values,
+            dims,
+            profile: dpu.profile(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::reference_gemm;
+    use quant::Quantizer;
+
+    fn operands(m: usize, k: usize, n: usize, wf: NumericFormat, af: NumericFormat) -> (QMatrix, QMatrix) {
+        let wdata: Vec<f32> = (0..m * k).map(|i| ((i * 3 + 1) % 7) as f32 - 3.0).collect();
+        let adata: Vec<f32> = (0..k * n).map(|i| ((i * 5 + 2) % 9) as f32 - 4.0).collect();
+        (
+            Quantizer::symmetric(wf).quantize_matrix(&wdata, m, k).unwrap(),
+            Quantizer::symmetric(af).quantize_matrix(&adata, k, n).unwrap(),
+        )
+    }
+
+    #[test]
+    fn auto_picks_paper_p_for_w1a3() {
+        let k = OpKernel::auto(DpuConfig::upmem(), NumericFormat::Bipolar, NumericFormat::Int(3))
+            .unwrap();
+        assert_eq!(k.p(), 3); // §V-A: p_local = 3 without canonicalization.
+    }
+
+    #[test]
+    fn run_matches_reference() {
+        let (w, a) = operands(4, 9, 3, NumericFormat::Bipolar, NumericFormat::Int(3));
+        let kernel =
+            OpKernel::with_p(DpuConfig::upmem(), NumericFormat::Bipolar, NumericFormat::Int(3), 3)
+                .unwrap();
+        let out = kernel.run(&w, &a).unwrap();
+        assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap());
+    }
+
+    #[test]
+    fn ragged_k_with_zero_pad() {
+        let (w, a) = operands(3, 7, 2, NumericFormat::Int(2), NumericFormat::Int(3));
+        let kernel =
+            OpKernel::with_p(DpuConfig::upmem(), NumericFormat::Int(2), NumericFormat::Int(3), 3)
+                .unwrap();
+        let out = kernel.run(&w, &a).unwrap();
+        assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap());
+    }
+
+    #[test]
+    fn bipolar_ragged_k_errors() {
+        let (w, a) = operands(2, 7, 2, NumericFormat::Int(2), NumericFormat::Bipolar);
+        let kernel = OpKernel::with_p(
+            DpuConfig::upmem(),
+            NumericFormat::Int(2),
+            NumericFormat::Bipolar,
+            3,
+        )
+        .unwrap();
+        assert!(matches!(
+            kernel.run(&w, &a),
+            Err(LocaLutError::UnpaddableRemainder { .. })
+        ));
+    }
+
+    #[test]
+    fn run_profile_equals_cost() {
+        let (w, a) = operands(4, 6, 2, NumericFormat::Int(2), NumericFormat::Int(2));
+        let kernel =
+            OpKernel::with_p(DpuConfig::upmem(), NumericFormat::Int(2), NumericFormat::Int(2), 2)
+                .unwrap();
+        let out = kernel.run(&w, &a).unwrap();
+        assert_eq!(out.profile, kernel.cost(out.dims));
+    }
+
+    #[test]
+    fn higher_p_means_fewer_lookup_seconds() {
+        let dims = GemmDims { m: 64, k: 64, n: 16 };
+        let cfg = DpuConfig::upmem();
+        let p2 = OpKernel::with_p(cfg.clone(), NumericFormat::Bipolar, NumericFormat::Int(3), 2)
+            .unwrap()
+            .cost(dims);
+        let p3 = OpKernel::with_p(cfg, NumericFormat::Bipolar, NumericFormat::Int(3), 3)
+            .unwrap()
+            .cost(dims);
+        assert!(p3.seconds(Category::CanonicalLookup) < p2.seconds(Category::CanonicalLookup));
+    }
+
+    #[test]
+    fn mismatched_formats_rejected() {
+        let (w, a) = operands(2, 4, 2, NumericFormat::Int(3), NumericFormat::Int(3));
+        let kernel =
+            OpKernel::with_p(DpuConfig::upmem(), NumericFormat::Int(2), NumericFormat::Int(3), 2)
+                .unwrap();
+        assert!(kernel.run(&w, &a).is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! The full LoCaLUT kernel (§IV-C): DRAM-resident canonical + reordering
+//! LUTs with **LUT slice streaming**.
+//!
+//! The LUTs are sized for the 64 MB bank (`p` up to `p_DRAM = 8` at W1A3);
+//! for each activation group, only the group's canonical column and the
+//! group's permutation column — one *slice pair* of `2^(bw·p)` entries —
+//! stream into WRAM, where they are reused across all `M` weight rows
+//! (input-stationary on the LUT slice). `k` slice pairs co-reside so the
+//! weight matrix streams once per `k` groups instead of once per group.
+
+use crate::canonical::CanonicalLut;
+use crate::capacity::{localut_bytes, slice_pair_bytes};
+use crate::gemm::{GemmDims, GemmResult};
+use crate::kernels::{
+    charge_output, group_codes, pad_code_for, require_integer, weight_group_codes,
+    MAX_MATERIALIZED_ENTRIES,
+};
+use crate::packed::pack_index;
+use crate::perm::{lehmer_rank, sort_permutation};
+use crate::reorder::ReorderLut;
+use crate::LocaLutError;
+use pim_sim::{Category, Dpu, DpuConfig, Profile};
+use quant::{NumericFormat, QMatrix};
+
+/// The slice-streaming LoCaLUT kernel.
+#[derive(Debug, Clone)]
+pub struct StreamingKernel {
+    cfg: DpuConfig,
+    wf: NumericFormat,
+    af: NumericFormat,
+    p: u32,
+    k_slices: u32,
+}
+
+impl StreamingKernel {
+    /// Creates the kernel at an explicit packing degree and slice count,
+    /// validating the bank and WRAM budgets.
+    ///
+    /// # Errors
+    ///
+    /// * [`LocaLutError::BudgetExceeded`] when the full LUTs exceed the
+    ///   bank LUT budget, or `k` slice pairs exceed the WRAM LUT budget.
+    /// * Format or degree errors.
+    pub fn new(
+        cfg: DpuConfig,
+        wf: NumericFormat,
+        af: NumericFormat,
+        p: u32,
+        k_slices: u32,
+    ) -> Result<Self, LocaLutError> {
+        require_integer(wf, af)?;
+        if p == 0 || k_slices == 0 {
+            return Err(LocaLutError::InvalidPackingDegree(p.min(k_slices)));
+        }
+        let full = localut_bytes(wf, af, p).ok_or(LocaLutError::InvalidPackingDegree(p))?;
+        let bank_budget = cfg.bank_lut_budget();
+        if full > u128::from(bank_budget) {
+            return Err(LocaLutError::BudgetExceeded {
+                required: full,
+                budget: bank_budget,
+            });
+        }
+        let slice = slice_pair_bytes(wf, af, p).ok_or(LocaLutError::InvalidPackingDegree(p))?;
+        let wram_budget = cfg.wram_lut_budget();
+        let resident = u128::from(slice) * u128::from(k_slices);
+        if resident > u128::from(wram_budget) {
+            return Err(LocaLutError::BudgetExceeded {
+                required: resident,
+                budget: wram_budget,
+            });
+        }
+        Ok(StreamingKernel {
+            cfg,
+            wf,
+            af,
+            p,
+            k_slices,
+        })
+    }
+
+    /// The packing degree.
+    #[must_use]
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+
+    /// The number of co-resident slice pairs (`k` of §IV-C).
+    #[must_use]
+    pub fn k_slices(&self) -> u32 {
+        self.k_slices
+    }
+
+    fn groups(&self, dims: GemmDims) -> u64 {
+        (dims.k as u64).div_ceil(u64::from(self.p)) * dims.n as u64
+    }
+
+    fn charge(&self, dims: GemmDims, dpu: &mut Dpu) {
+        let groups = self.groups(dims);
+        let slice_entries = 1u64 << (u32::from(self.wf.bits()) * self.p);
+        let slice_bytes = slice_pair_bytes(self.wf, self.af, self.p).unwrap_or(u64::MAX);
+        // Eq. 2 term 1: each group streams its slice pair once (L_D per
+        // entry pair).
+        dpu.charge_lut_pair_stream(groups * slice_entries, groups * slice_bytes);
+        // Activations (+ 2-byte permutation ids per group) stream once; the
+        // weight matrix streams once per k-batch of same-K-block groups.
+        let weight_passes = (dims.n as u64).div_ceil(u64::from(self.k_slices));
+        dpu.charge_dram_stream(
+            dims.weight_bytes(self.wf.bits()) * weight_passes,
+            Category::DataTransfer,
+        );
+        dpu.charge_dram_stream(
+            dims.activation_bytes(self.af.bits()) + 2 * groups,
+            Category::DataTransfer,
+        );
+        // Eq. 2 term 2: the L_local composite per (weight row, group).
+        dpu.charge_lookup_accum(dims.m as u64 * groups);
+        charge_output(dpu, dims);
+    }
+
+    /// Analytic cost for the given dimensions.
+    #[must_use]
+    pub fn cost(&self, dims: GemmDims) -> Profile {
+        let mut dpu = Dpu::new(self.cfg.clone());
+        self.charge(dims, &mut dpu);
+        dpu.profile()
+    }
+
+    /// Runs the GEMM through DRAM-resident LUTs with slice streaming.
+    ///
+    /// # Errors
+    ///
+    /// Shape, padding, or budget errors.
+    pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+        let dims = GemmDims::of(w, a)?;
+        if w.format() != self.wf || a.format() != self.af {
+            return Err(LocaLutError::UnsupportedFormat(
+                "operand formats differ from the kernel's configured formats",
+            ));
+        }
+        let p = self.p as usize;
+        let pad = pad_code_for(self.af, dims.k, p)?;
+        let canonical =
+            CanonicalLut::<i32>::build(self.wf, self.af, self.p, MAX_MATERIALIZED_ENTRIES)?;
+        let reorder = ReorderLut::build(self.wf.bits(), self.p, MAX_MATERIALIZED_ENTRIES)?;
+        let kblocks = dims.k.div_ceil(p);
+        let kk = self.k_slices as usize;
+
+        let mut values = vec![0i32; dims.m * dims.n];
+        for kb in 0..kblocks {
+            // Process the N columns of this K-block in batches of k groups:
+            // their slice pairs co-reside in WRAM while the weight block
+            // streams once per batch.
+            for n0 in (0..dims.n).step_by(kk) {
+                let batch = (n0..dims.n.min(n0 + kk)).collect::<Vec<_>>();
+                // "Stream" the slice pairs: fetch the columns (functional
+                // model — the canonical/reorder structures are bank data).
+                let mut slices = Vec::with_capacity(batch.len());
+                for &n in &batch {
+                    let acodes = group_codes(a, kb, n, p, pad);
+                    let perm = sort_permutation(&acodes);
+                    let sorted: Vec<u16> =
+                        perm.iter().map(|&i| acodes[usize::from(i)]).collect();
+                    let perm_id = lehmer_rank(&perm)?;
+                    let col = canonical.column_of(&sorted)?;
+                    slices.push((
+                        n,
+                        canonical.column_slice(col).to_vec(),
+                        reorder.column_slice(perm_id).to_vec(),
+                    ));
+                }
+                // One pass over the weight rows, reusing all k slices.
+                for m in 0..dims.m {
+                    let wcodes = weight_group_codes(w, m, kb, p);
+                    let row = pack_index(&wcodes, self.wf.bits());
+                    for (n, canon_slice, reord_slice) in &slices {
+                        let crow = reord_slice[row as usize];
+                        values[m * dims.n + n] += canon_slice[crow as usize];
+                    }
+                }
+            }
+        }
+
+        let mut dpu = Dpu::new(self.cfg.clone());
+        self.charge(dims, &mut dpu);
+        Ok(GemmResult {
+            values,
+            dims,
+            profile: dpu.profile(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::reference_gemm;
+    use quant::Quantizer;
+
+    fn operands(m: usize, k: usize, n: usize, wf: NumericFormat, af: NumericFormat) -> (QMatrix, QMatrix) {
+        let wdata: Vec<f32> = (0..m * k).map(|i| ((i * 17 + 2) % 9) as f32 - 4.0).collect();
+        let adata: Vec<f32> = (0..k * n).map(|i| ((i * 19 + 7) % 13) as f32 - 6.0).collect();
+        (
+            Quantizer::symmetric(wf).quantize_matrix(&wdata, m, k).unwrap(),
+            Quantizer::symmetric(af).quantize_matrix(&adata, k, n).unwrap(),
+        )
+    }
+
+    fn kernel(p: u32, k_slices: u32) -> StreamingKernel {
+        StreamingKernel::new(
+            DpuConfig::upmem(),
+            NumericFormat::Bipolar,
+            NumericFormat::Int(3),
+            p,
+            k_slices,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn run_matches_reference() {
+        let (w, a) = operands(6, 12, 5, NumericFormat::Bipolar, NumericFormat::Int(3));
+        let out = kernel(6, 2).run(&w, &a).unwrap();
+        assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap());
+    }
+
+    #[test]
+    fn ragged_k_and_odd_batches_match_reference() {
+        let (w, a) = operands(4, 13, 7, NumericFormat::Int(2), NumericFormat::Int(3));
+        let kern = StreamingKernel::new(
+            DpuConfig::upmem(),
+            NumericFormat::Int(2),
+            NumericFormat::Int(3),
+            5,
+            3,
+        )
+        .unwrap();
+        let out = kern.run(&w, &a).unwrap();
+        assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap());
+    }
+
+    #[test]
+    fn run_profile_equals_cost() {
+        let (w, a) = operands(5, 12, 4, NumericFormat::Bipolar, NumericFormat::Int(3));
+        let kern = kernel(6, 2);
+        let out = kern.run(&w, &a).unwrap();
+        assert_eq!(out.profile, kern.cost(out.dims));
+    }
+
+    #[test]
+    fn p8_w1a3_is_accepted_by_bank_budget() {
+        // §V-A: p_DRAM = 8 at W1A3.
+        assert!(StreamingKernel::new(
+            DpuConfig::upmem(),
+            NumericFormat::Bipolar,
+            NumericFormat::Int(3),
+            8,
+            2
+        )
+        .is_ok());
+        assert!(matches!(
+            StreamingKernel::new(
+                DpuConfig::upmem(),
+                NumericFormat::Bipolar,
+                NumericFormat::Int(3),
+                9,
+                2
+            ),
+            Err(LocaLutError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn wram_limits_k_times_slice() {
+        // W4A4 p=3 slice pair = 16 KiB → k=2 fits the 32 KiB budget, k=3
+        // does not.
+        let f4 = NumericFormat::Int(4);
+        assert!(StreamingKernel::new(DpuConfig::upmem(), f4, f4, 3, 2).is_ok());
+        assert!(StreamingKernel::new(DpuConfig::upmem(), f4, f4, 3, 3).is_err());
+    }
+
+    #[test]
+    fn larger_k_reduces_weight_restreaming() {
+        let dims = GemmDims { m: 256, k: 256, n: 64 };
+        let k1 = kernel(6, 1).cost(dims);
+        let k8 = kernel(6, 8).cost(dims);
+        assert!(k8.seconds(Category::DataTransfer) < k1.seconds(Category::DataTransfer));
+        assert!(k8.total_seconds() < k1.total_seconds());
+    }
+
+    #[test]
+    fn lut_load_matches_eq2_term() {
+        let kern = kernel(6, 2);
+        let dims = GemmDims { m: 16, k: 12, n: 8 };
+        let cost = kern.cost(dims);
+        // groups = 2 * 8 = 16, slice entries = 2^6 = 64, L_D each.
+        let expect = 16.0 * 64.0 * 1.36e-9;
+        assert!((cost.seconds(Category::LutLoad) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_p_or_k_rejected() {
+        let f = NumericFormat::Int(2);
+        assert!(StreamingKernel::new(DpuConfig::upmem(), f, f, 0, 2).is_err());
+        assert!(StreamingKernel::new(DpuConfig::upmem(), f, f, 2, 0).is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! The first-order performance model of §IV-D (Eq. 2–6).
+//!
+//! For a weight tile `W ∈ Z^{M×K}` times an activation tile `A ∈ Z^{K×N}`:
+//!
+//! * **Streaming** (Eq. 2):
+//!   `T(p) = 2^(bw·p) · (K·N/p) · L_D  +  (M·K·N/p) · L_local`
+//!   — every activation group streams its slice pair once, and every
+//!   (weight row, group) pair costs one lookup composite.
+//! * **Buffer-resident** (Eq. 4): `T_local = (M·K·N/p_local) · L_local`.
+//! * `p*` (Eq. 3) minimizes `T(p)` over `p ≤ p_DRAM`; Eq. 5/6 decide
+//!   whether streaming beats the buffer-resident LUT (large `M` favors
+//!   streaming because slices are reused across more weight rows).
+//!
+//! The model intentionally ignores weight/activation/output movement
+//! ("their contribution is marginal with respect to changes in `p`",
+//! §IV-D); the kernels do charge those, which is the gap Fig. 18 shows.
+
+use crate::gemm::GemmDims;
+use pim_sim::DpuTimings;
+
+/// The calibrated `L_D`/`L_local` model.
+///
+/// # Examples
+///
+/// ```
+/// use localut::model::PerfModel;
+/// use localut::GemmDims;
+///
+/// let model = PerfModel::upmem();
+/// let dims = GemmDims { m: 3072, k: 768, n: 128 };
+/// // Eq. 3: large M favors a large streaming p*.
+/// let choice = model.optimal_streaming_p(dims, 1, 8).unwrap();
+/// assert_eq!(choice.p, 8);
+/// // Eq. 5/6: it also beats the buffer-resident p_local = 5 here.
+/// assert!(choice.seconds < model.buffer_seconds(dims, 5));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfModel {
+    /// Seconds to stream one (canonical, reordering) entry pair (`L_D`).
+    pub l_d: f64,
+    /// Seconds per lookup composite (`L_local`).
+    pub l_local: f64,
+}
+
+/// The model's placement decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelChoice {
+    /// Chosen packing degree.
+    pub p: u32,
+    /// Whether to stream slices from the DRAM bank (vs. buffer-resident).
+    pub streaming: bool,
+    /// Predicted seconds.
+    pub seconds: f64,
+}
+
+impl PerfModel {
+    /// Model with the paper's profiled UPMEM constants (§VI-I).
+    #[must_use]
+    pub fn upmem() -> Self {
+        let t = DpuTimings::upmem();
+        PerfModel {
+            l_d: t.lut_entry_pair_stream_seconds,
+            l_local: t.lookup_accum_seconds,
+        }
+    }
+
+    /// Number of activation groups: `ceil(K/p) · N`.
+    #[must_use]
+    pub fn groups(dims: GemmDims, p: u32) -> u64 {
+        (dims.k as u64).div_ceil(u64::from(p)) * dims.n as u64
+    }
+
+    /// Eq. 2: predicted seconds with LUT slice streaming at degree `p`.
+    #[must_use]
+    pub fn streaming_seconds(&self, dims: GemmDims, bw: u8, p: u32) -> f64 {
+        let groups = Self::groups(dims, p) as f64;
+        let slice_entries = 2f64.powi(i32::from(bw) * p as i32);
+        slice_entries * groups * self.l_d + dims.m as f64 * groups * self.l_local
+    }
+
+    /// Eq. 4: predicted seconds with a buffer-resident LUT at `p_local`.
+    #[must_use]
+    pub fn buffer_seconds(&self, dims: GemmDims, p_local: u32) -> f64 {
+        dims.m as f64 * Self::groups(dims, p_local) as f64 * self.l_local
+    }
+
+    /// Eq. 3: the streaming-optimal `p*` over `1..=p_dram` (`None` when
+    /// `p_dram == 0`).
+    #[must_use]
+    pub fn optimal_streaming_p(&self, dims: GemmDims, bw: u8, p_dram: u32) -> Option<ModelChoice> {
+        (1..=p_dram)
+            .map(|p| ModelChoice {
+                p,
+                streaming: true,
+                seconds: self.streaming_seconds(dims, bw, p),
+            })
+            .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+    }
+
+    /// The full §IV-D decision: evaluate every `p ≤ p_dram` on Eq. 2 and
+    /// the buffer-resident alternative at `p_local` on Eq. 4, and pick the
+    /// faster (Eq. 5/6). Returns `None` when neither placement is feasible.
+    #[must_use]
+    pub fn choose(
+        &self,
+        dims: GemmDims,
+        bw: u8,
+        p_dram: u32,
+        p_local: u32,
+    ) -> Option<ModelChoice> {
+        let stream = self.optimal_streaming_p(dims, bw, p_dram);
+        let buffer = (p_local > 0).then(|| ModelChoice {
+            p: p_local,
+            streaming: false,
+            seconds: self.buffer_seconds(dims, p_local),
+        });
+        match (stream, buffer) {
+            (Some(s), Some(b)) => Some(if s.seconds < b.seconds { s } else { b }),
+            (s, b) => s.or(b),
+        }
+    }
+
+    /// Eq. 6: the break-even `M` above which streaming at `p*` beats the
+    /// buffer-resident LUT at `p_local` (for intuition/validation; `choose`
+    /// compares Eq. 2 and Eq. 4 directly).
+    #[must_use]
+    pub fn break_even_m(&self, bw: u8, p_star: u32, p_local: u32) -> f64 {
+        if p_star <= p_local {
+            return f64::INFINITY;
+        }
+        2f64.powi(i32::from(bw) * p_star as i32) * (self.l_d / self.l_local)
+            * f64::from(p_local)
+            / f64::from(p_star - p_local)
+    }
+}
+
+impl Default for PerfModel {
+    fn default() -> Self {
+        Self::upmem()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims(m: usize, k: usize, n: usize) -> GemmDims {
+        GemmDims { m, k, n }
+    }
+
+    #[test]
+    fn upmem_constants() {
+        let m = PerfModel::upmem();
+        assert!((m.l_d - 1.36e-9).abs() < 1e-15);
+        assert!((m.l_local - 3.27e-8).abs() < 1e-14);
+    }
+
+    #[test]
+    fn eq2_matches_hand_computation() {
+        let m = PerfModel::upmem();
+        let d = dims(768, 768, 128);
+        // bw=1, p=8: groups = 96 * 128 = 12288.
+        let groups = 12288.0;
+        let expect = 256.0 * groups * m.l_d + 768.0 * groups * m.l_local;
+        assert!((m.streaming_seconds(d, 1, 8) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_m_favors_larger_p() {
+        // §IV-D: "With ... large M (more slice reuse), a larger p* is
+        // favored."
+        let m = PerfModel::upmem();
+        let small = m.optimal_streaming_p(dims(32, 768, 128), 2, 8).unwrap();
+        let large = m.optimal_streaming_p(dims(8192, 768, 128), 2, 8).unwrap();
+        assert!(large.p >= small.p);
+        assert!(large.p > 1);
+    }
+
+    #[test]
+    fn small_bw_favors_larger_p() {
+        let m = PerfModel::upmem();
+        let narrow = m.optimal_streaming_p(dims(768, 768, 128), 1, 8).unwrap();
+        let wide = m.optimal_streaming_p(dims(768, 768, 128), 4, 8).unwrap();
+        assert!(narrow.p >= wide.p);
+    }
+
+    #[test]
+    fn choose_prefers_buffer_for_tiny_m() {
+        // Eq. 6: small M should keep the LUT in the buffer.
+        let m = PerfModel::upmem();
+        let tiny = m.choose(dims(1, 768, 8), 4, 6, 2).unwrap();
+        assert!(!tiny.streaming, "tiny M should stay buffer-resident");
+        let big = m.choose(dims(8192, 768, 768), 1, 8, 5).unwrap();
+        assert!(big.streaming, "large M should stream");
+        assert!(big.p > 5);
+    }
+
+    #[test]
+    fn choose_handles_missing_placements() {
+        let m = PerfModel::upmem();
+        assert!(m.choose(dims(8, 8, 8), 1, 0, 0).is_none());
+        let only_buffer = m.choose(dims(8, 8, 8), 1, 0, 3).unwrap();
+        assert!(!only_buffer.streaming);
+        let only_stream = m.choose(dims(8, 8, 8), 1, 4, 0).unwrap();
+        assert!(only_stream.streaming);
+    }
+
+    #[test]
+    fn chosen_p_is_argmin() {
+        let m = PerfModel::upmem();
+        let d = dims(3072, 768, 128);
+        let best = m.optimal_streaming_p(d, 2, 8).unwrap();
+        for p in 1..=8 {
+            assert!(m.streaming_seconds(d, 2, p) >= best.seconds - 1e-15);
+        }
+    }
+
+    #[test]
+    fn break_even_m_monotonic_in_bw() {
+        // §IV-D: break-even M increases with larger bw.
+        let m = PerfModel::upmem();
+        assert!(m.break_even_m(2, 6, 3) > m.break_even_m(1, 6, 3));
+        assert_eq!(m.break_even_m(1, 3, 5), f64::INFINITY);
+    }
+
+    #[test]
+    fn break_even_consistent_with_direct_comparison() {
+        let m = PerfModel::upmem();
+        let bw = 2u8;
+        let (p_star, p_local) = (6u32, 3u32);
+        let threshold = m.break_even_m(bw, p_star, p_local);
+        // Just above the threshold streaming must win; just below it the
+        // buffer must win (with K divisible by both p to match Eq. 2's
+        // continuous form).
+        let k = 768;
+        let n = 128;
+        let above = dims((threshold * 1.3) as usize, k, n);
+        let below = dims((threshold * 0.7) as usize, k, n);
+        assert!(
+            m.streaming_seconds(above, bw, p_star) < m.buffer_seconds(above, p_local)
+        );
+        assert!(
+            m.streaming_seconds(below, bw, p_star) > m.buffer_seconds(below, p_local)
+        );
+    }
+}

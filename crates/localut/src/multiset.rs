@@ -1,0 +1,215 @@
+//! Multiset ranking: the combinatorics behind LUT canonicalization (§IV-A).
+//!
+//! A canonical LUT column is identified by a *multiset* of `p` activation
+//! codes (the sorted activation vector). There are `C(n + p − 1, p)` such
+//! multisets over `n = 2^ba` codes (Eq. 1), and the canonical LUT needs a
+//! bijection between sorted code vectors and dense column indices —
+//! provided here by the combinatorial number system:
+//!
+//! A non-decreasing vector `a_0 ≤ a_1 ≤ … ≤ a_{p−1}` maps to the strictly
+//! increasing vector `b_i = a_i + i`, which is a `p`-combination of
+//! `{0, …, n+p−2}`. Its colexicographic rank `Σ_i C(b_i, i+1)` is the
+//! column index.
+
+use crate::LocaLutError;
+
+/// Exact binomial coefficient `C(n, k)` as `u128`, `None` on overflow.
+#[must_use]
+pub fn binomial(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.checked_mul(u128::from(n - i))?;
+        acc /= u128::from(i + 1);
+    }
+    Some(acc)
+}
+
+/// Number of multisets of size `p` over `n` symbols: `C(n + p − 1, p)`
+/// (Eq. 1's count of canonical-LUT columns), `None` on overflow.
+#[must_use]
+pub fn multiset_count(n: u64, p: u32) -> Option<u128> {
+    if n == 0 {
+        return Some(u128::from(p == 0));
+    }
+    binomial(n + u64::from(p) - 1, u64::from(p))
+}
+
+/// Ranks a *sorted non-decreasing* vector of codes (each `< n`) to its
+/// dense multiset index in `0..multiset_count(n, p)`.
+///
+/// # Examples
+///
+/// ```
+/// use localut::multiset::{rank, unrank, multiset_count};
+///
+/// // The 120 canonical columns of a W?A3 LUT at p = 3 (Eq. 1):
+/// assert_eq!(multiset_count(8, 3), Some(120));
+/// let r = rank(&[0, 2, 3], 8)?; // the sorted form of Fig. 4's [3, 0, 2]
+/// assert_eq!(unrank(r, 8, 3)?, vec![0, 2, 3]);
+/// # Ok::<(), localut::LocaLutError>(())
+/// ```
+///
+/// # Errors
+///
+/// [`LocaLutError::InvalidPackingDegree`] on an empty vector, and
+/// [`LocaLutError::IndexSpaceTooWide`] if a code is `≥ n` or the vector is
+/// not sorted (the canonical form is violated).
+pub fn rank(sorted_codes: &[u16], n: u64) -> Result<u64, LocaLutError> {
+    if sorted_codes.is_empty() {
+        return Err(LocaLutError::InvalidPackingDegree(0));
+    }
+    let mut r: u128 = 0;
+    let mut prev = 0u16;
+    for (i, &code) in sorted_codes.iter().enumerate() {
+        if u64::from(code) >= n || code < prev {
+            return Err(LocaLutError::IndexSpaceTooWide {
+                bits: 0,
+                p: sorted_codes.len() as u32,
+            });
+        }
+        prev = code;
+        let b = u64::from(code) + i as u64;
+        r += binomial(b, i as u64 + 1).unwrap_or(u128::MAX);
+    }
+    u64::try_from(r).map_err(|_| LocaLutError::IndexSpaceTooWide {
+        bits: 0,
+        p: sorted_codes.len() as u32,
+    })
+}
+
+/// Inverse of [`rank`]: recovers the sorted code vector of length `p` over
+/// `n` symbols from its dense index.
+///
+/// # Errors
+///
+/// [`LocaLutError::InvalidPackingDegree`] when `p == 0` or the rank is out
+/// of range.
+pub fn unrank(mut r: u64, n: u64, p: u32) -> Result<Vec<u16>, LocaLutError> {
+    if p == 0 {
+        return Err(LocaLutError::InvalidPackingDegree(0));
+    }
+    let total = multiset_count(n, p).ok_or(LocaLutError::InvalidPackingDegree(p))?;
+    if u128::from(r) >= total {
+        return Err(LocaLutError::InvalidPackingDegree(p));
+    }
+    let mut out = vec![0u16; p as usize];
+    // Greedy colex unranking from the highest position down.
+    for i in (0..p as usize).rev() {
+        // Find the largest b with C(b, i+1) <= r.
+        let mut b = i as u64; // smallest valid b gives C(b, i+1) = 1 when b == i... C(i, i+1)=0
+        let mut best = b;
+        // Upper bound for b is n + p - 2.
+        let hi = n + u64::from(p) - 2;
+        // Binary search over b in [i, hi].
+        let mut lo = i as u64;
+        let mut high = hi;
+        while lo <= high {
+            b = lo + (high - lo) / 2;
+            let c = binomial(b, i as u64 + 1).unwrap_or(u128::MAX);
+            if c <= u128::from(r) {
+                best = b;
+                lo = b + 1;
+            } else {
+                if b == 0 {
+                    break;
+                }
+                high = b - 1;
+            }
+        }
+        let c = binomial(best, i as u64 + 1).unwrap_or(u128::MAX);
+        r -= u64::try_from(c).unwrap_or(u64::MAX);
+        out[i] = u16::try_from(best - i as u64).map_err(|_| {
+            LocaLutError::IndexSpaceTooWide { bits: 0, p }
+        })?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(5, 2), Some(10));
+        assert_eq!(binomial(0, 0), Some(1));
+        assert_eq!(binomial(3, 5), Some(0));
+        assert_eq!(binomial(15, 8), Some(6435));
+        assert_eq!(binomial(52, 5), Some(2_598_960));
+    }
+
+    #[test]
+    fn multiset_count_matches_paper_eq1() {
+        // W1A3, p=3: canonical columns = C(8+3-1, 3) = C(10,3) = 120
+        // (Fig. 4 example: 2^9 = 512 columns collapse to 2^3 H 3).
+        assert_eq!(multiset_count(8, 3), Some(120));
+        // p=8: C(15,8) = 6435 (the p_DRAM=8 design point).
+        assert_eq!(multiset_count(8, 8), Some(6435));
+        // ba=3 reduction rates from §IV-A: 2^(3p) / count.
+        let red4 = 2f64.powi(12) / multiset_count(8, 4).unwrap() as f64;
+        assert!((red4 - 12.4).abs() < 0.05, "p=4 reduction {red4}");
+        let red7 = 2f64.powi(21) / multiset_count(8, 7).unwrap() as f64;
+        assert!((red7 - 611.1).abs() < 0.5, "p=7 reduction {red7}");
+    }
+
+    #[test]
+    fn rank_unrank_exhaustive_small() {
+        for (n, p) in [(2u64, 3u32), (4, 2), (8, 3), (3, 4)] {
+            let total = multiset_count(n, p).unwrap() as u64;
+            let mut seen = std::collections::HashSet::new();
+            for r in 0..total {
+                let codes = unrank(r, n, p).unwrap();
+                assert_eq!(codes.len(), p as usize);
+                assert!(codes.windows(2).all(|w| w[0] <= w[1]), "not sorted: {codes:?}");
+                assert!(codes.iter().all(|&c| u64::from(c) < n));
+                assert_eq!(rank(&codes, n).unwrap(), r, "roundtrip failed for {codes:?}");
+                assert!(seen.insert(codes), "duplicate multiset at rank {r}");
+            }
+            assert_eq!(seen.len() as u64, total);
+        }
+    }
+
+    #[test]
+    fn rank_rejects_unsorted_and_out_of_range() {
+        assert!(rank(&[2, 1], 8).is_err());
+        assert!(rank(&[0, 8], 8).is_err());
+        assert!(rank(&[], 8).is_err());
+        assert!(rank(&[0, 0, 7], 8).is_ok());
+    }
+
+    #[test]
+    fn unrank_rejects_out_of_range() {
+        let total = multiset_count(8, 3).unwrap() as u64;
+        assert!(unrank(total, 8, 3).is_err());
+        assert!(unrank(0, 8, 0).is_err());
+        assert!(unrank(total - 1, 8, 3).is_ok());
+    }
+
+    #[test]
+    fn rank_zero_is_all_zero_vector() {
+        assert_eq!(unrank(0, 8, 5).unwrap(), vec![0, 0, 0, 0, 0]);
+        assert_eq!(rank(&[0, 0, 0, 0, 0], 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn rank_max_is_all_max_vector() {
+        let total = multiset_count(8, 4).unwrap() as u64;
+        assert_eq!(unrank(total - 1, 8, 4).unwrap(), vec![7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn large_spaces_do_not_overflow() {
+        // fp16 activations, p=4: astronomically many multisets, still exact.
+        let c = multiset_count(1 << 16, 4).unwrap();
+        assert!(c > 1u128 << 56);
+        let codes = vec![0u16, 100, 30000, 65535];
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        let r = rank(&sorted, 1 << 16).unwrap();
+        assert_eq!(unrank(r, 1 << 16, 4).unwrap(), sorted);
+    }
+}

@@ -1,0 +1,174 @@
+//! Sorting permutations and their dense ranking (Lehmer codes).
+//!
+//! Canonicalization sorts the activation vector; the weights must then be
+//! reordered by the *same* permutation (§IV-A). The reordering LUT (§IV-B)
+//! is indexed by a dense permutation id — the Lehmer (factorial number
+//! system) rank implemented here — giving it exactly `p!` columns.
+
+use crate::LocaLutError;
+
+/// Factorial of `n` as `u64` (`None` on overflow; `20! < 2^63`).
+#[must_use]
+pub fn factorial(n: u32) -> Option<u64> {
+    let mut acc: u64 = 1;
+    for i in 2..=u64::from(n) {
+        acc = acc.checked_mul(i)?;
+    }
+    Some(acc)
+}
+
+/// Computes the *stable* sorting permutation of `codes`: the returned
+/// `perm` satisfies `codes[perm[i]] ≤ codes[perm[i+1]]`, with ties broken
+/// by original position (stability makes the permutation id deterministic,
+/// which the host and the reordering LUT must agree on).
+///
+/// Applying it as `sorted[i] = codes[perm[i]]` yields the canonical
+/// (non-decreasing) activation vector.
+#[must_use]
+pub fn sort_permutation(codes: &[u16]) -> Vec<u8> {
+    let mut perm: Vec<u8> = (0..codes.len() as u8).collect();
+    perm.sort_by_key(|&i| (codes[usize::from(i)], i));
+    perm
+}
+
+/// Applies a permutation: `out[i] = items[perm[i]]`.
+///
+/// # Panics
+///
+/// Panics when `perm` and `items` have different lengths or `perm` indexes
+/// out of bounds.
+#[must_use]
+pub fn apply<T: Copy>(perm: &[u8], items: &[T]) -> Vec<T> {
+    assert_eq!(perm.len(), items.len(), "permutation length mismatch");
+    perm.iter().map(|&i| items[usize::from(i)]).collect()
+}
+
+/// Lehmer rank of a permutation of `0..p`, a dense id in `0..p!`.
+///
+/// # Errors
+///
+/// [`LocaLutError::InvalidPackingDegree`] when `perm` is empty, longer than
+/// 20, or not a permutation of `0..p`.
+pub fn lehmer_rank(perm: &[u8]) -> Result<u64, LocaLutError> {
+    let p = perm.len();
+    if p == 0 || p > 20 {
+        return Err(LocaLutError::InvalidPackingDegree(p as u32));
+    }
+    let mut seen = [false; 32];
+    for &x in perm {
+        if usize::from(x) >= p || seen[usize::from(x)] {
+            return Err(LocaLutError::InvalidPackingDegree(p as u32));
+        }
+        seen[usize::from(x)] = true;
+    }
+    let mut rank: u64 = 0;
+    for i in 0..p {
+        let smaller = perm[i + 1..].iter().filter(|&&x| x < perm[i]).count() as u64;
+        rank += smaller * factorial((p - 1 - i) as u32).expect("p <= 20");
+    }
+    Ok(rank)
+}
+
+/// Inverse of [`lehmer_rank`]: the permutation of `0..p` with the given id.
+///
+/// # Errors
+///
+/// [`LocaLutError::InvalidPackingDegree`] when `p` is 0, exceeds 20, or the
+/// rank is out of range.
+pub fn lehmer_unrank(mut rank: u64, p: u32) -> Result<Vec<u8>, LocaLutError> {
+    if p == 0 || p > 20 {
+        return Err(LocaLutError::InvalidPackingDegree(p));
+    }
+    let total = factorial(p).ok_or(LocaLutError::InvalidPackingDegree(p))?;
+    if rank >= total {
+        return Err(LocaLutError::InvalidPackingDegree(p));
+    }
+    let mut pool: Vec<u8> = (0..p as u8).collect();
+    let mut out = Vec::with_capacity(p as usize);
+    for i in (0..p).rev() {
+        let f = factorial(i).expect("p <= 20");
+        let idx = (rank / f) as usize;
+        rank %= f;
+        out.push(pool.remove(idx));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0), Some(1));
+        assert_eq!(factorial(1), Some(1));
+        assert_eq!(factorial(5), Some(120));
+        assert_eq!(factorial(8), Some(40320)); // reordering LUT columns at p=8
+        assert_eq!(factorial(20), Some(2_432_902_008_176_640_000));
+        assert_eq!(factorial(21), None);
+    }
+
+    #[test]
+    fn sort_permutation_paper_example() {
+        // Fig. 4: activations [3, 0, 2] sort to [0, 2, 3] via perm [1, 2, 0].
+        let codes = [3u16, 0, 2];
+        let perm = sort_permutation(&codes);
+        assert_eq!(perm, vec![1, 2, 0]);
+        let sorted = apply(&perm, &codes);
+        assert_eq!(sorted, vec![0, 2, 3]);
+        // Weights [0, 0, 1] reorder the same way to [0, 1, 0] (Fig. 4b).
+        let weights = [0u16, 0, 1];
+        assert_eq!(apply(&perm, &weights), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn stable_sort_breaks_ties_by_position() {
+        let codes = [5u16, 5, 1, 5];
+        let perm = sort_permutation(&codes);
+        assert_eq!(perm, vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn lehmer_rank_unrank_exhaustive() {
+        for p in 1..=5u32 {
+            let total = factorial(p).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for r in 0..total {
+                let perm = lehmer_unrank(r, p).unwrap();
+                assert_eq!(lehmer_rank(&perm).unwrap(), r);
+                assert!(seen.insert(perm));
+            }
+            assert_eq!(seen.len() as u64, total);
+        }
+    }
+
+    #[test]
+    fn identity_permutation_has_rank_zero() {
+        let id: Vec<u8> = (0..6).collect();
+        assert_eq!(lehmer_rank(&id).unwrap(), 0);
+        assert_eq!(lehmer_unrank(0, 6).unwrap(), id);
+    }
+
+    #[test]
+    fn reversed_permutation_has_max_rank() {
+        let rev: Vec<u8> = (0..5).rev().collect();
+        assert_eq!(lehmer_rank(&rev).unwrap(), factorial(5).unwrap() - 1);
+    }
+
+    #[test]
+    fn lehmer_rejects_invalid() {
+        assert!(lehmer_rank(&[]).is_err());
+        assert!(lehmer_rank(&[0, 0]).is_err());
+        assert!(lehmer_rank(&[0, 2]).is_err());
+        assert!(lehmer_unrank(120, 5).is_err());
+        assert!(lehmer_unrank(0, 0).is_err());
+        assert!(lehmer_unrank(0, 21).is_err());
+    }
+
+    #[test]
+    fn sorted_codes_have_identity_permutation() {
+        let codes = [0u16, 1, 2, 3];
+        assert_eq!(sort_permutation(&codes), vec![0, 1, 2, 3]);
+        assert_eq!(lehmer_rank(&sort_permutation(&codes)).unwrap(), 0);
+    }
+}

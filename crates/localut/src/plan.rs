@@ -1,0 +1,325 @@
+//! The automatic planner of §V-A: given matrix dimensions and bitwidths,
+//! compute the performance model on the host side to determine `p*` and
+//! whether to use LUT slice streaming — then construct the kernel.
+
+use crate::capacity::{localut_bytes, max_p_localut, slice_pair_bytes};
+use crate::gemm::{GemmDims, GemmResult};
+use crate::kernels::{RcKernel, StreamingKernel};
+use crate::model::PerfModel;
+use crate::LocaLutError;
+use pim_sim::{DpuConfig, Profile};
+use quant::{NumericFormat, QMatrix};
+
+/// Where the planner placed the LUTs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Canonical + reordering LUTs fully resident in WRAM (Eq. 4).
+    BufferResident,
+    /// LUTs in the DRAM bank, slices streamed into WRAM (Eq. 2).
+    Streaming,
+}
+
+impl core::fmt::Display for Placement {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Placement::BufferResident => "buffer-resident",
+            Placement::Streaming => "slice-streaming",
+        })
+    }
+}
+
+/// A complete execution decision for one GEMM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionPlan {
+    /// LUT placement.
+    pub placement: Placement,
+    /// Packing degree `p*`.
+    pub p: u32,
+    /// Co-resident slice pairs (`k`; meaningful for streaming only).
+    pub k_slices: u32,
+    /// The model-predicted seconds (Eq. 2 or Eq. 4).
+    pub predicted_seconds: f64,
+    /// Weight format.
+    pub wf: NumericFormat,
+    /// Activation format.
+    pub af: NumericFormat,
+}
+
+/// A kernel constructed from a plan.
+#[derive(Debug, Clone)]
+pub enum PlannedKernel {
+    /// Buffer-resident OP+LC+RC kernel.
+    Buffer(RcKernel),
+    /// Slice-streaming kernel.
+    Streaming(StreamingKernel),
+}
+
+impl PlannedKernel {
+    /// Runs the planned kernel.
+    ///
+    /// # Errors
+    ///
+    /// Kernel execution errors.
+    pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+        match self {
+            PlannedKernel::Buffer(k) => k.run(w, a),
+            PlannedKernel::Streaming(k) => k.run(w, a),
+        }
+    }
+
+    /// The kernel's analytic cost.
+    #[must_use]
+    pub fn cost(&self, dims: GemmDims) -> Profile {
+        match self {
+            PlannedKernel::Buffer(k) => k.cost(dims),
+            PlannedKernel::Streaming(k) => k.cost(dims),
+        }
+    }
+}
+
+impl ExecutionPlan {
+    /// Builds the kernel this plan describes.
+    ///
+    /// # Errors
+    ///
+    /// Budget errors (should not occur for plans produced by [`Planner`]).
+    pub fn kernel(&self, cfg: &DpuConfig) -> Result<PlannedKernel, LocaLutError> {
+        match self.placement {
+            Placement::BufferResident => Ok(PlannedKernel::Buffer(RcKernel::with_p(
+                cfg.clone(),
+                self.wf,
+                self.af,
+                self.p,
+            )?)),
+            Placement::Streaming => Ok(PlannedKernel::Streaming(StreamingKernel::new(
+                cfg.clone(),
+                self.wf,
+                self.af,
+                self.p,
+                self.k_slices,
+            )?)),
+        }
+    }
+
+    /// The plan's analytic cost for given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is infeasible for `cfg` (plans from [`Planner`]
+    /// are always feasible).
+    #[must_use]
+    pub fn cost(&self, cfg: &DpuConfig, dims: GemmDims) -> Profile {
+        self.kernel(cfg)
+            .expect("planner-produced plans are feasible")
+            .cost(dims)
+    }
+}
+
+/// The §IV-D/§V-A planner.
+///
+/// # Examples
+///
+/// ```
+/// use localut::plan::{Placement, Planner};
+/// use localut::GemmDims;
+/// use pim_sim::DpuConfig;
+/// use quant::NumericFormat;
+///
+/// let planner = Planner::new(DpuConfig::upmem());
+/// // A large-M GEMM streams slices at a high packing degree...
+/// let plan = planner.plan(
+///     GemmDims { m: 3072, k: 768, n: 128 },
+///     NumericFormat::Bipolar, NumericFormat::Int(3), Some(2))?;
+/// assert_eq!(plan.placement, Placement::Streaming);
+/// assert!(plan.p > 5);
+/// # Ok::<(), localut::LocaLutError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Planner {
+    cfg: DpuConfig,
+    model: PerfModel,
+}
+
+impl Planner {
+    /// Creates a planner for a DPU configuration, using the profiled
+    /// UPMEM model constants.
+    #[must_use]
+    pub fn new(cfg: DpuConfig) -> Self {
+        Planner {
+            cfg,
+            model: PerfModel::upmem(),
+        }
+    }
+
+    /// The largest streaming `p` feasible for `k` co-resident slice pairs:
+    /// the full LUTs must fit the bank LUT budget and `k` slice pairs must
+    /// fit the WRAM LUT budget.
+    #[must_use]
+    pub fn max_streaming_p(&self, wf: NumericFormat, af: NumericFormat, k: u32) -> u32 {
+        let bank = u128::from(self.cfg.bank_lut_budget());
+        let wram = self.cfg.wram_lut_budget();
+        let mut best = 0;
+        for p in 1..=24 {
+            let fits_bank = localut_bytes(wf, af, p).is_some_and(|b| b <= bank);
+            let fits_wram = slice_pair_bytes(wf, af, p)
+                .is_some_and(|s| s.checked_mul(u64::from(k)).is_some_and(|r| r <= wram));
+            if fits_bank && fits_wram {
+                best = p;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Plans one GEMM: evaluates Eq. 2 for every feasible streaming `p`
+    /// (and every `k` in {1, 2, 4, 8} unless one is given) against the
+    /// buffer-resident Eq. 4, and returns the fastest plan.
+    ///
+    /// # Errors
+    ///
+    /// [`LocaLutError::BudgetExceeded`] when no feasible configuration
+    /// exists at all.
+    pub fn plan(
+        &self,
+        dims: GemmDims,
+        wf: NumericFormat,
+        af: NumericFormat,
+        k_slices: Option<u32>,
+    ) -> Result<ExecutionPlan, LocaLutError> {
+        let bw = wf.bits();
+        let p_local = max_p_localut(wf, af, self.cfg.wram_lut_budget());
+        let k_candidates: Vec<u32> = match k_slices {
+            Some(k) => vec![k],
+            None => vec![1, 2, 4, 8],
+        };
+
+        let mut best: Option<ExecutionPlan> = None;
+        let mut consider = |plan: ExecutionPlan| {
+            if best
+                .as_ref()
+                .is_none_or(|b| plan.predicted_seconds < b.predicted_seconds)
+            {
+                best = Some(plan);
+            }
+        };
+
+        if p_local > 0 {
+            consider(ExecutionPlan {
+                placement: Placement::BufferResident,
+                p: p_local,
+                k_slices: 1,
+                predicted_seconds: self.model.buffer_seconds(dims, p_local),
+                wf,
+                af,
+            });
+        }
+        for &k in &k_candidates {
+            let p_max = self.max_streaming_p(wf, af, k);
+            if let Some(choice) = self.model.optimal_streaming_p(dims, bw, p_max) {
+                consider(ExecutionPlan {
+                    placement: Placement::Streaming,
+                    p: choice.p,
+                    k_slices: k,
+                    predicted_seconds: choice.seconds,
+                    wf,
+                    af,
+                });
+            }
+        }
+
+        best.ok_or(LocaLutError::BudgetExceeded {
+            required: localut_bytes(wf, af, 1).unwrap_or(u128::MAX),
+            budget: self.cfg.bank_lut_budget(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W1: NumericFormat = NumericFormat::Bipolar;
+    const A3: NumericFormat = NumericFormat::Int(3);
+
+    fn planner() -> Planner {
+        Planner::new(DpuConfig::upmem())
+    }
+
+    #[test]
+    fn max_streaming_p_tracks_budgets() {
+        let p = planner();
+        // Bank limits W1A3 to p=8 (§V-A); k=2 slice pairs are tiny.
+        assert_eq!(p.max_streaming_p(W1, A3, 2), 8);
+        // W4A4: slice pair at p=3 is 16 KiB; k=2 fits, k=4 forces p<=2.
+        let f4 = NumericFormat::Int(4);
+        assert_eq!(p.max_streaming_p(f4, f4, 2), 3);
+        assert!(p.max_streaming_p(f4, f4, 4) <= 2);
+    }
+
+    #[test]
+    fn large_m_plans_streaming_with_high_p() {
+        let plan = planner()
+            .plan(GemmDims { m: 3072, k: 768, n: 128 }, W1, A3, Some(2))
+            .unwrap();
+        assert_eq!(plan.placement, Placement::Streaming);
+        assert!(plan.p > 5, "expected p beyond p_local, got {}", plan.p);
+    }
+
+    #[test]
+    fn tiny_m_plans_buffer_resident() {
+        // Eq. 6: small M cannot amortize slice loads.
+        let plan = planner()
+            .plan(
+                GemmDims { m: 2, k: 768, n: 8 },
+                NumericFormat::Int(4),
+                NumericFormat::Int(4),
+                Some(2),
+            )
+            .unwrap();
+        assert_eq!(plan.placement, Placement::BufferResident);
+    }
+
+    #[test]
+    fn plan_is_optimal_over_alternatives() {
+        let p = planner();
+        let dims = GemmDims { m: 768, k: 768, n: 128 };
+        let plan = p.plan(dims, W1, A3, None).unwrap();
+        // No single-k plan may beat the k-searched plan.
+        for k in [1, 2, 4, 8] {
+            let alt = p.plan(dims, W1, A3, Some(k)).unwrap();
+            assert!(alt.predicted_seconds >= plan.predicted_seconds - 1e-15);
+        }
+    }
+
+    #[test]
+    fn planned_kernel_is_constructible_and_consistent() {
+        let p = planner();
+        let dims = GemmDims { m: 64, k: 36, n: 8 };
+        let plan = p
+            .plan(dims, NumericFormat::Int(2), NumericFormat::Int(2), Some(2))
+            .unwrap();
+        let kernel = plan.kernel(&DpuConfig::upmem()).unwrap();
+        let cost = kernel.cost(dims);
+        assert!(cost.total_seconds() > 0.0);
+        match (plan.placement, &kernel) {
+            (Placement::BufferResident, PlannedKernel::Buffer(_))
+            | (Placement::Streaming, PlannedKernel::Streaming(_)) => {}
+            other => panic!("placement/kernel mismatch: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_formats_error() {
+        // 16-bit ints: no LUT fits anywhere.
+        let err = planner()
+            .plan(
+                GemmDims { m: 8, k: 8, n: 8 },
+                NumericFormat::Int(16),
+                NumericFormat::Int(16),
+                Some(2),
+            )
+            .unwrap_err();
+        assert!(matches!(err, LocaLutError::BudgetExceeded { .. }));
+    }
+}

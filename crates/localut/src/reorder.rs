@@ -1,0 +1,225 @@
+//! The reordering LUT (§IV-B): weight reordering as a single lookup.
+//!
+//! Canonicalization requires permuting the packed weight vector by the
+//! activation's sorting permutation — unpack, permute, repack is expensive
+//! on the feeble DPU core. The reordering LUT precomputes it: indexed by
+//! the packed weight row and the sorting-permutation id (Lehmer rank), each
+//! entry is the already-reordered packed weight row, ready to index the
+//! canonical LUT. It has `p!` columns and `2^(bw·p)` rows.
+
+use crate::packed::{check_index_width, pack_index, unpack_index};
+use crate::perm::{apply, factorial, lehmer_unrank};
+use crate::LocaLutError;
+
+/// A fully materialized reordering LUT.
+///
+/// # Examples
+///
+/// ```
+/// use localut::reorder::ReorderLut;
+/// use localut::packed::{pack_index, unpack_index};
+/// use localut::perm::{lehmer_rank, sort_permutation};
+///
+/// // Fig. 5: weights [0,0,1] under the sorting permutation of
+/// // activations [3,0,2] reorder to [0,1,0] — in one lookup.
+/// let lut = ReorderLut::build(1, 3, 1 << 16)?;
+/// let perm_id = lehmer_rank(&sort_permutation(&[3, 0, 2]))?;
+/// let reordered = lut.lookup(pack_index(&[0, 0, 1], 1), perm_id);
+/// assert_eq!(unpack_index(reordered, 1, 3), vec![0, 1, 0]);
+/// # Ok::<(), localut::LocaLutError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReorderLut {
+    bits: u8,
+    p: u32,
+    rows: u64,
+    cols: u64,
+    /// Column-major entries: `entries[perm_id * rows + row]` is the packed
+    /// reordered weight row.
+    entries: Vec<u64>,
+}
+
+impl ReorderLut {
+    /// Precomputes the reordering LUT for `bits`-wide weight codes packed
+    /// `p` at a time.
+    ///
+    /// # Errors
+    ///
+    /// * [`LocaLutError::IndexSpaceTooWide`] when the packed weight index
+    ///   exceeds 48 bits.
+    /// * [`LocaLutError::BudgetExceeded`] when `2^(bits·p) · p!` exceeds
+    ///   `max_entries`.
+    pub fn build(bits: u8, p: u32, max_entries: u64) -> Result<Self, LocaLutError> {
+        check_index_width(bits, p)?;
+        let rows = 1u64 << (u32::from(bits) * p);
+        let cols = factorial(p).ok_or(LocaLutError::InvalidPackingDegree(p))?;
+        let total = u128::from(rows) * u128::from(cols);
+        if total > u128::from(max_entries) {
+            return Err(LocaLutError::BudgetExceeded {
+                required: total,
+                budget: max_entries,
+            });
+        }
+        let mut entries = Vec::with_capacity(total as usize);
+        for perm_id in 0..cols {
+            let perm = lehmer_unrank(perm_id, p)?;
+            for row in 0..rows {
+                let codes = unpack_index(row, bits, p);
+                let reordered = apply(&perm, &codes);
+                entries.push(pack_index(&reordered, bits));
+            }
+        }
+        Ok(ReorderLut {
+            bits,
+            p,
+            rows,
+            cols,
+            entries,
+        })
+    }
+
+    /// The packing degree.
+    #[must_use]
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+
+    /// Weight code bitwidth.
+    #[must_use]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of packed weight rows, `2^(bits·p)`.
+    #[must_use]
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Number of permutation columns, `p!`.
+    #[must_use]
+    pub fn cols(&self) -> u64 {
+        self.cols
+    }
+
+    /// Total entry count.
+    #[must_use]
+    pub fn entry_count(&self) -> u64 {
+        self.rows * self.cols
+    }
+
+    /// Bytes per entry when stored packed (`ceil(bits·p / 8)`).
+    #[must_use]
+    pub fn entry_bytes(&self) -> u64 {
+        u64::from(u32::from(self.bits) * self.p).div_ceil(8)
+    }
+
+    /// Looks up the reordered packed weight row for a permutation id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    #[must_use]
+    pub fn lookup(&self, row: u64, perm_id: u64) -> u64 {
+        assert!(
+            row < self.rows && perm_id < self.cols,
+            "reordering LUT index out of range"
+        );
+        self.entries[(perm_id * self.rows + row) as usize]
+    }
+
+    /// The contiguous column slice for one permutation id (streamed
+    /// alongside the canonical slice in §IV-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `perm_id` is out of range.
+    #[must_use]
+    pub fn column_slice(&self, perm_id: u64) -> &[u64] {
+        assert!(perm_id < self.cols, "reordering LUT column out of range");
+        let start = (perm_id * self.rows) as usize;
+        &self.entries[start..start + self.rows as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perm::{lehmer_rank, sort_permutation};
+
+    #[test]
+    fn shape_matches_formulas() {
+        let lut = ReorderLut::build(1, 4, 1 << 20).unwrap();
+        assert_eq!(lut.rows(), 16);
+        assert_eq!(lut.cols(), 24); // 4!
+        assert_eq!(lut.entry_count(), 384);
+        assert_eq!(lut.entry_bytes(), 1); // 4 bits -> 1 byte
+        let wide = ReorderLut::build(4, 3, 1 << 20).unwrap();
+        assert_eq!(wide.entry_bytes(), 2); // 12 bits -> 2 bytes
+    }
+
+    #[test]
+    fn identity_permutation_is_identity_map() {
+        let lut = ReorderLut::build(2, 3, 1 << 20).unwrap();
+        let id_rank = lehmer_rank(&[0, 1, 2]).unwrap();
+        for row in 0..lut.rows() {
+            assert_eq!(lut.lookup(row, id_rank), row);
+        }
+    }
+
+    #[test]
+    fn paper_fig5_example() {
+        // Fig. 5: weights [0,0,1] with the sorting permutation of
+        // activations [3,0,2] (perm [1,2,0]) reorder to [0,1,0].
+        let lut = ReorderLut::build(1, 3, 1 << 16).unwrap();
+        let a = [3u16, 0, 2];
+        let perm = sort_permutation(&a);
+        let perm_id = lehmer_rank(&perm).unwrap();
+        let row = pack_index(&[0, 0, 1], 1);
+        let reordered = lut.lookup(row, perm_id);
+        assert_eq!(unpack_index(reordered, 1, 3), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn lookup_agrees_with_software_reorder_everywhere() {
+        let lut = ReorderLut::build(2, 3, 1 << 20).unwrap();
+        for perm_id in 0..lut.cols() {
+            let perm = lehmer_unrank(perm_id, 3).unwrap();
+            for row in 0..lut.rows() {
+                let codes = unpack_index(row, 2, 3);
+                let expect = pack_index(&apply(&perm, &codes), 2);
+                assert_eq!(lut.lookup(row, perm_id), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn column_slice_matches_lookups() {
+        let lut = ReorderLut::build(1, 3, 1 << 16).unwrap();
+        for perm_id in 0..lut.cols() {
+            let slice = lut.column_slice(perm_id);
+            for row in 0..lut.rows() {
+                assert_eq!(slice[row as usize], lut.lookup(row, perm_id));
+            }
+        }
+    }
+
+    #[test]
+    fn budget_guard() {
+        let err = ReorderLut::build(1, 8, 1000).unwrap_err();
+        assert!(matches!(err, LocaLutError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn reordering_is_a_bijection_per_column() {
+        // Each permutation column must be a bijection on packed rows.
+        let lut = ReorderLut::build(2, 2, 1 << 16).unwrap();
+        for perm_id in 0..lut.cols() {
+            let mut seen = std::collections::HashSet::new();
+            for row in 0..lut.rows() {
+                assert!(seen.insert(lut.lookup(row, perm_id)));
+            }
+            assert_eq!(seen.len() as u64, lut.rows());
+        }
+    }
+}

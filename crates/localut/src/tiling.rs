@@ -1,0 +1,225 @@
+//! Bank-level parallelization (§V-B): tiling a GEMM across the 2048 DPUs
+//! with data/context parallelism, plus the host-side phases (quantization,
+//! sorting/packing, transfers) that wrap every PIM kernel launch.
+
+use crate::gemm::{GemmConfig, GemmDims, Method};
+use crate::LocaLutError;
+use pim_sim::{Category, CycleLedger, PimSystem, Profile, SystemProfile};
+use quant::NumericFormat;
+
+/// How a GEMM is split across DPUs: a `grid_m × grid_n` grid of output
+/// tiles, each owned by one DPU. Weights are partitioned along `M`,
+/// activations along `N`; LUT images are replicated (broadcast once at
+/// initialization, §V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileGrid {
+    /// Tiles along the M (weight-row) dimension.
+    pub grid_m: u32,
+    /// Tiles along the N (activation-column) dimension.
+    pub grid_n: u32,
+}
+
+impl TileGrid {
+    /// Chooses a grid for `dims` over `n_dpus`: N splits first (pure data
+    /// parallelism over activation columns), then M (context parallelism)
+    /// until the DPUs are covered or the matrix runs out of rows.
+    #[must_use]
+    pub fn choose(dims: GemmDims, n_dpus: u32) -> Self {
+        let grid_n = u32::try_from(dims.n).unwrap_or(u32::MAX).min(n_dpus).max(1);
+        let remaining = (n_dpus / grid_n).max(1);
+        let grid_m = u32::try_from(dims.m).unwrap_or(u32::MAX).min(remaining).max(1);
+        TileGrid { grid_m, grid_n }
+    }
+
+    /// Number of DPUs the grid occupies.
+    #[must_use]
+    pub fn dpus_used(&self) -> u32 {
+        self.grid_m * self.grid_n
+    }
+
+    /// Per-DPU tile dimensions (ceiling division; edge tiles are smaller,
+    /// the representative tile bounds the critical path).
+    #[must_use]
+    pub fn tile_dims(&self, dims: GemmDims) -> GemmDims {
+        GemmDims {
+            m: dims.m.div_ceil(self.grid_m as usize),
+            k: dims.k,
+            n: dims.n.div_ceil(self.grid_n as usize),
+        }
+    }
+}
+
+/// A GEMM distributed over the whole PIM system.
+#[derive(Debug, Clone)]
+pub struct DistributedGemm {
+    /// The system topology and host link model.
+    pub system: PimSystem,
+    /// Per-DPU kernel configuration.
+    pub gemm: GemmConfig,
+}
+
+impl DistributedGemm {
+    /// The paper's 2048-DPU UPMEM server with default kernel config.
+    #[must_use]
+    pub fn upmem_server() -> Self {
+        DistributedGemm {
+            system: PimSystem::upmem_server(),
+            gemm: GemmConfig::upmem(),
+        }
+    }
+
+    /// Whether a method requires host-side activation sorting/packing.
+    fn needs_sorting(method: Method) -> bool {
+        matches!(method, Method::OpLc | Method::OpLcRc | Method::LoCaLut)
+    }
+
+    /// Whether a method requires host-side activation packing (indices).
+    fn needs_packing(method: Method) -> bool {
+        !matches!(method, Method::NaivePim | Method::Ltc)
+    }
+
+    /// End-to-end system cost of one distributed GEMM: host quantization,
+    /// sorting/packing, scatter, the per-DPU kernel (critical path), and
+    /// the output gather.
+    ///
+    /// # Errors
+    ///
+    /// Kernel feasibility errors.
+    pub fn cost(
+        &self,
+        method: Method,
+        dims: GemmDims,
+        wf: NumericFormat,
+        af: NumericFormat,
+    ) -> Result<SystemProfile, LocaLutError> {
+        let grid = TileGrid::choose(dims, self.system.config().n_dpus());
+        let tile = grid.tile_dims(dims);
+        let pim = self.gemm.cost(method, tile, wf, af)?;
+
+        let mut host = CycleLedger::new();
+        let elems = dims.k as u64 * dims.n as u64;
+        // Quantization: ~2 host ops per activation element (scale + round).
+        let quant_ops = 2 * elems;
+        host.charge(
+            Category::HostQuantize,
+            self.system.host_ops_seconds(quant_ops),
+        );
+        // Sorting/packing: ~3 ops per element for sort-based methods
+        // (p-element sorts are ~log2(p) comparisons per element), ~1 for
+        // pure packing.
+        let sort_ops = if Self::needs_sorting(method) {
+            3 * elems
+        } else if Self::needs_packing(method) {
+            elems
+        } else {
+            0
+        };
+        host.charge(
+            Category::HostSortPack,
+            self.system.host_ops_seconds(sort_ops),
+        );
+        // Activation scatter: N-tiles go out once (same-column DPUs across
+        // the grid_m row-groups receive them by rank-level broadcast);
+        // sorting methods additionally ship one 2-byte permutation id per
+        // p-element group (~half a byte per element at typical p ≥ 4).
+        let mut scatter_bytes = dims.activation_bytes(af.bits());
+        if Self::needs_sorting(method) {
+            scatter_bytes += elems / 2;
+        }
+        let gather_bytes = dims.output_bytes();
+        host.charge(
+            Category::HostTransfer,
+            self.system.scatter_seconds(scatter_bytes) + self.system.gather_seconds(gather_bytes),
+        );
+        host.host_bytes = scatter_bytes + gather_bytes;
+        host.host_ops = quant_ops + sort_ops;
+
+        Ok(SystemProfile {
+            host: Profile::from_ledger(host),
+            pim,
+        })
+    }
+
+    /// System speedup of `method` over `baseline` for one GEMM.
+    ///
+    /// # Errors
+    ///
+    /// Kernel feasibility errors.
+    pub fn speedup_over(
+        &self,
+        method: Method,
+        baseline: Method,
+        dims: GemmDims,
+        wf: NumericFormat,
+        af: NumericFormat,
+    ) -> Result<f64, LocaLutError> {
+        let a = self.cost(method, dims, wf, af)?.total_seconds();
+        let b = self.cost(baseline, dims, wf, af)?.total_seconds();
+        Ok(b / a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W1: NumericFormat = NumericFormat::Bipolar;
+    const A3: NumericFormat = NumericFormat::Int(3);
+
+    #[test]
+    fn grid_splits_n_then_m() {
+        let g = TileGrid::choose(GemmDims { m: 768, k: 768, n: 128 }, 2048);
+        assert_eq!(g.grid_n, 128);
+        assert_eq!(g.grid_m, 16);
+        assert_eq!(g.dpus_used(), 2048);
+        let tile = g.tile_dims(GemmDims { m: 768, k: 768, n: 128 });
+        assert_eq!((tile.m, tile.k, tile.n), (48, 768, 1));
+    }
+
+    #[test]
+    fn grid_handles_small_matrices() {
+        let g = TileGrid::choose(GemmDims { m: 4, k: 16, n: 2 }, 2048);
+        assert_eq!(g.grid_n, 2);
+        assert_eq!(g.grid_m, 4);
+        let tile = g.tile_dims(GemmDims { m: 4, k: 16, n: 2 });
+        assert_eq!((tile.m, tile.n), (1, 1));
+    }
+
+    #[test]
+    fn distributed_cost_has_host_and_pim_phases() {
+        let d = DistributedGemm::upmem_server();
+        let sp = d
+            .cost(Method::LoCaLut, GemmDims { m: 768, k: 768, n: 128 }, W1, A3)
+            .unwrap();
+        assert!(sp.pim.total_seconds() > 0.0);
+        assert!(sp.host.seconds(Category::HostQuantize) > 0.0);
+        assert!(sp.host.seconds(Category::HostSortPack) > 0.0);
+        assert!(sp.host.seconds(Category::HostTransfer) > 0.0);
+    }
+
+    #[test]
+    fn naive_has_no_sorting_phase() {
+        let d = DistributedGemm::upmem_server();
+        let sp = d
+            .cost(Method::NaivePim, GemmDims { m: 64, k: 64, n: 16 }, W1, A3)
+            .unwrap();
+        assert_eq!(sp.host.seconds(Category::HostSortPack), 0.0);
+    }
+
+    #[test]
+    fn localut_beats_naive_on_representative_gemm() {
+        // The headline claim at GEMM level (Fig. 9): LoCaLUT ≳ 2x over
+        // Naive PIM at W1A3.
+        let d = DistributedGemm::upmem_server();
+        let s = d
+            .speedup_over(
+                Method::LoCaLut,
+                Method::NaivePim,
+                GemmDims { m: 3072, k: 768, n: 128 },
+                W1,
+                A3,
+            )
+            .unwrap();
+        assert!(s > 2.0, "speedup {s} too small");
+    }
+}

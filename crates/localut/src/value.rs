@@ -1,0 +1,116 @@
+//! The scalar value type stored in LUT entries.
+//!
+//! Integer configs accumulate exactly in `i32` (LUT-based GEMM is bit-exact
+//! against a reference integer GEMM); the floating-point extension of §VI-K
+//! stores `f32` entries. The LUT structures are generic over this trait so
+//! both share one implementation.
+
+use quant::NumericFormat;
+
+/// A scalar usable as a LUT entry: decodable from a format, multipliable,
+/// and accumulable.
+pub trait LutValue:
+    Copy + Default + PartialEq + core::fmt::Debug + core::ops::AddAssign + 'static
+{
+    /// Decodes a codeword of `format` into a value.
+    ///
+    /// # Panics
+    ///
+    /// The `i32` implementation panics on floating-point formats; kernels
+    /// validate `format.is_integer()` before constructing integer LUTs.
+    fn decode(format: NumericFormat, code: u32) -> Self;
+
+    /// Multiplication.
+    #[must_use]
+    fn mul(self, rhs: Self) -> Self;
+
+    /// Approximate equality (exact for integers, relative-epsilon for
+    /// floats) — used by tests and the float-accuracy experiments.
+    fn approx_eq(self, rhs: Self) -> bool;
+}
+
+impl LutValue for i32 {
+    fn decode(format: NumericFormat, code: u32) -> Self {
+        format
+            .decode_int(code)
+            .expect("integer LUTs require an integer numeric format")
+    }
+
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+
+    fn approx_eq(self, rhs: Self) -> bool {
+        self == rhs
+    }
+}
+
+impl LutValue for f32 {
+    fn decode(format: NumericFormat, code: u32) -> Self {
+        format.decode_f32(code)
+    }
+
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+
+    fn approx_eq(self, rhs: Self) -> bool {
+        let scale = self.abs().max(rhs.abs()).max(1.0);
+        (self - rhs).abs() <= 1e-4 * scale
+    }
+}
+
+/// Computes the inner product of weight and activation codewords decoded
+/// through their formats — the ground truth every LUT entry stores.
+#[must_use]
+pub fn dot_codes<V: LutValue>(
+    wf: NumericFormat,
+    af: NumericFormat,
+    w_codes: &[u16],
+    a_codes: &[u16],
+) -> V {
+    debug_assert_eq!(w_codes.len(), a_codes.len());
+    let mut acc = V::default();
+    for (&w, &a) in w_codes.iter().zip(a_codes) {
+        acc += V::decode(wf, u32::from(w)).mul(V::decode(af, u32::from(a)));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i32_decode_and_dot() {
+        let wf = NumericFormat::Bipolar;
+        let af = NumericFormat::Int(3);
+        // Fig. 2-style example: w = [-1, -1, 1] (codes 0,0,1),
+        // a = [3, 0, 2] → -3 + 0 + 2 = -1.
+        let d: i32 = dot_codes(wf, af, &[0, 0, 1], &[3, 0, 2]);
+        assert_eq!(d, -1);
+    }
+
+    #[test]
+    fn f32_decode_and_dot() {
+        let wf = NumericFormat::Fp4;
+        let af = NumericFormat::Fp4;
+        // 1.0 * 2.0 + 0.5 * 6.0 = 5.0 (codes: 1.0=2, 2.0=4, 0.5=1, 6.0=7).
+        let d: f32 = dot_codes(wf, af, &[2, 1], &[4, 7]);
+        assert!(d.approx_eq(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "integer LUTs require an integer numeric format")]
+    fn i32_decode_panics_on_float_format() {
+        let _ = <i32 as LutValue>::decode(NumericFormat::Fp4, 0);
+    }
+
+    #[test]
+    fn approx_eq_semantics() {
+        assert!(3i32.approx_eq(3));
+        assert!(!3i32.approx_eq(4));
+        assert!(1.0f32.approx_eq(1.0 + 1e-6));
+        assert!(!1.0f32.approx_eq(1.1));
+    }
+}

@@ -1,0 +1,358 @@
+//! Bank-level PIM models for §VI-K: an HBM-PIM-style SIMD design vs. the
+//! LoCaLUT-enabled LUT-unit design (Fig. 20) and its floating-point
+//! extension (Fig. 21a).
+//!
+//! The paper implements both designs on Ramulator 2.0; we model them at the
+//! same abstraction level — DRAM command cadence — with the area-matched
+//! configuration the paper derives from CACTI 7.0: the 16-lane SIMD unit of
+//! a bank-level PIM is replaced by **sixteen 512 B canonical-LUT units per
+//! bank** (0.0591 mm² vs 0.0592 mm² per bank).
+//!
+//! Mechanisms captured:
+//!
+//! * One SIMD command performs 16 MACs per bank; commands issue every
+//!   `t_cmd`. Non-fp16 formats run at the fp16 rate (HBM-PIM has no sub-8bit
+//!   datapath), which is exactly why LUTs win at low bitwidths.
+//! * One LUT command performs one lookup per unit (= `p` MACs), with a
+//!   per-packing-step scheduling overhead `alpha` (accumulator/shared-bus
+//!   serialization grows with the slice working set).
+//! * LUT slices are reloaded from the bank when the activation column
+//!   changes; the host schedules groups sorted by canonical column so each
+//!   distinct column is loaded once per bank pass.
+//! * When the *full* canonical+reordering LUT exceeds the bank's LUT budget
+//!   (high-`ba` floating point), slices must be generated on the host at
+//!   runtime and shipped over the external link — the mechanism behind the
+//!   W1A16 slowdown in Fig. 21(a).
+
+/// Configuration of the bank-level PIM comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankLevelConfig {
+    /// Number of banks participating (HBM stack in the paper's setup).
+    pub n_banks: u32,
+    /// DRAM command cadence in seconds (tCCD_L-class, ~2 ns).
+    pub t_cmd_seconds: f64,
+    /// SIMD lanes per bank (HBM-PIM: 16 fp16 MACs per command).
+    pub simd_lanes: u32,
+    /// LUT units per bank (area-matched: 16).
+    pub lut_units: u32,
+    /// Bytes per LUT unit (512 B canonical-LUT units).
+    pub lut_unit_bytes: u64,
+    /// Command-stream overhead of the SIMD pipeline for non-native formats
+    /// (row switches, operand staging).
+    pub simd_overhead: f64,
+    /// Per-packing-step scheduling overhead of the LUT path; effective
+    /// lookup slots per command = `1 + alpha * (p - 1)`.
+    pub lut_alpha: f64,
+    /// Bank capacity budget for resident LUTs, bytes.
+    pub bank_lut_budget: u64,
+    /// Internal bank→unit reload bandwidth, bytes per command slot.
+    pub internal_bytes_per_cmd: f64,
+    /// Fixed command slots per slice reload (row activation + steering).
+    pub reload_setup_cmds: f64,
+    /// Host slice-generation throughput, entries per second (used only when
+    /// the LUT cannot reside in the bank).
+    pub host_gen_entries_per_sec: f64,
+    /// External link bandwidth for host-generated slices, bytes/s.
+    pub ext_link_bytes_per_sec: f64,
+}
+
+impl BankLevelConfig {
+    /// The paper's area-matched HBM-PIM-class configuration.
+    #[must_use]
+    pub fn hbm_class() -> Self {
+        BankLevelConfig {
+            n_banks: 64,
+            t_cmd_seconds: 2.0e-9,
+            simd_lanes: 16,
+            lut_units: 16,
+            lut_unit_bytes: 512,
+            simd_overhead: 1.15,
+            lut_alpha: 0.35,
+            bank_lut_budget: 32 * 1024 * 1024,
+            internal_bytes_per_cmd: 32.0,
+            reload_setup_cmds: 24.0,
+            host_gen_entries_per_sec: 2.0e9,
+            ext_link_bytes_per_sec: 16.0e9,
+        }
+    }
+}
+
+impl Default for BankLevelConfig {
+    fn default() -> Self {
+        Self::hbm_class()
+    }
+}
+
+/// Outcome of planning a LUT-based bank-level GEMM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LutGemmPlan {
+    /// Chosen packing degree.
+    pub p: u32,
+    /// Whether the full canonical+reordering LUT resides in the bank
+    /// (otherwise slices are host-generated at runtime).
+    pub bank_resident: bool,
+    /// Seconds spent issuing lookup commands.
+    pub lookup_seconds: f64,
+    /// Seconds spent reloading slices from the bank.
+    pub reload_seconds: f64,
+    /// Seconds spent generating + shipping host-side slices (0 when
+    /// bank-resident).
+    pub hostgen_seconds: f64,
+}
+
+impl LutGemmPlan {
+    /// Total seconds of the planned GEMM.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.lookup_seconds + self.reload_seconds + self.hostgen_seconds
+    }
+}
+
+/// The bank-level PIM comparison model.
+///
+/// # Examples
+///
+/// ```
+/// use pim_sim::banklevel::BankLevelPim;
+///
+/// // Fig. 20 at W1A3: the LUT-unit design beats the SIMD design ~2-3x.
+/// let pim = BankLevelPim::default();
+/// let simd = pim.simd_gemm_seconds(1024, 1024, 1024, false);
+/// let lut = pim.lut_gemm(1024, 1024, 1024, 1, 3, 1).unwrap();
+/// assert!(simd / lut.total_seconds() > 1.8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BankLevelPim {
+    cfg: BankLevelConfig,
+}
+
+/// Number of multisets of size `p` over `n` symbols, `C(n+p-1, p)`, in f64
+/// (saturates to `f64::INFINITY` for astronomically large spaces, which is
+/// exactly the regime where LUTs stop being precomputable).
+#[must_use]
+pub fn multiset_count_f64(n_symbols: u64, p: u32) -> f64 {
+    let mut acc = 1.0f64;
+    for i in 0..u64::from(p) {
+        acc = acc * (n_symbols + i) as f64 / (i + 1) as f64;
+        if !acc.is_finite() {
+            return f64::INFINITY;
+        }
+    }
+    acc
+}
+
+impl BankLevelPim {
+    /// Creates the model.
+    #[must_use]
+    pub fn new(cfg: BankLevelConfig) -> Self {
+        BankLevelPim { cfg }
+    }
+
+    /// The model configuration.
+    #[must_use]
+    pub fn config(&self) -> &BankLevelConfig {
+        &self.cfg
+    }
+
+    /// Seconds for the SIMD (HBM-PIM-style) design to run an `M×K×N` GEMM.
+    /// `native` marks formats the SIMD datapath supports directly (fp16),
+    /// which skip the staging overhead.
+    #[must_use]
+    pub fn simd_gemm_seconds(&self, m: u64, k: u64, n: u64, native: bool) -> f64 {
+        let macs = (m * k * n) as f64;
+        let per_cmd = f64::from(self.cfg.simd_lanes) * f64::from(self.cfg.n_banks);
+        let overhead = if native { 1.0 } else { self.cfg.simd_overhead };
+        macs / per_cmd * self.cfg.t_cmd_seconds * overhead
+    }
+
+    /// Bytes of one (canonical, reordering) slice pair at packing degree `p`.
+    fn slice_bytes(bw: u32, p: u32, entry_bytes: u64) -> u64 {
+        let rows = 1u64 << (bw * p).min(62);
+        let reorder_entry = u64::from(bw * p).div_ceil(8);
+        rows * (entry_bytes + reorder_entry)
+    }
+
+    /// Total bytes of the full canonical + reordering LUT at degree `p`
+    /// (f64; may be astronomically large for wide activations).
+    fn full_lut_bytes(bw: u32, ba: u32, p: u32, entry_bytes: u64) -> f64 {
+        let rows = (1u64 << (bw * p).min(62)) as f64;
+        let canon_cols = multiset_count_f64(1u64 << ba.min(62), p);
+        let perm_cols = (1..=u64::from(p)).map(|i| i as f64).product::<f64>();
+        let reorder_entry = u64::from(bw * p).div_ceil(8) as f64;
+        rows * canon_cols * entry_bytes as f64 + rows * perm_cols * reorder_entry
+    }
+
+    /// Plans and times the LUT-unit design for an `M×K×N` GEMM with
+    /// `bw`-bit weights, `ba`-bit activations, and `entry_bytes` per
+    /// canonical entry, searching all feasible `p` and returning the
+    /// fastest plan. Returns `None` if no `p ≥ 1` yields a slice that fits
+    /// one LUT unit.
+    #[must_use]
+    pub fn lut_gemm(
+        &self,
+        m: u64,
+        k: u64,
+        n: u64,
+        bw: u32,
+        ba: u32,
+        entry_bytes: u64,
+    ) -> Option<LutGemmPlan> {
+        let mut best: Option<LutGemmPlan> = None;
+        for p in 1..=16u32 {
+            if u64::from(bw * p) > 40 {
+                break;
+            }
+            let slice = Self::slice_bytes(bw, p, entry_bytes);
+            if slice > self.cfg.lut_unit_bytes {
+                break;
+            }
+            let plan = self.time_lut_plan(m, k, n, bw, ba, p, entry_bytes, slice);
+            if best
+                .as_ref()
+                .is_none_or(|b| plan.total_seconds() < b.total_seconds())
+            {
+                best = Some(plan);
+            }
+        }
+        best
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn time_lut_plan(
+        &self,
+        m: u64,
+        k: u64,
+        n: u64,
+        bw: u32,
+        ba: u32,
+        p: u32,
+        entry_bytes: u64,
+        slice_bytes: u64,
+    ) -> LutGemmPlan {
+        let cfg = &self.cfg;
+        let groups = k.div_ceil(u64::from(p)) * n;
+        let lookups = (m * groups) as f64;
+        let per_cmd = f64::from(cfg.lut_units) * f64::from(cfg.n_banks);
+        let slot_factor = 1.0 + cfg.lut_alpha * f64::from(p - 1);
+        let lookup_seconds = lookups / per_cmd * cfg.t_cmd_seconds * slot_factor;
+
+        // Distinct canonical columns per bank (groups are scheduled sorted
+        // by column, so each distinct column reloads once per bank).
+        let groups_per_bank = (groups as f64 / f64::from(cfg.n_banks)).ceil();
+        let distinct = multiset_count_f64(1u64 << ba.min(62), p).min(groups_per_bank);
+        let reload_cmds =
+            distinct * (slice_bytes as f64 / cfg.internal_bytes_per_cmd + cfg.reload_setup_cmds);
+        // Reloads proceed bank-parallel.
+        let reload_seconds = reload_cmds * cfg.t_cmd_seconds;
+
+        let bank_resident = Self::full_lut_bytes(bw, ba, p, entry_bytes)
+            <= cfg.bank_lut_budget as f64;
+        let hostgen_seconds = if bank_resident {
+            0.0
+        } else {
+            // Every distinct column (across all banks) is generated on the
+            // host and shipped over the shared external link.
+            let distinct_total = multiset_count_f64(1u64 << ba.min(62), p).min(groups as f64);
+            let entries = distinct_total * (1u64 << (bw * p).min(62)) as f64;
+            entries / cfg.host_gen_entries_per_sec
+                + entries * entry_bytes as f64 / cfg.ext_link_bytes_per_sec
+        };
+
+        LutGemmPlan {
+            p,
+            bank_resident,
+            lookup_seconds,
+            reload_seconds,
+            hostgen_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiset_count_matches_small_cases() {
+        assert_eq!(multiset_count_f64(8, 2) as u64, 36); // C(9,2)
+        assert_eq!(multiset_count_f64(8, 8) as u64, 6435); // C(15,8)
+        assert_eq!(multiset_count_f64(4, 4) as u64, 35); // C(7,4)
+        assert_eq!(multiset_count_f64(2, 1) as u64, 2);
+    }
+
+    #[test]
+    fn multiset_count_saturates() {
+        assert!(multiset_count_f64(1 << 16, 16).is_finite());
+        assert!(multiset_count_f64(1 << 16, 16) > 1e60);
+        // 24 factors of ~9.2e18 overflow f64 and must saturate cleanly.
+        assert!(multiset_count_f64(u64::MAX / 2, 24).is_infinite());
+    }
+
+    #[test]
+    fn w1a3_lut_beats_simd_substantially() {
+        // Fig 20: low-bit configs should see ~2-3x over the SIMD design.
+        let pim = BankLevelPim::default();
+        let (m, k, n) = (1024, 1024, 1024);
+        let simd = pim.simd_gemm_seconds(m, k, n, false);
+        let plan = pim.lut_gemm(m, k, n, 1, 3, 1).unwrap();
+        let speedup = simd / plan.total_seconds();
+        // Reload overhead makes moderate p optimal, but it must still be
+        // well above the W4A4 regime.
+        assert!(plan.p >= 4, "expected a high packing degree, got {}", plan.p);
+        assert!(
+            (1.8..4.0).contains(&speedup),
+            "W1A3 speedup {speedup} out of the paper's band"
+        );
+    }
+
+    #[test]
+    fn w4a4_lut_still_edges_out_simd() {
+        // Fig 20: W4A4 achieves ~1.17x.
+        let pim = BankLevelPim::default();
+        let (m, k, n) = (2048, 2048, 2048);
+        let simd = pim.simd_gemm_seconds(m, k, n, false);
+        let plan = pim.lut_gemm(m, k, n, 4, 4, 2).unwrap();
+        let speedup = simd / plan.total_seconds();
+        assert!(
+            (0.95..1.5).contains(&speedup),
+            "W4A4 speedup {speedup} should be modest"
+        );
+    }
+
+    #[test]
+    fn fp16_activations_favor_native_simd() {
+        // Fig 21(a): W1A16 is a geomean slowdown because HBM-PIM is native
+        // fp16 while LUT slices must be host-generated / reloaded per group.
+        let pim = BankLevelPim::default();
+        let (m, k, n) = (1024, 1024, 1024);
+        let simd = pim.simd_gemm_seconds(m, k, n, true);
+        let plan = pim.lut_gemm(m, k, n, 1, 16, 2).unwrap();
+        let speedup = simd / plan.total_seconds();
+        assert!(speedup < 1.0, "W1A16 should slow down, got {speedup}x");
+    }
+
+    #[test]
+    fn plan_search_picks_feasible_slice() {
+        let pim = BankLevelPim::default();
+        let plan = pim.lut_gemm(512, 512, 512, 2, 2, 1).unwrap();
+        // Slice must fit the 512B unit.
+        let slice = BankLevelPim::slice_bytes(2, plan.p, 1);
+        assert!(slice <= 512);
+        assert!(plan.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn infeasible_width_returns_none() {
+        let pim = BankLevelPim::default();
+        // 32-bit weights: even p=1 needs 2^32 entries per slice.
+        assert!(pim.lut_gemm(64, 64, 64, 32, 4, 2).is_none());
+    }
+
+    #[test]
+    fn simd_native_is_faster_than_staged() {
+        let pim = BankLevelPim::default();
+        let a = pim.simd_gemm_seconds(1024, 1024, 1024, true);
+        let b = pim.simd_gemm_seconds(1024, 1024, 1024, false);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,230 @@
+//! DRAM bank model: capacity accounting, a row-buffer locality model, and
+//! streaming transfer costs.
+//!
+//! A near-bank DPU owns one 64 MB DRAM bank (§II-A). The bank serves two
+//! roles in LoCaLUT:
+//!
+//! 1. **Capacity**: DRAM-resident LUTs, weight/activation/output tiles.
+//!    [`DramBank::place`] reserves capacity and fails when the bank is full —
+//!    this is how `p_DRAM` (the largest packing degree whose LUT fits in
+//!    roughly half the bank, §V-A) becomes a hard constraint.
+//! 2. **Bandwidth**: streaming reads/writes through the DMA engine at
+//!    0.5 B/cycle, with a row-activation charge when a transfer crosses DRAM
+//!    rows.
+
+use crate::timing::DpuTimings;
+use crate::SimError;
+
+/// One DRAM bank attached to a DPU.
+#[derive(Debug, Clone)]
+pub struct DramBank {
+    capacity: u64,
+    allocated: u64,
+    open_row: Option<u64>,
+    row_activations: u64,
+    timings: DpuTimings,
+}
+
+/// A named reservation of DRAM bank capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankRegion {
+    /// Debug name of the region ("canonical-lut", "weights", ...).
+    pub name: String,
+    /// Byte offset within the bank.
+    pub offset: u64,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+impl DramBank {
+    /// Creates a bank with the given capacity in bytes.
+    #[must_use]
+    pub fn new(capacity: u64, timings: DpuTimings) -> Self {
+        DramBank {
+            capacity,
+            allocated: 0,
+            open_row: None,
+            row_activations: 0,
+            timings,
+        }
+    }
+
+    /// A 64 MB UPMEM bank.
+    #[must_use]
+    pub fn upmem() -> Self {
+        Self::new(64 * 1024 * 1024, DpuTimings::upmem())
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently reserved.
+    #[must_use]
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Bytes still available.
+    #[must_use]
+    pub fn available(&self) -> u64 {
+        self.capacity - self.allocated
+    }
+
+    /// Reserves `bytes` of bank capacity for a named region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BankExhausted`] if the bank does not have enough
+    /// free capacity.
+    pub fn place(&mut self, name: &str, bytes: u64) -> Result<BankRegion, SimError> {
+        if bytes > self.available() {
+            return Err(SimError::BankExhausted {
+                requested: bytes,
+                available: self.available(),
+            });
+        }
+        let offset = self.allocated;
+        self.allocated += bytes;
+        Ok(BankRegion {
+            name: name.to_owned(),
+            offset,
+            bytes,
+        })
+    }
+
+    /// Releases all reservations (e.g. between layers).
+    pub fn reset_allocations(&mut self) {
+        self.allocated = 0;
+    }
+
+    /// Seconds to stream `bytes` starting at `offset` out of the bank,
+    /// including row activations for every row the transfer touches that is
+    /// not already open.
+    pub fn stream_read(&mut self, offset: u64, bytes: u64) -> f64 {
+        self.stream_access(offset, bytes)
+    }
+
+    /// Seconds to stream `bytes` into the bank at `offset` (writes share the
+    /// read timing in this model; DRAM write recovery is folded into the
+    /// per-byte rate).
+    pub fn stream_write(&mut self, offset: u64, bytes: u64) -> f64 {
+        self.stream_access(offset, bytes)
+    }
+
+    fn stream_access(&mut self, offset: u64, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let row_bytes = self.timings.dram_row_bytes;
+        let first_row = offset / row_bytes;
+        let last_row = (offset + bytes - 1) / row_bytes;
+        let mut activations = 0u64;
+        // Sequential streaming opens each touched row once; the first row is
+        // free if it is already open.
+        for row in first_row..=last_row {
+            if self.open_row != Some(row) {
+                activations += 1;
+            }
+            self.open_row = Some(row);
+        }
+        self.row_activations += activations;
+        let act_seconds =
+            activations as f64 * self.timings.row_activate_cycles * self.timings.cycle_seconds();
+        self.timings.dram_stream_seconds(bytes) + act_seconds
+    }
+
+    /// Number of row activations performed so far (a locality statistic).
+    #[must_use]
+    pub fn row_activations(&self) -> u64 {
+        self.row_activations
+    }
+}
+
+impl Default for DramBank {
+    fn default() -> Self {
+        Self::upmem()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upmem_bank_is_64mb() {
+        let bank = DramBank::upmem();
+        assert_eq!(bank.capacity(), 64 * 1024 * 1024);
+        assert_eq!(bank.allocated(), 0);
+    }
+
+    #[test]
+    fn place_reserves_and_exhausts() {
+        let mut bank = DramBank::new(1000, DpuTimings::upmem());
+        let a = bank.place("a", 600).unwrap();
+        assert_eq!(a.offset, 0);
+        assert_eq!(bank.available(), 400);
+        let err = bank.place("b", 500).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::BankExhausted {
+                requested: 500,
+                available: 400
+            }
+        );
+        let b = bank.place("b", 400).unwrap();
+        assert_eq!(b.offset, 600);
+        assert_eq!(bank.available(), 0);
+    }
+
+    #[test]
+    fn reset_allocations_frees_everything() {
+        let mut bank = DramBank::new(100, DpuTimings::upmem());
+        bank.place("x", 100).unwrap();
+        bank.reset_allocations();
+        assert_eq!(bank.available(), 100);
+    }
+
+    #[test]
+    fn stream_read_charges_row_activations() {
+        let mut bank = DramBank::upmem();
+        let t = DpuTimings::upmem();
+        // Read spanning exactly 2 rows from a cold bank: 2 activations.
+        let secs = bank.stream_read(0, 2 * t.dram_row_bytes);
+        assert_eq!(bank.row_activations(), 2);
+        let expected = t.dram_stream_seconds(2 * t.dram_row_bytes)
+            + 2.0 * t.row_activate_cycles * t.cycle_seconds();
+        assert!((secs - expected).abs() < 1e-15);
+        // Re-reading the last row is activation-free.
+        bank.stream_read(t.dram_row_bytes, 16);
+        assert_eq!(bank.row_activations(), 2);
+    }
+
+    #[test]
+    fn sequential_reads_reuse_open_row() {
+        let mut bank = DramBank::upmem();
+        bank.stream_read(0, 64);
+        bank.stream_read(64, 64);
+        bank.stream_read(128, 64);
+        // All within the first 1 KiB row.
+        assert_eq!(bank.row_activations(), 1);
+    }
+
+    #[test]
+    fn zero_byte_access_is_free() {
+        let mut bank = DramBank::upmem();
+        assert_eq!(bank.stream_read(0, 0), 0.0);
+        assert_eq!(bank.row_activations(), 0);
+    }
+
+    #[test]
+    fn writes_cost_like_reads() {
+        let mut a = DramBank::upmem();
+        let mut b = DramBank::upmem();
+        let r = a.stream_read(0, 4096);
+        let w = b.stream_write(0, 4096);
+        assert!((r - w).abs() < 1e-15);
+    }
+}

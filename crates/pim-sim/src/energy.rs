@@ -1,0 +1,175 @@
+//! Energy model: turns a [`Profile`]'s event counters and elapsed time into
+//! Joules (Fig. 14, Fig. 17b).
+//!
+//! Energy has a static part (DPUs and host draw power for the whole
+//! execution) and a dynamic part (per-event energies for DRAM, WRAM,
+//! instructions, and host-link transfers). The constants are representative
+//! published figures for DDR4-process DRAM and a server Xeon; the paper does
+//! not disclose its meter, so absolute Joules are indicative while the
+//! *ratios* between methods — which derive from time and event counts — are
+//! the reproduction target.
+
+use crate::stats::Profile;
+use crate::system::{SystemConfig, SystemProfile};
+
+/// Per-event and static energy constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// DRAM bank access energy per byte (activation + column access),
+    /// in Joules/byte. ~40 pJ/B is representative for DDR4-class arrays.
+    pub dram_j_per_byte: f64,
+    /// WRAM (SRAM) access energy per word access, in Joules.
+    pub wram_j_per_access: f64,
+    /// Energy per retired DPU instruction, in Joules.
+    pub instr_j: f64,
+    /// Host-link transfer energy per byte (channel I/O), in Joules/byte.
+    pub link_j_per_byte: f64,
+    /// Energy per host scalar op, in Joules (includes core overheads).
+    pub host_op_j: f64,
+    /// Static power of one DPU (bank + core + WRAM idle/active average), W.
+    pub dpu_static_w: f64,
+    /// Static power of the host CPU, W.
+    pub host_static_w: f64,
+}
+
+impl EnergyModel {
+    /// Representative constants for the UPMEM server.
+    #[must_use]
+    pub fn upmem() -> Self {
+        EnergyModel {
+            dram_j_per_byte: 40.0e-12,
+            wram_j_per_access: 1.0e-12,
+            instr_j: 12.0e-12,
+            link_j_per_byte: 20.0e-12,
+            host_op_j: 250.0e-12,
+            // 14 W per PIM DIMM / 128 DPUs ≈ 0.11 W per DPU.
+            dpu_static_w: 0.11,
+            // Xeon Gold 5215 TDP.
+            host_static_w: 85.0,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::upmem()
+    }
+}
+
+/// Energy broken into static and dynamic components, in Joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Static (power × time) energy of the DPU fleet.
+    pub pim_static_j: f64,
+    /// Dynamic energy of DRAM/WRAM/instruction events on the DPUs.
+    pub pim_dynamic_j: f64,
+    /// Static host energy.
+    pub host_static_j: f64,
+    /// Dynamic host energy (link transfers + host ops).
+    pub host_dynamic_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total Joules.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.pim_static_j + self.pim_dynamic_j + self.host_static_j + self.host_dynamic_j
+    }
+}
+
+impl EnergyModel {
+    /// Dynamic energy of one DPU's profile, in Joules.
+    #[must_use]
+    pub fn dpu_dynamic_j(&self, profile: &Profile) -> f64 {
+        let l = profile.ledger();
+        (l.dram_read_bytes + l.dram_write_bytes) as f64 * self.dram_j_per_byte
+            + l.wram_accesses as f64 * self.wram_j_per_access
+            + l.instructions as f64 * self.instr_j
+    }
+
+    /// Dynamic energy of the host side of a profile, in Joules.
+    #[must_use]
+    pub fn host_dynamic_j(&self, profile: &Profile) -> f64 {
+        let l = profile.ledger();
+        l.host_bytes as f64 * self.link_j_per_byte + l.host_ops as f64 * self.host_op_j
+    }
+
+    /// Energy of a system execution where every DPU ran the representative
+    /// per-DPU profile (`system.pim`) and the host ran `system.host`.
+    #[must_use]
+    pub fn system_energy(&self, sys: &SystemConfig, profile: &SystemProfile) -> EnergyBreakdown {
+        let n_dpus = f64::from(sys.n_dpus());
+        let total_seconds = profile.total_seconds();
+        EnergyBreakdown {
+            pim_static_j: n_dpus * self.dpu_static_w * total_seconds,
+            pim_dynamic_j: n_dpus * self.dpu_dynamic_j(&profile.pim),
+            host_static_j: self.host_static_w * total_seconds,
+            host_dynamic_j: self.host_dynamic_j(&profile.host),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{Category, CycleLedger};
+
+    fn profile_with(dram: u64, wram: u64, instr: u64, secs: f64) -> Profile {
+        let mut l = CycleLedger::new();
+        l.charge(Category::Compute, secs);
+        l.dram_read_bytes = dram;
+        l.wram_accesses = wram;
+        l.instructions = instr;
+        Profile::from_ledger(l)
+    }
+
+    #[test]
+    fn dynamic_energy_counts_events() {
+        let m = EnergyModel::upmem();
+        let p = profile_with(1000, 500, 2000, 0.0);
+        let e = m.dpu_dynamic_j(&p);
+        let expected =
+            1000.0 * m.dram_j_per_byte + 500.0 * m.wram_j_per_access + 2000.0 * m.instr_j;
+        assert!((e - expected).abs() < 1e-18);
+    }
+
+    #[test]
+    fn host_dynamic_energy() {
+        let m = EnergyModel::upmem();
+        let mut l = CycleLedger::new();
+        l.host_bytes = 1_000_000;
+        l.host_ops = 10_000;
+        let p = Profile::from_ledger(l);
+        let e = m.host_dynamic_j(&p);
+        assert!((e - (1e6 * m.link_j_per_byte + 1e4 * m.host_op_j)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn static_energy_scales_with_time_and_dpus() {
+        let m = EnergyModel::upmem();
+        let sys = SystemConfig::upmem_server();
+        let sp = SystemProfile {
+            host: Profile::new(),
+            pim: profile_with(0, 0, 0, 2.0),
+        };
+        let e = m.system_energy(&sys, &sp);
+        assert!((e.pim_static_j - 2048.0 * m.dpu_static_w * 2.0).abs() < 1e-9);
+        assert!((e.host_static_j - 85.0 * 2.0).abs() < 1e-9);
+        assert!(e.total_j() > e.pim_static_j);
+    }
+
+    #[test]
+    fn faster_method_with_same_events_uses_less_energy() {
+        let m = EnergyModel::upmem();
+        let sys = SystemConfig::upmem_server();
+        let slow = SystemProfile {
+            host: Profile::new(),
+            pim: profile_with(100, 100, 100, 10.0),
+        };
+        let fast = SystemProfile {
+            host: Profile::new(),
+            pim: profile_with(100, 100, 100, 1.0),
+        };
+        assert!(m.system_energy(&sys, &fast).total_j() < m.system_energy(&sys, &slow).total_j());
+    }
+}

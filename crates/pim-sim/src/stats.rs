@@ -1,0 +1,365 @@
+//! Cycle/time accounting: the per-category ledger behind every kernel's
+//! breakdown (Fig. 16) and the energy model (Fig. 14).
+
+use core::fmt;
+
+/// The cost categories a kernel can charge time against.
+///
+/// These mirror the breakdown categories the paper reports in Fig. 16(b)
+/// ("Canonical LUT Access", "Reordering LUT Access", "Reordering LUT Index
+/// Calc.", "Act./Weight Transfer", "Accumulate", "Others") plus the
+/// system-level phases of Fig. 16(a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// Streaming LUT slices from the DRAM bank into WRAM (LUT slice
+    /// streaming, §IV-C).
+    LutLoad,
+    /// Canonical LUT accesses in WRAM.
+    CanonicalLookup,
+    /// Reordering LUT accesses in WRAM.
+    ReorderLookup,
+    /// Index calculation for the reordering LUT (packing/radix arithmetic on
+    /// the DPU) — the dominant kernel cost per Fig. 16(b).
+    IndexCalc,
+    /// Partial-sum accumulation.
+    Accumulate,
+    /// Streaming weights/activations between DRAM bank and WRAM.
+    DataTransfer,
+    /// Writing final outputs back to the DRAM bank.
+    OutputWriteback,
+    /// Host ↔ PIM transfers over the memory channel.
+    HostTransfer,
+    /// Host-side computation (softmax, layer norm, GELU, centroid
+    /// selection, and anything not covered by the two phases below).
+    HostCompute,
+    /// Host-side quantization/dequantization (Fig. 16a "Quantization").
+    HostQuantize,
+    /// Host-side activation sorting and packing (Fig. 16a "Packing &
+    /// Sorting").
+    HostSortPack,
+    /// Host-side PQ centroid selection (Fig. 16a "Centroid Selection";
+    /// used by the PIM-DL / LUT-DLA baselines).
+    HostCentroid,
+    /// Arithmetic compute on the DPU (naive MAC kernels, bit-serial
+    /// shift/add of the LTC baseline).
+    Compute,
+    /// Anything else (loop control, bookkeeping).
+    Other,
+}
+
+impl Category {
+    /// All categories, in display order.
+    pub const ALL: [Category; 14] = [
+        Category::LutLoad,
+        Category::CanonicalLookup,
+        Category::ReorderLookup,
+        Category::IndexCalc,
+        Category::Accumulate,
+        Category::DataTransfer,
+        Category::OutputWriteback,
+        Category::HostTransfer,
+        Category::HostCompute,
+        Category::HostQuantize,
+        Category::HostSortPack,
+        Category::HostCentroid,
+        Category::Compute,
+        Category::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Category::LutLoad => 0,
+            Category::CanonicalLookup => 1,
+            Category::ReorderLookup => 2,
+            Category::IndexCalc => 3,
+            Category::Accumulate => 4,
+            Category::DataTransfer => 5,
+            Category::OutputWriteback => 6,
+            Category::HostTransfer => 7,
+            Category::HostCompute => 8,
+            Category::HostQuantize => 9,
+            Category::HostSortPack => 10,
+            Category::HostCentroid => 11,
+            Category::Compute => 12,
+            Category::Other => 13,
+        }
+    }
+
+    /// Short human-readable label used by the bench tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::LutLoad => "lut-load",
+            Category::CanonicalLookup => "canonical-lookup",
+            Category::ReorderLookup => "reorder-lookup",
+            Category::IndexCalc => "index-calc",
+            Category::Accumulate => "accumulate",
+            Category::DataTransfer => "data-transfer",
+            Category::OutputWriteback => "output-writeback",
+            Category::HostTransfer => "host-transfer",
+            Category::HostCompute => "host-compute",
+            Category::HostQuantize => "host-quantize",
+            Category::HostSortPack => "host-sort-pack",
+            Category::HostCentroid => "host-centroid",
+            Category::Compute => "compute",
+            Category::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+const N_CATEGORIES: usize = Category::ALL.len();
+
+/// A ledger of simulated seconds charged per [`Category`], plus event
+/// counters consumed by the energy model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CycleLedger {
+    seconds: [f64; N_CATEGORIES],
+    /// Bytes read from the DRAM bank.
+    pub dram_read_bytes: u64,
+    /// Bytes written to the DRAM bank.
+    pub dram_write_bytes: u64,
+    /// WRAM accesses (word-granularity events).
+    pub wram_accesses: u64,
+    /// Instructions retired by the DPU core.
+    pub instructions: u64,
+    /// Bytes moved over the host link.
+    pub host_bytes: u64,
+    /// Host-side scalar operations (quantization, sorting, softmax, ...).
+    pub host_ops: u64,
+}
+
+impl CycleLedger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `seconds` of simulated time to `category`.
+    pub fn charge(&mut self, category: Category, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "negative time charged to {category}");
+        self.seconds[category.index()] += seconds;
+    }
+
+    /// Simulated seconds charged to `category`.
+    #[must_use]
+    pub fn seconds(&self, category: Category) -> f64 {
+        self.seconds[category.index()]
+    }
+
+    /// Total simulated seconds across all categories.
+    ///
+    /// The DPU is in-order and single-threaded per tasklet in our model, so
+    /// categories are serial and the total is the sum.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Merges another ledger into this one (serial composition: times and
+    /// counters add).
+    pub fn merge(&mut self, other: &CycleLedger) {
+        for i in 0..N_CATEGORIES {
+            self.seconds[i] += other.seconds[i];
+        }
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.dram_write_bytes += other.dram_write_bytes;
+        self.wram_accesses += other.wram_accesses;
+        self.instructions += other.instructions;
+        self.host_bytes += other.host_bytes;
+        self.host_ops += other.host_ops;
+    }
+
+    /// Scales all times and counters by an integral factor (e.g. to expand a
+    /// per-tile measurement to `n` identical tiles).
+    pub fn scale(&mut self, n: u64) {
+        for s in &mut self.seconds {
+            *s *= n as f64;
+        }
+        self.dram_read_bytes *= n;
+        self.dram_write_bytes *= n;
+        self.wram_accesses *= n;
+        self.instructions *= n;
+        self.host_bytes *= n;
+        self.host_ops *= n;
+    }
+
+    /// Iterates over `(category, seconds)` pairs with non-zero time.
+    pub fn iter(&self) -> impl Iterator<Item = (Category, f64)> + '_ {
+        Category::ALL
+            .iter()
+            .map(|&c| (c, self.seconds(c)))
+            .filter(|&(_, s)| s > 0.0)
+    }
+}
+
+/// A finished execution profile: an immutable [`CycleLedger`] snapshot.
+///
+/// `Profile` is what kernels return; it can be queried per category,
+/// merged across phases, and fed to [`crate::EnergyModel`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Profile {
+    ledger: CycleLedger,
+}
+
+impl Profile {
+    /// Wraps a ledger into a profile.
+    #[must_use]
+    pub fn from_ledger(ledger: CycleLedger) -> Self {
+        Profile { ledger }
+    }
+
+    /// An empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulated seconds in `category`.
+    #[must_use]
+    pub fn seconds(&self, category: Category) -> f64 {
+        self.ledger.seconds(category)
+    }
+
+    /// Total simulated seconds.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.ledger.total_seconds()
+    }
+
+    /// The underlying ledger (event counters for the energy model).
+    #[must_use]
+    pub fn ledger(&self) -> &CycleLedger {
+        &self.ledger
+    }
+
+    /// Serial composition of two profiles.
+    #[must_use]
+    pub fn merged(&self, other: &Profile) -> Profile {
+        let mut ledger = self.ledger.clone();
+        ledger.merge(&other.ledger);
+        Profile { ledger }
+    }
+
+    /// Scales the profile by `n` repetitions.
+    #[must_use]
+    pub fn scaled(&self, n: u64) -> Profile {
+        let mut ledger = self.ledger.clone();
+        ledger.scale(n);
+        Profile { ledger }
+    }
+
+    /// Fraction of total time spent in `category` (0 if the profile is empty).
+    #[must_use]
+    pub fn fraction(&self, category: Category) -> f64 {
+        let total = self.total_seconds();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.seconds(category) / total
+        }
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total: {:.6e} s", self.total_seconds())?;
+        for (cat, secs) in self.ledger.iter() {
+            writeln!(
+                f,
+                "  {:<18} {:>12.6e} s ({:>5.1}%)",
+                cat.label(),
+                secs,
+                100.0 * self.fraction(cat)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_total() {
+        let mut l = CycleLedger::new();
+        l.charge(Category::LutLoad, 1.0);
+        l.charge(Category::Accumulate, 2.0);
+        l.charge(Category::Accumulate, 0.5);
+        assert_eq!(l.seconds(Category::LutLoad), 1.0);
+        assert_eq!(l.seconds(Category::Accumulate), 2.5);
+        assert_eq!(l.total_seconds(), 3.5);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = CycleLedger::new();
+        a.charge(Category::Compute, 1.0);
+        a.dram_read_bytes = 100;
+        a.instructions = 7;
+        let mut b = CycleLedger::new();
+        b.charge(Category::Compute, 2.0);
+        b.charge(Category::Other, 1.0);
+        b.dram_read_bytes = 11;
+        b.host_ops = 3;
+        a.merge(&b);
+        assert_eq!(a.seconds(Category::Compute), 3.0);
+        assert_eq!(a.seconds(Category::Other), 1.0);
+        assert_eq!(a.dram_read_bytes, 111);
+        assert_eq!(a.instructions, 7);
+        assert_eq!(a.host_ops, 3);
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let mut l = CycleLedger::new();
+        l.charge(Category::IndexCalc, 0.25);
+        l.wram_accesses = 4;
+        l.scale(8);
+        assert_eq!(l.seconds(Category::IndexCalc), 2.0);
+        assert_eq!(l.wram_accesses, 32);
+    }
+
+    #[test]
+    fn profile_fraction_and_display() {
+        let mut l = CycleLedger::new();
+        l.charge(Category::LutLoad, 1.0);
+        l.charge(Category::CanonicalLookup, 3.0);
+        let p = Profile::from_ledger(l);
+        assert!((p.fraction(Category::CanonicalLookup) - 0.75).abs() < 1e-12);
+        let text = p.to_string();
+        assert!(text.contains("canonical-lookup"));
+        assert!(text.contains("lut-load"));
+    }
+
+    #[test]
+    fn empty_profile_fraction_is_zero() {
+        let p = Profile::new();
+        assert_eq!(p.fraction(Category::LutLoad), 0.0);
+        assert_eq!(p.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn iter_skips_zero_categories() {
+        let mut l = CycleLedger::new();
+        l.charge(Category::Compute, 1.0);
+        let cats: Vec<_> = l.iter().map(|(c, _)| c).collect();
+        assert_eq!(cats, vec![Category::Compute]);
+    }
+
+    #[test]
+    fn all_categories_have_unique_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Category::ALL {
+            assert!(seen.insert(c.index()), "duplicate index for {c:?}");
+        }
+        assert_eq!(seen.len(), N_CATEGORIES);
+    }
+}

@@ -1,0 +1,167 @@
+//! Timing constants of the modelled DPU, calibrated to the paper's §VI-I.
+//!
+//! The paper characterises the UPMEM platform as follows:
+//!
+//! * DPU clock: **350 MHz**.
+//! * DRAM bank → local buffer (WRAM) streaming: **0.5 B/cycle**.
+//! * With the three-stage pipelined access of the DMA engine, streaming one
+//!   (canonical LUT entry, reordering LUT entry) pair costs
+//!   **`L_D = 1.36e-9 s`**.
+//! * One canonical-LUT lookup + one reordering-LUT lookup + accumulation is
+//!   **12 instructions**, i.e. **`L_local = 3.27e-8 s`**.
+//!
+//! `L_D` and `L_local` are *profiled composites*: the paper measures them on
+//! hardware and then uses them directly in the performance model (Eq. 2).
+//! We therefore expose them as first-class constants and make the granular
+//! charging APIs (`instruction_seconds`, `dram_stream_seconds`) agree with
+//! them, so that the analytic model and the event-driven kernels can never
+//! drift apart.
+
+/// Timing parameters of a single DPU (processing unit + bank + WRAM).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpuTimings {
+    /// DPU core clock frequency in Hz (UPMEM: 350 MHz).
+    pub clock_hz: f64,
+    /// Sustained DRAM→WRAM streaming bandwidth in bytes per DPU cycle
+    /// (UPMEM: 0.5 B/cycle).
+    pub dram_bytes_per_cycle: f64,
+    /// Fixed DMA setup cost, in cycles, charged once per streaming transfer
+    /// (covers the row activation + DMA programming overhead; amortised on
+    /// large transfers).
+    pub dma_setup_cycles: f64,
+    /// Profiled latency for streaming one (canonical, reordering) LUT entry
+    /// pair from the bank into WRAM, in seconds (`L_D`, §VI-I).
+    pub lut_entry_pair_stream_seconds: f64,
+    /// Profiled latency for one canonical lookup + one reordering lookup +
+    /// accumulation, in seconds (`L_local`, §VI-I).
+    pub lookup_accum_seconds: f64,
+    /// Number of instructions composing `L_local` (the paper counts 12).
+    pub lookup_accum_instrs: u32,
+    /// DRAM row size in bytes, used by the row-buffer model (UPMEM rows are
+    /// 1 KiB per chip-level bank slice).
+    pub dram_row_bytes: u64,
+    /// Cycles to activate (open) a DRAM row after a precharge.
+    pub row_activate_cycles: f64,
+}
+
+impl DpuTimings {
+    /// Timings of an UPMEM-like DPU as profiled by the paper (§VI-I).
+    #[must_use]
+    pub fn upmem() -> Self {
+        let clock_hz = 350.0e6;
+        DpuTimings {
+            clock_hz,
+            dram_bytes_per_cycle: 0.5,
+            dma_setup_cycles: 64.0,
+            // L_D: profiled on hardware; see module docs.
+            lut_entry_pair_stream_seconds: 1.36e-9,
+            // L_local = 12 instructions at 350 MHz, measured as 3.27e-8 s
+            // (the measured value is slightly below 12 ideal cycles due to
+            // pipelining across the 11-stage DPU pipeline; we keep the
+            // profiled value authoritative).
+            lookup_accum_seconds: 3.27e-8,
+            lookup_accum_instrs: 12,
+            dram_row_bytes: 1024,
+            row_activate_cycles: 16.0,
+        }
+    }
+
+    /// Duration of one DPU clock cycle in seconds.
+    #[must_use]
+    pub fn cycle_seconds(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+
+    /// Seconds to execute `n` single-issue instructions.
+    ///
+    /// The composite `L_local` constant is authoritative for the 12-instruction
+    /// lookup+accumulate sequence; for other instruction counts we charge the
+    /// same per-instruction rate so the two views stay consistent:
+    /// `rate = L_local / lookup_accum_instrs`.
+    #[must_use]
+    pub fn instruction_seconds(&self, n: u64) -> f64 {
+        let per_instr = self.lookup_accum_seconds / f64::from(self.lookup_accum_instrs);
+        per_instr * n as f64
+    }
+
+    /// Seconds to stream `bytes` between the DRAM bank and WRAM with the DMA
+    /// engine (one transfer, including setup).
+    #[must_use]
+    pub fn dram_stream_seconds(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let cycles = self.dma_setup_cycles + bytes as f64 / self.dram_bytes_per_cycle;
+        cycles * self.cycle_seconds()
+    }
+
+    /// Seconds to stream `n` (canonical, reordering) LUT entry pairs using
+    /// the profiled `L_D` constant.
+    #[must_use]
+    pub fn lut_pair_stream_seconds(&self, n: u64) -> f64 {
+        self.lut_entry_pair_stream_seconds * n as f64
+    }
+
+    /// Seconds for `n` lookup+accumulate composites using the profiled
+    /// `L_local` constant.
+    #[must_use]
+    pub fn lookup_accum_seconds_for(&self, n: u64) -> f64 {
+        self.lookup_accum_seconds * n as f64
+    }
+}
+
+impl Default for DpuTimings {
+    fn default() -> Self {
+        Self::upmem()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upmem_constants_match_paper() {
+        let t = DpuTimings::upmem();
+        assert!((t.clock_hz - 350.0e6).abs() < 1.0);
+        assert!((t.lut_entry_pair_stream_seconds - 1.36e-9).abs() < 1e-15);
+        assert!((t.lookup_accum_seconds - 3.27e-8).abs() < 1e-14);
+        assert_eq!(t.lookup_accum_instrs, 12);
+    }
+
+    #[test]
+    fn instruction_rate_consistent_with_l_local() {
+        let t = DpuTimings::upmem();
+        // 12 instructions must cost exactly L_local.
+        let twelve = t.instruction_seconds(12);
+        assert!((twelve - t.lookup_accum_seconds).abs() < 1e-18);
+        // And it scales linearly.
+        assert!((t.instruction_seconds(24) - 2.0 * twelve).abs() < 1e-18);
+    }
+
+    #[test]
+    fn dram_stream_zero_bytes_is_free() {
+        let t = DpuTimings::upmem();
+        assert_eq!(t.dram_stream_seconds(0), 0.0);
+    }
+
+    #[test]
+    fn dram_stream_includes_setup() {
+        let t = DpuTimings::upmem();
+        let one = t.dram_stream_seconds(1);
+        // Setup dominates a 1-byte transfer.
+        assert!(one > t.dma_setup_cycles * t.cycle_seconds() * 0.99);
+        // Large transfers asymptote to the streaming rate.
+        let big = t.dram_stream_seconds(1 << 20);
+        let ideal = (1u64 << 20) as f64 / t.dram_bytes_per_cycle * t.cycle_seconds();
+        assert!(big / ideal < 1.01);
+    }
+
+    #[test]
+    fn lut_pair_stream_is_linear() {
+        let t = DpuTimings::upmem();
+        let one = t.lut_pair_stream_seconds(1);
+        let thousand = t.lut_pair_stream_seconds(1000);
+        assert!((thousand - 1000.0 * one).abs() < 1e-12);
+    }
+}

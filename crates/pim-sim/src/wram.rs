@@ -1,0 +1,195 @@
+//! WRAM: the 64 KB SRAM local buffer next to each DPU.
+//!
+//! WRAM is the scarce resource LoCaLUT budgets around: roughly half of it is
+//! devoted to LUTs (or LUT slices) and the remainder holds weight/activation
+//! tiles, partial outputs, and scratch (§V-A). The allocator here enforces
+//! that budget; `p_local` (the largest buffer-resident packing degree) falls
+//! out of allocation failures.
+//!
+//! WRAM accesses are single-cycle (§III-C), which is the entire reason the
+//! buffer-sized LUT beats the DRAM-sized LUT in Fig. 3(c).
+
+use crate::SimError;
+use std::collections::BTreeMap;
+
+/// The SRAM local buffer of one DPU, with a simple region allocator.
+#[derive(Debug, Clone)]
+pub struct Wram {
+    capacity: u64,
+    regions: BTreeMap<String, u64>,
+}
+
+/// A named WRAM reservation returned by [`Wram::alloc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WramRegion {
+    /// Region name (unique within the allocator).
+    pub name: String,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+/// Errors from WRAM allocation.
+pub type WramError = SimError;
+
+impl Wram {
+    /// Creates a WRAM of `capacity` bytes.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        Wram {
+            capacity,
+            regions: BTreeMap::new(),
+        }
+    }
+
+    /// The 64 KB UPMEM WRAM.
+    #[must_use]
+    pub fn upmem() -> Self {
+        Self::new(64 * 1024)
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.regions.values().sum()
+    }
+
+    /// Bytes still free.
+    #[must_use]
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Allocates `bytes` under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WramExhausted`] when the buffer cannot fit the
+    /// request, or [`SimError::InvalidConfig`] when `name` is already in use.
+    pub fn alloc(&mut self, name: &str, bytes: u64) -> Result<WramRegion, WramError> {
+        if self.regions.contains_key(name) {
+            return Err(SimError::InvalidConfig(format!(
+                "wram region '{name}' already allocated"
+            )));
+        }
+        if bytes > self.available() {
+            return Err(SimError::WramExhausted {
+                requested: bytes,
+                available: self.available(),
+            });
+        }
+        self.regions.insert(name.to_owned(), bytes);
+        Ok(WramRegion {
+            name: name.to_owned(),
+            bytes,
+        })
+    }
+
+    /// Frees the region named `name`; freeing an unknown region is a no-op
+    /// (destructor-style semantics — never fails).
+    pub fn free(&mut self, name: &str) {
+        self.regions.remove(name);
+    }
+
+    /// Frees all regions.
+    pub fn reset(&mut self) {
+        self.regions.clear();
+    }
+
+    /// Checks whether a hypothetical set of region sizes would fit.
+    #[must_use]
+    pub fn would_fit(&self, extra_bytes: u64) -> bool {
+        extra_bytes <= self.available()
+    }
+
+    /// Names and sizes of live regions (deterministic order).
+    pub fn regions(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.regions.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+impl Default for Wram {
+    fn default() -> Self {
+        Self::upmem()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upmem_wram_is_64kb() {
+        assert_eq!(Wram::upmem().capacity(), 65536);
+    }
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut w = Wram::new(1024);
+        let r = w.alloc("lut", 512).unwrap();
+        assert_eq!(r.bytes, 512);
+        assert_eq!(w.available(), 512);
+        w.free("lut");
+        assert_eq!(w.available(), 1024);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut w = Wram::new(1024);
+        w.alloc("x", 1).unwrap();
+        let err = w.alloc("x", 1).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn exhaustion_reports_available() {
+        let mut w = Wram::new(100);
+        w.alloc("a", 60).unwrap();
+        let err = w.alloc("b", 50).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::WramExhausted {
+                requested: 50,
+                available: 40
+            }
+        );
+    }
+
+    #[test]
+    fn free_unknown_region_is_noop() {
+        let mut w = Wram::new(10);
+        w.free("nope");
+        assert_eq!(w.available(), 10);
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let mut w = Wram::new(10);
+        w.alloc("a", 4).unwrap();
+        w.alloc("b", 4).unwrap();
+        w.reset();
+        assert_eq!(w.used(), 0);
+    }
+
+    #[test]
+    fn would_fit_matches_alloc() {
+        let mut w = Wram::new(64);
+        w.alloc("a", 60).unwrap();
+        assert!(w.would_fit(4));
+        assert!(!w.would_fit(5));
+    }
+
+    #[test]
+    fn regions_iterates_deterministically() {
+        let mut w = Wram::new(100);
+        w.alloc("b", 1).unwrap();
+        w.alloc("a", 2).unwrap();
+        let names: Vec<_> = w.regions().map(|(n, _)| n.to_owned()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

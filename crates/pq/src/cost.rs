@@ -1,0 +1,142 @@
+//! System-level cost model for the PQ baselines (Fig. 15 speedups,
+//! Fig. 16a breakdown).
+//!
+//! The defining cost signature of PQ methods (§VI-G): the PIM side only
+//! *adds* precomputed partials — a small "GEMM on PIM" phase — but the
+//! host pays a large "Centroid Selection" phase
+//! (`N · (K/d) · C · d` distance terms per GEMM). LUT-DLA accelerates
+//! centroid selection with dedicated hardware, L1 more cheaply than L2.
+
+use crate::pqgemm::{PqConfig, PqVariant};
+use pim_sim::{Category, CycleLedger, DpuTimings, PimSystem, Profile, SystemProfile};
+
+/// Cost model for a PQ system execution.
+#[derive(Debug, Clone)]
+pub struct PqCostModel {
+    /// The PIM system (topology + host link).
+    pub system: PimSystem,
+    /// DPU timings for the PIM-side adds.
+    pub timings: DpuTimings,
+    /// Instructions per PIM table-add (load id amortized + load entry +
+    /// add).
+    pub add_instrs: u32,
+}
+
+impl PqCostModel {
+    /// The paper's UPMEM server.
+    #[must_use]
+    pub fn upmem_server() -> Self {
+        PqCostModel {
+            system: PimSystem::upmem_server(),
+            timings: DpuTimings::upmem(),
+            add_instrs: 3,
+        }
+    }
+
+    /// Hardware acceleration factor for centroid selection: PIM-DL does it
+    /// on the host CPU; LUT-DLA has dedicated comparator trees (L1 simpler
+    /// than L2).
+    fn centroid_accel(variant: PqVariant) -> f64 {
+        match variant {
+            PqVariant::PimDl => 1.0,
+            PqVariant::LutDlaL1 => 1.6,
+            PqVariant::LutDlaL2 => 1.3,
+        }
+    }
+
+    /// System cost of one PQ GEMM `M×K×N`.
+    #[must_use]
+    pub fn gemm_cost(&self, cfg: &PqConfig, m: usize, k: usize, n: usize) -> SystemProfile {
+        let n_sub = (k / cfg.sub_dim).max(1) as u64;
+        let (m64, n64, k64) = (m as u64, n as u64, k as u64);
+
+        // Host: centroid selection (the dominant phase for PIM-DL).
+        // ~4 scalar ops per distance term: gather + subtract + square/abs +
+        // accumulate, plus the running argmin — centroid search vectorizes
+        // poorly compared to plain quantization.
+        let centroid_ops = 4 * n64 * n_sub * cfg.n_centroids as u64 * cfg.sub_dim as u64;
+        let accel = Self::centroid_accel(cfg.variant);
+        let mut host = CycleLedger::new();
+        host.charge(
+            Category::HostCentroid,
+            self.system.host_ops_seconds(centroid_ops) / accel,
+        );
+        // Host: data layout reordering (gathering sub-vectors, packing ids)
+        // — the Fig. 16(a) "Data reordering" segment.
+        let reorder_ops = k64 * n64;
+        host.charge(Category::Other, self.system.host_ops_seconds(reorder_ops));
+        // Transfers: 4-bit centroid ids in, fp32 outputs back.
+        let id_bytes = (n64 * n_sub).div_ceil(2);
+        let out_bytes = m64 * n64 * 4;
+        host.charge(
+            Category::HostTransfer,
+            self.system.scatter_seconds(id_bytes) + self.system.gather_seconds(out_bytes),
+        );
+        host.host_bytes = id_bytes + out_bytes;
+        host.host_ops = centroid_ops + reorder_ops;
+
+        // PIM: table adds, split across the DPUs (LUT tables are sharded
+        // by output row).
+        let n_dpus = u64::from(self.system.config().n_dpus());
+        let adds = m64 * n64 * n_sub;
+        let adds_per_dpu = adds.div_ceil(n_dpus);
+        let mut pim = CycleLedger::new();
+        pim.charge(
+            Category::Compute,
+            self.timings
+                .instruction_seconds(adds_per_dpu * u64::from(self.add_instrs)),
+        );
+        pim.instructions = adds_per_dpu * u64::from(self.add_instrs);
+        pim.wram_accesses = adds_per_dpu;
+
+        SystemProfile {
+            host: Profile::from_ledger(host),
+            pim: Profile::from_ledger(pim),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(variant: PqVariant) -> PqConfig {
+        PqConfig::standard(variant)
+    }
+
+    #[test]
+    fn centroid_selection_dominates_pimdl() {
+        // §VI-G: PIM-DL "exhibits a large overhead on the host ... for
+        // finding the centroid for each value".
+        let model = PqCostModel::upmem_server();
+        let sp = model.gemm_cost(&cfg(PqVariant::PimDl), 768, 768, 128);
+        let centroid = sp.host.seconds(Category::HostCentroid);
+        assert!(centroid > sp.pim.total_seconds(), "centroid phase too small");
+        assert!(centroid / sp.total_seconds() > 0.4);
+    }
+
+    #[test]
+    fn lutdla_accelerates_centroid_selection() {
+        let model = PqCostModel::upmem_server();
+        let pimdl = model.gemm_cost(&cfg(PqVariant::PimDl), 768, 768, 128);
+        let l1 = model.gemm_cost(&cfg(PqVariant::LutDlaL1), 768, 768, 128);
+        let l2 = model.gemm_cost(&cfg(PqVariant::LutDlaL2), 768, 768, 128);
+        assert!(l1.total_seconds() < pimdl.total_seconds());
+        assert!(l1.total_seconds() < l2.total_seconds(), "L1 is cheaper than L2");
+    }
+
+    #[test]
+    fn pim_phase_scales_with_m() {
+        let model = PqCostModel::upmem_server();
+        let small = model.gemm_cost(&cfg(PqVariant::PimDl), 768, 768, 128);
+        let big = model.gemm_cost(&cfg(PqVariant::PimDl), 3072, 768, 128);
+        assert!(big.pim.total_seconds() > small.pim.total_seconds());
+        // Centroid selection is M-independent.
+        assert!(
+            (big.host.seconds(Category::HostCentroid)
+                - small.host.seconds(Category::HostCentroid))
+            .abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Lloyd's k-means with L1 and L2 distances — the codebook learner behind
+//! PIM-DL and LUT-DLA.
+//!
+//! LUT-DLA supports both L1 and L2 centroid–activation similarity to trade
+//! host compute for accuracy (§VI-A); L1 centroids are updated with the
+//! component-wise median (the L1 Fréchet mean), L2 with the mean.
+
+use crate::PqError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distance metric for assignment and centroid updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distance {
+    /// Manhattan distance (cheaper on hardware, slightly worse fit).
+    L1,
+    /// Euclidean distance (squared; the conventional k-means).
+    L2,
+}
+
+impl Distance {
+    /// Distance between two vectors.
+    #[must_use]
+    pub fn eval(self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Distance::L1 => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+            Distance::L2 => a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum(),
+        }
+    }
+}
+
+/// A learned codebook: `n_centroids` centroids of dimension `dim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Codebook {
+    centroids: Vec<f32>,
+    dim: usize,
+    n_centroids: usize,
+    distance: Distance,
+}
+
+impl Codebook {
+    /// Number of centroids.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n_centroids
+    }
+
+    /// Whether the codebook is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n_centroids == 0
+    }
+
+    /// Sub-vector dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The distance metric the codebook was trained with.
+    #[must_use]
+    pub fn distance(&self) -> Distance {
+        self.distance
+    }
+
+    /// Centroid `c` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c` is out of range.
+    #[must_use]
+    pub fn centroid(&self, c: usize) -> &[f32] {
+        assert!(c < self.n_centroids, "centroid index out of range");
+        &self.centroids[c * self.dim..(c + 1) * self.dim]
+    }
+
+    /// Index of the nearest centroid to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len() != dim`.
+    #[must_use]
+    pub fn assign(&self, v: &[f32]) -> usize {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let mut best = (f32::INFINITY, 0usize);
+        for c in 0..self.n_centroids {
+            let d = self.distance.eval(v, self.centroid(c));
+            if d < best.0 {
+                best = (d, c);
+            }
+        }
+        best.1
+    }
+}
+
+/// Runs Lloyd's k-means over `samples` row-major `dim`-vectors.
+///
+/// # Errors
+///
+/// [`PqError::InvalidConfig`] for empty inputs or zero centroids;
+/// [`PqError::ShapeMismatch`] when the data length is not a multiple of
+/// `dim`.
+pub fn kmeans(
+    data: &[f32],
+    dim: usize,
+    n_centroids: usize,
+    distance: Distance,
+    iters: u32,
+    seed: u64,
+) -> Result<Codebook, PqError> {
+    if dim == 0 || n_centroids == 0 {
+        return Err(PqError::InvalidConfig("dim and n_centroids must be positive"));
+    }
+    if data.is_empty() || !data.len().is_multiple_of(dim) {
+        return Err(PqError::ShapeMismatch {
+            expected: dim,
+            actual: data.len(),
+        });
+    }
+    let n = data.len() / dim;
+    let sample = |i: usize| &data[i * dim..(i + 1) * dim];
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Farthest-point initialization: first centroid random, each next one
+    // the sample farthest from all chosen so far (robustly spreads the
+    // codebook across the data's support).
+    let mut centroids: Vec<f32> = Vec::with_capacity(n_centroids * dim);
+    centroids.extend_from_slice(sample(rng.random_range(0..n)));
+    while centroids.len() < n_centroids * dim {
+        let chosen = centroids.len() / dim;
+        let farthest = (0..n)
+            .max_by(|&a, &b| {
+                let da = (0..chosen)
+                    .map(|c| distance.eval(sample(a), &centroids[c * dim..(c + 1) * dim]))
+                    .fold(f32::INFINITY, f32::min);
+                let db = (0..chosen)
+                    .map(|c| distance.eval(sample(b), &centroids[c * dim..(c + 1) * dim]))
+                    .fold(f32::INFINITY, f32::min);
+                da.total_cmp(&db)
+            })
+            .expect("n > 0");
+        centroids.extend_from_slice(sample(farthest));
+    }
+
+    let mut assignments = vec![0usize; n];
+    for _ in 0..iters {
+        // Assignment step.
+        let book = Codebook {
+            centroids: centroids.clone(),
+            dim,
+            n_centroids,
+            distance,
+        };
+        for (i, a) in assignments.iter_mut().enumerate() {
+            *a = book.assign(sample(i));
+        }
+        // Update step.
+        for c in 0..n_centroids {
+            let members: Vec<usize> = (0..n).filter(|&i| assignments[i] == c).collect();
+            if members.is_empty() {
+                // Re-seed empty clusters from a random sample.
+                let s = sample(rng.random_range(0..n));
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(s);
+                continue;
+            }
+            for d in 0..dim {
+                let new = match distance {
+                    Distance::L2 => {
+                        members.iter().map(|&i| sample(i)[d]).sum::<f32>() / members.len() as f32
+                    }
+                    Distance::L1 => {
+                        let mut vals: Vec<f32> = members.iter().map(|&i| sample(i)[d]).collect();
+                        vals.sort_by(f32::total_cmp);
+                        vals[vals.len() / 2]
+                    }
+                };
+                centroids[c * dim + d] = new;
+            }
+        }
+    }
+    Ok(Codebook {
+        centroids,
+        dim,
+        n_centroids,
+        distance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_data() -> Vec<f32> {
+        // 2-D points clustered near (0,0) and (10,10).
+        let mut data = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f32 * 0.1;
+            data.extend_from_slice(&[jitter, -jitter]);
+            data.extend_from_slice(&[10.0 + jitter, 10.0 - jitter]);
+        }
+        data
+    }
+
+    #[test]
+    fn kmeans_finds_two_blobs() {
+        for dist in [Distance::L1, Distance::L2] {
+            let book = kmeans(&two_blob_data(), 2, 2, dist, 10, 42).unwrap();
+            let a = book.assign(&[0.2, 0.0]);
+            let b = book.assign(&[9.8, 10.1]);
+            assert_ne!(a, b, "{dist:?} failed to separate blobs");
+            // Centroids are near the blob centers.
+            let near_origin = book.centroid(a);
+            assert!(near_origin[0].abs() < 1.0 && near_origin[1].abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn assign_picks_nearest() {
+        let book = kmeans(&two_blob_data(), 2, 2, Distance::L2, 5, 7).unwrap();
+        let v = [10.0f32, 10.0];
+        let c = book.assign(&v);
+        let other = 1 - c;
+        assert!(
+            Distance::L2.eval(&v, book.centroid(c)) <= Distance::L2.eval(&v, book.centroid(other))
+        );
+    }
+
+    #[test]
+    fn distances_are_correct() {
+        assert_eq!(Distance::L1.eval(&[1.0, 2.0], &[3.0, 0.0]), 4.0);
+        assert_eq!(Distance::L2.eval(&[1.0, 2.0], &[3.0, 0.0]), 8.0);
+    }
+
+    #[test]
+    fn invalid_configs_error() {
+        assert!(kmeans(&[1.0], 0, 2, Distance::L2, 1, 0).is_err());
+        assert!(kmeans(&[1.0], 1, 0, Distance::L2, 1, 0).is_err());
+        assert!(kmeans(&[], 2, 2, Distance::L2, 1, 0).is_err());
+        assert!(kmeans(&[1.0, 2.0, 3.0], 2, 2, Distance::L2, 1, 0).is_err());
+    }
+
+    #[test]
+    fn kmeans_is_deterministic() {
+        let a = kmeans(&two_blob_data(), 2, 2, Distance::L2, 5, 9).unwrap();
+        let b = kmeans(&two_blob_data(), 2, 2, Distance::L2, 5, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,64 @@
+//! # pq — product-quantization baselines (PIM-DL, LUT-DLA)
+//!
+//! The paper compares LoCaLUT against two PQ-based LUT systems (§VI-A,
+//! Fig. 15, Fig. 16a):
+//!
+//! * **PIM-DL** (ASPLOS'24): approximates GEMM by product quantization —
+//!   activations are chunked into sub-vectors, each snapped to its nearest
+//!   learned centroid on the *host*, and the PIM banks add precomputed
+//!   centroid·weight partial dot products from a LUT.
+//! * **LUT-DLA** (HPCA'25): the same PQ idea in a dedicated accelerator,
+//!   with L1 and L2 centroid-distance variants.
+//!
+//! This crate implements the full algorithm (Lloyd's k-means codebook
+//! learning, centroid assignment, LUT construction, approximate GEMM) plus
+//! the cost model that produces PQ's characteristic Fig. 16(a) profile: a
+//! small PIM phase but a large host "Centroid Selection" phase.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod kmeans;
+pub mod pqgemm;
+
+pub use cost::PqCostModel;
+pub use kmeans::{kmeans, Codebook, Distance};
+pub use pqgemm::{PqConfig, PqEngine, PqVariant};
+
+/// Errors produced by the PQ baselines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PqError {
+    /// Shape error: `K` must be divisible by the sub-vector dimension.
+    IndivisibleK {
+        /// The inner dimension.
+        k: usize,
+        /// The sub-vector dimension.
+        sub_dim: usize,
+    },
+    /// Data length does not match the declared shape.
+    ShapeMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        actual: usize,
+    },
+    /// Invalid configuration (zero centroids, zero dimension, ...).
+    InvalidConfig(&'static str),
+}
+
+impl core::fmt::Display for PqError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PqError::IndivisibleK { k, sub_dim } => {
+                write!(f, "inner dimension {k} not divisible by sub-vector dim {sub_dim}")
+            }
+            PqError::ShapeMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape ({expected} expected)")
+            }
+            PqError::InvalidConfig(msg) => write!(f, "invalid PQ configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PqError {}

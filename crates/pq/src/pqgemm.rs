@@ -1,0 +1,334 @@
+//! PQ-approximate GEMM: the algorithmic core shared by PIM-DL and LUT-DLA.
+//!
+//! Setup (offline): split the `K` dimension into `K/d` subspaces; learn a
+//! `C`-centroid codebook per subspace from calibration activations; build
+//! per-subspace LUTs `table[c][m] = dot(centroid_c, W[m, subspace])`.
+//!
+//! Inference: the host snaps every activation sub-vector to its nearest
+//! centroid (the expensive "Centroid Selection" phase of Fig. 16a); the
+//! PIM/accelerator side adds `K/d` LUT entries per output element.
+
+use crate::kmeans::{kmeans, Codebook, Distance};
+use crate::PqError;
+
+/// Which published system a configuration models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PqVariant {
+    /// PIM-DL on UPMEM-class PIM.
+    PimDl,
+    /// LUT-DLA with L1 centroid distance.
+    LutDlaL1,
+    /// LUT-DLA with L2 centroid distance.
+    LutDlaL2,
+}
+
+impl PqVariant {
+    /// Display label used in Fig. 15.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PqVariant::PimDl => "PIM-DL",
+            PqVariant::LutDlaL1 => "LUT-DLA (L1)",
+            PqVariant::LutDlaL2 => "LUT-DLA (L2)",
+        }
+    }
+
+    /// The centroid distance metric the variant uses.
+    #[must_use]
+    pub fn distance(self) -> Distance {
+        match self {
+            PqVariant::LutDlaL1 => Distance::L1,
+            _ => Distance::L2,
+        }
+    }
+}
+
+/// PQ hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PqConfig {
+    /// Which system this models.
+    pub variant: PqVariant,
+    /// Sub-vector dimension `d`.
+    pub sub_dim: usize,
+    /// Centroids per subspace `C` (16 → 4-bit codes, the common setting).
+    pub n_centroids: usize,
+    /// k-means iterations for codebook learning.
+    pub kmeans_iters: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PqConfig {
+    /// The published default: `d = 8`, `C = 16` (4-bit codes).
+    #[must_use]
+    pub fn standard(variant: PqVariant) -> Self {
+        PqConfig {
+            variant,
+            sub_dim: 8,
+            n_centroids: 16,
+            kmeans_iters: 12,
+            seed: 1234,
+        }
+    }
+}
+
+/// A trained PQ engine for a fixed weight matrix.
+#[derive(Debug, Clone)]
+pub struct PqEngine {
+    cfg: PqConfig,
+    codebooks: Vec<Codebook>,
+    /// Per-subspace LUTs, `tables[j][c * m_rows + m]`.
+    tables: Vec<Vec<f32>>,
+    m_rows: usize,
+    k: usize,
+}
+
+impl PqEngine {
+    /// Trains codebooks on calibration activations (`k × calib_samples`,
+    /// row-major by K) and precomputes the centroid·weight LUTs for the
+    /// `m × k` weight matrix.
+    ///
+    /// # Errors
+    ///
+    /// Shape/configuration errors.
+    pub fn fit(
+        cfg: PqConfig,
+        weights: &[f32],
+        m: usize,
+        k: usize,
+        calib_activations: &[f32],
+        calib_samples: usize,
+    ) -> Result<Self, PqError> {
+        if weights.len() != m * k {
+            return Err(PqError::ShapeMismatch {
+                expected: m * k,
+                actual: weights.len(),
+            });
+        }
+        if calib_activations.len() != k * calib_samples {
+            return Err(PqError::ShapeMismatch {
+                expected: k * calib_samples,
+                actual: calib_activations.len(),
+            });
+        }
+        if !k.is_multiple_of(cfg.sub_dim) {
+            return Err(PqError::IndivisibleK {
+                k,
+                sub_dim: cfg.sub_dim,
+            });
+        }
+        let d = cfg.sub_dim;
+        let n_sub = k / d;
+        let mut codebooks = Vec::with_capacity(n_sub);
+        let mut tables = Vec::with_capacity(n_sub);
+        for j in 0..n_sub {
+            // Gather the j-th sub-vector of every calibration sample
+            // (activations are `k × samples`, column-per-sample).
+            let mut subs = Vec::with_capacity(calib_samples * d);
+            for s in 0..calib_samples {
+                for dd in 0..d {
+                    subs.push(calib_activations[(j * d + dd) * calib_samples + s]);
+                }
+            }
+            let book = kmeans(
+                &subs,
+                d,
+                cfg.n_centroids,
+                cfg.variant.distance(),
+                cfg.kmeans_iters,
+                cfg.seed.wrapping_add(j as u64),
+            )?;
+            // LUT: dot(centroid, weight sub-row) for every (centroid, row).
+            let mut table = vec![0.0f32; cfg.n_centroids * m];
+            for c in 0..cfg.n_centroids {
+                let cent = book.centroid(c);
+                for row in 0..m {
+                    let mut acc = 0.0f32;
+                    for dd in 0..d {
+                        acc += cent[dd] * weights[row * k + j * d + dd];
+                    }
+                    table[c * m + row] = acc;
+                }
+            }
+            codebooks.push(book);
+            tables.push(table);
+        }
+        Ok(PqEngine {
+            cfg,
+            codebooks,
+            tables,
+            m_rows: m,
+            k,
+        })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &PqConfig {
+        &self.cfg
+    }
+
+    /// Number of subspaces (`K / d`).
+    #[must_use]
+    pub fn n_subspaces(&self) -> usize {
+        self.codebooks.len()
+    }
+
+    /// Approximate GEMM: scores `m × n` (row-major) for activations
+    /// `k × n` (row-major by K).
+    ///
+    /// # Errors
+    ///
+    /// Shape errors.
+    pub fn gemm(&self, activations: &[f32], n: usize) -> Result<Vec<f32>, PqError> {
+        if activations.len() != self.k * n {
+            return Err(PqError::ShapeMismatch {
+                expected: self.k * n,
+                actual: activations.len(),
+            });
+        }
+        let d = self.cfg.sub_dim;
+        let mut out = vec![0.0f32; self.m_rows * n];
+        let mut sub = vec![0.0f32; d];
+        for s in 0..n {
+            for (j, book) in self.codebooks.iter().enumerate() {
+                for dd in 0..d {
+                    sub[dd] = activations[(j * d + dd) * n + s];
+                }
+                // Host: centroid selection.
+                let c = book.assign(&sub);
+                // PIM: table adds.
+                let table = &self.tables[j];
+                for row in 0..self.m_rows {
+                    out[row * n + s] += table[c * self.m_rows + row];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Host centroid-selection scalar ops for an `n`-sample batch:
+    /// `n · (K/d) · C · d` distance terms (each ~2 ops).
+    #[must_use]
+    pub fn centroid_selection_ops(&self, n: usize) -> u64 {
+        2 * n as u64
+            * self.n_subspaces() as u64
+            * self.cfg.n_centroids as u64
+            * self.cfg.sub_dim as u64
+    }
+
+    /// PIM-side table-add operations for an `n`-sample batch:
+    /// `M · n · (K/d)`.
+    #[must_use]
+    pub fn pim_adds(&self, n: usize) -> u64 {
+        self.m_rows as u64 * n as u64 * self.n_subspaces() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.random_range(-1.0f32..1.0)).collect()
+    }
+
+    fn exact_gemm(w: &[f32], a: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for row in 0..m {
+            for s in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += w[row * k + kk] * a[kk * n + s];
+                }
+                out[row * n + s] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn pq_gemm_approximates_exact_gemm() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (m, k, n) = (6, 32, 40);
+        let w = random_matrix(&mut rng, m * k);
+        let a = random_matrix(&mut rng, k * n);
+        for variant in [PqVariant::PimDl, PqVariant::LutDlaL1, PqVariant::LutDlaL2] {
+            let engine = PqEngine::fit(PqConfig::standard(variant), &w, m, k, &a, n).unwrap();
+            let approx = engine.gemm(&a, n).unwrap();
+            let exact = exact_gemm(&w, &a, m, k, n);
+            // Relative RMS error must be bounded (PQ is lossy but sane).
+            let rms_err: f32 = approx
+                .iter()
+                .zip(&exact)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt();
+            let rms: f32 = exact.iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!(
+                rms_err / rms < 0.8,
+                "{variant:?}: relative error {} too large",
+                rms_err / rms
+            );
+        }
+    }
+
+    #[test]
+    fn more_centroids_reduce_error() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (m, k, n) = (4, 16, 64);
+        let w = random_matrix(&mut rng, m * k);
+        let a = random_matrix(&mut rng, k * n);
+        let exact = exact_gemm(&w, &a, m, k, n);
+        let err_for = |c: usize| {
+            let cfg = PqConfig {
+                n_centroids: c,
+                ..PqConfig::standard(PqVariant::PimDl)
+            };
+            let engine = PqEngine::fit(cfg, &w, m, k, &a, n).unwrap();
+            let approx = engine.gemm(&a, n).unwrap();
+            approx
+                .iter()
+                .zip(&exact)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+        };
+        assert!(err_for(32) < err_for(2));
+    }
+
+    #[test]
+    fn op_counts_match_formulas() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (m, k, n) = (8, 32, 10);
+        let w = random_matrix(&mut rng, m * k);
+        let a = random_matrix(&mut rng, k * n);
+        let engine =
+            PqEngine::fit(PqConfig::standard(PqVariant::PimDl), &w, m, k, &a, n).unwrap();
+        assert_eq!(engine.n_subspaces(), 4);
+        assert_eq!(engine.centroid_selection_ops(10), 2 * 10 * 4 * 16 * 8);
+        assert_eq!(engine.pim_adds(10), 8 * 10 * 4);
+    }
+
+    #[test]
+    fn indivisible_k_rejected() {
+        let err = PqEngine::fit(
+            PqConfig::standard(PqVariant::PimDl),
+            &vec![0.0; 5 * 30],
+            5,
+            30,
+            &vec![0.0; 30 * 4],
+            4,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PqError::IndivisibleK { .. }));
+    }
+
+    #[test]
+    fn variant_labels_and_distances() {
+        assert_eq!(PqVariant::PimDl.label(), "PIM-DL");
+        assert_eq!(PqVariant::LutDlaL1.distance(), Distance::L1);
+        assert_eq!(PqVariant::LutDlaL2.distance(), Distance::L2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-channel (per-output-row) weight quantization.
+//!
+//! The paper's quantization recipes (BinaryBERT, KDLSQ-BERT, Q-ViT,
+//! OmniQuant) quantize weights per output channel: each weight row gets its
+//! own scale, which costs nothing at inference time — LUT kernels operate
+//! on codes, and the per-row scale multiplies the accumulated integer
+//! output during dequantization. This module provides the per-channel
+//! quantizer and the dequantization helper for GEMM outputs.
+
+use crate::formats::NumericFormat;
+use crate::scheme::Quantizer;
+use crate::tensor::QMatrix;
+use crate::QuantError;
+
+/// A per-row-scaled quantized matrix: codes plus one scale per row.
+///
+/// The codes are stored in an ordinary [`QMatrix`] whose global scale is 1;
+/// `row_scales[r]` dequantizes row `r`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelQMatrix {
+    codes: QMatrix,
+    row_scales: Vec<f32>,
+}
+
+impl ChannelQMatrix {
+    /// Quantizes a row-major `rows × cols` matrix with one scale per row.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::ShapeMismatch`] when `data.len() != rows * cols`.
+    pub fn quantize(
+        data: &[f32],
+        rows: usize,
+        cols: usize,
+        format: NumericFormat,
+    ) -> Result<Self, QuantError> {
+        if data.len() != rows * cols {
+            return Err(QuantError::ShapeMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        let q = Quantizer::symmetric(format);
+        let mut codes = Vec::with_capacity(rows * cols);
+        let mut row_scales = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &data[r * cols..(r + 1) * cols];
+            let scale = q.scale_for(row);
+            row_scales.push(scale);
+            codes.extend(
+                row.iter()
+                    .map(|&x| format.encode_nearest_f32(x / scale) as u16),
+            );
+        }
+        Ok(ChannelQMatrix {
+            codes: QMatrix::from_codes(codes, rows, cols, format, 1.0)?,
+            row_scales,
+        })
+    }
+
+    /// The code matrix (usable by every LUT kernel; its global scale is 1).
+    #[must_use]
+    pub fn codes(&self) -> &QMatrix {
+        &self.codes
+    }
+
+    /// The per-row scales.
+    #[must_use]
+    pub fn row_scales(&self) -> &[f32] {
+        &self.row_scales
+    }
+
+    /// Dequantizes the matrix itself.
+    #[must_use]
+    pub fn dequantize(&self) -> Vec<f32> {
+        let cols = self.codes.cols();
+        let format = self.codes.format();
+        self.codes
+            .codes()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| format.decode_f32(u32::from(c)) * self.row_scales[i / cols])
+            .collect()
+    }
+
+    /// Dequantizes an integer GEMM output `self × A` (row-major `rows × n`)
+    /// produced from this matrix's codes and an activation matrix with
+    /// per-tensor scale `act_scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `output.len() != rows * n`.
+    #[must_use]
+    pub fn dequantize_gemm_output(&self, output: &[i32], n: usize, act_scale: f32) -> Vec<f32> {
+        assert_eq!(output.len(), self.row_scales.len() * n, "output shape mismatch");
+        output
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v as f32 * self.row_scales[i / n] * act_scale)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_channel_handles_disparate_row_magnitudes() {
+        // Row 0 is tiny, row 1 is huge: per-tensor quantization would
+        // crush row 0 to zero at 4 bits; per-channel preserves it.
+        let data = vec![0.01, -0.02, 0.015, 100.0, -80.0, 60.0];
+        let per_tensor = Quantizer::symmetric(NumericFormat::Int(4))
+            .quantize_matrix(&data, 2, 3)
+            .unwrap();
+        let per_channel = ChannelQMatrix::quantize(&data, 2, 3, NumericFormat::Int(4)).unwrap();
+
+        let pt = per_tensor.dequantize();
+        let pc = per_channel.dequantize();
+        let err = |back: &[f32]| -> f32 {
+            data.iter().zip(back).map(|(a, b)| (a - b).powi(2)).sum::<f32>()
+        };
+        // Never worse overall, and the tiny row — which per-tensor
+        // quantization crushes to zero — survives per-channel.
+        assert!(err(&pc) <= err(&pt) + 1e-9);
+        let row0_err_pc: f32 = (0..3).map(|i| (data[i] - pc[i]).powi(2)).sum();
+        let row0_err_pt: f32 = (0..3).map(|i| (data[i] - pt[i]).powi(2)).sum();
+        assert!(row0_err_pc < row0_err_pt * 0.1, "{row0_err_pc} vs {row0_err_pt}");
+        assert!(pc[0].abs() > 0.005, "row 0 crushed: {:?}", &pc[..3]);
+        assert_eq!(pt[0], 0.0, "per-tensor is expected to crush row 0");
+    }
+
+    #[test]
+    fn gemm_output_dequantization() {
+        let data = vec![1.0, -1.0, 10.0, -10.0]; // 2x2, very different rows
+        let w = ChannelQMatrix::quantize(&data, 2, 2, NumericFormat::Int(4)).unwrap();
+        // Integer GEMM output against an identity-ish activation (scale 0.5).
+        let raw = vec![7, -7, 7, -7];
+        let deq = w.dequantize_gemm_output(&raw, 2, 0.5);
+        // Row 1's scale is 10x row 0's.
+        assert!((deq[2] / deq[0] - 10.0).abs() < 0.5, "{deq:?}");
+    }
+
+    #[test]
+    fn codes_matrix_is_kernel_compatible() {
+        let data = vec![0.5, -0.5, 0.25, 2.0, -2.0, 1.0];
+        let w = ChannelQMatrix::quantize(&data, 2, 3, NumericFormat::Int(3)).unwrap();
+        assert_eq!(w.codes().rows(), 2);
+        assert_eq!(w.codes().cols(), 3);
+        assert_eq!(w.codes().scale(), 1.0);
+        assert_eq!(w.row_scales().len(), 2);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        assert!(matches!(
+            ChannelQMatrix::quantize(&[1.0; 5], 2, 3, NumericFormat::Int(4)),
+            Err(QuantError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape mismatch")]
+    fn output_shape_mismatch_panics() {
+        let w = ChannelQMatrix::quantize(&[1.0; 4], 2, 2, NumericFormat::Int(4)).unwrap();
+        let _ = w.dequantize_gemm_output(&[1, 2, 3], 2, 1.0);
+    }
+}

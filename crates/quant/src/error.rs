@@ -1,0 +1,45 @@
+//! Error type for the quantization crate.
+
+use core::fmt;
+
+/// Errors produced by quantization operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// A bitwidth outside the supported 1..=16 range was requested.
+    UnsupportedBits(u8),
+    /// A `WxAy` string could not be parsed.
+    ParseConfig(String),
+    /// Matrix data length did not match `rows * cols`.
+    ShapeMismatch {
+        /// Expected element count (`rows * cols`).
+        expected: usize,
+        /// Actual data length.
+        actual: usize,
+    },
+    /// A code outside the format's code space was supplied.
+    CodeOutOfRange {
+        /// The offending code.
+        code: u32,
+        /// Number of valid codes for the format.
+        space: u32,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::UnsupportedBits(b) => {
+                write!(f, "unsupported bitwidth {b}, expected 1..=16")
+            }
+            QuantError::ParseConfig(s) => write!(f, "invalid WxAy config string '{s}'"),
+            QuantError::ShapeMismatch { expected, actual } => {
+                write!(f, "matrix data length {actual} does not match shape ({expected} expected)")
+            }
+            QuantError::CodeOutOfRange { code, space } => {
+                write!(f, "code {code} outside format code space of {space}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}

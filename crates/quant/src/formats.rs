@@ -1,0 +1,400 @@
+//! Numeric formats: the code ↔ value mappings behind every LUT.
+//!
+//! A format with `b` bits has a code space of `2^b` codewords. LUT-based
+//! compute is format-agnostic in *structure* (entry counts depend only on
+//! `b`, §VI-K: "the LUT entry count depends solely on input bitwidth rather
+//! than numerical format") and format-specific in *contents* (the decoded
+//! values).
+//!
+//! Integer formats decode exactly to `i32` so that integer GEMM through the
+//! LUTs is bit-exact against a reference implementation; floating-point
+//! formats decode to `f32`.
+
+use crate::QuantError;
+
+/// A numeric format: how `b`-bit codewords map to values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NumericFormat {
+    /// Two's-complement signed integer with the given bitwidth (2..=16).
+    /// Codes `0..2^(b-1)` are non-negative, the rest wrap negative.
+    Int(u8),
+    /// Unsigned integer with the given bitwidth (1..=16).
+    Uint(u8),
+    /// Bipolar 1-bit format: code 0 → −1, code 1 → +1 (binary weight
+    /// networks; the paper's W1 configs follow BinaryBERT).
+    Bipolar,
+    /// 4-bit floating point, e2m1 with exponent bias 1 (the FP4 of
+    /// LLM-FP4 / MX-compliant e2m1): ±{0, 0.5, 1, 1.5, 2, 3, 4, 6}.
+    Fp4,
+    /// 8-bit floating point, e4m3 (OCP FP8), finite values only — the
+    /// NaN codes (exp all-ones, mantissa all-ones) decode to the maximum
+    /// magnitude ±448 to keep LUT contents total.
+    Fp8,
+    /// IEEE 754 half precision (16 bits). Infinities/NaNs saturate to
+    /// ±65504 so LUT entries stay finite.
+    Fp16,
+}
+
+impl NumericFormat {
+    /// Bit width of the format's codes.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        match self {
+            NumericFormat::Int(b) | NumericFormat::Uint(b) => b,
+            NumericFormat::Bipolar => 1,
+            NumericFormat::Fp4 => 4,
+            NumericFormat::Fp8 => 8,
+            NumericFormat::Fp16 => 16,
+        }
+    }
+
+    /// Number of codewords, `2^bits`.
+    #[must_use]
+    pub fn code_space(self) -> u32 {
+        1u32 << self.bits()
+    }
+
+    /// Whether the format decodes exactly to integers.
+    #[must_use]
+    pub fn is_integer(self) -> bool {
+        matches!(
+            self,
+            NumericFormat::Int(_) | NumericFormat::Uint(_) | NumericFormat::Bipolar
+        )
+    }
+
+    /// Validates the format parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::UnsupportedBits`] for `Int` outside 2..=16 or `Uint`
+    /// outside 1..=16.
+    pub fn validate(self) -> Result<(), QuantError> {
+        match self {
+            NumericFormat::Int(b) if !(2..=16).contains(&b) => Err(QuantError::UnsupportedBits(b)),
+            NumericFormat::Uint(b) if !(1..=16).contains(&b) => {
+                Err(QuantError::UnsupportedBits(b))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The default format the paper uses for a `b`-bit operand: bipolar for
+    /// 1 bit, two's-complement otherwise.
+    #[must_use]
+    pub fn default_int(bits: u8) -> Self {
+        if bits == 1 {
+            NumericFormat::Bipolar
+        } else {
+            NumericFormat::Int(bits)
+        }
+    }
+
+    /// Decodes a codeword to an exact integer value.
+    ///
+    /// Returns `None` for floating-point formats.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when `code` is outside the code space.
+    #[must_use]
+    pub fn decode_int(self, code: u32) -> Option<i32> {
+        debug_assert!(code < self.code_space(), "code {code} out of range");
+        match self {
+            NumericFormat::Int(b) => {
+                let half = 1u32 << (b - 1);
+                if code < half {
+                    Some(code as i32)
+                } else {
+                    Some(code as i32 - (1i32 << b))
+                }
+            }
+            NumericFormat::Uint(_) => Some(code as i32),
+            NumericFormat::Bipolar => Some(if code == 0 { -1 } else { 1 }),
+            _ => None,
+        }
+    }
+
+    /// Decodes a codeword to an `f32` value (works for every format).
+    #[must_use]
+    pub fn decode_f32(self, code: u32) -> f32 {
+        debug_assert!(code < self.code_space(), "code {code} out of range");
+        match self {
+            NumericFormat::Int(_) | NumericFormat::Uint(_) | NumericFormat::Bipolar => {
+                self.decode_int(code).expect("integer format") as f32
+            }
+            NumericFormat::Fp4 => decode_fp4(code as u8),
+            NumericFormat::Fp8 => decode_fp8(code as u8),
+            NumericFormat::Fp16 => decode_fp16(code as u16),
+        }
+    }
+
+    /// Largest representable magnitude.
+    #[must_use]
+    pub fn max_abs(self) -> f32 {
+        match self {
+            NumericFormat::Int(b) => (1i32 << (b - 1)) as f32, // |-2^(b-1)|
+            NumericFormat::Uint(b) => ((1u32 << b) - 1) as f32,
+            NumericFormat::Bipolar => 1.0,
+            NumericFormat::Fp4 => 6.0,
+            NumericFormat::Fp8 => 448.0,
+            NumericFormat::Fp16 => 65504.0,
+        }
+    }
+
+    /// Largest magnitude used as the positive clipping point during
+    /// symmetric quantization (for `Int` this is `2^(b-1) - 1` so the code
+    /// space stays symmetric).
+    #[must_use]
+    pub fn quant_max(self) -> f32 {
+        match self {
+            NumericFormat::Int(b) => ((1i32 << (b - 1)) - 1) as f32,
+            other => other.max_abs(),
+        }
+    }
+
+    /// Encodes an exact integer value into its codeword.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::CodeOutOfRange`] when the value is not representable,
+    /// or when called on a floating-point format.
+    pub fn encode_int(self, value: i32) -> Result<u32, QuantError> {
+        let space = self.code_space();
+        match self {
+            NumericFormat::Int(b) => {
+                let half = 1i32 << (b - 1);
+                if (-half..half).contains(&value) {
+                    Ok((value.rem_euclid(1i32 << b)) as u32)
+                } else {
+                    Err(QuantError::CodeOutOfRange {
+                        code: value.unsigned_abs(),
+                        space,
+                    })
+                }
+            }
+            NumericFormat::Uint(_) => {
+                if value >= 0 && (value as u32) < space {
+                    Ok(value as u32)
+                } else {
+                    Err(QuantError::CodeOutOfRange {
+                        code: value.unsigned_abs(),
+                        space,
+                    })
+                }
+            }
+            NumericFormat::Bipolar => match value {
+                -1 => Ok(0),
+                1 => Ok(1),
+                _ => Err(QuantError::CodeOutOfRange {
+                    code: value.unsigned_abs(),
+                    space,
+                }),
+            },
+            _ => Err(QuantError::CodeOutOfRange {
+                code: value.unsigned_abs(),
+                space,
+            }),
+        }
+    }
+
+    /// Encodes an `f32` to the nearest representable codeword (used for
+    /// floating-point formats; integer formats round to nearest integer
+    /// and clamp).
+    #[must_use]
+    pub fn encode_nearest_f32(self, value: f32) -> u32 {
+        match self {
+            NumericFormat::Int(b) => {
+                let half = 1i32 << (b - 1);
+                let v = value.round().clamp(-(half as f32) + 1.0, half as f32 - 1.0) as i32;
+                (v.rem_euclid(1i32 << b)) as u32
+            }
+            NumericFormat::Uint(b) => {
+                let max = (1u32 << b) - 1;
+                value.round().clamp(0.0, max as f32) as u32
+            }
+            NumericFormat::Bipolar => u32::from(value >= 0.0),
+            NumericFormat::Fp4 | NumericFormat::Fp8 | NumericFormat::Fp16 => {
+                // Small code spaces: nearest-value scan is exact and simple.
+                // Fp16's 65536 codes are still cheap enough for quantization
+                // (done once per tensor offline).
+                let mut best = 0u32;
+                let mut best_err = f32::INFINITY;
+                for code in 0..self.code_space() {
+                    let err = (self.decode_f32(code) - value).abs();
+                    if err < best_err {
+                        best_err = err;
+                        best = code;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+/// FP4 e2m1 (bias 1): s eem. Subnormal (e=0): ±0, ±0.5.
+fn decode_fp4(code: u8) -> f32 {
+    let sign = if code & 0b1000 != 0 { -1.0 } else { 1.0 };
+    let exp = (code >> 1) & 0b11;
+    let man = code & 1;
+    let mag = if exp == 0 {
+        0.5 * f32::from(man)
+    } else {
+        (1.0 + 0.5 * f32::from(man)) * 2f32.powi(i32::from(exp) - 1)
+    };
+    sign * mag
+}
+
+/// FP8 e4m3 (OCP, bias 7). NaN codes decode to ±448 to keep LUTs total.
+fn decode_fp8(code: u8) -> f32 {
+    let sign = if code & 0x80 != 0 { -1.0 } else { 1.0 };
+    let exp = (code >> 3) & 0x0F;
+    let man = code & 0x07;
+    if exp == 0x0F && man == 0x07 {
+        return sign * 448.0; // NaN encoding → saturate
+    }
+    let mag = if exp == 0 {
+        f32::from(man) / 8.0 * 2f32.powi(-6)
+    } else {
+        (1.0 + f32::from(man) / 8.0) * 2f32.powi(i32::from(exp) - 7)
+    };
+    sign * mag
+}
+
+/// IEEE half precision; infinities/NaNs saturate to ±65504.
+fn decode_fp16(code: u16) -> f32 {
+    let sign = if code & 0x8000 != 0 { -1.0f32 } else { 1.0 };
+    let exp = (code >> 10) & 0x1F;
+    let man = code & 0x3FF;
+    if exp == 0x1F {
+        return sign * 65504.0; // inf/NaN → saturate
+    }
+    let mag = if exp == 0 {
+        f32::from(man) / 1024.0 * 2f32.powi(-14)
+    } else {
+        (1.0 + f32::from(man) / 1024.0) * 2f32.powi(i32::from(exp) - 15)
+    };
+    sign * mag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_decode_two_complement() {
+        let f = NumericFormat::Int(3);
+        let values: Vec<i32> = (0..8).map(|c| f.decode_int(c).unwrap()).collect();
+        assert_eq!(values, vec![0, 1, 2, 3, -4, -3, -2, -1]);
+    }
+
+    #[test]
+    fn int_encode_roundtrip() {
+        let f = NumericFormat::Int(4);
+        for v in -8..8 {
+            let code = f.encode_int(v).unwrap();
+            assert_eq!(f.decode_int(code), Some(v));
+        }
+        assert!(f.encode_int(8).is_err());
+        assert!(f.encode_int(-9).is_err());
+    }
+
+    #[test]
+    fn bipolar_is_plus_minus_one() {
+        let f = NumericFormat::Bipolar;
+        assert_eq!(f.decode_int(0), Some(-1));
+        assert_eq!(f.decode_int(1), Some(1));
+        assert_eq!(f.encode_int(-1).unwrap(), 0);
+        assert_eq!(f.encode_int(1).unwrap(), 1);
+        assert!(f.encode_int(0).is_err());
+    }
+
+    #[test]
+    fn uint_decode() {
+        let f = NumericFormat::Uint(2);
+        let values: Vec<i32> = (0..4).map(|c| f.decode_int(c).unwrap()).collect();
+        assert_eq!(values, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn default_int_uses_bipolar_for_one_bit() {
+        assert_eq!(NumericFormat::default_int(1), NumericFormat::Bipolar);
+        assert_eq!(NumericFormat::default_int(3), NumericFormat::Int(3));
+    }
+
+    #[test]
+    fn fp4_values_match_e2m1_table() {
+        let f = NumericFormat::Fp4;
+        let pos: Vec<f32> = (0..8).map(|c| f.decode_f32(c)).collect();
+        assert_eq!(pos, vec![0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0]);
+        assert_eq!(f.decode_f32(0b1110), -4.0);
+        assert_eq!(f.max_abs(), 6.0);
+    }
+
+    #[test]
+    fn fp8_known_values() {
+        let f = NumericFormat::Fp8;
+        // 0x00 → +0, 0x38 → 1.0 (exp=7, man=0), 0x7F → NaN→448.
+        assert_eq!(f.decode_f32(0x00), 0.0);
+        assert_eq!(f.decode_f32(0x38), 1.0);
+        assert_eq!(f.decode_f32(0x7F), 448.0);
+        assert_eq!(f.decode_f32(0xFF), -448.0);
+        // Largest normal: 0x7E = 448.
+        assert_eq!(f.decode_f32(0x7E), 448.0);
+        // Smallest subnormal: 2^-9.
+        assert!((f.decode_f32(0x01) - 2f32.powi(-9)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fp16_known_values() {
+        let f = NumericFormat::Fp16;
+        assert_eq!(f.decode_f32(0x0000), 0.0);
+        assert_eq!(f.decode_f32(0x3C00), 1.0);
+        assert_eq!(f.decode_f32(0xC000), -2.0);
+        assert_eq!(f.decode_f32(0x7BFF), 65504.0);
+        // Inf saturates.
+        assert_eq!(f.decode_f32(0x7C00), 65504.0);
+    }
+
+    #[test]
+    fn encode_nearest_f32_picks_closest() {
+        let f = NumericFormat::Fp4;
+        assert_eq!(f.decode_f32(f.encode_nearest_f32(5.4)), 6.0);
+        assert_eq!(f.decode_f32(f.encode_nearest_f32(2.4)), 2.0);
+        assert_eq!(f.decode_f32(f.encode_nearest_f32(-0.6)), -0.5);
+        let i = NumericFormat::Int(3);
+        assert_eq!(i.decode_int(i.encode_nearest_f32(9.0)), Some(3));
+        assert_eq!(i.decode_int(i.encode_nearest_f32(-9.0)), Some(-3));
+    }
+
+    #[test]
+    fn validate_rejects_bad_bits() {
+        assert!(NumericFormat::Int(1).validate().is_err());
+        assert!(NumericFormat::Int(17).validate().is_err());
+        assert!(NumericFormat::Uint(0).validate().is_err());
+        assert!(NumericFormat::Int(8).validate().is_ok());
+        assert!(NumericFormat::Fp4.validate().is_ok());
+    }
+
+    #[test]
+    fn code_space_matches_bits() {
+        assert_eq!(NumericFormat::Int(3).code_space(), 8);
+        assert_eq!(NumericFormat::Bipolar.code_space(), 2);
+        assert_eq!(NumericFormat::Fp16.code_space(), 65536);
+    }
+
+    #[test]
+    fn is_integer_flags() {
+        assert!(NumericFormat::Int(4).is_integer());
+        assert!(NumericFormat::Bipolar.is_integer());
+        assert!(!NumericFormat::Fp8.is_integer());
+    }
+
+    #[test]
+    fn quant_max_symmetric_for_int() {
+        assert_eq!(NumericFormat::Int(4).quant_max(), 7.0);
+        assert_eq!(NumericFormat::Int(2).quant_max(), 1.0);
+        assert_eq!(NumericFormat::Bipolar.quant_max(), 1.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # quant — low-bit numeric formats and quantizers
+//!
+//! LoCaLUT targets low-bit quantized DNN inference (W1A3, W1A4, W2A2, W4A4
+//! for the integer experiments; FP4/FP8/FP16 for §VI-K). LUTs treat numbers
+//! as *symbols*: the LUT entry count depends only on the bitwidth, while the
+//! decoded values determine the entry contents. This crate provides:
+//!
+//! * [`NumericFormat`] — the code ↔ value mapping for every format the
+//!   paper uses (two's-complement ints, bipolar 1-bit weights, FP4 e2m1,
+//!   FP8 e4m3, FP16).
+//! * [`BitConfig`] — a `WxAy` weight/activation bitwidth pair.
+//! * [`Quantizer`] — symmetric per-tensor quantization of f32 data into
+//!   codes, and dequantization back.
+//! * [`QMatrix`] — a quantized matrix of codes with its scale, the input
+//!   type of every GEMM kernel in the `localut` crate.
+//!
+//! ## Example
+//!
+//! ```
+//! use quant::{BitConfig, NumericFormat, Quantizer, QMatrix};
+//!
+//! let cfg: BitConfig = "W1A3".parse()?;
+//! assert_eq!(cfg.bw, 1);
+//! assert_eq!(cfg.ba, 3);
+//!
+//! let data = vec![0.9, -0.4, 0.1, -0.8];
+//! let q = Quantizer::symmetric(NumericFormat::Int(3));
+//! let m = q.quantize_matrix(&data, 2, 2)?;
+//! let back = m.dequantize();
+//! assert_eq!(back.len(), 4);
+//! # Ok::<(), quant::QuantError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod error;
+pub mod formats;
+pub mod scheme;
+pub mod tensor;
+
+pub use channel::ChannelQMatrix;
+pub use error::QuantError;
+pub use formats::NumericFormat;
+pub use scheme::{BitConfig, Quantizer};
+pub use tensor::QMatrix;

@@ -1,0 +1,242 @@
+//! Quantization schemes: `WxAy` bit configurations and the symmetric
+//! per-tensor quantizer used by the paper's workloads.
+
+use crate::formats::NumericFormat;
+use crate::tensor::QMatrix;
+use crate::QuantError;
+use core::fmt;
+use core::str::FromStr;
+
+/// A weight/activation bitwidth pair, e.g. `W1A3`.
+///
+/// The paper evaluates W1A3, W1A4, W2A2 and W4A4 for the integer
+/// experiments (§VI-A) and quantized floating-point variants in §VI-K.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitConfig {
+    /// Weight bitwidth.
+    pub bw: u8,
+    /// Activation bitwidth.
+    pub ba: u8,
+}
+
+impl BitConfig {
+    /// Creates a config, validating both bitwidths (1..=16).
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::UnsupportedBits`] when a bitwidth is out of range.
+    pub fn new(bw: u8, ba: u8) -> Result<Self, QuantError> {
+        if !(1..=16).contains(&bw) {
+            return Err(QuantError::UnsupportedBits(bw));
+        }
+        if !(1..=16).contains(&ba) {
+            return Err(QuantError::UnsupportedBits(ba));
+        }
+        Ok(BitConfig { bw, ba })
+    }
+
+    /// The four integer configs of the paper's main evaluation.
+    #[must_use]
+    pub fn paper_integer_configs() -> [BitConfig; 4] {
+        [
+            BitConfig { bw: 1, ba: 3 },
+            BitConfig { bw: 1, ba: 4 },
+            BitConfig { bw: 2, ba: 2 },
+            BitConfig { bw: 4, ba: 4 },
+        ]
+    }
+
+    /// Default weight format for this config (bipolar at 1 bit).
+    #[must_use]
+    pub fn weight_format(&self) -> NumericFormat {
+        NumericFormat::default_int(self.bw)
+    }
+
+    /// Default activation format for this config.
+    #[must_use]
+    pub fn activation_format(&self) -> NumericFormat {
+        NumericFormat::default_int(self.ba)
+    }
+}
+
+impl fmt::Display for BitConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W{}A{}", self.bw, self.ba)
+    }
+}
+
+impl FromStr for BitConfig {
+    type Err = QuantError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || QuantError::ParseConfig(s.to_owned());
+        let rest = s.strip_prefix(['W', 'w']).ok_or_else(err)?;
+        let a_pos = rest.find(['A', 'a']).ok_or_else(err)?;
+        let bw: u8 = rest[..a_pos].parse().map_err(|_| err())?;
+        let ba: u8 = rest[a_pos + 1..].parse().map_err(|_| err())?;
+        BitConfig::new(bw, ba)
+    }
+}
+
+/// A symmetric per-tensor quantizer for a given [`NumericFormat`].
+///
+/// For integer formats: `scale = max|x| / quant_max`, `code =
+/// round(x / scale)` clamped to the symmetric range. For floating-point
+/// formats the same scale maps data into the format's representable range
+/// and each value rounds to the nearest representable codeword.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    format: NumericFormat,
+}
+
+impl Quantizer {
+    /// Creates a symmetric quantizer for `format`.
+    #[must_use]
+    pub fn symmetric(format: NumericFormat) -> Self {
+        Quantizer { format }
+    }
+
+    /// The target format.
+    #[must_use]
+    pub fn format(&self) -> NumericFormat {
+        self.format
+    }
+
+    /// Computes the per-tensor scale for `data` (1.0 for empty/all-zero
+    /// tensors so dequantization stays well-defined).
+    ///
+    /// Bipolar (1-bit) tensors use the mean absolute value as the scale —
+    /// the XNOR-Net/BinaryBERT estimator, which minimizes the L2 error of
+    /// `sign(x) * scale`; all other formats use symmetric max scaling.
+    #[must_use]
+    pub fn scale_for(&self, data: &[f32]) -> f32 {
+        if data.is_empty() {
+            return 1.0;
+        }
+        let scale = if self.format == NumericFormat::Bipolar {
+            data.iter().map(|x| x.abs()).sum::<f32>() / data.len() as f32
+        } else {
+            let max_abs = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            max_abs / self.format.quant_max()
+        };
+        if scale == 0.0 {
+            1.0
+        } else {
+            scale
+        }
+    }
+
+    /// Quantizes a row-major `rows × cols` matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::ShapeMismatch`] when `data.len() != rows * cols`.
+    pub fn quantize_matrix(
+        &self,
+        data: &[f32],
+        rows: usize,
+        cols: usize,
+    ) -> Result<QMatrix, QuantError> {
+        if data.len() != rows * cols {
+            return Err(QuantError::ShapeMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        let scale = self.scale_for(data);
+        let codes = data
+            .iter()
+            .map(|&x| self.format.encode_nearest_f32(x / scale) as u16)
+            .collect();
+        QMatrix::from_codes(codes, rows, cols, self.format, scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["W1A3", "W1A4", "W2A2", "W4A4", "W1A16"] {
+            let cfg: BitConfig = s.parse().unwrap();
+            assert_eq!(cfg.to_string(), s);
+        }
+        let cfg: BitConfig = "w2a8".parse().unwrap();
+        assert_eq!(cfg, BitConfig::new(2, 8).unwrap());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "W1", "A3", "WxAy", "W0A3", "W1A0", "W17A3", "1A3"] {
+            assert!(s.parse::<BitConfig>().is_err(), "should reject '{s}'");
+        }
+    }
+
+    #[test]
+    fn paper_configs_are_four() {
+        let cfgs = BitConfig::paper_integer_configs();
+        assert_eq!(cfgs.len(), 4);
+        assert_eq!(cfgs[0].to_string(), "W1A3");
+        assert_eq!(cfgs[3].to_string(), "W4A4");
+    }
+
+    #[test]
+    fn weight_format_is_bipolar_at_one_bit() {
+        let cfg: BitConfig = "W1A3".parse().unwrap();
+        assert_eq!(cfg.weight_format(), NumericFormat::Bipolar);
+        assert_eq!(cfg.activation_format(), NumericFormat::Int(3));
+    }
+
+    #[test]
+    fn symmetric_quantization_preserves_extremes() {
+        let q = Quantizer::symmetric(NumericFormat::Int(4));
+        let data = vec![7.0, -7.0, 0.0, 3.5];
+        let m = q.quantize_matrix(&data, 2, 2).unwrap();
+        let back = m.dequantize();
+        assert!((back[0] - 7.0).abs() < 1e-6);
+        assert!((back[1] + 7.0).abs() < 1e-6);
+        assert!((back[2]).abs() < 1e-6);
+        // 3.5 / scale(=1.0) rounds to 4.
+        assert!((back[3] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantize_shape_mismatch() {
+        let q = Quantizer::symmetric(NumericFormat::Int(4));
+        let err = q.quantize_matrix(&[1.0, 2.0], 2, 2).unwrap_err();
+        assert!(matches!(err, QuantError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn all_zero_tensor_has_unit_scale() {
+        let q = Quantizer::symmetric(NumericFormat::Int(3));
+        assert_eq!(q.scale_for(&[0.0, 0.0]), 1.0);
+        assert_eq!(q.scale_for(&[]), 1.0);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_step() {
+        let q = Quantizer::symmetric(NumericFormat::Int(8));
+        let data: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.13).collect();
+        let m = q.quantize_matrix(&data, 10, 10).unwrap();
+        let back = m.dequantize();
+        let scale = q.scale_for(&data);
+        for (orig, deq) in data.iter().zip(&back) {
+            assert!(
+                (orig - deq).abs() <= scale * 0.5 + 1e-6,
+                "error beyond half-step: {orig} vs {deq}"
+            );
+        }
+    }
+
+    #[test]
+    fn bipolar_quantization_uses_sign() {
+        let q = Quantizer::symmetric(NumericFormat::Bipolar);
+        let m = q.quantize_matrix(&[0.3, -0.7, 0.0, -0.1], 2, 2).unwrap();
+        let vals: Vec<i32> = m.codes().iter().map(|&c| {
+            NumericFormat::Bipolar.decode_int(u32::from(c)).unwrap()
+        }).collect();
+        assert_eq!(vals, vec![1, -1, 1, -1]);
+    }
+}

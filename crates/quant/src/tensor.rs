@@ -1,0 +1,214 @@
+//! Quantized matrices: the code-level view of weights and activations that
+//! every LUT kernel consumes.
+
+use crate::formats::NumericFormat;
+use crate::QuantError;
+
+/// A row-major quantized matrix: codewords + format + per-tensor scale.
+///
+/// Codes are stored as `u16` (formats up to 16 bits). The GEMM kernels in
+/// the `localut` crate operate directly on codes; dequantization multiplies
+/// decoded values by `scale`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QMatrix {
+    codes: Vec<u16>,
+    rows: usize,
+    cols: usize,
+    format: NumericFormat,
+    scale: f32,
+}
+
+impl QMatrix {
+    /// Builds a matrix from raw codes.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::ShapeMismatch`] when `codes.len() != rows * cols`;
+    /// [`QuantError::CodeOutOfRange`] when a code exceeds the format's code
+    /// space.
+    pub fn from_codes(
+        codes: Vec<u16>,
+        rows: usize,
+        cols: usize,
+        format: NumericFormat,
+        scale: f32,
+    ) -> Result<Self, QuantError> {
+        if codes.len() != rows * cols {
+            return Err(QuantError::ShapeMismatch {
+                expected: rows * cols,
+                actual: codes.len(),
+            });
+        }
+        let space = format.code_space();
+        if let Some(&bad) = codes.iter().find(|&&c| u32::from(c) >= space) {
+            return Err(QuantError::CodeOutOfRange {
+                code: u32::from(bad),
+                space,
+            });
+        }
+        Ok(QMatrix {
+            codes,
+            rows,
+            cols,
+            format,
+            scale,
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The numeric format of the codes.
+    #[must_use]
+    pub fn format(&self) -> NumericFormat {
+        self.format
+    }
+
+    /// The per-tensor dequantization scale.
+    #[must_use]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Raw codes, row-major.
+    #[must_use]
+    pub fn codes(&self) -> &[u16] {
+        &self.codes
+    }
+
+    /// Code at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the position is out of bounds.
+    #[must_use]
+    pub fn code_at(&self, row: usize, col: usize) -> u16 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.codes[row * self.cols + col]
+    }
+
+    /// One row of codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is out of bounds.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[u16] {
+        assert!(row < self.rows, "row out of bounds");
+        &self.codes[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Decoded integer value at `(row, col)` (integer formats only).
+    #[must_use]
+    pub fn value_at(&self, row: usize, col: usize) -> Option<i32> {
+        self.format.decode_int(u32::from(self.code_at(row, col)))
+    }
+
+    /// Dequantizes the whole matrix to f32 (`decode(code) * scale`).
+    #[must_use]
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.codes
+            .iter()
+            .map(|&c| self.format.decode_f32(u32::from(c)) * self.scale)
+            .collect()
+    }
+
+    /// Total bytes the codes occupy when bit-packed (`ceil(bits*len/8)`),
+    /// the footprint used for transfer-cost accounting.
+    #[must_use]
+    pub fn packed_bytes(&self) -> u64 {
+        (u64::from(self.format.bits()) * self.codes.len() as u64).div_ceil(8)
+    }
+
+    /// Transposed copy (codes only; same format/scale).
+    #[must_use]
+    pub fn transposed(&self) -> QMatrix {
+        let mut codes = vec![0u16; self.codes.len()];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                codes[c * self.rows + r] = self.codes[r * self.cols + c];
+            }
+        }
+        QMatrix {
+            codes,
+            rows: self.cols,
+            cols: self.rows,
+            format: self.format,
+            scale: self.scale,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QMatrix {
+        QMatrix::from_codes(vec![0, 1, 2, 3, 4, 5], 2, 3, NumericFormat::Int(3), 0.5).unwrap()
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let m = sample();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.code_at(1, 2), 5);
+        assert_eq!(m.row(0), &[0, 1, 2]);
+        assert_eq!(m.value_at(1, 2), Some(-3)); // code 5 in int3 = -3
+    }
+
+    #[test]
+    fn from_codes_validates_shape_and_range() {
+        assert!(matches!(
+            QMatrix::from_codes(vec![0; 5], 2, 3, NumericFormat::Int(3), 1.0),
+            Err(QuantError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            QMatrix::from_codes(vec![8], 1, 1, NumericFormat::Int(3), 1.0),
+            Err(QuantError::CodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn dequantize_applies_scale() {
+        let m = sample();
+        let d = m.dequantize();
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], 0.5);
+        assert_eq!(d[5], -1.5);
+    }
+
+    #[test]
+    fn packed_bytes_rounds_up() {
+        let m = sample(); // 6 codes * 3 bits = 18 bits -> 3 bytes
+        assert_eq!(m.packed_bytes(), 3);
+        let one = QMatrix::from_codes(vec![1], 1, 1, NumericFormat::Bipolar, 1.0).unwrap();
+        assert_eq!(one.packed_bytes(), 1);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transposed();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.code_at(2, 1), m.code_at(1, 2));
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn out_of_bounds_access_panics() {
+        let m = sample();
+        let _ = m.code_at(2, 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Design-space exploration with the §IV-D performance model: capacity
+//! footprints, the `p*` decision surface, and the streaming-vs-buffer
+//! break-even point (Eq. 6).
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use localut::capacity::{localut_bytes, max_p_localut, max_p_op, op_lut_bytes};
+use localut::model::PerfModel;
+use localut::plan::{Placement, Planner};
+use localut::GemmDims;
+use pim_sim::DpuConfig;
+use quant::BitConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dpu = DpuConfig::upmem();
+    let planner = Planner::new(dpu.clone());
+    let model = PerfModel::upmem();
+
+    println!("== Capacity fitting (§V-A) ==");
+    println!(
+        "  budgets: WRAM {} B, bank {} B (~55% of 64 KB / 64 MB)\n",
+        dpu.wram_lut_budget(),
+        dpu.bank_lut_budget()
+    );
+    println!(
+        "  {:<6}  {:>10}  {:>10}  {:>10}  {:>10}",
+        "config", "p_local", "p_DRAM", "p_local:OP", "p_DRAM:OP"
+    );
+    for cfg_str in ["W1A3", "W1A4", "W2A2", "W4A4"] {
+        let cfg: BitConfig = cfg_str.parse()?;
+        let (wf, af) = (cfg.weight_format(), cfg.activation_format());
+        println!(
+            "  {:<6}  {:>10}  {:>10}  {:>10}  {:>10}",
+            cfg_str,
+            max_p_localut(wf, af, dpu.wram_lut_budget()),
+            max_p_localut(wf, af, dpu.bank_lut_budget()),
+            max_p_op(wf, af, dpu.wram_lut_budget()),
+            max_p_op(wf, af, dpu.bank_lut_budget()),
+        );
+    }
+
+    println!("\n== Canonicalization savings at W1A3 ==");
+    let cfg: BitConfig = "W1A3".parse()?;
+    let (wf, af) = (cfg.weight_format(), cfg.activation_format());
+    for p in [4u32, 6, 8] {
+        let op = op_lut_bytes(wf, af, p).expect("in range");
+        let lo = localut_bytes(wf, af, p).expect("in range");
+        println!("  p={p}: op-packed {op} B -> canonical+reordering {lo} B ({:.1}x)", op as f64 / lo as f64);
+    }
+
+    println!("\n== Planner decisions over M (K=768, N=128, W2A2) ==");
+    let w2a2: BitConfig = "W2A2".parse()?;
+    println!("  {:<6}  {:>16}  {:>3}  {:>3}  {:>14}", "M", "placement", "p", "k", "predicted (s)");
+    for m in [8usize, 32, 128, 512, 2048, 8192] {
+        let dims = GemmDims { m, k: 768, n: 128 };
+        let plan = planner.plan(dims, w2a2.weight_format(), w2a2.activation_format(), None)?;
+        println!(
+            "  {:<6}  {:>16}  {:>3}  {:>3}  {:>14.4e}",
+            m,
+            plan.placement.to_string(),
+            plan.p,
+            plan.k_slices,
+            plan.predicted_seconds,
+        );
+        // Sanity: Eq. 6 intuition — streaming only when M is large enough.
+        if m <= 8 {
+            assert_eq!(plan.placement, Placement::BufferResident);
+        }
+    }
+
+    println!("\n== Eq. 6 break-even M (stream at p* vs buffer at p_local) ==");
+    for (bw, p_star, p_local) in [(1u8, 8u32, 5u32), (2, 6, 4), (4, 3, 2)] {
+        println!(
+            "  bw={bw}, p*={p_star}, p_local={p_local}: break-even M = {:.0}",
+            model.break_even_m(bw, p_star, p_local)
+        );
+    }
+    Ok(())
+}

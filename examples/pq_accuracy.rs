@@ -1,0 +1,57 @@
+//! Product-quantization baselines head-to-head: approximation accuracy of
+//! the real PQ pipeline (k-means codebooks, centroid assignment, LUT adds)
+//! vs LoCaLUT's integer-quantized pipeline on a synthetic task — a small
+//! version of Fig. 15.
+//!
+//! ```sh
+//! cargo run --release --example pq_accuracy
+//! ```
+
+use dnn::tasks::SyntheticTask;
+use pq::{PqConfig, PqEngine, PqVariant};
+use quant::BitConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let task = SyntheticTask::glue_suite()[3].clone(); // SST-2 stand-in
+    let data = task.generate(800);
+    println!(
+        "task {} ({} classes, dim {}), fp32 ceiling {:.1}%\n",
+        task.name,
+        data.classes,
+        data.dim,
+        100.0 * data.fp32_accuracy()
+    );
+
+    println!("LoCaLUT quantized pipelines:");
+    for cfg_str in ["W1A3", "W1A4", "W2A2", "W4A4"] {
+        let cfg: BitConfig = cfg_str.parse()?;
+        let acc = data.quantized_accuracy(cfg)?;
+        println!("  {cfg_str}: {:.1}%", 100.0 * acc);
+    }
+
+    println!("\nPQ pipelines (d=8, C=16):");
+    for variant in [PqVariant::PimDl, PqVariant::LutDlaL1, PqVariant::LutDlaL2] {
+        let engine = PqEngine::fit(
+            PqConfig::standard(variant),
+            &data.teacher,
+            data.classes,
+            data.dim,
+            &data.features,
+            data.samples,
+        )?;
+        let scores = engine.gemm(&data.features, data.samples)?;
+        println!("  {}: {:.1}%", variant.label(), 100.0 * data.accuracy_of_scores(&scores));
+    }
+
+    println!("\nPQ with more centroids recovers accuracy (at higher host cost):");
+    for c in [8usize, 16, 32, 64] {
+        let cfg = PqConfig {
+            n_centroids: c,
+            ..PqConfig::standard(PqVariant::PimDl)
+        };
+        let engine = PqEngine::fit(cfg, &data.teacher, data.classes, data.dim, &data.features, data.samples)?;
+        let scores = engine.gemm(&data.features, data.samples)?;
+        println!("  C={c}: {:.1}%", 100.0 * data.accuracy_of_scores(&scores));
+    }
+    Ok(())
+}

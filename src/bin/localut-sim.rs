@@ -1,0 +1,200 @@
+//! `localut-sim` — command-line front end to the simulator.
+//!
+//! Plan and time a quantized GEMM on the simulated 2048-DPU UPMEM server:
+//!
+//! ```sh
+//! localut-sim --shape 3072x768x128 --config W1A3
+//! localut-sim --shape 768x768x128 --config W4A4 --method op --k 4
+//! localut-sim --model bert --config W1A3 --batch 32
+//! ```
+//!
+//! Prints the §IV-D plan (placement, p*, k), the per-DPU kernel breakdown
+//! (Fig. 16b categories), the system-level time, and the speedup over
+//! Naive PIM.
+
+use dnn::{InferenceSim, ModelConfig, Workload};
+use localut::plan::Planner;
+use localut::tiling::{DistributedGemm, TileGrid};
+use localut::{GemmDims, Method};
+use pim_sim::EnergyModel;
+use quant::BitConfig;
+use std::process::ExitCode;
+
+struct Args {
+    shape: Option<GemmDims>,
+    model: Option<String>,
+    config: BitConfig,
+    method: Method,
+    k_slices: u32,
+    batch: usize,
+}
+
+const USAGE: &str = "usage: localut-sim (--shape MxKxN | --model bert|opt|vit) \
+[--config WxAy] [--method naive|ltc|op|oplc|oplcrc|localut] [--k N] [--batch N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        shape: None,
+        model: None,
+        config: "W1A3".parse().expect("valid default"),
+        method: Method::LoCaLut,
+        k_slices: 2,
+        batch: 32,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--shape" => {
+                let v = value()?;
+                let parts: Vec<usize> = v
+                    .split(['x', 'X'])
+                    .map(|s| s.parse().map_err(|_| format!("bad shape '{v}'")))
+                    .collect::<Result<_, _>>()?;
+                if parts.len() != 3 || parts.contains(&0) {
+                    return Err(format!("bad shape '{v}', expected MxKxN"));
+                }
+                args.shape = Some(GemmDims { m: parts[0], k: parts[1], n: parts[2] });
+            }
+            "--model" => args.model = Some(value()?.to_lowercase()),
+            "--config" => args.config = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--method" => {
+                args.method = match value()?.to_lowercase().as_str() {
+                    "naive" => Method::NaivePim,
+                    "ltc" => Method::Ltc,
+                    "op" => Method::Op,
+                    "oplc" => Method::OpLc,
+                    "oplcrc" => Method::OpLcRc,
+                    "localut" => Method::LoCaLut,
+                    other => return Err(format!("unknown method '{other}'")),
+                }
+            }
+            "--k" => args.k_slices = value()?.parse().map_err(|_| "bad --k".to_owned())?,
+            "--batch" => args.batch = value()?.parse().map_err(|_| "bad --batch".to_owned())?,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    if args.shape.is_none() && args.model.is_none() {
+        return Err(USAGE.to_owned());
+    }
+    Ok(args)
+}
+
+fn run_gemm(args: &Args, dims: GemmDims) -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = args.config;
+    let (wf, af) = (cfg.weight_format(), cfg.activation_format());
+    let mut dist = DistributedGemm::upmem_server();
+    dist.gemm.k_slices = args.k_slices;
+
+    println!("GEMM {dims} at {cfg}, method {}, k = {}", args.method, args.k_slices);
+    let grid = TileGrid::choose(dims, dist.system.config().n_dpus());
+    let tile = grid.tile_dims(dims);
+    println!(
+        "  tiling: {} x {} DPUs ({} used), per-DPU tile {tile}",
+        grid.grid_m,
+        grid.grid_n,
+        grid.dpus_used()
+    );
+    if args.method == Method::LoCaLut {
+        let plan = Planner::new(dist.gemm.dpu.clone()).plan(tile, wf, af, Some(args.k_slices))?;
+        println!(
+            "  plan: {} at p = {}, k = {} (model-predicted {:.4e} s/DPU)",
+            plan.placement, plan.p, plan.k_slices, plan.predicted_seconds
+        );
+    }
+    let profile = dist.cost(args.method, dims, wf, af)?;
+    let naive = dist.cost(Method::NaivePim, dims, wf, af)?;
+    println!("\n  per-DPU kernel breakdown:");
+    print!("{}", textwrap(&profile.pim.to_string()));
+    println!(
+        "\n  system total: {:.4e} s (host {:.4e} s + PIM {:.4e} s)",
+        profile.total_seconds(),
+        profile.host.total_seconds(),
+        profile.pim.total_seconds()
+    );
+    println!(
+        "  speedup over Naive PIM: {:.2}x",
+        naive.total_seconds() / profile.total_seconds()
+    );
+    let energy = EnergyModel::upmem();
+    println!(
+        "  energy: {:.2} J",
+        energy
+            .system_energy(dist.system.config(), &profile)
+            .total_j()
+    );
+    Ok(())
+}
+
+fn run_model(args: &Args, name: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let model = match name {
+        "bert" => ModelConfig::bert_base(),
+        "opt" => ModelConfig::opt_125m(),
+        "vit" => ModelConfig::vit_base(),
+        other => return Err(format!("unknown model '{other}' (bert|opt|vit)").into()),
+    };
+    let mut sim = InferenceSim::upmem_server();
+    sim.dist.gemm.k_slices = args.k_slices;
+    let wl = if model.has_decode() {
+        Workload::with_decode(model.clone(), args.batch, 8)
+    } else {
+        Workload::prefill(model.clone(), args.batch)
+    };
+    println!(
+        "{} at {}, batch {}, method {}",
+        model.name, args.config, args.batch, args.method
+    );
+    let init = sim.init_cost(args.method, args.config)?;
+    let report = sim.run(args.method, args.config, &wl)?;
+    let naive = sim.run(Method::NaivePim, args.config, &wl)?;
+    println!("  one-time init: {:.4e} s", init.total_seconds());
+    println!(
+        "  inference: {:.4} s (prefill {:.4} s, decode {:.4} s)",
+        report.total_seconds(),
+        report.prefill_seconds,
+        report.decode_seconds
+    );
+    println!("  phases:");
+    for (phase, seconds) in report.phases() {
+        if seconds > 0.0 {
+            println!(
+                "    {:<18} {:>10.4e} s ({:>5.1}%)",
+                phase.label(),
+                seconds,
+                100.0 * seconds / report.total_seconds()
+            );
+        }
+    }
+    println!(
+        "  speedup over Naive PIM: {:.2}x",
+        naive.total_seconds() / report.total_seconds()
+    );
+    Ok(())
+}
+
+fn textwrap(s: &str) -> String {
+    s.lines().map(|l| format!("    {l}\n")).collect()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if let Some(model) = &args.model {
+        run_model(&args, &model.clone())
+    } else {
+        run_gemm(&args, args.shape.expect("validated"))
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

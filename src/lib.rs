@@ -1,0 +1,13 @@
+//! # localut-repro — reproduction of LoCaLUT (HPCA 2026)
+//!
+//! Facade crate tying the workspace together for the examples and
+//! integration tests. See `README.md` for the architecture overview,
+//! `DESIGN.md` for the system inventory, and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+pub use dnn;
+pub use localut;
+pub use pim_sim;
+pub use pq;
+pub use quant;
+pub use xpu;

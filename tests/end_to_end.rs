@@ -1,0 +1,153 @@
+//! Cross-crate integration: quantize → plan → execute on the simulator →
+//! dequantize, for every method, against the fp32 and integer references.
+
+use localut::gemm::{reference_gemm, GemmConfig, GemmDims, Method};
+use quant::{BitConfig, Quantizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_fp(rng: &mut StdRng, len: usize, amp: f32) -> Vec<f32> {
+    (0..len).map(|_| rng.random_range(-amp..amp)).collect()
+}
+
+fn fp32_gemm(w: &[f32], a: &[f32], dims: GemmDims) -> Vec<f32> {
+    let mut out = vec![0.0f32; dims.m * dims.n];
+    for m in 0..dims.m {
+        for n in 0..dims.n {
+            for k in 0..dims.k {
+                out[m * dims.n + n] += w[m * dims.k + k] * a[k * dims.n + n];
+            }
+        }
+    }
+    out
+}
+
+/// Every method produces bit-identical outputs for every paper config.
+#[test]
+fn all_methods_agree_across_paper_configs() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let dims = GemmDims { m: 24, k: 40, n: 10 };
+    let gemm = GemmConfig::upmem();
+    for cfg in BitConfig::paper_integer_configs() {
+        let wdata = random_fp(&mut rng, dims.m * dims.k, 1.0);
+        let adata = random_fp(&mut rng, dims.k * dims.n, 3.0);
+        let w = Quantizer::symmetric(cfg.weight_format())
+            .quantize_matrix(&wdata, dims.m, dims.k)
+            .unwrap();
+        let a = Quantizer::symmetric(cfg.activation_format())
+            .quantize_matrix(&adata, dims.k, dims.n)
+            .unwrap();
+        let reference: Vec<i32> = reference_gemm(&w, &a).unwrap();
+        for method in Method::ALL {
+            let out = gemm.run(method, &w, &a).unwrap();
+            assert_eq!(out.values, reference, "{method} diverged at {cfg}");
+        }
+    }
+}
+
+/// Dequantized LoCaLUT outputs converge to fp32 as bitwidths grow.
+#[test]
+fn dequantized_error_shrinks_with_bits() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let dims = GemmDims { m: 32, k: 64, n: 8 };
+    let wdata = random_fp(&mut rng, dims.m * dims.k, 1.0);
+    let adata = random_fp(&mut rng, dims.k * dims.n, 2.0);
+    let fp32 = fp32_gemm(&wdata, &adata, dims);
+    let rms: f32 = fp32.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let gemm = GemmConfig::upmem();
+
+    let rel_err = |cfg: BitConfig| -> f32 {
+        let w = Quantizer::symmetric(cfg.weight_format())
+            .quantize_matrix(&wdata, dims.m, dims.k)
+            .unwrap();
+        let a = Quantizer::symmetric(cfg.activation_format())
+            .quantize_matrix(&adata, dims.k, dims.n)
+            .unwrap();
+        let out = gemm.run(Method::LoCaLut, &w, &a).unwrap();
+        let scale = w.scale() * a.scale();
+        let err: f32 = out
+            .values
+            .iter()
+            .zip(&fp32)
+            .map(|(&q, &f)| (q as f32 * scale - f).powi(2))
+            .sum::<f32>()
+            .sqrt();
+        err / rms
+    };
+
+    let w8a8 = rel_err(BitConfig::new(8, 8).unwrap());
+    let w4a4 = rel_err("W4A4".parse().unwrap());
+    let w1a3 = rel_err("W1A3".parse().unwrap());
+    assert!(w8a8 < 0.02, "W8A8 error {w8a8}");
+    assert!(w4a4 < 0.2, "W4A4 error {w4a4}");
+    assert!(w8a8 < w4a4 && w4a4 < w1a3, "{w8a8} < {w4a4} < {w1a3} violated");
+}
+
+/// The simulated time ordering of the headline claim holds on a
+/// representative GEMM: LoCaLUT < OP < Naive, and OP+LC is the known
+/// regression point.
+#[test]
+fn method_time_ordering_matches_paper() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let dims = GemmDims { m: 96, k: 96, n: 4 };
+    let cfg: BitConfig = "W1A3".parse().unwrap();
+    let wdata = random_fp(&mut rng, dims.m * dims.k, 1.0);
+    let adata = random_fp(&mut rng, dims.k * dims.n, 2.0);
+    let w = Quantizer::symmetric(cfg.weight_format())
+        .quantize_matrix(&wdata, dims.m, dims.k)
+        .unwrap();
+    let a = Quantizer::symmetric(cfg.activation_format())
+        .quantize_matrix(&adata, dims.k, dims.n)
+        .unwrap();
+    let gemm = GemmConfig::upmem();
+    let t = |m: Method| gemm.run(m, &w, &a).unwrap().profile.total_seconds();
+
+    let naive = t(Method::NaivePim);
+    let op = t(Method::Op);
+    let lc = t(Method::OpLc);
+    let rc = t(Method::OpLcRc);
+    let localut = t(Method::LoCaLut);
+    assert!(localut < op, "LoCaLUT {localut} must beat OP {op}");
+    assert!(op < naive, "OP {op} must beat naive {naive}");
+    assert!(lc > rc, "software reordering {lc} must be slower than RC {rc}");
+    assert!(localut <= rc, "the planner must never lose to plain RC");
+}
+
+/// Rectangular, ragged, and degenerate shapes all work.
+#[test]
+fn awkward_shapes_are_handled() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let gemm = GemmConfig::upmem();
+    let cfg: BitConfig = "W2A2".parse().unwrap();
+    for (m, k, n) in [(1, 1, 1), (1, 7, 1), (3, 17, 5), (40, 3, 2), (2, 100, 2)] {
+        let wdata = random_fp(&mut rng, m * k, 1.0);
+        let adata = random_fp(&mut rng, k * n, 1.0);
+        let w = Quantizer::symmetric(cfg.weight_format())
+            .quantize_matrix(&wdata, m, k)
+            .unwrap();
+        let a = Quantizer::symmetric(cfg.activation_format())
+            .quantize_matrix(&adata, k, n)
+            .unwrap();
+        let reference: Vec<i32> = reference_gemm(&w, &a).unwrap();
+        for method in Method::ALL {
+            let out = gemm.run(method, &w, &a).unwrap();
+            assert_eq!(out.values, reference, "{method} diverged at ({m},{k},{n})");
+        }
+    }
+}
+
+/// Mismatched shapes error cleanly through the whole stack.
+#[test]
+fn shape_errors_propagate() {
+    let cfg: BitConfig = "W1A3".parse().unwrap();
+    let w = Quantizer::symmetric(cfg.weight_format())
+        .quantize_matrix(&[0.5, -0.5], 1, 2)
+        .unwrap();
+    let a = Quantizer::symmetric(cfg.activation_format())
+        .quantize_matrix(&[1.0, 2.0, 3.0], 3, 1)
+        .unwrap();
+    let gemm = GemmConfig::upmem();
+    for method in Method::ALL {
+        assert!(gemm.run(method, &w, &a).is_err(), "{method} accepted bad shapes");
+    }
+}

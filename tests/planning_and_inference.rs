@@ -1,0 +1,167 @@
+//! Integration tests for the §IV-D planner and the end-to-end inference
+//! model: optimality, calibration points, phase accounting, and energy
+//! ordering through the public API.
+
+use dnn::{InferenceSim, ModelConfig, Phase, Workload};
+use localut::capacity;
+use localut::model::PerfModel;
+use localut::plan::{Placement, Planner};
+use localut::tiling::{DistributedGemm, TileGrid};
+use localut::{GemmDims, Method};
+use pim_sim::{DpuConfig, EnergyModel};
+use quant::{BitConfig, NumericFormat};
+
+/// §V-A calibration points through the public capacity API.
+#[test]
+fn section_v_a_calibration_points() {
+    let dpu = DpuConfig::upmem();
+    let w1 = NumericFormat::Bipolar;
+    let a3 = NumericFormat::Int(3);
+    assert_eq!(capacity::max_p_localut(w1, a3, dpu.wram_lut_budget()), 5);
+    assert_eq!(capacity::max_p_localut(w1, a3, dpu.bank_lut_budget()), 8);
+    assert_eq!(capacity::max_p_op(w1, a3, dpu.wram_lut_budget()), 3);
+    assert_eq!(capacity::max_p_op(w1, a3, dpu.bank_lut_budget()), 6);
+}
+
+/// The planner's chosen plan is never beaten by any feasible alternative
+/// it could have produced (brute-force check).
+#[test]
+fn planner_is_optimal_over_feasible_space() {
+    let dpu = DpuConfig::upmem();
+    let planner = Planner::new(dpu.clone());
+    let model = PerfModel::upmem();
+    for cfg_str in ["W1A3", "W2A2", "W4A4"] {
+        let cfg: BitConfig = cfg_str.parse().unwrap();
+        let (wf, af) = (cfg.weight_format(), cfg.activation_format());
+        for m in [4usize, 64, 1024] {
+            let dims = GemmDims { m, k: 768, n: 32 };
+            let plan = planner.plan(dims, wf, af, None).unwrap();
+            // Brute force every feasible (placement, p, k).
+            let p_local = capacity::max_p_localut(wf, af, dpu.wram_lut_budget());
+            let mut best = f64::INFINITY;
+            if p_local > 0 {
+                best = best.min(model.buffer_seconds(dims, p_local));
+            }
+            for k in [1u32, 2, 4, 8] {
+                let p_max = planner.max_streaming_p(wf, af, k);
+                for p in 1..=p_max {
+                    best = best.min(model.streaming_seconds(dims, cfg.bw, p));
+                }
+            }
+            assert!(
+                plan.predicted_seconds <= best + 1e-15,
+                "{cfg_str} M={m}: planner {} vs brute force {best}",
+                plan.predicted_seconds
+            );
+        }
+    }
+}
+
+/// Eq. 6 in action: sweeping M crosses from buffer-resident to streaming
+/// exactly once (monotone decision).
+#[test]
+fn placement_decision_is_monotone_in_m() {
+    let planner = Planner::new(DpuConfig::upmem());
+    let cfg: BitConfig = "W2A2".parse().unwrap();
+    let mut seen_streaming = false;
+    for m in [1usize, 2, 4, 8, 16, 64, 256, 1024, 4096] {
+        let plan = planner
+            .plan(GemmDims { m, k: 768, n: 64 }, cfg.weight_format(), cfg.activation_format(), Some(2))
+            .unwrap();
+        match plan.placement {
+            Placement::Streaming => seen_streaming = true,
+            Placement::BufferResident => {
+                assert!(!seen_streaming, "placement flipped back to buffer at M={m}");
+            }
+        }
+    }
+    assert!(seen_streaming, "large M should have switched to streaming");
+}
+
+/// Tiling covers the matrix exactly: tiles × grid ≥ dims, and the grid
+/// never exceeds the DPU count.
+#[test]
+fn tiling_covers_and_fits() {
+    for (m, k, n) in [(768usize, 768usize, 128usize), (3072, 768, 128), (7, 5, 3), (1, 1, 1)] {
+        let dims = GemmDims { m, k, n };
+        let grid = TileGrid::choose(dims, 2048);
+        assert!(grid.dpus_used() <= 2048);
+        let tile = grid.tile_dims(dims);
+        assert!(tile.m * grid.grid_m as usize >= m);
+        assert!(tile.n * grid.grid_n as usize >= n);
+        assert_eq!(tile.k, k);
+    }
+}
+
+/// End-to-end: the Fig. 10 ordering holds for every paper config on BERT.
+#[test]
+fn bert_method_ordering() {
+    let sim = InferenceSim::upmem_server();
+    let wl = Workload::prefill(ModelConfig::bert_base(), 16);
+    for cfg in BitConfig::paper_integer_configs() {
+        let t = |m: Method| sim.run(m, cfg, &wl).unwrap().total_seconds();
+        let naive = t(Method::NaivePim);
+        let op = t(Method::Op);
+        let localut = t(Method::LoCaLut);
+        assert!(localut < op, "{cfg}: LoCaLUT {localut} !< OP {op}");
+        assert!(op <= naive * 1.01, "{cfg}: OP {op} !<= naive {naive}");
+    }
+}
+
+/// Phases sum to the total and the PIM share is the largest single phase
+/// for LoCaLUT (Fig. 16a shape).
+#[test]
+fn bert_phase_accounting() {
+    let sim = InferenceSim::upmem_server();
+    let wl = Workload::prefill(ModelConfig::bert_base(), 32);
+    let r = sim.run(Method::LoCaLut, "W1A3".parse().unwrap(), &wl).unwrap();
+    let phases = r.phases();
+    let sum: f64 = phases.iter().map(|(_, s)| s).sum();
+    assert!((sum - r.total_seconds()).abs() < 1e-9 * r.total_seconds());
+    let gemm = r.phase_seconds(Phase::GemmOnPim);
+    for (phase, seconds) in &phases {
+        if *phase != Phase::GemmOnPim {
+            assert!(gemm >= *seconds, "{} exceeds the PIM phase", phase.label());
+        }
+    }
+}
+
+/// Energy: LoCaLUT uses less than Naive PIM at every paper config, and
+/// less than LTC at W1Ax (Fig. 14).
+#[test]
+fn energy_ordering() {
+    let sim = InferenceSim::upmem_server();
+    let model = EnergyModel::upmem();
+    let sys = sim.dist.system.config().clone();
+    let wl = Workload::prefill(ModelConfig::bert_base(), 16);
+    for cfg in BitConfig::paper_integer_configs() {
+        let e = |m: Method| {
+            let r = sim.run(m, cfg, &wl).unwrap();
+            model.system_energy(&sys, &r.profile).total_j()
+        };
+        assert!(e(Method::LoCaLut) < e(Method::NaivePim), "{cfg}");
+        if cfg.bw == 1 {
+            assert!(e(Method::LoCaLut) < e(Method::Ltc), "{cfg} vs LTC");
+        }
+    }
+}
+
+/// Distributed GEMM speedups stay above 1 for the whole Fig. 11 grid
+/// corner cases.
+#[test]
+fn fig11_corners_stay_above_one() {
+    let dist = DistributedGemm::upmem_server();
+    let cfg: BitConfig = "W1A3".parse().unwrap();
+    for (m, k) in [(128usize, 128usize), (128, 1024), (1024, 128), (1024, 1024)] {
+        let s = dist
+            .speedup_over(
+                Method::LoCaLut,
+                Method::NaivePim,
+                GemmDims { m, k, n: 128 },
+                cfg.weight_format(),
+                cfg.activation_format(),
+            )
+            .unwrap();
+        assert!(s > 1.0, "({m},{k}): speedup {s} <= 1");
+    }
+}

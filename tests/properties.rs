@@ -1,0 +1,150 @@
+//! Property-based integration tests (proptest): kernel ≡ reference over
+//! random shapes and bitwidths, canonicalization invariance, and the
+//! combinatorial bijections, all through the public API.
+
+use localut::canonical::CanonicalLut;
+use localut::gemm::{reference_gemm, GemmDims};
+use localut::kernels::{LcKernel, LtcKernel, NaiveKernel, OpKernel, RcKernel, StreamingKernel};
+use localut::multiset;
+use localut::packed::{pack_index, unpack_index};
+use localut::perm::{apply, lehmer_rank, lehmer_unrank, sort_permutation};
+use localut::value::dot_codes;
+use pim_sim::DpuConfig;
+use proptest::prelude::*;
+use quant::{NumericFormat, QMatrix};
+
+fn qmatrix(rows: usize, cols: usize, format: NumericFormat, seed: u64) -> QMatrix {
+    // Deterministic pseudo-random codes within the format's space.
+    let space = u64::from(format.code_space());
+    let codes: Vec<u16> = (0..rows * cols)
+        .map(|i| (((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) >> 33) % space) as u16)
+        .collect();
+    QMatrix::from_codes(codes, rows, cols, format, 1.0).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every kernel reproduces the reference GEMM exactly on random
+    /// shapes, bitwidths, and packing degrees.
+    #[test]
+    fn kernels_match_reference(
+        m in 1usize..12,
+        k in 1usize..24,
+        n in 1usize..6,
+        bw in 1u8..4,
+        ba in 2u8..4,
+        p in 1u32..5,
+        seed in 0u64..1000,
+    ) {
+        let wf = NumericFormat::default_int(bw);
+        let af = NumericFormat::Int(ba);
+        let w = qmatrix(m, k, wf, seed);
+        let a = qmatrix(k, n, af, seed.wrapping_add(1));
+        let reference: Vec<i32> = reference_gemm(&w, &a).unwrap();
+        let cfg = DpuConfig::upmem();
+
+        let naive = NaiveKernel::new(cfg.clone()).run(&w, &a).unwrap();
+        prop_assert_eq!(&naive.values, &reference);
+        let ltc = LtcKernel::new(cfg.clone()).run(&w, &a).unwrap();
+        prop_assert_eq!(&ltc.values, &reference);
+        let op = OpKernel::with_p(cfg.clone(), wf, af, p).unwrap().run(&w, &a).unwrap();
+        prop_assert_eq!(&op.values, &reference);
+        let lc = LcKernel::with_p(cfg.clone(), wf, af, p).unwrap().run(&w, &a).unwrap();
+        prop_assert_eq!(&lc.values, &reference);
+        let rc = RcKernel::with_p(cfg.clone(), wf, af, p).unwrap().run(&w, &a).unwrap();
+        prop_assert_eq!(&rc.values, &reference);
+        if let Ok(streaming) = StreamingKernel::new(cfg, wf, af, p, 2) {
+            let s = streaming.run(&w, &a).unwrap();
+            prop_assert_eq!(&s.values, &reference);
+        }
+    }
+
+    /// Canonicalization invariance (§IV-A): for ANY joint permutation of
+    /// the packed (weight, activation) pairs, the canonical lookup finds
+    /// the same inner product.
+    #[test]
+    fn canonical_lookup_is_permutation_invariant(
+        wcodes in prop::collection::vec(0u16..4, 3),
+        acodes in prop::collection::vec(0u16..8, 3),
+        perm_rank in 0u64..6,
+    ) {
+        let wf = NumericFormat::Int(2);
+        let af = NumericFormat::Int(3);
+        let lut = CanonicalLut::<i32>::build(wf, af, 3, 1 << 22).unwrap();
+        let expected: i32 = dot_codes(wf, af, &wcodes, &acodes);
+
+        let pi = lehmer_unrank(perm_rank, 3).unwrap();
+        let wp = apply(&pi, &wcodes);
+        let ap = apply(&pi, &acodes);
+        let sort = sort_permutation(&ap);
+        let sorted_a = apply(&sort, &ap);
+        let reordered_w = apply(&sort, &wp);
+        let col = lut.column_of(&sorted_a).unwrap();
+        let row = pack_index(&reordered_w, 2);
+        prop_assert_eq!(lut.lookup(row, col), expected);
+    }
+
+    /// Multiset rank/unrank is a bijection on random inputs.
+    #[test]
+    fn multiset_rank_bijection(
+        mut codes in prop::collection::vec(0u16..16, 1..6),
+    ) {
+        codes.sort_unstable();
+        let r = multiset::rank(&codes, 16).unwrap();
+        prop_assert_eq!(multiset::unrank(r, 16, codes.len() as u32).unwrap(), codes);
+    }
+
+    /// Lehmer rank/unrank is a bijection; sorting permutations always sort.
+    #[test]
+    fn permutation_properties(
+        codes in prop::collection::vec(0u16..32, 1..8),
+    ) {
+        let perm = sort_permutation(&codes);
+        let sorted = apply(&perm, &codes);
+        prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let rank = lehmer_rank(&perm).unwrap();
+        prop_assert_eq!(lehmer_unrank(rank, perm.len() as u32).unwrap(), perm);
+    }
+
+    /// pack/unpack index roundtrip for arbitrary widths.
+    #[test]
+    fn pack_index_roundtrip(
+        bits in 1u8..9,
+        p in 1u32..5,
+        seed in 0u64..10_000,
+    ) {
+        let space = 1u64 << bits;
+        let codes: Vec<u16> = (0..p as usize)
+            .map(|i| ((seed >> (i * 3)) % space) as u16)
+            .collect();
+        let idx = pack_index(&codes, bits);
+        prop_assert_eq!(unpack_index(idx, bits, p), codes);
+    }
+
+    /// run().profile == cost(dims) for the parameterized kernels — the
+    /// functional and analytic paths can never drift.
+    #[test]
+    fn run_profile_equals_cost_property(
+        m in 1usize..10,
+        k in 1usize..20,
+        n in 1usize..5,
+        p in 1u32..4,
+        seed in 0u64..100,
+    ) {
+        let wf = NumericFormat::Int(2);
+        let af = NumericFormat::Int(3);
+        let w = qmatrix(m, k, wf, seed);
+        let a = qmatrix(k, n, af, seed + 7);
+        let dims = GemmDims { m, k, n };
+        let cfg = DpuConfig::upmem();
+
+        let op = OpKernel::with_p(cfg.clone(), wf, af, p).unwrap();
+        prop_assert_eq!(op.run(&w, &a).unwrap().profile, op.cost(dims));
+        let rc = RcKernel::with_p(cfg.clone(), wf, af, p).unwrap();
+        prop_assert_eq!(rc.run(&w, &a).unwrap().profile, rc.cost(dims));
+        if let Ok(s) = StreamingKernel::new(cfg, wf, af, p, 2) {
+            prop_assert_eq!(s.run(&w, &a).unwrap().profile, s.cost(dims));
+        }
+    }
+}
