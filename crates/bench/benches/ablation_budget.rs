@@ -18,17 +18,19 @@ use pim_sim::DpuConfig;
 use quant::BitConfig;
 
 fn main() {
-    banner("Ablation A", "LUT budget fraction vs feasible p and speedup (W1A3)");
+    banner(
+        "Ablation A",
+        "LUT budget fraction vs feasible p and speedup (W1A3)",
+    );
     let cfg: BitConfig = "W1A3".parse().expect("valid");
     let (wf, af) = (cfg.weight_format(), cfg.activation_format());
-    let dims = GemmDims { m: 3072, k: 768, n: 128 };
+    let dims = GemmDims {
+        m: 3072,
+        k: 768,
+        n: 128,
+    };
 
-    let mut table = Table::new(&[
-        "budget fraction",
-        "p_local",
-        "p_DRAM",
-        "speedup vs naive",
-    ]);
+    let mut table = Table::new(&["budget fraction", "p_local", "p_DRAM", "speedup vs naive"]);
     for fraction in [0.1f64, 0.2, 0.3, 0.4, 0.5, 0.55, 0.7, 0.9] {
         let mut dpu = DpuConfig::upmem();
         dpu.lut_budget_fraction = fraction;
@@ -55,8 +57,14 @@ fn main() {
         "Reordering LUT vs software reordering per packing degree (W1A3)",
     );
     let dpu = DpuConfig::upmem();
-    let tile = GemmDims { m: 192, k: 768, n: 1 };
-    let naive = NaiveKernel::new(dpu.clone()).cost(tile, wf, af).total_seconds();
+    let tile = GemmDims {
+        m: 192,
+        k: 768,
+        n: 1,
+    };
+    let naive = NaiveKernel::new(dpu.clone())
+        .cost(tile, wf, af)
+        .total_seconds();
     let mut table = Table::new(&["p", "OP+LC (sw reorder)", "OP+LC+RC", "RC gain"]);
     for p in 1..=5u32 {
         let lc = LcKernel::with_p(dpu.clone(), wf, af, p)

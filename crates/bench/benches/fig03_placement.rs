@@ -21,16 +21,18 @@ fn main() {
     );
     let wf = NumericFormat::Bipolar;
     let af = NumericFormat::Int(3);
-    let dims = GemmDims { m: 512, k: 512, n: 512 };
+    let dims = GemmDims {
+        m: 512,
+        k: 512,
+        n: 512,
+    };
     let cfg = DpuConfig::upmem();
     let t = DpuTimings::upmem();
 
     // Per-lookup costs.
     // DRAM-sized LUT: every lookup is a short random DRAM access
     // (activation + DMA setup + entry transfer).
-    let dram_lookup_s = (t.row_activate_cycles
-        + t.dma_setup_cycles
-        + 2.0 / t.dram_bytes_per_cycle)
+    let dram_lookup_s = (t.row_activate_cycles + t.dma_setup_cycles + 2.0 / t.dram_bytes_per_cycle)
         * t.cycle_seconds();
     // Buffer-sized LUT: the 6-instruction OP lookup composite.
     let costs = &cfg.processor.costs;
@@ -57,8 +59,7 @@ fn main() {
         } else {
             "infeasible".into()
         };
-        let bytes = op_lut_bytes(wf, af, p)
-            .map_or("overflow".into(), |b| format!("{b}"));
+        let bytes = op_lut_bytes(wf, af, p).map_or("overflow".into(), |b| format!("{b}"));
         table.row(vec![p.to_string(), dram, buf, bytes]);
     }
     table.print();

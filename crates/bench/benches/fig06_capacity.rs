@@ -5,9 +5,7 @@
 //! paper reports as 1.68× (p=2) rising to ~358× (p=8).
 
 use bench::{banner, Table};
-use localut::capacity::{
-    canonical_lut_bytes, localut_bytes, op_lut_bytes, reorder_lut_bytes,
-};
+use localut::capacity::{canonical_lut_bytes, localut_bytes, op_lut_bytes, reorder_lut_bytes};
 use quant::NumericFormat;
 
 fn main() {

@@ -15,8 +15,16 @@ fn main() {
     banner("Fig 9", "GEMM speedup over Naive PIM (2048 DPUs)");
     let dist = DistributedGemm::upmem_server();
     let shapes = [
-        GemmDims { m: 768, k: 768, n: 128 },
-        GemmDims { m: 3072, k: 768, n: 128 },
+        GemmDims {
+            m: 768,
+            k: 768,
+            n: 128,
+        },
+        GemmDims {
+            m: 3072,
+            k: 768,
+            n: 128,
+        },
     ];
     let configs = BitConfig::paper_integer_configs();
 
@@ -64,8 +72,14 @@ fn main() {
         table.print();
     }
 
-    println!("\n  geomean LoCaLUT over Naive PIM: {:.2}x (paper: 2.87x)", geomean(&localut_over_naive));
-    println!("  geomean LoCaLUT over LTC:       {:.2}x (paper: 1.77x)", geomean(&localut_over_ltc));
+    println!(
+        "\n  geomean LoCaLUT over Naive PIM: {:.2}x (paper: 2.87x)",
+        geomean(&localut_over_naive)
+    );
+    println!(
+        "  geomean LoCaLUT over LTC:       {:.2}x (paper: 1.77x)",
+        geomean(&localut_over_ltc)
+    );
     println!("  peak    LoCaLUT over Naive PIM: {peak_naive:.2}x (paper: up to 4.73x)");
     println!("  peak    LoCaLUT over LTC:       {peak_ltc:.2}x (paper: up to 1.93x)");
 }

@@ -54,8 +54,14 @@ fn main() {
     }
     table.print();
 
-    println!("\n  geomean LoCaLUT over Naive PIM: {:.2}x (paper: 1.77x)", geomean(&over_naive));
-    println!("  geomean LoCaLUT over LTC:       {:.2}x (paper: 1.82x)", geomean(&over_ltc));
+    println!(
+        "\n  geomean LoCaLUT over Naive PIM: {:.2}x (paper: 1.77x)",
+        geomean(&over_naive)
+    );
+    println!(
+        "  geomean LoCaLUT over LTC:       {:.2}x (paper: 1.82x)",
+        geomean(&over_ltc)
+    );
     println!(
         "  LoCaLUT optimizations over OP:  +{:.0}% (paper: +22%)",
         (geomean(&over_op) - 1.0) * 100.0

@@ -10,7 +10,10 @@ use localut::{GemmDims, Method};
 use quant::BitConfig;
 
 fn main() {
-    banner("Fig 11", "Speedup over Naive PIM vs weight matrix size (N=128)");
+    banner(
+        "Fig 11",
+        "Speedup over Naive PIM vs weight matrix size (N=128)",
+    );
     let dist = DistributedGemm::upmem_server();
     let sizes = [128usize, 256, 384, 512, 640, 768, 896, 1024];
 

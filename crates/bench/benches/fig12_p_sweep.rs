@@ -14,10 +14,12 @@ use pim_sim::DpuConfig;
 use quant::{BitConfig, NumericFormat};
 
 fn main() {
-    banner("Fig 12", "Packing degree (p) sensitivity (K=768, N=128, W2A2)");
+    banner(
+        "Fig 12",
+        "Packing degree (p) sensitivity (K=768, N=128, W2A2)",
+    );
     let cfg: BitConfig = "W2A2".parse().expect("valid");
-    let (wf, af): (NumericFormat, NumericFormat) =
-        (cfg.weight_format(), cfg.activation_format());
+    let (wf, af): (NumericFormat, NumericFormat) = (cfg.weight_format(), cfg.activation_format());
     let dpu = DpuConfig::upmem();
     let p_local = max_p_localut(wf, af, dpu.wram_lut_budget());
 
@@ -25,7 +27,9 @@ fn main() {
         let dims = GemmDims { m, k: 768, n: 128 };
         let grid = TileGrid::choose(dims, 2048);
         let tile = grid.tile_dims(dims);
-        let naive = NaiveKernel::new(dpu.clone()).cost(tile, wf, af).total_seconds();
+        let naive = NaiveKernel::new(dpu.clone())
+            .cost(tile, wf, af)
+            .total_seconds();
         println!("\n  M = {m} (per-DPU tile {tile})");
         let mut table = Table::new(&["p", "placement", "speedup", "capacity (B)"]);
         for p in 1..=6u32 {
@@ -36,7 +40,12 @@ fn main() {
                 match StreamingKernel::new(dpu.clone(), wf, af, p, 2) {
                     Ok(k) => ("stream", k.cost(tile).total_seconds()),
                     Err(_) => {
-                        table.row(vec![p.to_string(), "infeasible".into(), "-".into(), "-".into()]);
+                        table.row(vec![
+                            p.to_string(),
+                            "infeasible".into(),
+                            "-".into(),
+                            "-".into(),
+                        ]);
                         continue;
                     }
                 }

@@ -11,7 +11,10 @@ use localut::Method;
 use quant::BitConfig;
 
 fn main() {
-    banner("Fig 13", "Sensitivity to the k slice count (normalized to k=1)");
+    banner(
+        "Fig 13",
+        "Sensitivity to the k slice count (normalized to k=1)",
+    );
     let cases: Vec<(ModelConfig, &str)> = vec![
         (ModelConfig::bert_base(), "W1A3"),
         (ModelConfig::bert_base(), "W1A4"),

@@ -31,7 +31,13 @@ fn main() {
     let methods = [Method::NaivePim, Method::Ltc, Method::Op, Method::LoCaLut];
 
     let mut table = Table::new(&[
-        "model", "config", "Naive-PIM", "LTC", "OP-LUT", "LoCaLUT", "Naive/LoCaLUT",
+        "model",
+        "config",
+        "Naive-PIM",
+        "LTC",
+        "OP-LUT",
+        "LoCaLUT",
+        "Naive/LoCaLUT",
     ]);
     let mut w1_ratio_naive = Vec::new();
     let mut w1_ratio_ltc = Vec::new();

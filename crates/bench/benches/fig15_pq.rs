@@ -15,7 +15,10 @@ use pq::{PqConfig, PqCostModel, PqEngine, PqVariant};
 use quant::BitConfig;
 
 fn main() {
-    banner("Fig 15", "Speedup vs accuracy: LoCaLUT vs PQ-based LUT methods");
+    banner(
+        "Fig 15",
+        "Speedup vs accuracy: LoCaLUT vs PQ-based LUT methods",
+    );
     let sim = InferenceSim::upmem_server();
     let pq_cost = PqCostModel::upmem_server();
     let model = ModelConfig::bert_base();
@@ -32,7 +35,10 @@ fn main() {
     let mut localut_speed = Vec::new();
     for cfg_str in ["W1A3", "W1A4", "W2A2", "W4A4"] {
         let cfg: BitConfig = cfg_str.parse().expect("valid");
-        let t = sim.run(Method::LoCaLut, cfg, &wl).expect("feasible").total_seconds();
+        let t = sim
+            .run(Method::LoCaLut, cfg, &wl)
+            .expect("feasible")
+            .total_seconds();
         localut_speed.push((cfg_str, naive / t));
     }
     let mut pq_speed = Vec::new();

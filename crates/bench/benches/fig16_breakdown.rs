@@ -72,12 +72,26 @@ fn main() {
     println!("\n  Expected shape: PIM-DL's centroid selection dominates its host time;");
     println!("  LoCaLUT's host overhead (quantization + packing/sorting) is lighter.");
 
-    banner("Fig 16(b)", "LoCaLUT GEMM kernel breakdown (W1A3, % of kernel)");
+    banner(
+        "Fig 16(b)",
+        "LoCaLUT GEMM kernel breakdown (W1A3, % of kernel)",
+    );
     let dpu = DpuConfig::upmem();
-    let dims = GemmDims { m: 3072, k: 768, n: 128 };
+    let dims = GemmDims {
+        m: 3072,
+        k: 768,
+        n: 128,
+    };
     let plan = Planner::new(dpu.clone())
-        .plan(dims, "W1A3".parse::<BitConfig>().expect("valid").weight_format(),
-              "W1A3".parse::<BitConfig>().expect("valid").activation_format(), Some(2))
+        .plan(
+            dims,
+            "W1A3".parse::<BitConfig>().expect("valid").weight_format(),
+            "W1A3"
+                .parse::<BitConfig>()
+                .expect("valid")
+                .activation_format(),
+            Some(2),
+        )
         .expect("plannable");
     let cost = plan.cost(&dpu, dims);
     let total = cost.total_seconds();

@@ -20,7 +20,11 @@ fn main() {
     let sys = dist.system.config().clone();
     let cpu = XpuModel::xeon_gold_5215();
     let gpu = XpuModel::rtx_2080ti();
-    let dims = GemmDims { m: 12288, k: 192, n: 65536 };
+    let dims = GemmDims {
+        m: 12288,
+        k: 192,
+        n: 65536,
+    };
 
     let mut time = Table::new(&["config", "CPU (s)", "GPU (s)", "LoCaLUT (s)"]);
     let mut energy = Table::new(&["config", "CPU (J)", "GPU (J)", "LoCaLUT (J)"]);
@@ -30,7 +34,12 @@ fn main() {
         let cpu_t = cpu.gemm_seconds(m, k, n, cfg.bw, cfg.ba);
         let gpu_t = gpu.gemm_seconds(m, k, n, cfg.bw, cfg.ba);
         let profile = dist
-            .cost(Method::LoCaLut, dims, cfg.weight_format(), cfg.activation_format())
+            .cost(
+                Method::LoCaLut,
+                dims,
+                cfg.weight_format(),
+                cfg.activation_format(),
+            )
             .expect("feasible");
         let lut_t = profile.total_seconds();
         let lut_j = energy_model.system_energy(&sys, &profile).total_j();

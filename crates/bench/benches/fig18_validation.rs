@@ -23,8 +23,16 @@ fn main() {
     let model = PerfModel::upmem();
     let cases: [(&str, Vec<u32>); 2] = [("W4A4", vec![1, 2, 3]), ("W2A2", vec![4, 5, 6])];
     let shapes = [
-        GemmDims { m: 768, k: 768, n: 768 },
-        GemmDims { m: 3072, k: 768, n: 768 },
+        GemmDims {
+            m: 768,
+            k: 768,
+            n: 768,
+        },
+        GemmDims {
+            m: 3072,
+            k: 768,
+            n: 768,
+        },
     ];
 
     for (cfg_str, ps) in cases {
@@ -63,7 +71,13 @@ fn main() {
                     match StreamingKernel::new(dpu.clone(), wf, af, p, 2) {
                         Ok(k) => k.cost(tile).total_seconds(),
                         Err(_) => {
-                            table.row(vec![p.to_string(), "-".into(), "-".into(), "-".into(), "infeasible".into()]);
+                            table.row(vec![
+                                p.to_string(),
+                                "-".into(),
+                                "-".into(),
+                                "-".into(),
+                                "infeasible".into(),
+                            ]);
                             continue;
                         }
                     }
@@ -88,7 +102,11 @@ fn main() {
                 "  model picks p = {}, simulation picks p = {} {}",
                 best_model.1,
                 best_sim.1,
-                if best_model.1 == best_sim.1 { "[match]" } else { "[mispredict — see paper's note]" }
+                if best_model.1 == best_sim.1 {
+                    "[match]"
+                } else {
+                    "[mispredict — see paper's note]"
+                }
             );
         }
     }

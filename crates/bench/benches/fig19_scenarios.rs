@@ -17,7 +17,11 @@ fn main() {
     let batch = 32;
 
     let mut table = Table::new(&[
-        "workload", "method", "prefill (s)", "decode (s)", "total (s)",
+        "workload",
+        "method",
+        "prefill (s)",
+        "decode (s)",
+        "total (s)",
     ]);
     let mut prefill_speedups = Vec::new();
     let mut decode_speedups = Vec::new();

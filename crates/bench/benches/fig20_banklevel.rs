@@ -11,7 +11,10 @@ use pim_sim::banklevel::BankLevelPim;
 use quant::BitConfig;
 
 fn main() {
-    banner("Fig 20", "Bank-level PIM: LUT units vs 16-lane SIMD (speedup)");
+    banner(
+        "Fig 20",
+        "Bank-level PIM: LUT units vs 16-lane SIMD (speedup)",
+    );
     let pim = BankLevelPim::default();
     let sizes = [1024u64, 2048, 4096];
 

@@ -14,7 +14,10 @@ use pim_sim::banklevel::BankLevelPim;
 use quant::NumericFormat;
 
 fn main() {
-    banner("Fig 21(a)", "Floating-point GEMM speedup over HBM-PIM (native fp16)");
+    banner(
+        "Fig 21(a)",
+        "Floating-point GEMM speedup over HBM-PIM (native fp16)",
+    );
     let pim = BankLevelPim::default();
     let sizes = [1024u64, 2048, 4096];
     // (label, bw, ba, simd-native?) — entry storage is fp16 (2 bytes).
@@ -46,7 +49,10 @@ fn main() {
     table.print();
     println!("\n  paper: W1A4 up to 2.99x, W1A8 1.22x, W1A16 0.62x (slowdown), W4A4 1.17x");
 
-    banner("Fig 21(b)", "ViT-like accuracy vs packing degree (W4A4 float, fp4)");
+    banner(
+        "Fig 21(b)",
+        "ViT-like accuracy vs packing degree (W4A4 float, fp4)",
+    );
     let data = SyntheticTask::imagenet_like().generate(600);
     let fp32 = data.fp32_accuracy();
     let mut table = Table::new(&["p", "FP32 (%)", "OP (%)", "LoCaLUT (%)", "delta (pp)"]);
@@ -70,5 +76,7 @@ fn main() {
         );
     }
     table.print();
-    println!("\n  [check] reordering-LUT accuracy impact is negligible at every p (paper's finding)");
+    println!(
+        "\n  [check] reordering-LUT accuracy impact is negligible at every p (paper's finding)"
+    );
 }

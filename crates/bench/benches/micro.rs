@@ -3,7 +3,6 @@
 //! ranking, and the streaming kernel's functional path.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::time::Duration;
 use localut::canonical::CanonicalLut;
 use localut::kernels::StreamingKernel;
 use localut::multiset;
@@ -12,6 +11,7 @@ use localut::reorder::ReorderLut;
 use pim_sim::DpuConfig;
 use quant::{NumericFormat, Quantizer};
 use std::hint::black_box;
+use std::time::Duration;
 
 const W1: NumericFormat = NumericFormat::Bipolar;
 const A3: NumericFormat = NumericFormat::Int(3);

@@ -196,11 +196,7 @@ impl InferenceSim {
     /// # Errors
     ///
     /// Kernel feasibility errors.
-    pub fn init_cost(
-        &self,
-        method: Method,
-        cfg: BitConfig,
-    ) -> Result<SystemProfile, LocaLutError> {
+    pub fn init_cost(&self, method: Method, cfg: BitConfig) -> Result<SystemProfile, LocaLutError> {
         use localut::capacity::{localut_bytes, max_p_localut, max_p_op, op_lut_bytes};
         let wf = cfg.weight_format();
         let af = cfg.activation_format();
@@ -347,7 +343,9 @@ mod tests {
     fn phase_breakdown_sums_to_total() {
         let sim = InferenceSim::upmem_server();
         let wl = Workload::prefill(ModelConfig::vit_base(), 16);
-        let r = sim.run(Method::LoCaLut, "W2A2".parse().unwrap(), &wl).unwrap();
+        let r = sim
+            .run(Method::LoCaLut, "W2A2".parse().unwrap(), &wl)
+            .unwrap();
         let sum: f64 = r.phases().iter().map(|(_, s)| s).sum();
         assert!((sum - r.total_seconds()).abs() < 1e-9 * r.total_seconds().max(1.0));
         assert!(r.phase_seconds(Phase::GemmOnPim) > 0.0);
@@ -359,7 +357,11 @@ mod tests {
     fn init_cost_reflects_lut_sizes() {
         let sim = InferenceSim::upmem_server();
         let cfg = w1a3();
-        let naive = sim.run(Method::NaivePim, cfg, &Workload::prefill(ModelConfig::bert_base(), 8));
+        let naive = sim.run(
+            Method::NaivePim,
+            cfg,
+            &Workload::prefill(ModelConfig::bert_base(), 8),
+        );
         assert!(naive.is_ok());
         let i_naive = sim.init_cost(Method::NaivePim, cfg).unwrap();
         let i_op = sim.init_cost(Method::Op, cfg).unwrap();
@@ -370,7 +372,11 @@ mod tests {
         assert!(i_localut.total_seconds() > i_op.total_seconds() * 10.0);
         // But init amortizes: it stays below one BERT inference.
         let one_inference = sim
-            .run(Method::LoCaLut, cfg, &Workload::prefill(ModelConfig::bert_base(), 32))
+            .run(
+                Method::LoCaLut,
+                cfg,
+                &Workload::prefill(ModelConfig::bert_base(), 32),
+            )
             .unwrap()
             .total_seconds();
         assert!(i_localut.total_seconds() < one_inference);

@@ -48,22 +48,38 @@ pub fn layer_gemms(cfg: &ModelConfig, tokens: usize) -> Vec<LayerGemm> {
     vec![
         LayerGemm {
             role: "qkv",
-            dims: GemmDims { m: h, k: h, n: tokens },
+            dims: GemmDims {
+                m: h,
+                k: h,
+                n: tokens,
+            },
             count: 3,
         },
         LayerGemm {
             role: "out-proj",
-            dims: GemmDims { m: h, k: h, n: tokens },
+            dims: GemmDims {
+                m: h,
+                k: h,
+                n: tokens,
+            },
             count: 1,
         },
         LayerGemm {
             role: "ffn-up",
-            dims: GemmDims { m: f, k: h, n: tokens },
+            dims: GemmDims {
+                m: f,
+                k: h,
+                n: tokens,
+            },
             count: 1,
         },
         LayerGemm {
             role: "ffn-down",
-            dims: GemmDims { m: h, k: f, n: tokens },
+            dims: GemmDims {
+                m: h,
+                k: f,
+                n: tokens,
+            },
             count: 1,
         },
     ]
@@ -109,9 +125,30 @@ mod tests {
         let gemms = layer_gemms(&cfg, 128);
         assert_eq!(gemms.len(), 4);
         assert_eq!(gemms[0].count, 3);
-        assert_eq!(gemms[0].dims, GemmDims { m: 768, k: 768, n: 128 });
-        assert_eq!(gemms[2].dims, GemmDims { m: 3072, k: 768, n: 128 });
-        assert_eq!(gemms[3].dims, GemmDims { m: 768, k: 3072, n: 128 });
+        assert_eq!(
+            gemms[0].dims,
+            GemmDims {
+                m: 768,
+                k: 768,
+                n: 128
+            }
+        );
+        assert_eq!(
+            gemms[2].dims,
+            GemmDims {
+                m: 3072,
+                k: 768,
+                n: 128
+            }
+        );
+        assert_eq!(
+            gemms[3].dims,
+            GemmDims {
+                m: 768,
+                k: 3072,
+                n: 128
+            }
+        );
     }
 
     #[test]
@@ -127,8 +164,18 @@ mod tests {
         // The paper's representative GEMMs (768,768,128) and (3072,768,128)
         // are exactly the QKV and FFN-up shapes of these models.
         let gemms = layer_gemms(&ModelConfig::bert_base(), 128);
-        assert!(gemms.iter().any(|g| g.dims == GemmDims { m: 768, k: 768, n: 128 }));
-        assert!(gemms.iter().any(|g| g.dims == GemmDims { m: 3072, k: 768, n: 128 }));
+        assert!(gemms.iter().any(|g| g.dims
+            == GemmDims {
+                m: 768,
+                k: 768,
+                n: 128
+            }));
+        assert!(gemms.iter().any(|g| g.dims
+            == GemmDims {
+                m: 3072,
+                k: 768,
+                n: 128
+            }));
     }
 
     #[test]

@@ -63,17 +63,47 @@ impl SyntheticTask {
     #[must_use]
     pub fn glue_suite() -> [SyntheticTask; 4] {
         [
-            SyntheticTask { name: "QNLI", dim: 96, classes: 2, noise: 0.55, seed: 11 },
-            SyntheticTask { name: "QQP", dim: 96, classes: 2, noise: 0.45, seed: 22 },
-            SyntheticTask { name: "STS-B", dim: 96, classes: 5, noise: 0.35, seed: 33 },
-            SyntheticTask { name: "SST-2", dim: 96, classes: 2, noise: 0.30, seed: 44 },
+            SyntheticTask {
+                name: "QNLI",
+                dim: 96,
+                classes: 2,
+                noise: 0.55,
+                seed: 11,
+            },
+            SyntheticTask {
+                name: "QQP",
+                dim: 96,
+                classes: 2,
+                noise: 0.45,
+                seed: 22,
+            },
+            SyntheticTask {
+                name: "STS-B",
+                dim: 96,
+                classes: 5,
+                noise: 0.35,
+                seed: 33,
+            },
+            SyntheticTask {
+                name: "SST-2",
+                dim: 96,
+                classes: 2,
+                noise: 0.30,
+                seed: 44,
+            },
         ]
     }
 
     /// An ImageNet-like stand-in for the ViT experiments (Fig. 21b).
     #[must_use]
     pub fn imagenet_like() -> SyntheticTask {
-        SyntheticTask { name: "ImageNet-like", dim: 120, classes: 10, noise: 0.4, seed: 77 }
+        SyntheticTask {
+            name: "ImageNet-like",
+            dim: 120,
+            classes: 10,
+            noise: 0.4,
+            seed: 77,
+        }
     }
 
     /// Generates `samples` labelled examples.
@@ -263,7 +293,10 @@ mod tests {
         let w1a3 = data.quantized_accuracy("W1A3".parse().unwrap()).unwrap();
         // Finer quantization must not lose much vs fp32; coarser loses more.
         assert!(w4a4 > fp32 - 0.08, "W4A4 {w4a4} vs fp32 {fp32}");
-        assert!(w1a3 <= w4a4 + 0.03, "W1A3 {w1a3} should not beat W4A4 {w4a4}");
+        assert!(
+            w1a3 <= w4a4 + 0.03,
+            "W1A3 {w1a3} should not beat W4A4 {w4a4}"
+        );
         assert!(w1a3 > 0.5, "W1A3 {w1a3} should beat chance");
     }
 
@@ -272,8 +305,12 @@ mod tests {
         // Fig. 21(b): reordering LUT produces negligible accuracy impact.
         let data = SyntheticTask::imagenet_like().generate(200);
         for p in [2u32, 3, 4] {
-            let plain = data.float_lut_accuracy(NumericFormat::Fp4, p, false).unwrap();
-            let reordered = data.float_lut_accuracy(NumericFormat::Fp4, p, true).unwrap();
+            let plain = data
+                .float_lut_accuracy(NumericFormat::Fp4, p, false)
+                .unwrap();
+            let reordered = data
+                .float_lut_accuracy(NumericFormat::Fp4, p, true)
+                .unwrap();
             assert!(
                 (plain - reordered).abs() < 0.02,
                 "p={p}: {plain} vs {reordered}"
@@ -327,7 +364,13 @@ mod tests {
 
     #[test]
     fn accuracy_of_perfect_scores_is_one_without_noise() {
-        let t = SyntheticTask { name: "clean", dim: 32, classes: 3, noise: 0.0, seed: 5 };
+        let t = SyntheticTask {
+            name: "clean",
+            dim: 32,
+            classes: 3,
+            noise: 0.0,
+            seed: 5,
+        };
         let data = t.generate(100);
         assert_eq!(data.fp32_accuracy(), 1.0);
     }

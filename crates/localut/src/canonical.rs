@@ -279,9 +279,8 @@ mod tests {
 
     #[test]
     fn budget_guard() {
-        let err =
-            CanonicalLut::<i32>::build(NumericFormat::Int(4), NumericFormat::Int(4), 4, 100)
-                .unwrap_err();
+        let err = CanonicalLut::<i32>::build(NumericFormat::Int(4), NumericFormat::Int(4), 4, 100)
+            .unwrap_err();
         assert!(matches!(err, LocaLutError::BudgetExceeded { .. }));
     }
 }

@@ -161,10 +161,19 @@ mod tests {
         // W1A3, p=8: |dot| <= 8*1*4 = 32 → 1 byte.
         assert_eq!(entry_bytes(W1, A3, 8), 1);
         // W4A4, p=2: |dot| <= 2*7*7 = 98 → 1 byte; p=3: 147 → 2 bytes.
-        assert_eq!(entry_bytes(NumericFormat::Int(4), NumericFormat::Int(4), 2), 1);
-        assert_eq!(entry_bytes(NumericFormat::Int(4), NumericFormat::Int(4), 3), 2);
+        assert_eq!(
+            entry_bytes(NumericFormat::Int(4), NumericFormat::Int(4), 2),
+            1
+        );
+        assert_eq!(
+            entry_bytes(NumericFormat::Int(4), NumericFormat::Int(4), 3),
+            2
+        );
         // Wide ints overflow to 4 bytes (4*127*127 = 64516).
-        assert_eq!(entry_bytes(NumericFormat::Int(8), NumericFormat::Int(8), 4), 4);
+        assert_eq!(
+            entry_bytes(NumericFormat::Int(8), NumericFormat::Int(8), 4),
+            4
+        );
         // Floats store fp16 entries.
         assert_eq!(entry_bytes(NumericFormat::Fp4, NumericFormat::Fp4, 4), 2);
     }
@@ -228,7 +237,10 @@ mod tests {
 
     #[test]
     fn max_p_zero_when_nothing_fits() {
-        assert_eq!(max_p_op(NumericFormat::Int(8), NumericFormat::Int(8), 16), 0);
+        assert_eq!(
+            max_p_op(NumericFormat::Int(8), NumericFormat::Int(8), 16),
+            0
+        );
     }
 
     #[test]

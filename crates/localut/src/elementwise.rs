@@ -148,7 +148,10 @@ impl ElementwiseLut {
     /// Panics when an index is out of range.
     #[must_use]
     pub fn lookup(&self, a: u64, b: u64) -> u64 {
-        assert!(a < self.side && b < self.side, "elementwise LUT index out of range");
+        assert!(
+            a < self.side && b < self.side,
+            "elementwise LUT index out of range"
+        );
         self.entries[(b * self.side + a) as usize]
     }
 

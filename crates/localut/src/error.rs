@@ -51,13 +51,22 @@ impl fmt::Display for LocaLutError {
         match self {
             LocaLutError::InvalidPackingDegree(p) => write!(f, "invalid packing degree {p}"),
             LocaLutError::IndexSpaceTooWide { bits, p } => {
-                write!(f, "packed index space too wide: {bits} bits x p={p} exceeds 48 bits")
+                write!(
+                    f,
+                    "packed index space too wide: {bits} bits x p={p} exceeds 48 bits"
+                )
             }
             LocaLutError::BudgetExceeded { required, budget } => {
-                write!(f, "lut of {required} bytes exceeds budget of {budget} bytes")
+                write!(
+                    f,
+                    "lut of {required} bytes exceeds budget of {budget} bytes"
+                )
             }
             LocaLutError::DimensionMismatch { w_k, a_k } => {
-                write!(f, "dimension mismatch: weight K={w_k} vs activation K={a_k}")
+                write!(
+                    f,
+                    "dimension mismatch: weight K={w_k} vs activation K={a_k}"
+                )
             }
             LocaLutError::UnpaddableRemainder { remainder } => {
                 write!(

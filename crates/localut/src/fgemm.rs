@@ -118,9 +118,7 @@ impl FloatGemm {
                     }
                     let partial = match order {
                         AccumOrder::Original => self.packed_entry(&wcodes, &acodes),
-                        AccumOrder::Canonical => {
-                            self.canonical_entry(&wcodes, &acodes, &perm)
-                        }
+                        AccumOrder::Canonical => self.canonical_entry(&wcodes, &acodes, &perm),
                     };
                     out[m * dims.n + n] += partial;
                 }
@@ -146,8 +144,8 @@ impl FloatGemm {
         let mut acc = 0.0f32;
         for &i in perm {
             let i = usize::from(i);
-            acc += self.wf.decode_f32(u32::from(wcodes[i]))
-                * self.af.decode_f32(u32::from(acodes[i]));
+            acc +=
+                self.wf.decode_f32(u32::from(wcodes[i])) * self.af.decode_f32(u32::from(acodes[i]));
         }
         acc
     }
@@ -165,8 +163,12 @@ mod tests {
 
     fn operands(m: usize, k: usize, n: usize, f: NumericFormat) -> (QMatrix, QMatrix) {
         let q = Quantizer::symmetric(f);
-        let wdata: Vec<f32> = (0..m * k).map(|i| ((i * 7 + 1) % 11) as f32 * 0.3 - 1.5).collect();
-        let adata: Vec<f32> = (0..k * n).map(|i| ((i * 5 + 2) % 13) as f32 * 0.25 - 1.5).collect();
+        let wdata: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 7 + 1) % 11) as f32 * 0.3 - 1.5)
+            .collect();
+        let adata: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 5 + 2) % 13) as f32 * 0.25 - 1.5)
+            .collect();
         (
             q.quantize_matrix(&wdata, m, k).unwrap(),
             q.quantize_matrix(&adata, k, n).unwrap(),

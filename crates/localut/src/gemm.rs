@@ -180,7 +180,12 @@ impl GemmConfig {
     /// # Errors
     ///
     /// Shape/format/budget errors from the kernel (see [`LocaLutError`]).
-    pub fn run(&self, method: Method, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+    pub fn run(
+        &self,
+        method: Method,
+        w: &QMatrix,
+        a: &QMatrix,
+    ) -> Result<GemmResult, LocaLutError> {
         match method {
             Method::NaivePim => NaiveKernel::new(self.dpu.clone()).run(w, a),
             Method::Ltc => LtcKernel::new(self.dpu.clone()).run(w, a),

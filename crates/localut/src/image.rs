@@ -174,7 +174,10 @@ mod tests {
         assert_eq!(image.len() as u64, lut.entry_count() * 2);
         // FP4 products are exactly representable in half precision.
         let first = u16::from_le_bytes([image[0], image[1]]);
-        assert_eq!(NumericFormat::Fp16.decode_f32(u32::from(first)), lut.lookup(0, 0));
+        assert_eq!(
+            NumericFormat::Fp16.decode_f32(u32::from(first)),
+            lut.lookup(0, 0)
+        );
     }
 
     #[test]

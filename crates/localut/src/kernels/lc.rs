@@ -173,29 +173,49 @@ mod tests {
     use crate::gemm::reference_gemm;
     use quant::Quantizer;
 
-    fn operands(m: usize, k: usize, n: usize, wf: NumericFormat, af: NumericFormat) -> (QMatrix, QMatrix) {
-        let wdata: Vec<f32> = (0..m * k).map(|i| ((i * 11 + 4) % 5) as f32 - 2.0).collect();
+    fn operands(
+        m: usize,
+        k: usize,
+        n: usize,
+        wf: NumericFormat,
+        af: NumericFormat,
+    ) -> (QMatrix, QMatrix) {
+        let wdata: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 11 + 4) % 5) as f32 - 2.0)
+            .collect();
         let adata: Vec<f32> = (0..k * n).map(|i| ((i * 7 + 3) % 9) as f32 - 4.0).collect();
         (
-            Quantizer::symmetric(wf).quantize_matrix(&wdata, m, k).unwrap(),
-            Quantizer::symmetric(af).quantize_matrix(&adata, k, n).unwrap(),
+            Quantizer::symmetric(wf)
+                .quantize_matrix(&wdata, m, k)
+                .unwrap(),
+            Quantizer::symmetric(af)
+                .quantize_matrix(&adata, k, n)
+                .unwrap(),
         )
     }
 
     #[test]
     fn auto_picks_paper_p_for_w1a3() {
         // §V-A: canonicalization raises p_local to 5 (canonical-only fit).
-        let k = LcKernel::auto(DpuConfig::upmem(), NumericFormat::Bipolar, NumericFormat::Int(3))
-            .unwrap();
+        let k = LcKernel::auto(
+            DpuConfig::upmem(),
+            NumericFormat::Bipolar,
+            NumericFormat::Int(3),
+        )
+        .unwrap();
         assert_eq!(k.p(), 5);
     }
 
     #[test]
     fn run_matches_reference() {
         let (w, a) = operands(5, 10, 3, NumericFormat::Bipolar, NumericFormat::Int(3));
-        let kernel =
-            LcKernel::with_p(DpuConfig::upmem(), NumericFormat::Bipolar, NumericFormat::Int(3), 5)
-                .unwrap();
+        let kernel = LcKernel::with_p(
+            DpuConfig::upmem(),
+            NumericFormat::Bipolar,
+            NumericFormat::Int(3),
+            5,
+        )
+        .unwrap();
         let out = kernel.run(&w, &a).unwrap();
         assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap());
     }
@@ -203,9 +223,13 @@ mod tests {
     #[test]
     fn ragged_k_matches_reference() {
         let (w, a) = operands(3, 8, 2, NumericFormat::Int(2), NumericFormat::Int(2));
-        let kernel =
-            LcKernel::with_p(DpuConfig::upmem(), NumericFormat::Int(2), NumericFormat::Int(2), 3)
-                .unwrap();
+        let kernel = LcKernel::with_p(
+            DpuConfig::upmem(),
+            NumericFormat::Int(2),
+            NumericFormat::Int(2),
+            3,
+        )
+        .unwrap();
         let out = kernel.run(&w, &a).unwrap();
         assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap());
     }
@@ -213,9 +237,13 @@ mod tests {
     #[test]
     fn run_profile_equals_cost() {
         let (w, a) = operands(4, 6, 2, NumericFormat::Int(2), NumericFormat::Int(3));
-        let kernel =
-            LcKernel::with_p(DpuConfig::upmem(), NumericFormat::Int(2), NumericFormat::Int(3), 3)
-                .unwrap();
+        let kernel = LcKernel::with_p(
+            DpuConfig::upmem(),
+            NumericFormat::Int(2),
+            NumericFormat::Int(3),
+            3,
+        )
+        .unwrap();
         let out = kernel.run(&w, &a).unwrap();
         assert_eq!(out.profile, kernel.cost(out.dims));
     }
@@ -224,10 +252,18 @@ mod tests {
     fn software_reordering_dominates_index_calc() {
         // §VI-B: OP+LC "performance drops significantly from the added
         // ordering overhead".
-        let kernel =
-            LcKernel::with_p(DpuConfig::upmem(), NumericFormat::Bipolar, NumericFormat::Int(3), 5)
-                .unwrap();
-        let cost = kernel.cost(GemmDims { m: 256, k: 255, n: 32 });
+        let kernel = LcKernel::with_p(
+            DpuConfig::upmem(),
+            NumericFormat::Bipolar,
+            NumericFormat::Int(3),
+            5,
+        )
+        .unwrap();
+        let cost = kernel.cost(GemmDims {
+            m: 256,
+            k: 255,
+            n: 32,
+        });
         assert!(cost.fraction(Category::IndexCalc) > 0.5);
     }
 }

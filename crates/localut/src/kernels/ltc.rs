@@ -114,8 +114,7 @@ impl LtcKernel {
                                     let bit = (w.code_at(m, kb * g + i) >> b) & 1;
                                     idx |= usize::from(bit) << i;
                                 }
-                                let scale = if b + 1 == bw && matches!(wf, NumericFormat::Int(_))
-                                {
+                                let scale = if b + 1 == bw && matches!(wf, NumericFormat::Int(_)) {
                                     -(1i32 << b)
                                 } else {
                                     1i32 << b
@@ -145,13 +144,25 @@ mod tests {
     use quant::Quantizer;
 
     fn check_matches_reference(wf: NumericFormat, af: NumericFormat, m: usize, k: usize, n: usize) {
-        let wdata: Vec<f32> = (0..m * k).map(|i| ((i * 7 + 3) % 13) as f32 - 6.0).collect();
-        let adata: Vec<f32> = (0..k * n).map(|i| ((i * 5 + 1) % 11) as f32 - 5.0).collect();
-        let w = Quantizer::symmetric(wf).quantize_matrix(&wdata, m, k).unwrap();
-        let a = Quantizer::symmetric(af).quantize_matrix(&adata, k, n).unwrap();
+        let wdata: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 7 + 3) % 13) as f32 - 6.0)
+            .collect();
+        let adata: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 5 + 1) % 11) as f32 - 5.0)
+            .collect();
+        let w = Quantizer::symmetric(wf)
+            .quantize_matrix(&wdata, m, k)
+            .unwrap();
+        let a = Quantizer::symmetric(af)
+            .quantize_matrix(&adata, k, n)
+            .unwrap();
         let kernel = LtcKernel::new(DpuConfig::upmem());
         let out = kernel.run(&w, &a).unwrap();
-        assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap(), "{wf:?}x{af:?}");
+        assert_eq!(
+            out.values,
+            reference_gemm::<i32>(&w, &a).unwrap(),
+            "{wf:?}x{af:?}"
+        );
     }
 
     #[test]
@@ -181,14 +192,21 @@ mod tests {
             .unwrap();
         let kernel = LtcKernel::new(DpuConfig::upmem());
         let out = kernel.run(&w, &a).unwrap();
-        assert_eq!(out.profile, kernel.cost(out.dims, NumericFormat::Int(2), NumericFormat::Int(3)));
+        assert_eq!(
+            out.profile,
+            kernel.cost(out.dims, NumericFormat::Int(2), NumericFormat::Int(3))
+        );
     }
 
     #[test]
     fn cost_scales_with_weight_bits() {
         // Bit-serial: W4 needs ~4x the lookups of W1.
         let kernel = LtcKernel::new(DpuConfig::upmem());
-        let dims = GemmDims { m: 128, k: 128, n: 32 };
+        let dims = GemmDims {
+            m: 128,
+            k: 128,
+            n: 32,
+        };
         let w1 = kernel.cost(dims, NumericFormat::Bipolar, NumericFormat::Int(4));
         let w4 = kernel.cost(dims, NumericFormat::Int(4), NumericFormat::Int(4));
         let ratio = w4.seconds(Category::Compute) / w1.seconds(Category::Compute);

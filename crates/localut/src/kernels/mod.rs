@@ -42,10 +42,7 @@ use quant::{NumericFormat, QMatrix};
 pub(crate) const MAX_MATERIALIZED_ENTRIES: u64 = 1 << 26;
 
 /// Ensures both operand formats decode to exact integers.
-pub(crate) fn require_integer(
-    wf: NumericFormat,
-    af: NumericFormat,
-) -> Result<(), LocaLutError> {
+pub(crate) fn require_integer(wf: NumericFormat, af: NumericFormat) -> Result<(), LocaLutError> {
     if !wf.is_integer() || !af.is_integer() {
         return Err(LocaLutError::UnsupportedFormat(
             "integer kernels require integer weight/activation formats",
@@ -92,11 +89,7 @@ pub(crate) fn weight_group_codes(w: &QMatrix, m: usize, kb: usize, p: usize) -> 
 }
 
 /// Resolves the zero pad code or errors when `K % p != 0` and none exists.
-pub(crate) fn pad_code_for(
-    af: NumericFormat,
-    k: usize,
-    p: usize,
-) -> Result<u16, LocaLutError> {
+pub(crate) fn pad_code_for(af: NumericFormat, k: usize, p: usize) -> Result<u16, LocaLutError> {
     let remainder = k % p;
     match zero_code(af) {
         Some(c) => Ok(c),

@@ -28,7 +28,11 @@ impl NaiveKernel {
         let bw = wf.bits();
         let ba = af.bits();
         charge_operand_input(dpu, dims, bw, ba);
-        let per_mac = self.cfg.processor.costs.naive_mac(u32::from(bw), u32::from(ba));
+        let per_mac = self
+            .cfg
+            .processor
+            .costs
+            .naive_mac(u32::from(bw), u32::from(ba));
         dpu.charge_instrs(dims.macs() * u64::from(per_mac), Category::Compute);
         charge_output(dpu, dims);
     }
@@ -70,7 +74,11 @@ mod tests {
             .quantize_matrix(&(0..12).map(|i| (i as f32) - 6.0).collect::<Vec<_>>(), 3, 4)
             .unwrap();
         let a = Quantizer::symmetric(NumericFormat::Int(4))
-            .quantize_matrix(&(0..8).map(|i| 1.0 - (i as f32) * 0.3).collect::<Vec<_>>(), 4, 2)
+            .quantize_matrix(
+                &(0..8).map(|i| 1.0 - (i as f32) * 0.3).collect::<Vec<_>>(),
+                4,
+                2,
+            )
             .unwrap();
         (w, a)
     }
@@ -95,7 +103,11 @@ mod tests {
     #[test]
     fn compute_dominates_large_gemm() {
         let kernel = NaiveKernel::new(DpuConfig::upmem());
-        let dims = GemmDims { m: 256, k: 256, n: 64 };
+        let dims = GemmDims {
+            m: 256,
+            k: 256,
+            n: 64,
+        };
         let p = kernel.cost(dims, NumericFormat::Bipolar, NumericFormat::Int(3));
         assert!(p.fraction(Category::Compute) > 0.8);
     }
@@ -103,7 +115,11 @@ mod tests {
     #[test]
     fn wide_operands_cost_more() {
         let kernel = NaiveKernel::new(DpuConfig::upmem());
-        let dims = GemmDims { m: 64, k: 64, n: 64 };
+        let dims = GemmDims {
+            m: 64,
+            k: 64,
+            n: 64,
+        };
         let narrow = kernel.cost(dims, NumericFormat::Int(4), NumericFormat::Int(4));
         let wide = kernel.cost(dims, NumericFormat::Int(4), NumericFormat::Int(16));
         assert!(wide.total_seconds() > narrow.total_seconds());

@@ -159,28 +159,46 @@ mod tests {
     use crate::gemm::reference_gemm;
     use quant::Quantizer;
 
-    fn operands(m: usize, k: usize, n: usize, wf: NumericFormat, af: NumericFormat) -> (QMatrix, QMatrix) {
+    fn operands(
+        m: usize,
+        k: usize,
+        n: usize,
+        wf: NumericFormat,
+        af: NumericFormat,
+    ) -> (QMatrix, QMatrix) {
         let wdata: Vec<f32> = (0..m * k).map(|i| ((i * 3 + 1) % 7) as f32 - 3.0).collect();
         let adata: Vec<f32> = (0..k * n).map(|i| ((i * 5 + 2) % 9) as f32 - 4.0).collect();
         (
-            Quantizer::symmetric(wf).quantize_matrix(&wdata, m, k).unwrap(),
-            Quantizer::symmetric(af).quantize_matrix(&adata, k, n).unwrap(),
+            Quantizer::symmetric(wf)
+                .quantize_matrix(&wdata, m, k)
+                .unwrap(),
+            Quantizer::symmetric(af)
+                .quantize_matrix(&adata, k, n)
+                .unwrap(),
         )
     }
 
     #[test]
     fn auto_picks_paper_p_for_w1a3() {
-        let k = OpKernel::auto(DpuConfig::upmem(), NumericFormat::Bipolar, NumericFormat::Int(3))
-            .unwrap();
+        let k = OpKernel::auto(
+            DpuConfig::upmem(),
+            NumericFormat::Bipolar,
+            NumericFormat::Int(3),
+        )
+        .unwrap();
         assert_eq!(k.p(), 3); // §V-A: p_local = 3 without canonicalization.
     }
 
     #[test]
     fn run_matches_reference() {
         let (w, a) = operands(4, 9, 3, NumericFormat::Bipolar, NumericFormat::Int(3));
-        let kernel =
-            OpKernel::with_p(DpuConfig::upmem(), NumericFormat::Bipolar, NumericFormat::Int(3), 3)
-                .unwrap();
+        let kernel = OpKernel::with_p(
+            DpuConfig::upmem(),
+            NumericFormat::Bipolar,
+            NumericFormat::Int(3),
+            3,
+        )
+        .unwrap();
         let out = kernel.run(&w, &a).unwrap();
         assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap());
     }
@@ -188,9 +206,13 @@ mod tests {
     #[test]
     fn ragged_k_with_zero_pad() {
         let (w, a) = operands(3, 7, 2, NumericFormat::Int(2), NumericFormat::Int(3));
-        let kernel =
-            OpKernel::with_p(DpuConfig::upmem(), NumericFormat::Int(2), NumericFormat::Int(3), 3)
-                .unwrap();
+        let kernel = OpKernel::with_p(
+            DpuConfig::upmem(),
+            NumericFormat::Int(2),
+            NumericFormat::Int(3),
+            3,
+        )
+        .unwrap();
         let out = kernel.run(&w, &a).unwrap();
         assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap());
     }
@@ -214,20 +236,33 @@ mod tests {
     #[test]
     fn run_profile_equals_cost() {
         let (w, a) = operands(4, 6, 2, NumericFormat::Int(2), NumericFormat::Int(2));
-        let kernel =
-            OpKernel::with_p(DpuConfig::upmem(), NumericFormat::Int(2), NumericFormat::Int(2), 2)
-                .unwrap();
+        let kernel = OpKernel::with_p(
+            DpuConfig::upmem(),
+            NumericFormat::Int(2),
+            NumericFormat::Int(2),
+            2,
+        )
+        .unwrap();
         let out = kernel.run(&w, &a).unwrap();
         assert_eq!(out.profile, kernel.cost(out.dims));
     }
 
     #[test]
     fn higher_p_means_fewer_lookup_seconds() {
-        let dims = GemmDims { m: 64, k: 64, n: 16 };
+        let dims = GemmDims {
+            m: 64,
+            k: 64,
+            n: 16,
+        };
         let cfg = DpuConfig::upmem();
-        let p2 = OpKernel::with_p(cfg.clone(), NumericFormat::Bipolar, NumericFormat::Int(3), 2)
-            .unwrap()
-            .cost(dims);
+        let p2 = OpKernel::with_p(
+            cfg.clone(),
+            NumericFormat::Bipolar,
+            NumericFormat::Int(3),
+            2,
+        )
+        .unwrap()
+        .cost(dims);
         let p3 = OpKernel::with_p(cfg, NumericFormat::Bipolar, NumericFormat::Int(3), 3)
             .unwrap()
             .cost(dims);
@@ -237,9 +272,13 @@ mod tests {
     #[test]
     fn mismatched_formats_rejected() {
         let (w, a) = operands(2, 4, 2, NumericFormat::Int(3), NumericFormat::Int(3));
-        let kernel =
-            OpKernel::with_p(DpuConfig::upmem(), NumericFormat::Int(2), NumericFormat::Int(3), 2)
-                .unwrap();
+        let kernel = OpKernel::with_p(
+            DpuConfig::upmem(),
+            NumericFormat::Int(2),
+            NumericFormat::Int(3),
+            2,
+        )
+        .unwrap();
         assert!(kernel.run(&w, &a).is_err());
     }
 }

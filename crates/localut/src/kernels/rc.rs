@@ -169,28 +169,50 @@ mod tests {
     use crate::kernels::LcKernel;
     use quant::Quantizer;
 
-    fn operands(m: usize, k: usize, n: usize, wf: NumericFormat, af: NumericFormat) -> (QMatrix, QMatrix) {
-        let wdata: Vec<f32> = (0..m * k).map(|i| ((i * 13 + 5) % 7) as f32 - 3.0).collect();
-        let adata: Vec<f32> = (0..k * n).map(|i| ((i * 3 + 2) % 11) as f32 - 5.0).collect();
+    fn operands(
+        m: usize,
+        k: usize,
+        n: usize,
+        wf: NumericFormat,
+        af: NumericFormat,
+    ) -> (QMatrix, QMatrix) {
+        let wdata: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 13 + 5) % 7) as f32 - 3.0)
+            .collect();
+        let adata: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 3 + 2) % 11) as f32 - 5.0)
+            .collect();
         (
-            Quantizer::symmetric(wf).quantize_matrix(&wdata, m, k).unwrap(),
-            Quantizer::symmetric(af).quantize_matrix(&adata, k, n).unwrap(),
+            Quantizer::symmetric(wf)
+                .quantize_matrix(&wdata, m, k)
+                .unwrap(),
+            Quantizer::symmetric(af)
+                .quantize_matrix(&adata, k, n)
+                .unwrap(),
         )
     }
 
     #[test]
     fn auto_picks_paper_p_for_w1a3() {
-        let k = RcKernel::auto(DpuConfig::upmem(), NumericFormat::Bipolar, NumericFormat::Int(3))
-            .unwrap();
+        let k = RcKernel::auto(
+            DpuConfig::upmem(),
+            NumericFormat::Bipolar,
+            NumericFormat::Int(3),
+        )
+        .unwrap();
         assert_eq!(k.p(), 5); // §V-A: p_local = 5 with LC (+RC).
     }
 
     #[test]
     fn run_matches_reference() {
         let (w, a) = operands(5, 10, 3, NumericFormat::Bipolar, NumericFormat::Int(3));
-        let kernel =
-            RcKernel::with_p(DpuConfig::upmem(), NumericFormat::Bipolar, NumericFormat::Int(3), 5)
-                .unwrap();
+        let kernel = RcKernel::with_p(
+            DpuConfig::upmem(),
+            NumericFormat::Bipolar,
+            NumericFormat::Int(3),
+            5,
+        )
+        .unwrap();
         let out = kernel.run(&w, &a).unwrap();
         assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap());
     }
@@ -198,9 +220,13 @@ mod tests {
     #[test]
     fn ragged_k_matches_reference() {
         let (w, a) = operands(4, 11, 2, NumericFormat::Int(2), NumericFormat::Int(3));
-        let kernel =
-            RcKernel::with_p(DpuConfig::upmem(), NumericFormat::Int(2), NumericFormat::Int(3), 4)
-                .unwrap();
+        let kernel = RcKernel::with_p(
+            DpuConfig::upmem(),
+            NumericFormat::Int(2),
+            NumericFormat::Int(3),
+            4,
+        )
+        .unwrap();
         let out = kernel.run(&w, &a).unwrap();
         assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap());
     }
@@ -208,9 +234,13 @@ mod tests {
     #[test]
     fn run_profile_equals_cost() {
         let (w, a) = operands(4, 6, 2, NumericFormat::Int(2), NumericFormat::Int(2));
-        let kernel =
-            RcKernel::with_p(DpuConfig::upmem(), NumericFormat::Int(2), NumericFormat::Int(2), 3)
-                .unwrap();
+        let kernel = RcKernel::with_p(
+            DpuConfig::upmem(),
+            NumericFormat::Int(2),
+            NumericFormat::Int(2),
+            3,
+        )
+        .unwrap();
         let out = kernel.run(&w, &a).unwrap();
         assert_eq!(out.profile, kernel.cost(out.dims));
     }
@@ -218,11 +248,20 @@ mod tests {
     #[test]
     fn reordering_lut_beats_software_reordering() {
         // Fig. 9: OP+LC+RC recovers the overhead OP+LC added.
-        let dims = GemmDims { m: 128, k: 125, n: 16 };
+        let dims = GemmDims {
+            m: 128,
+            k: 125,
+            n: 16,
+        };
         let cfg = DpuConfig::upmem();
-        let lc = LcKernel::with_p(cfg.clone(), NumericFormat::Bipolar, NumericFormat::Int(3), 5)
-            .unwrap()
-            .cost(dims);
+        let lc = LcKernel::with_p(
+            cfg.clone(),
+            NumericFormat::Bipolar,
+            NumericFormat::Int(3),
+            5,
+        )
+        .unwrap()
+        .cost(dims);
         let rc = RcKernel::with_p(cfg, NumericFormat::Bipolar, NumericFormat::Int(3), 5)
             .unwrap()
             .cost(dims);
@@ -232,10 +271,18 @@ mod tests {
     #[test]
     fn reorder_access_fraction_is_small() {
         // §VI-G: the reordering LUT access is ~6.9% of the kernel.
-        let kernel =
-            RcKernel::with_p(DpuConfig::upmem(), NumericFormat::Bipolar, NumericFormat::Int(3), 5)
-                .unwrap();
-        let cost = kernel.cost(GemmDims { m: 768, k: 765, n: 128 });
+        let kernel = RcKernel::with_p(
+            DpuConfig::upmem(),
+            NumericFormat::Bipolar,
+            NumericFormat::Int(3),
+            5,
+        )
+        .unwrap();
+        let cost = kernel.cost(GemmDims {
+            m: 768,
+            k: 765,
+            n: 128,
+        });
         let frac = cost.fraction(Category::ReorderLookup);
         assert!((0.02..0.2).contains(&frac), "reorder fraction {frac}");
     }

@@ -158,8 +158,7 @@ impl StreamingKernel {
                 for &n in &batch {
                     let acodes = group_codes(a, kb, n, p, pad);
                     let perm = sort_permutation(&acodes);
-                    let sorted: Vec<u16> =
-                        perm.iter().map(|&i| acodes[usize::from(i)]).collect();
+                    let sorted: Vec<u16> = perm.iter().map(|&i| acodes[usize::from(i)]).collect();
                     let perm_id = lehmer_rank(&perm)?;
                     let col = canonical.column_of(&sorted)?;
                     slices.push((
@@ -196,12 +195,26 @@ mod tests {
     use crate::gemm::reference_gemm;
     use quant::Quantizer;
 
-    fn operands(m: usize, k: usize, n: usize, wf: NumericFormat, af: NumericFormat) -> (QMatrix, QMatrix) {
-        let wdata: Vec<f32> = (0..m * k).map(|i| ((i * 17 + 2) % 9) as f32 - 4.0).collect();
-        let adata: Vec<f32> = (0..k * n).map(|i| ((i * 19 + 7) % 13) as f32 - 6.0).collect();
+    fn operands(
+        m: usize,
+        k: usize,
+        n: usize,
+        wf: NumericFormat,
+        af: NumericFormat,
+    ) -> (QMatrix, QMatrix) {
+        let wdata: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 17 + 2) % 9) as f32 - 4.0)
+            .collect();
+        let adata: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 19 + 7) % 13) as f32 - 6.0)
+            .collect();
         (
-            Quantizer::symmetric(wf).quantize_matrix(&wdata, m, k).unwrap(),
-            Quantizer::symmetric(af).quantize_matrix(&adata, k, n).unwrap(),
+            Quantizer::symmetric(wf)
+                .quantize_matrix(&wdata, m, k)
+                .unwrap(),
+            Quantizer::symmetric(af)
+                .quantize_matrix(&adata, k, n)
+                .unwrap(),
         )
     }
 
@@ -280,7 +293,11 @@ mod tests {
 
     #[test]
     fn larger_k_reduces_weight_restreaming() {
-        let dims = GemmDims { m: 256, k: 256, n: 64 };
+        let dims = GemmDims {
+            m: 256,
+            k: 256,
+            n: 64,
+        };
         let k1 = kernel(6, 1).cost(dims);
         let k8 = kernel(6, 8).cost(dims);
         assert!(k8.seconds(Category::DataTransfer) < k1.seconds(Category::DataTransfer));

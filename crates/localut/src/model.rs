@@ -101,13 +101,7 @@ impl PerfModel {
     /// the buffer-resident alternative at `p_local` on Eq. 4, and pick the
     /// faster (Eq. 5/6). Returns `None` when neither placement is feasible.
     #[must_use]
-    pub fn choose(
-        &self,
-        dims: GemmDims,
-        bw: u8,
-        p_dram: u32,
-        p_local: u32,
-    ) -> Option<ModelChoice> {
+    pub fn choose(&self, dims: GemmDims, bw: u8, p_dram: u32, p_local: u32) -> Option<ModelChoice> {
         let stream = self.optimal_streaming_p(dims, bw, p_dram);
         let buffer = (p_local > 0).then(|| ModelChoice {
             p: p_local,
@@ -128,8 +122,7 @@ impl PerfModel {
         if p_star <= p_local {
             return f64::INFINITY;
         }
-        2f64.powi(i32::from(bw) * p_star as i32) * (self.l_d / self.l_local)
-            * f64::from(p_local)
+        2f64.powi(i32::from(bw) * p_star as i32) * (self.l_d / self.l_local) * f64::from(p_local)
             / f64::from(p_star - p_local)
     }
 }
@@ -236,11 +229,7 @@ mod tests {
         let n = 128;
         let above = dims((threshold * 1.3) as usize, k, n);
         let below = dims((threshold * 0.7) as usize, k, n);
-        assert!(
-            m.streaming_seconds(above, bw, p_star) < m.buffer_seconds(above, p_local)
-        );
-        assert!(
-            m.streaming_seconds(below, bw, p_star) > m.buffer_seconds(below, p_local)
-        );
+        assert!(m.streaming_seconds(above, bw, p_star) < m.buffer_seconds(above, p_local));
+        assert!(m.streaming_seconds(below, bw, p_star) > m.buffer_seconds(below, p_local));
     }
 }

@@ -122,9 +122,8 @@ pub fn unrank(mut r: u64, n: u64, p: u32) -> Result<Vec<u16>, LocaLutError> {
         }
         let c = binomial(best, i as u64 + 1).unwrap_or(u128::MAX);
         r -= u64::try_from(c).unwrap_or(u64::MAX);
-        out[i] = u16::try_from(best - i as u64).map_err(|_| {
-            LocaLutError::IndexSpaceTooWide { bits: 0, p }
-        })?;
+        out[i] = u16::try_from(best - i as u64)
+            .map_err(|_| LocaLutError::IndexSpaceTooWide { bits: 0, p })?;
     }
     Ok(out)
 }
@@ -164,9 +163,16 @@ mod tests {
             for r in 0..total {
                 let codes = unrank(r, n, p).unwrap();
                 assert_eq!(codes.len(), p as usize);
-                assert!(codes.windows(2).all(|w| w[0] <= w[1]), "not sorted: {codes:?}");
+                assert!(
+                    codes.windows(2).all(|w| w[0] <= w[1]),
+                    "not sorted: {codes:?}"
+                );
                 assert!(codes.iter().all(|&c| u64::from(c) < n));
-                assert_eq!(rank(&codes, n).unwrap(), r, "roundtrip failed for {codes:?}");
+                assert_eq!(
+                    rank(&codes, n).unwrap(),
+                    r,
+                    "roundtrip failed for {codes:?}"
+                );
                 assert!(seen.insert(codes), "duplicate multiset at rank {r}");
             }
             assert_eq!(seen.len() as u64, total);

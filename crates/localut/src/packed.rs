@@ -231,9 +231,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "LUT index out of range")]
     fn lookup_out_of_range_panics() {
-        let lut =
-            OpPackedLut::<i32>::build(NumericFormat::Bipolar, NumericFormat::Int(2), 1, 64)
-                .unwrap();
+        let lut = OpPackedLut::<i32>::build(NumericFormat::Bipolar, NumericFormat::Int(2), 1, 64)
+            .unwrap();
         let _ = lut.lookup(2, 0);
     }
 }

@@ -260,7 +260,16 @@ mod tests {
     #[test]
     fn large_m_plans_streaming_with_high_p() {
         let plan = planner()
-            .plan(GemmDims { m: 3072, k: 768, n: 128 }, W1, A3, Some(2))
+            .plan(
+                GemmDims {
+                    m: 3072,
+                    k: 768,
+                    n: 128,
+                },
+                W1,
+                A3,
+                Some(2),
+            )
             .unwrap();
         assert_eq!(plan.placement, Placement::Streaming);
         assert!(plan.p > 5, "expected p beyond p_local, got {}", plan.p);
@@ -283,7 +292,11 @@ mod tests {
     #[test]
     fn plan_is_optimal_over_alternatives() {
         let p = planner();
-        let dims = GemmDims { m: 768, k: 768, n: 128 };
+        let dims = GemmDims {
+            m: 768,
+            k: 768,
+            n: 128,
+        };
         let plan = p.plan(dims, W1, A3, None).unwrap();
         // No single-k plan may beat the k-searched plan.
         for k in [1, 2, 4, 8] {

@@ -27,7 +27,10 @@ impl TileGrid {
     pub fn choose(dims: GemmDims, n_dpus: u32) -> Self {
         let grid_n = u32::try_from(dims.n).unwrap_or(u32::MAX).min(n_dpus).max(1);
         let remaining = (n_dpus / grid_n).max(1);
-        let grid_m = u32::try_from(dims.m).unwrap_or(u32::MAX).min(remaining).max(1);
+        let grid_m = u32::try_from(dims.m)
+            .unwrap_or(u32::MAX)
+            .min(remaining)
+            .max(1);
         TileGrid { grid_m, grid_n }
     }
 
@@ -168,11 +171,22 @@ mod tests {
 
     #[test]
     fn grid_splits_n_then_m() {
-        let g = TileGrid::choose(GemmDims { m: 768, k: 768, n: 128 }, 2048);
+        let g = TileGrid::choose(
+            GemmDims {
+                m: 768,
+                k: 768,
+                n: 128,
+            },
+            2048,
+        );
         assert_eq!(g.grid_n, 128);
         assert_eq!(g.grid_m, 16);
         assert_eq!(g.dpus_used(), 2048);
-        let tile = g.tile_dims(GemmDims { m: 768, k: 768, n: 128 });
+        let tile = g.tile_dims(GemmDims {
+            m: 768,
+            k: 768,
+            n: 128,
+        });
         assert_eq!((tile.m, tile.k, tile.n), (48, 768, 1));
     }
 
@@ -189,7 +203,16 @@ mod tests {
     fn distributed_cost_has_host_and_pim_phases() {
         let d = DistributedGemm::upmem_server();
         let sp = d
-            .cost(Method::LoCaLut, GemmDims { m: 768, k: 768, n: 128 }, W1, A3)
+            .cost(
+                Method::LoCaLut,
+                GemmDims {
+                    m: 768,
+                    k: 768,
+                    n: 128,
+                },
+                W1,
+                A3,
+            )
             .unwrap();
         assert!(sp.pim.total_seconds() > 0.0);
         assert!(sp.host.seconds(Category::HostQuantize) > 0.0);
@@ -201,7 +224,16 @@ mod tests {
     fn naive_has_no_sorting_phase() {
         let d = DistributedGemm::upmem_server();
         let sp = d
-            .cost(Method::NaivePim, GemmDims { m: 64, k: 64, n: 16 }, W1, A3)
+            .cost(
+                Method::NaivePim,
+                GemmDims {
+                    m: 64,
+                    k: 64,
+                    n: 16,
+                },
+                W1,
+                A3,
+            )
             .unwrap();
         assert_eq!(sp.host.seconds(Category::HostSortPack), 0.0);
     }
@@ -215,7 +247,11 @@ mod tests {
             .speedup_over(
                 Method::LoCaLut,
                 Method::NaivePim,
-                GemmDims { m: 3072, k: 768, n: 128 },
+                GemmDims {
+                    m: 3072,
+                    k: 768,
+                    n: 128,
+                },
                 W1,
                 A3,
             )

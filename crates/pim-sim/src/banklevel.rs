@@ -245,8 +245,8 @@ impl BankLevelPim {
         // Reloads proceed bank-parallel.
         let reload_seconds = reload_cmds * cfg.t_cmd_seconds;
 
-        let bank_resident = Self::full_lut_bytes(bw, ba, p, entry_bytes)
-            <= cfg.bank_lut_budget as f64;
+        let bank_resident =
+            Self::full_lut_bytes(bw, ba, p, entry_bytes) <= cfg.bank_lut_budget as f64;
         let hostgen_seconds = if bank_resident {
             0.0
         } else {
@@ -298,7 +298,11 @@ mod tests {
         let speedup = simd / plan.total_seconds();
         // Reload overhead makes moderate p optimal, but it must still be
         // well above the W4A4 regime.
-        assert!(plan.p >= 4, "expected a high packing degree, got {}", plan.p);
+        assert!(
+            plan.p >= 4,
+            "expected a high packing degree, got {}",
+            plan.p
+        );
         assert!(
             (1.8..4.0).contains(&speedup),
             "W1A3 speedup {speedup} out of the paper's band"

@@ -221,7 +221,11 @@ impl Dpu {
         let secs = self.cfg.timings.lut_pair_stream_seconds(n);
         self.ledger.charge(Category::LutLoad, secs);
         self.ledger.dram_read_bytes += bytes;
-        self.record(Category::LutLoad, secs, TraceKind::LutPairStream { pairs: n });
+        self.record(
+            Category::LutLoad,
+            secs,
+            TraceKind::LutPairStream { pairs: n },
+        );
     }
 
     /// Charges `n` profiled lookup+accumulate composites (`L_local` each),

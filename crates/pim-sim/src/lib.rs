@@ -48,8 +48,8 @@
 #![warn(missing_docs)]
 
 pub mod banklevel;
-pub mod dram;
 pub mod dpu;
+pub mod dram;
 pub mod energy;
 pub mod processor;
 pub mod stats;

@@ -111,7 +111,10 @@ mod tests {
         let model = PqCostModel::upmem_server();
         let sp = model.gemm_cost(&cfg(PqVariant::PimDl), 768, 768, 128);
         let centroid = sp.host.seconds(Category::HostCentroid);
-        assert!(centroid > sp.pim.total_seconds(), "centroid phase too small");
+        assert!(
+            centroid > sp.pim.total_seconds(),
+            "centroid phase too small"
+        );
         assert!(centroid / sp.total_seconds() > 0.4);
     }
 
@@ -122,7 +125,10 @@ mod tests {
         let l1 = model.gemm_cost(&cfg(PqVariant::LutDlaL1), 768, 768, 128);
         let l2 = model.gemm_cost(&cfg(PqVariant::LutDlaL2), 768, 768, 128);
         assert!(l1.total_seconds() < pimdl.total_seconds());
-        assert!(l1.total_seconds() < l2.total_seconds(), "L1 is cheaper than L2");
+        assert!(
+            l1.total_seconds() < l2.total_seconds(),
+            "L1 is cheaper than L2"
+        );
     }
 
     #[test]
@@ -133,9 +139,8 @@ mod tests {
         assert!(big.pim.total_seconds() > small.pim.total_seconds());
         // Centroid selection is M-independent.
         assert!(
-            (big.host.seconds(Category::HostCentroid)
-                - small.host.seconds(Category::HostCentroid))
-            .abs()
+            (big.host.seconds(Category::HostCentroid) - small.host.seconds(Category::HostCentroid))
+                .abs()
                 < 1e-12
         );
     }

@@ -109,7 +109,9 @@ pub fn kmeans(
     seed: u64,
 ) -> Result<Codebook, PqError> {
     if dim == 0 || n_centroids == 0 {
-        return Err(PqError::InvalidConfig("dim and n_centroids must be positive"));
+        return Err(PqError::InvalidConfig(
+            "dim and n_centroids must be positive",
+        ));
     }
     if data.is_empty() || !data.len().is_multiple_of(dim) {
         return Err(PqError::ShapeMismatch {

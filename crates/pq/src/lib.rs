@@ -51,10 +51,16 @@ impl core::fmt::Display for PqError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             PqError::IndivisibleK { k, sub_dim } => {
-                write!(f, "inner dimension {k} not divisible by sub-vector dim {sub_dim}")
+                write!(
+                    f,
+                    "inner dimension {k} not divisible by sub-vector dim {sub_dim}"
+                )
             }
             PqError::ShapeMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape ({expected} expected)")
+                write!(
+                    f,
+                    "data length {actual} does not match shape ({expected} expected)"
+                )
             }
             PqError::InvalidConfig(msg) => write!(f, "invalid PQ configuration: {msg}"),
         }

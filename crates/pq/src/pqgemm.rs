@@ -304,8 +304,7 @@ mod tests {
         let (m, k, n) = (8, 32, 10);
         let w = random_matrix(&mut rng, m * k);
         let a = random_matrix(&mut rng, k * n);
-        let engine =
-            PqEngine::fit(PqConfig::standard(PqVariant::PimDl), &w, m, k, &a, n).unwrap();
+        let engine = PqEngine::fit(PqConfig::standard(PqVariant::PimDl), &w, m, k, &a, n).unwrap();
         assert_eq!(engine.n_subspaces(), 4);
         assert_eq!(engine.centroid_selection_ops(10), 2 * 10 * 4 * 16 * 8);
         assert_eq!(engine.pim_adds(10), 8 * 10 * 4);

@@ -92,7 +92,11 @@ impl ChannelQMatrix {
     /// Panics when `output.len() != rows * n`.
     #[must_use]
     pub fn dequantize_gemm_output(&self, output: &[i32], n: usize, act_scale: f32) -> Vec<f32> {
-        assert_eq!(output.len(), self.row_scales.len() * n, "output shape mismatch");
+        assert_eq!(
+            output.len(),
+            self.row_scales.len() * n,
+            "output shape mismatch"
+        );
         output
             .iter()
             .enumerate()
@@ -118,14 +122,20 @@ mod tests {
         let pt = per_tensor.dequantize();
         let pc = per_channel.dequantize();
         let err = |back: &[f32]| -> f32 {
-            data.iter().zip(back).map(|(a, b)| (a - b).powi(2)).sum::<f32>()
+            data.iter()
+                .zip(back)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f32>()
         };
         // Never worse overall, and the tiny row — which per-tensor
         // quantization crushes to zero — survives per-channel.
         assert!(err(&pc) <= err(&pt) + 1e-9);
         let row0_err_pc: f32 = (0..3).map(|i| (data[i] - pc[i]).powi(2)).sum();
         let row0_err_pt: f32 = (0..3).map(|i| (data[i] - pt[i]).powi(2)).sum();
-        assert!(row0_err_pc < row0_err_pt * 0.1, "{row0_err_pc} vs {row0_err_pt}");
+        assert!(
+            row0_err_pc < row0_err_pt * 0.1,
+            "{row0_err_pc} vs {row0_err_pt}"
+        );
         assert!(pc[0].abs() > 0.005, "row 0 crushed: {:?}", &pc[..3]);
         assert_eq!(pt[0], 0.0, "per-tensor is expected to crush row 0");
     }

@@ -33,7 +33,10 @@ impl fmt::Display for QuantError {
             }
             QuantError::ParseConfig(s) => write!(f, "invalid WxAy config string '{s}'"),
             QuantError::ShapeMismatch { expected, actual } => {
-                write!(f, "matrix data length {actual} does not match shape ({expected} expected)")
+                write!(
+                    f,
+                    "matrix data length {actual} does not match shape ({expected} expected)"
+                )
             }
             QuantError::CodeOutOfRange { code, space } => {
                 write!(f, "code {code} outside format code space of {space}")

@@ -72,9 +72,7 @@ impl NumericFormat {
     pub fn validate(self) -> Result<(), QuantError> {
         match self {
             NumericFormat::Int(b) if !(2..=16).contains(&b) => Err(QuantError::UnsupportedBits(b)),
-            NumericFormat::Uint(b) if !(1..=16).contains(&b) => {
-                Err(QuantError::UnsupportedBits(b))
-            }
+            NumericFormat::Uint(b) if !(1..=16).contains(&b) => Err(QuantError::UnsupportedBits(b)),
             _ => Ok(()),
         }
     }

@@ -234,9 +234,11 @@ mod tests {
     fn bipolar_quantization_uses_sign() {
         let q = Quantizer::symmetric(NumericFormat::Bipolar);
         let m = q.quantize_matrix(&[0.3, -0.7, 0.0, -0.1], 2, 2).unwrap();
-        let vals: Vec<i32> = m.codes().iter().map(|&c| {
-            NumericFormat::Bipolar.decode_int(u32::from(c)).unwrap()
-        }).collect();
+        let vals: Vec<i32> = m
+            .codes()
+            .iter()
+            .map(|&c| NumericFormat::Bipolar.decode_int(u32::from(c)).unwrap())
+            .collect();
         assert_eq!(vals, vec![1, -1, 1, -1]);
     }
 }

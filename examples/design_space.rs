@@ -47,12 +47,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for p in [4u32, 6, 8] {
         let op = op_lut_bytes(wf, af, p).expect("in range");
         let lo = localut_bytes(wf, af, p).expect("in range");
-        println!("  p={p}: op-packed {op} B -> canonical+reordering {lo} B ({:.1}x)", op as f64 / lo as f64);
+        println!(
+            "  p={p}: op-packed {op} B -> canonical+reordering {lo} B ({:.1}x)",
+            op as f64 / lo as f64
+        );
     }
 
     println!("\n== Planner decisions over M (K=768, N=128, W2A2) ==");
     let w2a2: BitConfig = "W2A2".parse()?;
-    println!("  {:<6}  {:>16}  {:>3}  {:>3}  {:>14}", "M", "placement", "p", "k", "predicted (s)");
+    println!(
+        "  {:<6}  {:>16}  {:>3}  {:>3}  {:>14}",
+        "M", "placement", "p", "k", "predicted (s)"
+    );
     for m in [8usize, 32, 128, 512, 2048, 8192] {
         let dims = GemmDims { m, k: 768, n: 128 };
         let plan = planner.plan(dims, w2a2.weight_format(), w2a2.activation_format(), None)?;

@@ -53,7 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             100.0 * (plain - reordered).abs()
         );
     }
-    println!("\nFP8 largest finite: {}", NumericFormat::Fp8.decode_f32(0x7E));
-    println!("FP16 of 0x3C00 (1.0): {}", NumericFormat::Fp16.decode_f32(0x3C00));
+    println!(
+        "\nFP8 largest finite: {}",
+        NumericFormat::Fp8.decode_f32(0x7E)
+    );
+    println!(
+        "FP16 of 0x3C00 (1.0): {}",
+        NumericFormat::Fp16.decode_f32(0x3C00)
+    );
     Ok(())
 }

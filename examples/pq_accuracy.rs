@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             data.samples,
         )?;
         let scores = engine.gemm(&data.features, data.samples)?;
-        println!("  {}: {:.1}%", variant.label(), 100.0 * data.accuracy_of_scores(&scores));
+        println!(
+            "  {}: {:.1}%",
+            variant.label(),
+            100.0 * data.accuracy_of_scores(&scores)
+        );
     }
 
     println!("\nPQ with more centroids recovers accuracy (at higher host cost):");
@@ -49,7 +53,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             n_centroids: c,
             ..PqConfig::standard(PqVariant::PimDl)
         };
-        let engine = PqEngine::fit(cfg, &data.teacher, data.classes, data.dim, &data.features, data.samples)?;
+        let engine = PqEngine::fit(
+            cfg,
+            &data.teacher,
+            data.classes,
+            data.dim,
+            &data.features,
+            data.samples,
+        )?;
         let scores = engine.gemm(&data.features, data.samples)?;
         println!("  C={c}: {:.1}%", 100.0 * data.accuracy_of_scores(&scores));
     }

@@ -15,17 +15,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Make some fp32 data and quantize it to W1A3.
     let cfg: BitConfig = "W1A3".parse()?;
-    let dims = GemmDims { m: 48, k: 64, n: 12 };
+    let dims = GemmDims {
+        m: 48,
+        k: 64,
+        n: 12,
+    };
     let mut rng = StdRng::seed_from_u64(42);
-    let wdata: Vec<f32> = (0..dims.m * dims.k).map(|_| rng.random_range(-1.0..1.0)).collect();
-    let adata: Vec<f32> = (0..dims.k * dims.n).map(|_| rng.random_range(-4.0..4.0)).collect();
+    let wdata: Vec<f32> = (0..dims.m * dims.k)
+        .map(|_| rng.random_range(-1.0..1.0))
+        .collect();
+    let adata: Vec<f32> = (0..dims.k * dims.n)
+        .map(|_| rng.random_range(-4.0..4.0))
+        .collect();
     let w = Quantizer::symmetric(cfg.weight_format()).quantize_matrix(&wdata, dims.m, dims.k)?;
-    let a = Quantizer::symmetric(cfg.activation_format()).quantize_matrix(&adata, dims.k, dims.n)?;
+    let a =
+        Quantizer::symmetric(cfg.activation_format()).quantize_matrix(&adata, dims.k, dims.n)?;
 
     // 2. Run every method; all must agree exactly with the reference GEMM.
     let reference: Vec<i32> = reference_gemm(&w, &a)?;
     let gemm = GemmConfig::upmem();
-    println!("  {:<10}  {:>14}  {:>9}", "method", "sim time (s)", "exact?");
+    println!(
+        "  {:<10}  {:>14}  {:>9}",
+        "method", "sim time (s)", "exact?"
+    );
     let naive_seconds = gemm.run(Method::NaivePim, &w, &a)?.profile.total_seconds();
     for method in Method::ALL {
         let result = gemm.run(method, &w, &a)?;
@@ -76,6 +88,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(&q, &f)| (q as f32 * scale4 - f).powi(2))
         .sum::<f32>()
         .sqrt();
-    println!("  dequantized output relative RMS error vs fp32: {:.3} at W4A4", err4 / rms);
+    println!(
+        "  dequantized output relative RMS error vs fp32: {:.3} at W4A4",
+        err4 / rms
+    );
     Ok(())
 }

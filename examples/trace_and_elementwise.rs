@@ -36,7 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = [3u16, 3, 3, 3, 1, 1, 1, 1];
     println!("  a        = {a:?}");
     println!("  b        = {b:?}");
-    println!("  a XOR b  = {:?} ({} entries, {} ops/lookup)", xor.apply(&a, &b), xor.entry_count(), xor.p());
+    println!(
+        "  a XOR b  = {:?} ({} entries, {} ops/lookup)",
+        xor.apply(&a, &b),
+        xor.entry_count(),
+        xor.p()
+    );
 
     let sat = ElementwiseLut::saturating_add(3, 2, 1 << 20)?;
     let x = [5u16, 7, 1, 6];

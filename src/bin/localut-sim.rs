@@ -54,7 +54,11 @@ fn parse_args() -> Result<Args, String> {
                 if parts.len() != 3 || parts.contains(&0) {
                     return Err(format!("bad shape '{v}', expected MxKxN"));
                 }
-                args.shape = Some(GemmDims { m: parts[0], k: parts[1], n: parts[2] });
+                args.shape = Some(GemmDims {
+                    m: parts[0],
+                    k: parts[1],
+                    n: parts[2],
+                });
             }
             "--model" => args.model = Some(value()?.to_lowercase()),
             "--config" => args.config = value()?.parse().map_err(|e| format!("{e}"))?,
@@ -87,7 +91,10 @@ fn run_gemm(args: &Args, dims: GemmDims) -> Result<(), Box<dyn std::error::Error
     let mut dist = DistributedGemm::upmem_server();
     dist.gemm.k_slices = args.k_slices;
 
-    println!("GEMM {dims} at {cfg}, method {}, k = {}", args.method, args.k_slices);
+    println!(
+        "GEMM {dims} at {cfg}, method {}, k = {}",
+        args.method, args.k_slices
+    );
     let grid = TileGrid::choose(dims, dist.system.config().n_dpus());
     let tile = grid.tile_dims(dims);
     println!(

@@ -26,7 +26,11 @@ fn fp32_gemm(w: &[f32], a: &[f32], dims: GemmDims) -> Vec<f32> {
 #[test]
 fn all_methods_agree_across_paper_configs() {
     let mut rng = StdRng::seed_from_u64(7);
-    let dims = GemmDims { m: 24, k: 40, n: 10 };
+    let dims = GemmDims {
+        m: 24,
+        k: 40,
+        n: 10,
+    };
     let gemm = GemmConfig::upmem();
     for cfg in BitConfig::paper_integer_configs() {
         let wdata = random_fp(&mut rng, dims.m * dims.k, 1.0);
@@ -80,7 +84,10 @@ fn dequantized_error_shrinks_with_bits() {
     let w1a3 = rel_err("W1A3".parse().unwrap());
     assert!(w8a8 < 0.02, "W8A8 error {w8a8}");
     assert!(w4a4 < 0.2, "W4A4 error {w4a4}");
-    assert!(w8a8 < w4a4 && w4a4 < w1a3, "{w8a8} < {w4a4} < {w1a3} violated");
+    assert!(
+        w8a8 < w4a4 && w4a4 < w1a3,
+        "{w8a8} < {w4a4} < {w1a3} violated"
+    );
 }
 
 /// The simulated time ordering of the headline claim holds on a
@@ -109,7 +116,10 @@ fn method_time_ordering_matches_paper() {
     let localut = t(Method::LoCaLut);
     assert!(localut < op, "LoCaLUT {localut} must beat OP {op}");
     assert!(op < naive, "OP {op} must beat naive {naive}");
-    assert!(lc > rc, "software reordering {lc} must be slower than RC {rc}");
+    assert!(
+        lc > rc,
+        "software reordering {lc} must be slower than RC {rc}"
+    );
     assert!(localut <= rc, "the planner must never lose to plain RC");
 }
 
@@ -148,6 +158,9 @@ fn shape_errors_propagate() {
         .unwrap();
     let gemm = GemmConfig::upmem();
     for method in Method::ALL {
-        assert!(gemm.run(method, &w, &a).is_err(), "{method} accepted bad shapes");
+        assert!(
+            gemm.run(method, &w, &a).is_err(),
+            "{method} accepted bad shapes"
+        );
     }
 }

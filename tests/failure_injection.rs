@@ -13,7 +13,10 @@ fn wram_exhaustion_is_typed() {
     let mut dpu = Dpu::upmem();
     dpu.wram_alloc("big", 60 * 1024).unwrap();
     match dpu.wram_alloc("more", 8 * 1024) {
-        Err(SimError::WramExhausted { requested, available }) => {
+        Err(SimError::WramExhausted {
+            requested,
+            available,
+        }) => {
             assert_eq!(requested, 8 * 1024);
             assert!(available < 8 * 1024);
         }
@@ -103,7 +106,10 @@ fn bipolar_activations_with_ragged_k_fail_with_unpaddable() {
 fn code_out_of_range_is_caught_at_construction() {
     // A code outside the format's space never reaches the kernels.
     let err = QMatrix::from_codes(vec![9], 1, 1, NumericFormat::Int(3), 1.0).unwrap_err();
-    assert!(matches!(err, quant::QuantError::CodeOutOfRange { code: 9, space: 8 }));
+    assert!(matches!(
+        err,
+        quant::QuantError::CodeOutOfRange { code: 9, space: 8 }
+    ));
 }
 
 #[test]

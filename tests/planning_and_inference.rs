@@ -66,7 +66,12 @@ fn placement_decision_is_monotone_in_m() {
     let mut seen_streaming = false;
     for m in [1usize, 2, 4, 8, 16, 64, 256, 1024, 4096] {
         let plan = planner
-            .plan(GemmDims { m, k: 768, n: 64 }, cfg.weight_format(), cfg.activation_format(), Some(2))
+            .plan(
+                GemmDims { m, k: 768, n: 64 },
+                cfg.weight_format(),
+                cfg.activation_format(),
+                Some(2),
+            )
             .unwrap();
         match plan.placement {
             Placement::Streaming => seen_streaming = true,
@@ -82,7 +87,12 @@ fn placement_decision_is_monotone_in_m() {
 /// never exceeds the DPU count.
 #[test]
 fn tiling_covers_and_fits() {
-    for (m, k, n) in [(768usize, 768usize, 128usize), (3072, 768, 128), (7, 5, 3), (1, 1, 1)] {
+    for (m, k, n) in [
+        (768usize, 768usize, 128usize),
+        (3072, 768, 128),
+        (7, 5, 3),
+        (1, 1, 1),
+    ] {
         let dims = GemmDims { m, k, n };
         let grid = TileGrid::choose(dims, 2048);
         assert!(grid.dpus_used() <= 2048);
@@ -114,7 +124,9 @@ fn bert_method_ordering() {
 fn bert_phase_accounting() {
     let sim = InferenceSim::upmem_server();
     let wl = Workload::prefill(ModelConfig::bert_base(), 32);
-    let r = sim.run(Method::LoCaLut, "W1A3".parse().unwrap(), &wl).unwrap();
+    let r = sim
+        .run(Method::LoCaLut, "W1A3".parse().unwrap(), &wl)
+        .unwrap();
     let phases = r.phases();
     let sum: f64 = phases.iter().map(|(_, s)| s).sum();
     assert!((sum - r.total_seconds()).abs() < 1e-9 * r.total_seconds());

@@ -17,7 +17,13 @@ fn qmatrix(rows: usize, cols: usize, format: NumericFormat, seed: u64) -> QMatri
     // Deterministic pseudo-random codes within the format's space.
     let space = u64::from(format.code_space());
     let codes: Vec<u16> = (0..rows * cols)
-        .map(|i| (((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) >> 33) % space) as u16)
+        .map(|i| {
+            (((i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed)
+                >> 33)
+                % space) as u16
+        })
         .collect();
     QMatrix::from_codes(codes, rows, cols, format, 1.0).unwrap()
 }

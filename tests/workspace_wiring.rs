@@ -1,0 +1,52 @@
+//! Guards the workspace wiring itself: the facade re-exports must
+//! resolve, and a tiny end-to-end GEMM must run through the public API
+//! (quantize → `GemmConfig::upmem()` → LoCaLUT vs Naive PIM agreeing
+//! bit-exactly). If a crate is dropped from the workspace or a facade
+//! `pub use` goes missing, this suite fails before anything subtler does.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn facade_reexports_resolve() {
+    // Touch one public item through every re-exported crate path so a
+    // missing `pub use` in src/lib.rs is a compile error here.
+    let _dpu: localut_repro::pim_sim::DpuConfig = localut_repro::pim_sim::DpuConfig::upmem();
+    let _fmt: localut_repro::quant::NumericFormat = localut_repro::quant::NumericFormat::Int(3);
+    let _cfg: localut_repro::localut::GemmConfig = localut_repro::localut::GemmConfig::upmem();
+    let _model: localut_repro::dnn::ModelConfig = localut_repro::dnn::ModelConfig::bert_base();
+    let _pq: localut_repro::pq::PqConfig =
+        localut_repro::pq::PqConfig::standard(localut_repro::pq::PqVariant::PimDl);
+    let _xpu: localut_repro::xpu::XpuModel = localut_repro::xpu::XpuModel::xeon_gold_5215();
+}
+
+#[test]
+fn end_to_end_gemm_through_facade() {
+    use localut_repro::localut::gemm::{GemmConfig, GemmDims, Method};
+    use localut_repro::quant::{NumericFormat, Quantizer};
+
+    let dims = GemmDims { m: 8, k: 24, n: 4 };
+    let mut rng = StdRng::seed_from_u64(2026);
+    let wdata: Vec<f32> = (0..dims.m * dims.k)
+        .map(|_| rng.random_range(-1.0f32..1.0))
+        .collect();
+    let adata: Vec<f32> = (0..dims.k * dims.n)
+        .map(|_| rng.random_range(-2.0f32..2.0))
+        .collect();
+
+    let wq = Quantizer::symmetric(NumericFormat::Bipolar);
+    let aq = Quantizer::symmetric(NumericFormat::Int(3));
+    let w = wq
+        .quantize_matrix(&wdata, dims.m, dims.k)
+        .expect("quantize W");
+    let a = aq
+        .quantize_matrix(&adata, dims.k, dims.n)
+        .expect("quantize A");
+
+    let cfg = GemmConfig::upmem();
+    let fast = cfg.run(Method::LoCaLut, &w, &a).expect("LoCaLUT kernel");
+    let slow = cfg.run(Method::NaivePim, &w, &a).expect("Naive PIM kernel");
+
+    assert_eq!(fast.values.len(), dims.m * dims.n);
+    assert_eq!(fast.values, slow.values, "kernels must agree bit-exactly");
+}

@@ -1,0 +1,242 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of criterion's API the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion`, benchmark groups,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`) on top of a plain
+//! wall-clock measurement loop. It reports mean ns/iter to stdout; it
+//! does not do statistical analysis or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark configuration and entry point (shim of `criterion::Criterion`).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set how long to run a benchmark before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the target total duration of the timed phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for CLI compatibility; this shim takes no arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self }
+    }
+
+    /// Printed once all groups have run (shim of criterion's summary).
+    pub fn final_summary(&self) {}
+}
+
+/// A named collection of benchmarks sharing one `Criterion` config.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a single named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.criterion, name, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// How batched inputs are sized (shim of `criterion::BatchSize`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; batch many per sample.
+    SmallInput,
+    /// Large per-iteration inputs; batch few per sample.
+    LargeInput,
+    /// Regenerate the input for every single iteration.
+    PerIteration,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    total_nanos: u128,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over repeated calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also calibrates iterations per sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() / u128::from(warm_iters);
+        let budget = self.measurement_time.as_nanos() / self.sample_size as u128;
+        let iters_per_sample = (budget / per_iter.max(1)).clamp(1, u128::from(u32::MAX)) as u64;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.total_nanos += start.elapsed().as_nanos();
+            self.total_iters += iters_per_sample;
+        }
+    }
+
+    /// Time `routine` over inputs freshly produced by `setup`; the setup
+    /// cost is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_input = setup();
+        let warm_start = Instant::now();
+        std::hint::black_box(routine(warm_input));
+        let per_iter = warm_start.elapsed().as_nanos().max(1);
+        let budget = self.measurement_time.as_nanos() / self.sample_size as u128;
+        let iters_per_sample = (budget / per_iter).clamp(1, 1 << 16) as u64;
+
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.total_nanos += start.elapsed().as_nanos();
+            self.total_iters += iters_per_sample;
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, name: &str, f: &mut F) {
+    let mut bencher = Bencher {
+        sample_size: config.sample_size,
+        warm_up_time: config.warm_up_time,
+        measurement_time: config.measurement_time,
+        total_nanos: 0,
+        total_iters: 0,
+    };
+    f(&mut bencher);
+    if bencher.total_iters == 0 {
+        println!("  {name}: no iterations recorded");
+    } else {
+        let mean = bencher.total_nanos as f64 / bencher.total_iters as f64;
+        println!(
+            "  {name}: {mean:.1} ns/iter ({} iters)",
+            bencher.total_iters
+        );
+    }
+}
+
+/// Declare a group of benchmark functions (shim of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark `main` that runs each group (shim of
+/// `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_iterations() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("sum", |b| {
+            b.iter_batched(
+                || vec![1u32, 2, 3],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//! the [`proptest!`] macro with an inline `#![proptest_config(..)]`
+//! attribute, range strategies (`0u16..4`), [`collection::vec`], and the
+//! `prop_assert!`/`prop_assert_eq!` assertions. Cases are generated from
+//! a fixed seed so runs are deterministic; there is no shrinking — a
+//! failing case panics with the assertion message and the case index.
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and implementations for primitive ranges.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::SampleUniform;
+
+    /// A generator of values for one `proptest!` argument.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<T: SampleUniform + Copy> Strategy for core::ops::Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.sample_range(self.start..self.end)
+        }
+    }
+}
+
+/// Collection strategies (shim of `proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Number of elements a [`vec`] strategy may produce.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Create a strategy for `Vec`s with `size` elements drawn from
+    /// `element` (shim of `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.hi - self.size.lo == 1 {
+                self.size.lo
+            } else {
+                rng.sample_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test execution plumbing (shim of `proptest::test_runner`).
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleUniform, SeedableRng};
+
+    /// Per-block configuration (shim of `proptest::test_runner::Config`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test function.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 32 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` generated cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// The deterministic generator driving case generation.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// A generator with a fixed seed derived from the test name, so
+        /// every run of a test sees the same case sequence.
+        pub fn deterministic(test_name: &str) -> Self {
+            let seed = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+            });
+            TestRng {
+                inner: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        /// Draw uniformly from a half-open range.
+        pub fn sample_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+            self.inner.random_range(range)
+        }
+    }
+}
+
+/// Everything a property test file needs (shim of `proptest::prelude`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Assert a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Define property tests over generated inputs (shim of `proptest!`).
+///
+/// Supports the block form with an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `fn name(arg in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! {
+            config = <$crate::test_runner::Config as ::core::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for _case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(x in 1usize..10, y in 0u16..4) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0u16..8, 3), w in prop::collection::vec(0u16..8, 1..5)) {
+            prop_assert_eq!(v.len(), 3);
+            prop_assert!((1..5).contains(&w.len()));
+            prop_assert!(v.iter().chain(w.iter()).all(|&c| c < 8));
+        }
+    }
+}
