@@ -4,8 +4,8 @@
 //! on the seven model/bitwidth cases. The paper reports LoCaLUT at 3.37×
 //! less energy than Naive PIM and 1.88× less than LTC for W1Ax; parity
 //! with OP at W2A2; and 1.16× over Naive PIM at W4A4 where LTC/OP fall
-//! behind. Absolute Joules depend on the meter (see DESIGN.md §6); ratios
-//! are the reproduction target.
+//! behind. Absolute Joules depend on the meter (see DESIGN.md "Substitutions
+//! and caveats"); ratios are the reproduction target.
 
 use bench::{banner, geomean, Table};
 use dnn::{InferenceSim, ModelConfig, Workload};

@@ -11,8 +11,9 @@ use crate::hostops::HostOpModel;
 use crate::layer::{layer_gemms, layer_host_ops};
 use localut::tiling::DistributedGemm;
 use localut::{LocaLutError, Method};
-use pim_sim::{Category, CycleLedger, Profile, SystemProfile};
+use pim_sim::{Category, CycleLedger, Profile, Stats, SystemProfile};
 use quant::BitConfig;
+use runtime::ParallelExecutor;
 
 /// The Fig. 16(a) execution phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -131,6 +132,39 @@ impl InferenceReport {
             .iter()
             .map(|&p| (p, self.phase_seconds(p)))
             .collect()
+    }
+}
+
+/// The aggregate of one batched multi-request serving run (see
+/// [`InferenceSim::run_batch`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Per-request reports, in request order.
+    pub reports: Vec<InferenceReport>,
+    /// Deterministic request-order fold of the per-request profiles.
+    pub merged: SystemProfile,
+    /// Associative merge of per-request statistics — one ingest per
+    /// request combining its host + PIM ledgers, so `stats.banks()`
+    /// equals [`BatchReport::requests`] — bitwise invariant to merge
+    /// order and worker count.
+    pub stats: Stats,
+}
+
+impl BatchReport {
+    /// Total serving-session seconds (requests serialize on the UPMEM
+    /// host, so the session time is the sum).
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.reports
+            .iter()
+            .map(InferenceReport::total_seconds)
+            .sum()
+    }
+
+    /// Number of requests served.
+    #[must_use]
+    pub fn requests(&self) -> usize {
+        self.reports.len()
     }
 }
 
@@ -280,6 +314,65 @@ impl InferenceSim {
         })
     }
 
+    /// Batched multi-request execution on the bank-parallel runtime: every
+    /// workload is timed independently on `pool`'s worker threads (ordered
+    /// [`ParallelExecutor::map`], so reports come back in request order and
+    /// the result is bitwise identical for any worker count), then the
+    /// per-request profiles fold into one serving-session aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Kernel feasibility errors, reported for the lowest-index failing
+    /// request.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dnn::{InferenceSim, ModelConfig, Workload};
+    /// use localut::Method;
+    /// use runtime::ParallelExecutor;
+    ///
+    /// let sim = InferenceSim::upmem_server();
+    /// let requests = vec![
+    ///     Workload::prefill(ModelConfig::bert_base(), 8),
+    ///     Workload::prefill(ModelConfig::vit_base(), 4),
+    /// ];
+    /// let batch = sim.run_batch(
+    ///     &ParallelExecutor::new(2), Method::LoCaLut,
+    ///     "W1A3".parse().unwrap(), &requests)?;
+    /// assert_eq!(batch.reports.len(), 2);
+    /// assert!(batch.total_seconds() > 0.0);
+    /// # Ok::<(), localut::LocaLutError>(())
+    /// ```
+    pub fn run_batch(
+        &self,
+        pool: &ParallelExecutor,
+        method: Method,
+        cfg: BitConfig,
+        workloads: &[Workload],
+    ) -> Result<BatchReport, LocaLutError> {
+        let results = pool.map(workloads, |wl| self.run(method, cfg, wl));
+        let mut reports = Vec::with_capacity(results.len());
+        for result in results {
+            reports.push(result?);
+        }
+        let mut merged = SystemProfile::default();
+        let mut stats = Stats::default();
+        for report in &reports {
+            merged = merged.merged(&report.profile);
+            // One Stats ingest per request (host + PIM ledgers combined),
+            // so `stats.banks()` counts requests.
+            let mut ledger = report.profile.host.ledger().clone();
+            ledger.merge(report.profile.pim.ledger());
+            stats.merge(&Stats::from_ledger(&ledger));
+        }
+        Ok(BatchReport {
+            reports,
+            merged,
+            stats,
+        })
+    }
+
     /// End-to-end speedup of `method` over `baseline`.
     ///
     /// # Errors
@@ -380,6 +473,50 @@ mod tests {
             .unwrap()
             .total_seconds();
         assert!(i_localut.total_seconds() < one_inference);
+    }
+
+    #[test]
+    fn run_batch_matches_serial_runs_for_any_worker_count() {
+        let sim = InferenceSim::upmem_server();
+        let requests = vec![
+            Workload::prefill(ModelConfig::bert_base(), 8),
+            Workload::prefill(ModelConfig::vit_base(), 4),
+            Workload::with_decode(ModelConfig::opt_125m(), 2, 4),
+        ];
+        let cfg: BitConfig = "W4A4".parse().unwrap();
+        let serial: Vec<InferenceReport> = requests
+            .iter()
+            .map(|wl| sim.run(Method::LoCaLut, cfg, wl).unwrap())
+            .collect();
+        let baseline = sim
+            .run_batch(&ParallelExecutor::new(1), Method::LoCaLut, cfg, &requests)
+            .unwrap();
+        assert_eq!(baseline.reports, serial);
+        assert_eq!(baseline.requests(), 3);
+        assert_eq!(baseline.stats.banks(), 3); // one ingest per request
+        for threads in [2usize, 4, 7] {
+            let batch = sim
+                .run_batch(
+                    &ParallelExecutor::new(threads),
+                    Method::LoCaLut,
+                    cfg,
+                    &requests,
+                )
+                .unwrap();
+            assert_eq!(batch, baseline, "threads = {threads}");
+        }
+        let sum: f64 = serial.iter().map(InferenceReport::total_seconds).sum();
+        assert!((baseline.total_seconds() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_batch_propagates_first_error() {
+        let sim = InferenceSim::upmem_server();
+        let requests = vec![Workload::prefill(ModelConfig::bert_base(), 8)];
+        // W16A16 is infeasible for every LUT method.
+        let cfg = BitConfig { bw: 16, ba: 16 };
+        let err = sim.run_batch(&ParallelExecutor::new(2), Method::LoCaLut, cfg, &requests);
+        assert!(err.is_err());
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub enum LocaLutError {
         /// `K` according to the activation matrix.
         a_k: usize,
     },
+    /// A shard plan was built for different GEMM dimensions than the
+    /// operands it was executed with.
+    ShardPlanMismatch {
+        /// Dimensions the plan was built for.
+        plan: crate::gemm::GemmDims,
+        /// Dimensions of the operands.
+        operands: crate::gemm::GemmDims,
+    },
     /// `K` is not divisible by `p` and the activation format has no exact
     /// zero code to pad with.
     UnpaddableRemainder {
@@ -66,6 +74,12 @@ impl fmt::Display for LocaLutError {
                 write!(
                     f,
                     "dimension mismatch: weight K={w_k} vs activation K={a_k}"
+                )
+            }
+            LocaLutError::ShardPlanMismatch { plan, operands } => {
+                write!(
+                    f,
+                    "shard plan built for dims {plan} but executed with operands of dims {operands}"
                 )
             }
             LocaLutError::UnpaddableRemainder { remainder } => {

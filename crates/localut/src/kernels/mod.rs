@@ -16,6 +16,13 @@
 //! | [`LcKernel`]        | + canonicalization, sw reorder | "OP+LC" (§IV-A) |
 //! | [`RcKernel`]        | + reordering LUT               | "OP+LC+RC" (§IV-B) |
 //! | [`StreamingKernel`] | + LUT slice streaming          | "LoCaLUT" (§IV-C) |
+//!
+//! For bank-parallel execution, [`SharedLuts`] holds the canonical +
+//! reordering LUT images behind `Arc` so N workers share one read-only
+//! build, [`BankKernel`] is the method-erased construct-once kernel those
+//! workers clone, and [`par_run`] is the multi-threaded entry point
+//! (sharded across host threads; see the `runtime` crate for the full
+//! executor with per-bank profiles).
 
 mod lc;
 mod ltc;
@@ -31,10 +38,14 @@ pub use op::OpKernel;
 pub use rc::RcKernel;
 pub use streaming::StreamingKernel;
 
-use crate::gemm::GemmDims;
+use crate::canonical::CanonicalLut;
+use crate::gemm::{GemmConfig, GemmDims, GemmResult, Method};
+use crate::plan::Planner;
+use crate::reorder::ReorderLut;
 use crate::LocaLutError;
-use pim_sim::{Category, Dpu};
+use pim_sim::{Category, Dpu, Profile};
 use quant::{NumericFormat, QMatrix};
+use std::sync::Arc;
 
 /// Guard against accidentally materializing astronomically large LUTs in
 /// host memory during functional runs. All UPMEM-budget-feasible LUTs fit
@@ -112,6 +123,315 @@ pub(crate) fn charge_output(dpu: &mut Dpu, dims: GemmDims) {
     dpu.charge_dram_writeback(dims.output_bytes(), Category::OutputWriteback);
 }
 
+/// A read-only canonical + reordering LUT pair shared across workers.
+///
+/// Building the canonical LUT is the expensive host-side step of a kernel
+/// launch (up to ~12 M entries at W1A3, `p = 8`). In the hardware model the
+/// image is built once and broadcast to every bank (§V-A); this type is the
+/// software twin: one build behind [`Arc`], cloned by reference into every
+/// worker of a bank-parallel run.
+///
+/// # Examples
+///
+/// ```
+/// use localut::kernels::SharedLuts;
+/// use quant::NumericFormat;
+///
+/// let luts = SharedLuts::build(NumericFormat::Uint(1), NumericFormat::Int(3), 3)?;
+/// assert_eq!(luts.p(), 3);
+/// // Clones share the same LUT storage (cheap Arc bumps).
+/// let worker_copy = luts.clone();
+/// assert_eq!(worker_copy.canonical().cols(), luts.canonical().cols());
+/// # Ok::<(), localut::LocaLutError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedLuts {
+    canonical: Arc<CanonicalLut<i32>>,
+    reorder: Arc<ReorderLut>,
+    wf: NumericFormat,
+    af: NumericFormat,
+    p: u32,
+}
+
+impl SharedLuts {
+    /// Builds the canonical + reordering LUT images for `(wf, af, p)`.
+    ///
+    /// # Errors
+    ///
+    /// LUT build errors ([`LocaLutError::BudgetExceeded`] when the
+    /// materialization guard trips, format/degree errors).
+    pub fn build(wf: NumericFormat, af: NumericFormat, p: u32) -> Result<Self, LocaLutError> {
+        let canonical = CanonicalLut::<i32>::build(wf, af, p, MAX_MATERIALIZED_ENTRIES)?;
+        let reorder = ReorderLut::build(wf.bits(), p, MAX_MATERIALIZED_ENTRIES)?;
+        Ok(SharedLuts {
+            canonical: Arc::new(canonical),
+            reorder: Arc::new(reorder),
+            wf,
+            af,
+            p,
+        })
+    }
+
+    /// The shared canonical LUT.
+    #[must_use]
+    pub fn canonical(&self) -> &CanonicalLut<i32> {
+        &self.canonical
+    }
+
+    /// The shared reordering LUT.
+    #[must_use]
+    pub fn reorder(&self) -> &ReorderLut {
+        &self.reorder
+    }
+
+    /// The packing degree the LUTs were built for.
+    #[must_use]
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+
+    /// The weight format the LUTs were built for.
+    #[must_use]
+    pub fn weight_format(&self) -> NumericFormat {
+        self.wf
+    }
+
+    /// The activation format the LUTs were built for.
+    #[must_use]
+    pub fn activation_format(&self) -> NumericFormat {
+        self.af
+    }
+
+    /// Validates that the LUTs match a kernel's `(wf, af, p)` configuration.
+    pub(crate) fn check(
+        &self,
+        wf: NumericFormat,
+        af: NumericFormat,
+        p: u32,
+    ) -> Result<(), LocaLutError> {
+        if self.wf != wf || self.af != af || self.p != p {
+            return Err(LocaLutError::UnsupportedFormat(
+                "shared LUTs were built for a different (format, format, p) configuration",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A method-erased, construct-once bank kernel.
+///
+/// `GemmConfig::run` re-plans and rebuilds LUTs on every call; a parallel
+/// runtime instead builds one `BankKernel` for the *full* GEMM dimensions
+/// and hands a clone to every worker, so all banks execute the identical
+/// plan against one [`SharedLuts`] image (clones only bump `Arc` counts).
+///
+/// # Examples
+///
+/// ```
+/// use localut::kernels::BankKernel;
+/// use localut::{GemmConfig, GemmDims, Method};
+/// use quant::NumericFormat;
+///
+/// let dims = GemmDims { m: 64, k: 36, n: 8 };
+/// let bank = BankKernel::build(
+///     &GemmConfig::upmem(), Method::LoCaLut,
+///     NumericFormat::Int(2), NumericFormat::Int(3), dims)?;
+/// assert_eq!(bank.method(), Method::LoCaLut);
+/// assert!(bank.cost(dims).total_seconds() > 0.0);
+/// # Ok::<(), localut::LocaLutError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub enum BankKernel {
+    /// Conventional int-MAC PIM kernel (plus the operand formats its
+    /// analytic cost twin charges for).
+    Naive(NaiveKernel, NumericFormat, NumericFormat),
+    /// Bit-serial runtime-LUT kernel (plus the operand formats its
+    /// analytic cost twin charges for).
+    Ltc(LtcKernel, NumericFormat, NumericFormat),
+    /// Buffer-resident operation-packed LUT kernel.
+    Op(OpKernel),
+    /// Canonicalized LUT kernel with software reordering.
+    Lc(LcKernel),
+    /// Canonical + reordering LUT kernel with shared LUT images.
+    Rc(RcKernel, SharedLuts),
+    /// Slice-streaming LoCaLUT kernel with shared LUT images.
+    Streaming(StreamingKernel, SharedLuts),
+}
+
+impl BankKernel {
+    /// Constructs the kernel `method` would use for a GEMM of `dims`,
+    /// building shared LUT images once where the method uses them.
+    ///
+    /// For [`Method::LoCaLut`] the §V-A planner runs on the **full**
+    /// dimensions, so every bank of a sharded run executes the same
+    /// placement and packing degree the serial path would.
+    ///
+    /// # Errors
+    ///
+    /// Format, budget, or planning errors (see [`LocaLutError`]).
+    pub fn build(
+        cfg: &GemmConfig,
+        method: Method,
+        wf: NumericFormat,
+        af: NumericFormat,
+        dims: GemmDims,
+    ) -> Result<Self, LocaLutError> {
+        match method {
+            Method::NaivePim => Ok(BankKernel::Naive(NaiveKernel::new(cfg.dpu.clone()), wf, af)),
+            Method::Ltc => Ok(BankKernel::Ltc(LtcKernel::new(cfg.dpu.clone()), wf, af)),
+            Method::Op => Ok(BankKernel::Op(OpKernel::auto(cfg.dpu.clone(), wf, af)?)),
+            Method::OpLc => Ok(BankKernel::Lc(LcKernel::auto(cfg.dpu.clone(), wf, af)?)),
+            Method::OpLcRc => {
+                let kernel = RcKernel::auto(cfg.dpu.clone(), wf, af)?;
+                let luts = SharedLuts::build(wf, af, kernel.p())?;
+                Ok(BankKernel::Rc(kernel, luts))
+            }
+            Method::LoCaLut => {
+                let planner = Planner::new(cfg.dpu.clone());
+                let plan = planner.plan(dims, wf, af, Some(cfg.k_slices))?;
+                let luts = SharedLuts::build(wf, af, plan.p)?;
+                match plan.kernel(&cfg.dpu)? {
+                    crate::plan::PlannedKernel::Buffer(k) => Ok(BankKernel::Rc(k, luts)),
+                    crate::plan::PlannedKernel::Streaming(k) => Ok(BankKernel::Streaming(k, luts)),
+                }
+            }
+        }
+    }
+
+    /// The method this kernel realizes.
+    #[must_use]
+    pub fn method(&self) -> Method {
+        match self {
+            BankKernel::Naive(..) => Method::NaivePim,
+            BankKernel::Ltc(..) => Method::Ltc,
+            BankKernel::Op(_) => Method::Op,
+            BankKernel::Lc(_) => Method::OpLc,
+            BankKernel::Rc(..) => Method::OpLcRc,
+            BankKernel::Streaming(..) => Method::LoCaLut,
+        }
+    }
+
+    /// Runs the kernel on one operand tile, reusing the shared LUT images
+    /// where the method has them.
+    ///
+    /// # Errors
+    ///
+    /// Shape, format, or padding errors.
+    pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+        match self {
+            BankKernel::Naive(k, _, _) => k.run(w, a),
+            BankKernel::Ltc(k, _, _) => k.run(w, a),
+            BankKernel::Op(k) => k.run(w, a),
+            BankKernel::Lc(k) => k.run(w, a),
+            BankKernel::Rc(k, luts) => k.run_with_luts(w, a, luts),
+            BankKernel::Streaming(k, luts) => k.run_with_luts(w, a, luts),
+        }
+    }
+
+    /// The analytic cost twin for a tile of `dims` (equals the profile
+    /// [`BankKernel::run`] charges for operands of the same shape).
+    #[must_use]
+    pub fn cost(&self, dims: GemmDims) -> Profile {
+        match self {
+            BankKernel::Naive(k, wf, af) => k.cost(dims, *wf, *af),
+            BankKernel::Ltc(k, wf, af) => k.cost(dims, *wf, *af),
+            BankKernel::Op(k) => k.cost(dims),
+            BankKernel::Lc(k) => k.cost(dims),
+            BankKernel::Rc(k, _) => k.cost(dims),
+            BankKernel::Streaming(k, _) => k.cost(dims),
+        }
+    }
+}
+
+/// Multi-threaded functional GEMM: the parallel twin of [`GemmConfig::run`].
+///
+/// The activation matrix is split into `threads` contiguous column chunks;
+/// scoped worker threads each run one chunk through a shared [`BankKernel`]
+/// (one LUT build, zero copies of the LUT images) and the outputs are
+/// scattered back into place. Because every kernel is bit-exact and its
+/// profile is data-independent (`run().profile == cost(dims)`), the result
+/// is **bit-identical** to the serial path in both values and profile, for
+/// any thread count.
+///
+/// This parallelizes the *wall-clock* execution of the functional
+/// simulation on the host; for the simulated bank-parallel timing model
+/// (per-bank profiles, associative stats merging) use the `runtime` crate's
+/// `ParallelExecutor`, which builds on the same [`BankKernel`].
+///
+/// # Errors
+///
+/// Shape, format, budget, or planning errors (see [`LocaLutError`]).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (kernel internals do not panic on
+/// validated inputs).
+///
+/// # Examples
+///
+/// ```
+/// use localut::gemm::{GemmConfig, Method};
+/// use localut::kernels::par_run;
+/// use quant::{NumericFormat, Quantizer};
+///
+/// let wq = Quantizer::symmetric(NumericFormat::Int(2));
+/// let aq = Quantizer::symmetric(NumericFormat::Int(3));
+/// let w = wq.quantize_matrix(&[1.0, -1.0, 0.5, -0.5, 1.0, 0.0], 2, 3)?;
+/// let a = aq.quantize_matrix(&[3.0, -3.0, 1.0, 0.0, -2.0, 2.0], 3, 2)?;
+///
+/// let cfg = GemmConfig::upmem();
+/// let serial = cfg.run(Method::LoCaLut, &w, &a)?;
+/// let parallel = par_run(&cfg, Method::LoCaLut, &w, &a, 2)?;
+/// assert_eq!(parallel.values, serial.values);
+/// assert_eq!(parallel.profile, serial.profile);
+/// # Ok::<(), localut::LocaLutError>(())
+/// ```
+pub fn par_run(
+    cfg: &GemmConfig,
+    method: Method,
+    w: &QMatrix,
+    a: &QMatrix,
+    threads: usize,
+) -> Result<GemmResult, LocaLutError> {
+    let dims = GemmDims::of(w, a)?;
+    let bank = BankKernel::build(cfg, method, w.format(), a.format(), dims)?;
+    let threads = threads.clamp(1, dims.n.max(1));
+    if threads == 1 {
+        return bank.run(w, a);
+    }
+    let chunk = dims.n.div_ceil(threads);
+    let tiles: Vec<(usize, GemmResult)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| (t * chunk, dims.n.min((t + 1) * chunk)))
+            .filter(|(n0, n1)| n0 < n1)
+            .map(|(n0, n1)| {
+                let bank = &bank;
+                scope.spawn(move || {
+                    let tile = a.submatrix(0..dims.k, n0..n1);
+                    bank.run(w, &tile).map(|r| (n0, r))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_run worker panicked"))
+            .collect::<Result<_, _>>()
+    })?;
+    let mut values = vec![0i32; dims.m * dims.n];
+    for (n0, tile) in &tiles {
+        for m in 0..dims.m {
+            let src = &tile.values[m * tile.dims.n..(m + 1) * tile.dims.n];
+            values[m * dims.n + n0..m * dims.n + n0 + tile.dims.n].copy_from_slice(src);
+        }
+    }
+    Ok(GemmResult {
+        values,
+        dims,
+        // Data-independent profiles make the serial cost twin exact.
+        profile: bank.cost(dims),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +469,79 @@ mod tests {
         assert!(require_integer(NumericFormat::Int(2), NumericFormat::Int(3)).is_ok());
         assert!(require_integer(NumericFormat::Fp4, NumericFormat::Int(3)).is_err());
         assert!(require_integer(NumericFormat::Bipolar, NumericFormat::Fp8).is_err());
+    }
+
+    fn operands(m: usize, k: usize, n: usize) -> (QMatrix, QMatrix) {
+        let wdata: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 13 + 5) % 7) as f32 - 3.0)
+            .collect();
+        let adata: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 3 + 2) % 11) as f32 - 5.0)
+            .collect();
+        (
+            Quantizer::symmetric(NumericFormat::Int(2))
+                .quantize_matrix(&wdata, m, k)
+                .unwrap(),
+            Quantizer::symmetric(NumericFormat::Int(3))
+                .quantize_matrix(&adata, k, n)
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn shared_luts_reject_mismatched_kernels() {
+        let luts = SharedLuts::build(NumericFormat::Int(2), NumericFormat::Int(3), 2).unwrap();
+        let kernel = RcKernel::with_p(
+            pim_sim::DpuConfig::upmem(),
+            NumericFormat::Int(2),
+            NumericFormat::Int(3),
+            3, // p differs from the LUT build
+        )
+        .unwrap();
+        let (w, a) = operands(2, 6, 2);
+        assert!(matches!(
+            kernel.run_with_luts(&w, &a, &luts),
+            Err(LocaLutError::UnsupportedFormat(_))
+        ));
+    }
+
+    #[test]
+    fn run_with_luts_matches_run() {
+        let (w, a) = operands(4, 9, 3);
+        let kernel = RcKernel::with_p(
+            pim_sim::DpuConfig::upmem(),
+            NumericFormat::Int(2),
+            NumericFormat::Int(3),
+            3,
+        )
+        .unwrap();
+        let luts = SharedLuts::build(NumericFormat::Int(2), NumericFormat::Int(3), 3).unwrap();
+        let shared = kernel.run_with_luts(&w, &a, &luts).unwrap();
+        let local = kernel.run(&w, &a).unwrap();
+        assert_eq!(shared, local);
+    }
+
+    #[test]
+    fn par_run_is_bit_identical_to_serial_for_all_methods() {
+        let (w, a) = operands(6, 12, 5);
+        let cfg = GemmConfig::upmem();
+        for method in Method::ALL {
+            let serial = cfg.run(method, &w, &a).unwrap();
+            for threads in [1usize, 2, 3, 8] {
+                let par = par_run(&cfg, method, &w, &a, threads).unwrap();
+                assert_eq!(par.values, serial.values, "{method} values @{threads}");
+                assert_eq!(par.profile, serial.profile, "{method} profile @{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_run_handles_more_threads_than_columns() {
+        let (w, a) = operands(3, 8, 2);
+        let cfg = GemmConfig::upmem();
+        let serial = cfg.run(Method::OpLcRc, &w, &a).unwrap();
+        let par = par_run(&cfg, Method::OpLcRc, &w, &a, 64).unwrap();
+        assert_eq!(par.values, serial.values);
+        assert_eq!(par.profile, serial.profile);
     }
 }

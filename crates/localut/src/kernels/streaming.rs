@@ -8,16 +8,13 @@
 //! (input-stationary on the LUT slice). `k` slice pairs co-reside so the
 //! weight matrix streams once per `k` groups instead of once per group.
 
-use crate::canonical::CanonicalLut;
 use crate::capacity::{localut_bytes, slice_pair_bytes};
 use crate::gemm::{GemmDims, GemmResult};
 use crate::kernels::{
-    charge_output, group_codes, pad_code_for, require_integer, weight_group_codes,
-    MAX_MATERIALIZED_ENTRIES,
+    charge_output, group_codes, pad_code_for, require_integer, weight_group_codes, SharedLuts,
 };
 use crate::packed::pack_index;
 use crate::perm::{lehmer_rank, sort_permutation};
-use crate::reorder::ReorderLut;
 use crate::LocaLutError;
 use pim_sim::{Category, Dpu, DpuConfig, Profile};
 use quant::{NumericFormat, QMatrix};
@@ -125,23 +122,51 @@ impl StreamingKernel {
         dpu.profile()
     }
 
-    /// Runs the GEMM through DRAM-resident LUTs with slice streaming.
+    /// Runs the GEMM through DRAM-resident LUTs with slice streaming,
+    /// building the LUT images locally.
     ///
     /// # Errors
     ///
     /// Shape, padding, or budget errors.
     pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+        // Validate operands before paying for the LUT build.
+        self.validate(w, a)?;
+        let luts = SharedLuts::build(self.wf, self.af, self.p)?;
+        self.run_with_luts(w, a, &luts)
+    }
+
+    /// Cheap operand checks shared by `run` and `run_with_luts`.
+    fn validate(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmDims, LocaLutError> {
         let dims = GemmDims::of(w, a)?;
         if w.format() != self.wf || a.format() != self.af {
             return Err(LocaLutError::UnsupportedFormat(
                 "operand formats differ from the kernel's configured formats",
             ));
         }
+        pad_code_for(self.af, dims.k, self.p as usize)?;
+        Ok(dims)
+    }
+
+    /// Runs the GEMM against prebuilt shared LUT images (see
+    /// [`SharedLuts`]) — the entry point bank-parallel workers use so N
+    /// banks share one read-only LUT build.
+    ///
+    /// # Errors
+    ///
+    /// Shape or padding errors, or [`LocaLutError::UnsupportedFormat`] when
+    /// `luts` was built for a different `(wf, af, p)`.
+    pub fn run_with_luts(
+        &self,
+        w: &QMatrix,
+        a: &QMatrix,
+        luts: &SharedLuts,
+    ) -> Result<GemmResult, LocaLutError> {
+        luts.check(self.wf, self.af, self.p)?;
+        let dims = self.validate(w, a)?;
         let p = self.p as usize;
         let pad = pad_code_for(self.af, dims.k, p)?;
-        let canonical =
-            CanonicalLut::<i32>::build(self.wf, self.af, self.p, MAX_MATERIALIZED_ENTRIES)?;
-        let reorder = ReorderLut::build(self.wf.bits(), self.p, MAX_MATERIALIZED_ENTRIES)?;
+        let canonical = luts.canonical();
+        let reorder = luts.reorder();
         let kblocks = dims.k.div_ceil(p);
         let kk = self.k_slices as usize;
 

@@ -50,6 +50,50 @@ impl TileGrid {
             n: dims.n.div_ceil(self.grid_n as usize),
         }
     }
+
+    /// Enumerates the grid's non-empty output cells in row-major order as
+    /// `(weight_rows, activation_cols)` ranges over the full matrices —
+    /// the concrete shard list a bank-parallel runtime executes.
+    ///
+    /// Edge cells are clipped to the matrix, and cells that would fall
+    /// entirely past it (possible when the ceiling-divided tile size
+    /// over-covers) are skipped, so the returned cells exactly partition
+    /// the `M×N` output.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use localut::tiling::TileGrid;
+    /// use localut::GemmDims;
+    ///
+    /// let dims = GemmDims { m: 5, k: 8, n: 3 };
+    /// let grid = TileGrid { grid_m: 2, grid_n: 2 };
+    /// let cells = grid.cell_ranges(dims);
+    /// assert_eq!(cells, vec![
+    ///     (0..3, 0..2), (0..3, 2..3),
+    ///     (3..5, 0..2), (3..5, 2..3),
+    /// ]);
+    /// ```
+    #[must_use]
+    pub fn cell_ranges(
+        &self,
+        dims: GemmDims,
+    ) -> Vec<(core::ops::Range<usize>, core::ops::Range<usize>)> {
+        let tile = self.tile_dims(dims);
+        let mut cells = Vec::new();
+        let mut r0 = 0;
+        while r0 < dims.m {
+            let r1 = dims.m.min(r0 + tile.m);
+            let mut c0 = 0;
+            while c0 < dims.n {
+                let c1 = dims.n.min(c0 + tile.n);
+                cells.push((r0..r1, c0..c1));
+                c0 = c1;
+            }
+            r0 = r1;
+        }
+        cells
+    }
 }
 
 /// A GEMM distributed over the whole PIM system.

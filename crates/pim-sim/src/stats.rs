@@ -267,6 +267,158 @@ impl Profile {
     }
 }
 
+/// Femtoseconds per second: the quantum [`Stats`] stores time in.
+const FEMTOS_PER_SECOND: f64 = 1e15;
+
+/// An **associative, commutative** statistics aggregate for cross-bank
+/// merging.
+///
+/// [`CycleLedger::merge`] adds `f64` seconds, and floating-point addition is
+/// not associative: folding per-bank ledgers in different orders (as a
+/// work-stealing runtime naturally would) can produce bitwise-different
+/// totals. `Stats` fixes the accumulation by quantizing each category's
+/// seconds to integer femtoseconds **once** at ingest ([`Stats::from_profile`])
+/// and merging in exact integer arithmetic from then on, so
+/// `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)` and `a ⊕ b == b ⊕ a` hold *exactly* — any
+/// merge tree over the same per-bank profiles yields the identical
+/// aggregate. `Stats::default()` is the identity element.
+///
+/// At the femtosecond quantum, a simulated second carries 15 significant
+/// digits — far below the model's calibration error — and the `u128`
+/// accumulators cannot realistically overflow (more than 1e16 simulated
+/// years of headroom).
+///
+/// # Examples
+///
+/// ```
+/// use pim_sim::{Category, CycleLedger, Profile, Stats};
+///
+/// let mut ledger = CycleLedger::new();
+/// ledger.charge(Category::Compute, 0.1);
+/// let bank = Stats::from_profile(&Profile::from_ledger(ledger));
+///
+/// // Merging is associative and commutative — exactly.
+/// let ab = bank.clone().merged(&bank);
+/// assert_eq!(ab, bank.clone().merged(&bank));
+/// assert_eq!(ab.banks(), 2);
+/// assert!((ab.total_seconds() - 0.2).abs() < 1e-12);
+///
+/// // The empty Stats is the identity element.
+/// assert_eq!(bank.clone().merged(&Stats::default()), bank);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Per-category simulated time in femtoseconds.
+    femtos: [u128; N_CATEGORIES],
+    /// Number of profiles merged into this aggregate.
+    banks: u64,
+    /// Bytes read from DRAM banks across all merged profiles.
+    pub dram_read_bytes: u128,
+    /// Bytes written to DRAM banks across all merged profiles.
+    pub dram_write_bytes: u128,
+    /// WRAM accesses across all merged profiles.
+    pub wram_accesses: u128,
+    /// Instructions retired across all merged profiles.
+    pub instructions: u128,
+    /// Bytes moved over the host link across all merged profiles.
+    pub host_bytes: u128,
+    /// Host-side scalar operations across all merged profiles.
+    pub host_ops: u128,
+}
+
+impl Stats {
+    /// Ingests one profile, quantizing its per-category seconds to integer
+    /// femtoseconds (round-to-nearest).
+    #[must_use]
+    pub fn from_profile(profile: &Profile) -> Self {
+        Self::from_ledger(profile.ledger())
+    }
+
+    /// Ingests one ledger (see [`Stats::from_profile`]).
+    #[must_use]
+    pub fn from_ledger(ledger: &CycleLedger) -> Self {
+        let mut femtos = [0u128; N_CATEGORIES];
+        for (i, f) in femtos.iter_mut().enumerate() {
+            *f = (ledger.seconds[i] * FEMTOS_PER_SECOND).round() as u128;
+        }
+        Stats {
+            femtos,
+            banks: 1,
+            dram_read_bytes: u128::from(ledger.dram_read_bytes),
+            dram_write_bytes: u128::from(ledger.dram_write_bytes),
+            wram_accesses: u128::from(ledger.wram_accesses),
+            instructions: u128::from(ledger.instructions),
+            host_bytes: u128::from(ledger.host_bytes),
+            host_ops: u128::from(ledger.host_ops),
+        }
+    }
+
+    /// Merges another aggregate into this one. Pure integer addition, so
+    /// the operation is exactly associative and commutative.
+    pub fn merge(&mut self, other: &Stats) {
+        for i in 0..N_CATEGORIES {
+            self.femtos[i] += other.femtos[i];
+        }
+        self.banks += other.banks;
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.dram_write_bytes += other.dram_write_bytes;
+        self.wram_accesses += other.wram_accesses;
+        self.instructions += other.instructions;
+        self.host_bytes += other.host_bytes;
+        self.host_ops += other.host_ops;
+    }
+
+    /// Consuming form of [`Stats::merge`] for fold-style use.
+    #[must_use]
+    pub fn merged(mut self, other: &Stats) -> Stats {
+        self.merge(other);
+        self
+    }
+
+    /// Number of profiles merged into this aggregate (0 for the identity).
+    #[must_use]
+    pub fn banks(&self) -> u64 {
+        self.banks
+    }
+
+    /// Simulated femtoseconds charged to `category`.
+    #[must_use]
+    pub fn femtoseconds(&self, category: Category) -> u128 {
+        self.femtos[category.index()]
+    }
+
+    /// Simulated seconds charged to `category` (converted back from the
+    /// exact femtosecond count).
+    #[must_use]
+    pub fn seconds(&self, category: Category) -> f64 {
+        self.femtos[category.index()] as f64 / FEMTOS_PER_SECOND
+    }
+
+    /// Total simulated seconds across all categories, summed exactly in
+    /// femtoseconds first.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.femtos.iter().sum::<u128>() as f64 / FEMTOS_PER_SECOND
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} bank profile(s), total {:.6e} s",
+            self.banks,
+            self.total_seconds()
+        )?;
+        for c in Category::ALL {
+            if self.femtos[c.index()] > 0 {
+                writeln!(f, "  {:<18} {:>12.6e} s", c.label(), self.seconds(c))?;
+            }
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Display for Profile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "total: {:.6e} s", self.total_seconds())?;
@@ -352,6 +504,48 @@ mod tests {
         l.charge(Category::Compute, 1.0);
         let cats: Vec<_> = l.iter().map(|(c, _)| c).collect();
         assert_eq!(cats, vec![Category::Compute]);
+    }
+
+    fn stats_with(pairs: &[(Category, f64)], instrs: u64) -> Stats {
+        let mut l = CycleLedger::new();
+        for &(c, s) in pairs {
+            l.charge(c, s);
+        }
+        l.instructions = instrs;
+        Stats::from_ledger(&l)
+    }
+
+    #[test]
+    fn stats_merge_is_associative_and_commutative() {
+        // Seconds chosen so f64 addition would NOT be associative.
+        let a = stats_with(&[(Category::Compute, 0.1)], 1);
+        let b = stats_with(&[(Category::Compute, 0.2)], 10);
+        let c = stats_with(&[(Category::Compute, 0.3), (Category::Other, 1e-9)], 100);
+        let left = a.clone().merged(&b).merged(&c);
+        let right = a.clone().merged(&b.clone().merged(&c));
+        assert_eq!(left, right);
+        assert_eq!(a.clone().merged(&b), b.clone().merged(&a));
+        assert_eq!(left.banks(), 3);
+        assert_eq!(left.instructions, 111);
+        // Identity element.
+        assert_eq!(a.clone().merged(&Stats::default()), a);
+    }
+
+    #[test]
+    fn stats_roundtrips_seconds_within_quantum() {
+        let s = stats_with(&[(Category::LutLoad, 1.36e-9)], 0);
+        assert!((s.seconds(Category::LutLoad) - 1.36e-9).abs() < 1e-15);
+        assert_eq!(s.femtoseconds(Category::LutLoad), 1_360_000);
+        assert!((s.total_seconds() - 1.36e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stats_display_lists_nonzero_categories() {
+        let s = stats_with(&[(Category::Accumulate, 2.0)], 0);
+        let text = s.to_string();
+        assert!(text.contains("accumulate"));
+        assert!(!text.contains("lut-load"));
+        assert!(text.contains("1 bank profile(s)"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! System-level model: ranks × banks of DPUs behind a host CPU.
 //!
 //! UPMEM systems hang PIM DIMMs off ordinary DDR4 channels; all inter-bank
-//! communication travels through the host (§V-B, [67]). We model:
+//! communication travels through the host (§V-B, ref \[67\]). We model:
 //!
 //! * **host → PIM broadcast** (same bytes to every DPU, e.g. LUT images),
 //! * **host → PIM scatter** (distinct slice per DPU, e.g. activation tiles),

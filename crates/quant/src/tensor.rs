@@ -129,6 +129,97 @@ impl QMatrix {
         (u64::from(self.format.bits()) * self.codes.len() as u64).div_ceil(8)
     }
 
+    /// A deterministic pseudo-random matrix: codes drawn from a fixed
+    /// per-index integer hash (splitmix64 finalizer) over the format's
+    /// code space, so the same `(shape, format, seed)` always yields the
+    /// same matrix and nearby seeds yield unrelated matrices. Used by the
+    /// property tests, the runtime benches, and the CLI's functional demo
+    /// runs — anywhere reproducible operands matter more than a
+    /// statistical distribution.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quant::{NumericFormat, QMatrix};
+    ///
+    /// let a = QMatrix::pseudo_random(3, 4, NumericFormat::Int(3), 42);
+    /// let b = QMatrix::pseudo_random(3, 4, NumericFormat::Int(3), 42);
+    /// assert_eq!(a, b); // same seed, same matrix
+    /// let c = QMatrix::pseudo_random(3, 4, NumericFormat::Int(3), 43);
+    /// assert_ne!(a, c); // adjacent seeds diverge
+    /// assert!(a.codes().iter().all(|&c| u32::from(c) < NumericFormat::Int(3).code_space()));
+    /// ```
+    #[must_use]
+    pub fn pseudo_random(rows: usize, cols: usize, format: NumericFormat, seed: u64) -> QMatrix {
+        let space = u64::from(format.code_space());
+        let codes: Vec<u16> = (0..rows * cols)
+            .map(|i| {
+                let mut x = (i as u64) ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^= x >> 31;
+                (x % space) as u16
+            })
+            .collect();
+        QMatrix {
+            codes,
+            rows,
+            cols,
+            format,
+            scale: 1.0,
+        }
+    }
+
+    /// A rectangular sub-matrix copy covering `rows × cols` (same
+    /// format/scale) — the operand slice a bank-parallel runtime hands one
+    /// worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a range end exceeds the matrix bounds or a range is
+    /// reversed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quant::{NumericFormat, QMatrix};
+    ///
+    /// let m = QMatrix::from_codes(vec![0, 1, 2, 3, 4, 5], 2, 3,
+    ///     NumericFormat::Int(3), 1.0).unwrap();
+    /// let tile = m.submatrix(0..2, 1..3);
+    /// assert_eq!(tile.codes(), &[1, 2, 4, 5]);
+    /// ```
+    #[must_use]
+    pub fn submatrix(
+        &self,
+        rows: core::ops::Range<usize>,
+        cols: core::ops::Range<usize>,
+    ) -> QMatrix {
+        assert!(
+            rows.start <= rows.end && rows.end <= self.rows,
+            "row range out of bounds"
+        );
+        assert!(
+            cols.start <= cols.end && cols.end <= self.cols,
+            "column range out of bounds"
+        );
+        let n_rows = rows.len();
+        let mut codes = Vec::with_capacity(n_rows * cols.len());
+        for r in rows {
+            codes.extend_from_slice(
+                &self.codes[r * self.cols + cols.start..r * self.cols + cols.end],
+            );
+        }
+        QMatrix {
+            codes,
+            rows: n_rows,
+            cols: cols.len(),
+            format: self.format,
+            scale: self.scale,
+        }
+    }
+
     /// Transposed copy (codes only; same format/scale).
     #[must_use]
     pub fn transposed(&self) -> QMatrix {
@@ -210,5 +301,25 @@ mod tests {
     fn out_of_bounds_access_panics() {
         let m = sample();
         let _ = m.code_at(2, 0);
+    }
+
+    #[test]
+    fn submatrix_extracts_tiles() {
+        let m = sample(); // [[0,1,2],[3,4,5]]
+        let full = m.submatrix(0..2, 0..3);
+        assert_eq!(full, m);
+        let tile = m.submatrix(1..2, 0..2);
+        assert_eq!((tile.rows(), tile.cols()), (1, 2));
+        assert_eq!(tile.codes(), &[3, 4]);
+        assert_eq!(tile.format(), m.format());
+        assert_eq!(tile.scale(), m.scale());
+        let empty = m.submatrix(0..0, 0..3);
+        assert_eq!((empty.rows(), empty.cols()), (0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "column range out of bounds")]
+    fn submatrix_validates_ranges() {
+        let _ = sample().submatrix(0..1, 2..4);
     }
 }

@@ -1,0 +1,421 @@
+//! The bank-parallel executor: a scoped-thread worker pool over a
+//! [`ShardPlan`].
+//!
+//! Each worker owns a *bank-local* simulator context — the per-shard
+//! [`BankKernel::run`] constructs its own `pim_sim` DPU ledger, so no
+//! simulated state is shared between banks — while the expensive canonical
+//! and reordering LUT images are shared read-only through the
+//! [`BankKernel`]'s internal `Arc`s (one build, N readers, as the §V-A
+//! broadcast works on hardware).
+//!
+//! Determinism: shards are assigned to workers round-robin by shard id, the
+//! per-shard results are collected into id-indexed slots, and both the
+//! value scatter and the profile fold run in ascending shard id order.
+//! Thread scheduling therefore cannot change any output bit, and the
+//! 1-thread execution of the same plan is bitwise identical to the
+//! N-thread one.
+
+use crate::shard::{Shard, ShardPlan};
+use localut::gemm::{GemmConfig, GemmDims};
+use localut::kernels::BankKernel;
+use localut::{LocaLutError, Method};
+use pim_sim::{EnergyBreakdown, EnergyModel, Profile, Stats};
+use quant::QMatrix;
+use std::ops::Range;
+
+/// One bank's contribution to a parallel GEMM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankResult {
+    /// The shard this bank executed.
+    pub shard: Shard,
+    /// The bank's simulated time/event profile for its tile.
+    pub profile: Profile,
+}
+
+/// The merged output of a bank-parallel GEMM execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelGemm {
+    /// Row-major `M×N` integer outputs (bit-identical to the serial path).
+    pub values: Vec<i32>,
+    /// Full GEMM dimensions.
+    pub dims: GemmDims,
+    /// Per-bank profiles in shard order.
+    pub per_bank: Vec<BankResult>,
+    /// Deterministic fold of the per-bank profiles in shard order (the
+    /// aggregate simulated bank time; on real hardware banks overlap, so
+    /// this is total bank *work*, and the critical path is the max).
+    pub profile: Profile,
+    /// Associative merge of the per-bank statistics — identical for every
+    /// merge order and thread count by construction.
+    pub stats: Stats,
+}
+
+impl ParallelGemm {
+    /// The simulated critical path across banks: the slowest bank's time
+    /// (banks run concurrently on hardware; the host phases the system
+    /// model adds are outside this kernel-level view).
+    #[must_use]
+    pub fn critical_path_seconds(&self) -> f64 {
+        self.per_bank
+            .iter()
+            .map(|b| b.profile.total_seconds())
+            .fold(0.0, f64::max)
+    }
+
+    /// Total simulated bank work (sum over banks).
+    #[must_use]
+    pub fn total_bank_seconds(&self) -> f64 {
+        self.profile.total_seconds()
+    }
+
+    /// Energy of the bank fleet under `model`: dynamic energy from the
+    /// merged event counters (per-event energies are additive across
+    /// banks) plus static energy for the banks drawing power over the
+    /// concurrent execution's critical path.
+    #[must_use]
+    pub fn energy(&self, model: &EnergyModel) -> EnergyBreakdown {
+        EnergyBreakdown {
+            pim_static_j: self.per_bank.len() as f64
+                * model.dpu_static_w
+                * self.critical_path_seconds(),
+            pim_dynamic_j: model.dpu_dynamic_j(&self.profile),
+            host_static_j: 0.0,
+            host_dynamic_j: 0.0,
+        }
+    }
+}
+
+/// A bank-parallel GEMM executor: `threads` workers over shard plans.
+///
+/// # Examples
+///
+/// Bit-exactness against the serial path, and — for a fixed shard plan —
+/// bitwise invariance of every output under the worker count:
+///
+/// ```
+/// use localut::{GemmConfig, GemmDims, Method};
+/// use quant::{NumericFormat, Quantizer};
+/// use runtime::{ParallelExecutor, ShardPlan};
+///
+/// let wq = Quantizer::symmetric(NumericFormat::Int(2));
+/// let aq = Quantizer::symmetric(NumericFormat::Int(3));
+/// let w = wq.quantize_matrix(&[1.0, -1.0, 0.5, -0.5, 1.0, 0.0], 2, 3)?;
+/// let a = aq.quantize_matrix(&[3.0, -3.0, 1.0, 0.0, -2.0, 2.0], 3, 2)?;
+///
+/// let serial = GemmConfig::upmem().run(Method::OpLcRc, &w, &a)?;
+/// let plan = ShardPlan::for_banks(GemmDims::of(&w, &a)?, 4);
+/// let one = ParallelExecutor::new(1).execute_plan(&plan, Method::OpLcRc, &w, &a)?;
+/// let four = ParallelExecutor::new(4).execute_plan(&plan, Method::OpLcRc, &w, &a)?;
+/// assert_eq!(one.values, serial.values);
+/// assert_eq!(four.values, serial.values);
+/// assert_eq!(four.profile, one.profile); // bitwise, any worker count
+/// assert_eq!(four.stats, one.stats);
+/// # Ok::<(), localut::LocaLutError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelExecutor {
+    threads: usize,
+    gemm: GemmConfig,
+}
+
+impl ParallelExecutor {
+    /// An executor with `threads` workers (clamped to at least 1) and the
+    /// default UPMEM kernel configuration.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self::with_config(threads, GemmConfig::upmem())
+    }
+
+    /// An executor with an explicit kernel configuration.
+    #[must_use]
+    pub fn with_config(threads: usize, gemm: GemmConfig) -> Self {
+        ParallelExecutor {
+            threads: threads.max(1),
+            gemm,
+        }
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The kernel configuration workers run.
+    #[must_use]
+    pub fn gemm_config(&self) -> &GemmConfig {
+        &self.gemm
+    }
+
+    /// Executes `method` on one shard per worker (a `threads`-bank plan).
+    ///
+    /// # Errors
+    ///
+    /// Shape, format, budget, or planning errors.
+    pub fn execute(
+        &self,
+        method: Method,
+        w: &QMatrix,
+        a: &QMatrix,
+    ) -> Result<ParallelGemm, LocaLutError> {
+        let dims = GemmDims::of(w, a)?;
+        let plan = ShardPlan::for_banks(dims, u32::try_from(self.threads).unwrap_or(u32::MAX));
+        self.execute_plan(&plan, method, w, a)
+    }
+
+    /// Executes `method` over an explicit shard plan; shards are dealt to
+    /// the workers round-robin, so a plan may model many more banks than
+    /// there are host threads.
+    ///
+    /// # Errors
+    ///
+    /// Shape, format, budget, or planning errors;
+    /// [`LocaLutError::ShardPlanMismatch`] when the plan was built for
+    /// different dimensions than the operands; shard errors are reported
+    /// for the lowest-id failing shard.
+    pub fn execute_plan(
+        &self,
+        plan: &ShardPlan,
+        method: Method,
+        w: &QMatrix,
+        a: &QMatrix,
+    ) -> Result<ParallelGemm, LocaLutError> {
+        let dims = GemmDims::of(w, a)?;
+        if plan.dims() != dims {
+            return Err(LocaLutError::ShardPlanMismatch {
+                plan: plan.dims(),
+                operands: dims,
+            });
+        }
+        let bank = BankKernel::build(&self.gemm, method, w.format(), a.format(), dims)?;
+
+        // Hoist one weight tile per distinct row band and one activation
+        // tile per distinct column band: every shard in a band runs
+        // against the same full-K operand slice, so the copies are shared
+        // instead of re-sliced per shard.
+        let mut row_bands: Vec<(Range<usize>, QMatrix)> = Vec::new();
+        let mut col_bands: Vec<(Range<usize>, QMatrix)> = Vec::new();
+        let shards: Vec<(&Shard, usize, usize)> = plan
+            .shards()
+            .iter()
+            .map(|shard| {
+                let row = row_bands
+                    .iter()
+                    .position(|(r, _)| *r == shard.rows)
+                    .unwrap_or_else(|| {
+                        row_bands.push((
+                            shard.rows.clone(),
+                            w.submatrix(shard.rows.clone(), 0..dims.k),
+                        ));
+                        row_bands.len() - 1
+                    });
+                let col = col_bands
+                    .iter()
+                    .position(|(c, _)| *c == shard.cols)
+                    .unwrap_or_else(|| {
+                        col_bands.push((
+                            shard.cols.clone(),
+                            a.submatrix(0..dims.k, shard.cols.clone()),
+                        ));
+                        col_bands.len() - 1
+                    });
+                (shard, row, col)
+            })
+            .collect();
+
+        let results = self.map(&shards, |&(_, row, col)| {
+            bank.run(&row_bands[row].1, &col_bands[col].1)
+        });
+
+        // Deterministic merge, ascending shard id.
+        let mut values = vec![0i32; dims.m * dims.n];
+        let mut per_bank = Vec::with_capacity(plan.len());
+        let mut profile = Profile::new();
+        let mut stats = Stats::default();
+        for (shard, result) in plan.shards().iter().zip(results) {
+            let tile = result?;
+            let tile_n = shard.cols.len();
+            for (i, r) in shard.rows.clone().enumerate() {
+                let dst = r * dims.n + shard.cols.start;
+                values[dst..dst + tile_n]
+                    .copy_from_slice(&tile.values[i * tile_n..(i + 1) * tile_n]);
+            }
+            profile = profile.merged(&tile.profile);
+            stats.merge(&Stats::from_profile(&tile.profile));
+            per_bank.push(BankResult {
+                shard: shard.clone(),
+                profile: tile.profile,
+            });
+        }
+
+        Ok(ParallelGemm {
+            values,
+            dims,
+            per_bank,
+            profile,
+            stats,
+        })
+    }
+
+    /// Ordered parallel map: applies `f` to every item on the worker pool
+    /// and returns the results in item order, regardless of scheduling —
+    /// the building block batched multi-request serving uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` panics on a worker thread.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use runtime::ParallelExecutor;
+    ///
+    /// let pool = ParallelExecutor::new(3);
+    /// let squares = pool.map(&[1, 2, 3, 4, 5], |&x| x * x);
+    /// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+    /// ```
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(items.len(), || None);
+        // With more workers than items, the surplus strips stay empty —
+        // don't spawn threads for them.
+        let workers = self.threads.min(items.len().max(1));
+        std::thread::scope(|scope| {
+            let mut strips: Vec<Vec<(&T, &mut Option<R>)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (pair, strip) in items.iter().zip(slots.iter_mut()).zip((0..workers).cycle()) {
+                strips[strip].push(pair);
+            }
+            let f = &f;
+            let handles: Vec<_> = strips
+                .into_iter()
+                .map(|strip| {
+                    scope.spawn(move || {
+                        for (item, slot) in strip {
+                            *slot = Some(f(item));
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("map worker panicked");
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every item was mapped"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quant::NumericFormat;
+
+    fn operands(m: usize, k: usize, n: usize, seed: u64) -> (QMatrix, QMatrix) {
+        (
+            QMatrix::pseudo_random(m, k, NumericFormat::Int(2), seed),
+            QMatrix::pseudo_random(k, n, NumericFormat::Int(3), seed.wrapping_add(1)),
+        )
+    }
+
+    #[test]
+    fn execute_matches_serial_for_all_methods() {
+        let (w, a) = operands(8, 12, 6, 42);
+        let cfg = GemmConfig::upmem();
+        for method in Method::ALL {
+            let serial = cfg.run(method, &w, &a).unwrap();
+            let par = ParallelExecutor::new(4).execute(method, &w, &a).unwrap();
+            assert_eq!(par.values, serial.values, "{method}");
+            assert!(par.per_bank.len() <= 4);
+            assert!(par.stats.banks() as usize == par.per_bank.len());
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_any_output() {
+        let (w, a) = operands(9, 15, 7, 7);
+        let dims = GemmDims::of(&w, &a).unwrap();
+        let plan = ShardPlan::for_banks(dims, 8);
+        let baseline = ParallelExecutor::new(1)
+            .execute_plan(&plan, Method::LoCaLut, &w, &a)
+            .unwrap();
+        for threads in [2usize, 3, 5, 8, 16] {
+            let par = ParallelExecutor::new(threads)
+                .execute_plan(&plan, Method::LoCaLut, &w, &a)
+                .unwrap();
+            assert_eq!(par, baseline, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn critical_path_bounded_by_total_work() {
+        let (w, a) = operands(16, 8, 8, 3);
+        let par = ParallelExecutor::new(4)
+            .execute(Method::OpLcRc, &w, &a)
+            .unwrap();
+        let cp = par.critical_path_seconds();
+        assert!(cp > 0.0);
+        assert!(cp <= par.total_bank_seconds());
+        // With >1 bank, the critical path is strictly below total work.
+        if par.per_bank.len() > 1 {
+            assert!(cp < par.total_bank_seconds());
+        }
+    }
+
+    #[test]
+    fn merged_stats_equal_profile_fold() {
+        let (w, a) = operands(6, 10, 4, 11);
+        let par = ParallelExecutor::new(2)
+            .execute(Method::LoCaLut, &w, &a)
+            .unwrap();
+        let mut expect = Stats::default();
+        for bank in &par.per_bank {
+            expect.merge(&Stats::from_profile(&bank.profile));
+        }
+        assert_eq!(par.stats, expect);
+        assert!((par.stats.total_seconds() - par.profile.total_seconds()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_of_merged_work_is_positive() {
+        let (w, a) = operands(6, 10, 4, 11);
+        let par = ParallelExecutor::new(2)
+            .execute(Method::LoCaLut, &w, &a)
+            .unwrap();
+        assert!(par.energy(&EnergyModel::upmem()).total_j() > 0.0);
+    }
+
+    #[test]
+    fn map_preserves_order_under_any_thread_count() {
+        let items: Vec<usize> = (0..37).collect();
+        for threads in [1usize, 2, 5, 64] {
+            let out = ParallelExecutor::new(threads).map(&items, |&x| x + 1);
+            assert_eq!(out, (1..38).collect::<Vec<_>>(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn mismatched_plan_is_rejected() {
+        let (w, a) = operands(8, 12, 6, 42);
+        let stale_plan = ShardPlan::for_banks(GemmDims { m: 4, k: 12, n: 4 }, 4);
+        let err = ParallelExecutor::new(2)
+            .execute_plan(&stale_plan, Method::NaivePim, &w, &a)
+            .unwrap_err();
+        assert!(matches!(err, LocaLutError::ShardPlanMismatch { .. }));
+    }
+
+    #[test]
+    fn infeasible_method_errors_cleanly() {
+        let w = QMatrix::pseudo_random(4, 4, NumericFormat::Int(16), 1);
+        let a = QMatrix::pseudo_random(4, 2, NumericFormat::Int(16), 2);
+        let err = ParallelExecutor::new(2).execute(Method::LoCaLut, &w, &a);
+        assert!(err.is_err());
+    }
+}

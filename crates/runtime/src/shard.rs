@@ -1,0 +1,164 @@
+//! Shard plans: how one GEMM's output is partitioned into bank-owned tiles.
+//!
+//! A [`ShardPlan`] is the concrete work list a [`crate::ParallelExecutor`]
+//! run executes: an ordered set of [`Shard`]s, each a rectangle of the
+//! `M×N` output (all of `K` deep, so shards are independent — no partial
+//! sums cross shard boundaries and the value merge is a pure scatter).
+//! The shapes come from [`TileGrid`], the same §V-B data/context-parallel
+//! tiling the analytic system model uses, so the runtime executes exactly
+//! the distribution the cost model prices.
+
+use localut::tiling::TileGrid;
+use localut::GemmDims;
+use std::ops::Range;
+
+/// One bank's slice of a GEMM: output rows `rows` × output columns `cols`,
+/// the full `K` reduction deep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// Position of this shard in the plan (also its merge order).
+    pub id: usize,
+    /// Weight-row (output-row) range in the full matrix.
+    pub rows: Range<usize>,
+    /// Activation-column (output-column) range in the full matrix.
+    pub cols: Range<usize>,
+}
+
+impl Shard {
+    /// The shard's tile dimensions given the shared inner dimension `k`.
+    #[must_use]
+    pub fn dims(&self, k: usize) -> GemmDims {
+        GemmDims {
+            m: self.rows.len(),
+            k,
+            n: self.cols.len(),
+        }
+    }
+}
+
+/// An ordered partition of a GEMM's output into bank-owned shards.
+///
+/// # Examples
+///
+/// ```
+/// use localut::GemmDims;
+/// use runtime::ShardPlan;
+///
+/// let dims = GemmDims { m: 8, k: 16, n: 6 };
+/// let plan = ShardPlan::for_banks(dims, 4);
+/// assert!(plan.len() <= 4 && !plan.is_empty());
+/// // The shards exactly partition the 8×6 output.
+/// let cells: usize = plan.shards().iter()
+///     .map(|s| s.rows.len() * s.cols.len())
+///     .sum();
+/// assert_eq!(cells, 8 * 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    dims: GemmDims,
+    grid: TileGrid,
+    shards: Vec<Shard>,
+}
+
+impl ShardPlan {
+    /// Plans `dims` across `n_banks` banks using the §V-B tiling policy
+    /// (activation columns split first — pure data parallelism — then
+    /// weight rows). Produces at most `n_banks` shards; small matrices
+    /// yield fewer.
+    #[must_use]
+    pub fn for_banks(dims: GemmDims, n_banks: u32) -> Self {
+        Self::from_grid(dims, TileGrid::choose(dims, n_banks.max(1)))
+    }
+
+    /// Plans `dims` over an explicit tile grid.
+    #[must_use]
+    pub fn from_grid(dims: GemmDims, grid: TileGrid) -> Self {
+        let shards = grid
+            .cell_ranges(dims)
+            .into_iter()
+            .enumerate()
+            .map(|(id, (rows, cols))| Shard { id, rows, cols })
+            .collect();
+        ShardPlan { dims, grid, shards }
+    }
+
+    /// The full GEMM dimensions the plan covers.
+    #[must_use]
+    pub fn dims(&self) -> GemmDims {
+        self.dims
+    }
+
+    /// The tile grid the shards were derived from.
+    #[must_use]
+    pub fn grid(&self) -> TileGrid {
+        self.grid
+    }
+
+    /// The shards in merge order.
+    #[must_use]
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Number of shards (banks used).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the plan is empty (only for degenerate zero-size GEMMs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_partition_the_output() {
+        let dims = GemmDims { m: 7, k: 5, n: 5 };
+        let plan = ShardPlan::for_banks(dims, 6);
+        let mut covered = vec![false; dims.m * dims.n];
+        for shard in plan.shards() {
+            for r in shard.rows.clone() {
+                for c in shard.cols.clone() {
+                    assert!(!covered[r * dims.n + c], "overlap at ({r},{c})");
+                    covered[r * dims.n + c] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&v| v), "hole in the shard cover");
+    }
+
+    #[test]
+    fn shard_ids_are_dense_and_ordered() {
+        let plan = ShardPlan::for_banks(GemmDims { m: 16, k: 4, n: 16 }, 8);
+        for (i, shard) in plan.shards().iter().enumerate() {
+            assert_eq!(shard.id, i);
+        }
+        assert!(plan.len() <= 8);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn small_matrices_use_fewer_banks() {
+        let plan = ShardPlan::for_banks(GemmDims { m: 1, k: 9, n: 2 }, 64);
+        assert_eq!(plan.len(), 2); // only two output columns to split
+        assert_eq!(plan.shards()[0].dims(9), GemmDims { m: 1, k: 9, n: 1 });
+    }
+
+    #[test]
+    fn grid_matches_tiling_policy() {
+        let dims = GemmDims {
+            m: 768,
+            k: 768,
+            n: 128,
+        };
+        let plan = ShardPlan::for_banks(dims, 2048);
+        assert_eq!(plan.grid(), TileGrid::choose(dims, 2048));
+        assert_eq!(plan.len(), 2048);
+    }
+}

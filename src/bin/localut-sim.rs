@@ -5,19 +5,26 @@
 //! ```sh
 //! localut-sim --shape 3072x768x128 --config W1A3
 //! localut-sim --shape 768x768x128 --config W4A4 --method op --k 4
+//! localut-sim --shape 768x768x128 --config W1A3 --threads 8
 //! localut-sim --model bert --config W1A3 --batch 32
+//! localut-sim --model bert --config W1A3 --threads 4 --requests 8
 //! ```
 //!
 //! Prints the §IV-D plan (placement, p*, k), the per-DPU kernel breakdown
 //! (Fig. 16b categories), the system-level time, and the speedup over
-//! Naive PIM.
+//! Naive PIM. With `--threads N > 1`, `--shape` additionally executes the
+//! GEMM *functionally* on the bank-parallel runtime and verifies the
+//! result is bit-identical to the serial path; `--model` serves
+//! `--requests` independent inference requests on the runtime's worker
+//! pool.
 
 use dnn::{InferenceSim, ModelConfig, Workload};
 use localut::plan::Planner;
 use localut::tiling::{DistributedGemm, TileGrid};
-use localut::{GemmDims, Method};
+use localut::{GemmConfig, GemmDims, Method};
 use pim_sim::EnergyModel;
-use quant::BitConfig;
+use quant::{BitConfig, QMatrix};
+use runtime::ParallelExecutor;
 use std::process::ExitCode;
 
 struct Args {
@@ -27,10 +34,13 @@ struct Args {
     method: Method,
     k_slices: u32,
     batch: usize,
+    threads: usize,
+    requests: usize,
 }
 
 const USAGE: &str = "usage: localut-sim (--shape MxKxN | --model bert|opt|vit) \
-[--config WxAy] [--method naive|ltc|op|oplc|oplcrc|localut] [--k N] [--batch N]";
+[--config WxAy] [--method naive|ltc|op|oplc|oplcrc|localut] [--k N] [--batch N] \
+[--threads N] [--requests N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -40,6 +50,8 @@ fn parse_args() -> Result<Args, String> {
         method: Method::LoCaLut,
         k_slices: 2,
         batch: 32,
+        threads: 1,
+        requests: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -75,6 +87,18 @@ fn parse_args() -> Result<Args, String> {
             }
             "--k" => args.k_slices = value()?.parse().map_err(|_| "bad --k".to_owned())?,
             "--batch" => args.batch = value()?.parse().map_err(|_| "bad --batch".to_owned())?,
+            "--threads" => {
+                args.threads = value()?.parse().map_err(|_| "bad --threads".to_owned())?;
+                if args.threads == 0 {
+                    return Err("--threads must be at least 1".to_owned());
+                }
+            }
+            "--requests" => {
+                args.requests = value()?.parse().map_err(|_| "bad --requests".to_owned())?;
+                if args.requests == 0 {
+                    return Err("--requests must be at least 1".to_owned());
+                }
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
@@ -131,6 +155,46 @@ fn run_gemm(args: &Args, dims: GemmDims) -> Result<(), Box<dyn std::error::Error
             .system_energy(dist.system.config(), &profile)
             .total_j()
     );
+    if args.threads > 1 {
+        run_gemm_parallel(args, dims)?;
+    }
+    Ok(())
+}
+
+fn run_gemm_parallel(args: &Args, dims: GemmDims) -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = args.config;
+    let w = QMatrix::pseudo_random(dims.m, dims.k, cfg.weight_format(), 1);
+    let a = QMatrix::pseudo_random(dims.k, dims.n, cfg.activation_format(), 2);
+    let mut gemm = GemmConfig::upmem();
+    gemm.k_slices = args.k_slices;
+
+    println!("\n  functional execution on the bank-parallel runtime:");
+    let t0 = std::time::Instant::now();
+    let serial = gemm.run(args.method, &w, &a)?;
+    let serial_wall = t0.elapsed();
+    let pool = ParallelExecutor::with_config(args.threads, gemm);
+    let t1 = std::time::Instant::now();
+    let parallel = pool.execute(args.method, &w, &a)?;
+    let parallel_wall = t1.elapsed();
+    assert_eq!(
+        parallel.values, serial.values,
+        "parallel output diverged from the serial path"
+    );
+    println!(
+        "    serial:   {:>8.1} ms wall",
+        serial_wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "    parallel: {:>8.1} ms wall ({} workers, {} banks) — bit-identical ✓",
+        parallel_wall.as_secs_f64() * 1e3,
+        pool.threads(),
+        parallel.per_bank.len()
+    );
+    println!(
+        "    simulated bank work {:.4e} s, critical path {:.4e} s",
+        parallel.total_bank_seconds(),
+        parallel.critical_path_seconds()
+    );
     Ok(())
 }
 
@@ -177,6 +241,27 @@ fn run_model(args: &Args, name: &str) -> Result<(), Box<dyn std::error::Error>> 
         "  speedup over Naive PIM: {:.2}x",
         naive.total_seconds() / report.total_seconds()
     );
+    if args.requests > 1 || args.threads > 1 {
+        if args.requests == 1 {
+            println!("  note: --threads without --requests serves a single request; use --requests N for a real batch");
+        }
+        let requests = vec![wl; args.requests];
+        let pool = ParallelExecutor::new(args.threads);
+        let t0 = std::time::Instant::now();
+        let batch = sim.run_batch(&pool, args.method, args.config, &requests)?;
+        let wall = t0.elapsed();
+        println!(
+            "  batched serving: {} requests on {} workers in {:.1} ms wall",
+            batch.requests(),
+            pool.threads(),
+            wall.as_secs_f64() * 1e3
+        );
+        println!(
+            "    simulated session time {:.4} s ({:.4} s/request)",
+            batch.total_seconds(),
+            batch.total_seconds() / batch.requests() as f64
+        );
+    }
     Ok(())
 }
 

@@ -10,4 +10,5 @@ pub use localut;
 pub use pim_sim;
 pub use pq;
 pub use quant;
+pub use runtime;
 pub use xpu;

@@ -1,31 +1,25 @@
 //! Property-based integration tests (proptest): kernel ≡ reference over
-//! random shapes and bitwidths, canonicalization invariance, and the
-//! combinatorial bijections, all through the public API.
+//! random shapes and bitwidths, canonicalization invariance, the
+//! combinatorial bijections, associativity of the runtime's statistics
+//! merge, and serial/parallel bit-exactness of the bank-parallel executor,
+//! all through the public API.
 
 use localut::canonical::CanonicalLut;
-use localut::gemm::{reference_gemm, GemmDims};
-use localut::kernels::{LcKernel, LtcKernel, NaiveKernel, OpKernel, RcKernel, StreamingKernel};
+use localut::gemm::{reference_gemm, GemmConfig, GemmDims, Method};
+use localut::kernels::{
+    par_run, LcKernel, LtcKernel, NaiveKernel, OpKernel, RcKernel, StreamingKernel,
+};
 use localut::multiset;
 use localut::packed::{pack_index, unpack_index};
 use localut::perm::{apply, lehmer_rank, lehmer_unrank, sort_permutation};
 use localut::value::dot_codes;
-use pim_sim::DpuConfig;
+use pim_sim::{Category, CycleLedger, DpuConfig, Stats};
 use proptest::prelude::*;
 use quant::{NumericFormat, QMatrix};
+use runtime::{ParallelExecutor, ShardPlan};
 
 fn qmatrix(rows: usize, cols: usize, format: NumericFormat, seed: u64) -> QMatrix {
-    // Deterministic pseudo-random codes within the format's space.
-    let space = u64::from(format.code_space());
-    let codes: Vec<u16> = (0..rows * cols)
-        .map(|i| {
-            (((i as u64)
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(seed)
-                >> 33)
-                % space) as u16
-        })
-        .collect();
-    QMatrix::from_codes(codes, rows, cols, format, 1.0).unwrap()
+    QMatrix::pseudo_random(rows, cols, format, seed)
 }
 
 proptest! {
@@ -126,6 +120,74 @@ proptest! {
             .collect();
         let idx = pack_index(&codes, bits);
         prop_assert_eq!(unpack_index(idx, bits, p), codes);
+    }
+
+    /// `Stats::merge` is associative and commutative with `Stats::default()`
+    /// as identity, bitwise-exactly, on arbitrary ledgers — the property
+    /// that makes the runtime's cross-bank merge independent of merge
+    /// order. (Folding raw `f64` ledgers has no such guarantee.)
+    #[test]
+    fn stats_merge_associative(
+        secs in prop::collection::vec(0.0f64..1.0, 9),
+        counters in prop::collection::vec(0u64..1_000_000, 6),
+    ) {
+        let stats_from = |chunk: &[f64], salt: u64| {
+            let mut l = CycleLedger::new();
+            l.charge(Category::LutLoad, chunk[0] * 1e-3);
+            l.charge(Category::IndexCalc, chunk[1]);
+            l.charge(Category::Accumulate, chunk[2] * 1e6);
+            l.instructions = counters[(salt as usize) % 6];
+            l.dram_read_bytes = counters[(salt as usize + 1) % 6];
+            Stats::from_ledger(&l)
+        };
+        let a = stats_from(&secs[0..3], 0);
+        let b = stats_from(&secs[3..6], 2);
+        let c = stats_from(&secs[6..9], 4);
+        // Associativity (bitwise: Stats implements Eq).
+        prop_assert_eq!(
+            a.clone().merged(&b).merged(&c),
+            a.clone().merged(&b.clone().merged(&c))
+        );
+        // Commutativity.
+        prop_assert_eq!(a.clone().merged(&b), b.clone().merged(&a));
+        // Identity.
+        prop_assert_eq!(a.clone().merged(&Stats::default()), a);
+    }
+
+    /// The bank-parallel executor is bit-identical to the serial path on
+    /// random shapes and thread counts: values match `GemmConfig::run`,
+    /// and for a fixed shard plan the merged profile and stats match the
+    /// 1-worker execution of the same plan exactly.
+    #[test]
+    fn parallel_execution_matches_serial(
+        m in 1usize..12,
+        k in 1usize..24,
+        n in 1usize..6,
+        banks in 1u32..10,
+        threads in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        let wf = NumericFormat::Int(2);
+        let af = NumericFormat::Int(3);
+        let w = qmatrix(m, k, wf, seed);
+        let a = qmatrix(k, n, af, seed.wrapping_add(1));
+        let cfg = GemmConfig::upmem();
+        let dims = GemmDims { m, k, n };
+        let plan = ShardPlan::for_banks(dims, banks);
+
+        for method in [Method::NaivePim, Method::OpLcRc, Method::LoCaLut] {
+            let serial = cfg.run(method, &w, &a).unwrap();
+            let one = ParallelExecutor::with_config(1, cfg.clone())
+                .execute_plan(&plan, method, &w, &a).unwrap();
+            let par = ParallelExecutor::with_config(threads, cfg.clone())
+                .execute_plan(&plan, method, &w, &a).unwrap();
+            prop_assert_eq!(&par.values, &serial.values);
+            prop_assert_eq!(&par, &one); // profiles, stats, per-bank: bitwise
+            // par_run: values AND profile bit-identical to the serial run.
+            let host_par = par_run(&cfg, method, &w, &a, threads).unwrap();
+            prop_assert_eq!(&host_par.values, &serial.values);
+            prop_assert_eq!(&host_par.profile, &serial.profile);
+        }
     }
 
     /// run().profile == cost(dims) for the parameterized kernels — the
