@@ -1,18 +1,42 @@
-//! Shared helpers for the figure-regeneration bench targets.
+//! The perf-harness subsystem plus shared helpers for the
+//! figure-regeneration bench targets.
 //!
-//! Every `benches/figNN_*.rs` target is a `harness = false` binary that
-//! reruns one of the paper's experiments on the simulator and prints the
-//! same rows/series the paper plots. `cargo bench --workspace` regenerates
-//! the full evaluation; `EXPERIMENTS.md` records paper-vs-measured.
+//! Two consumers share this crate:
+//!
+//! * Every `benches/figNN_*.rs` target is a `harness = false` binary that
+//!   reruns one of the paper's experiments on the simulator and prints the
+//!   same rows/series the paper plots. `cargo bench --workspace`
+//!   regenerates the full evaluation; `EXPERIMENTS.md` records
+//!   paper-vs-measured.
+//! * The **`bench-runner`** binary (workspace root) measures the
+//!   [`scenario`] registry and emits/compares schema-versioned
+//!   `BENCH_*.json` reports ([`report`]), with tolerance-based regression
+//!   verdicts ([`regress`]) gated in CI. The JSON layer is the
+//!   dependency-free [`json`] module (the build environment has no
+//!   registry access, so no `serde`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod json;
+pub mod regress;
+pub mod report;
+pub mod scenario;
 
 use dnn::hostops::HostOpModel;
 use dnn::layer::{layer_gemms, layer_host_ops};
 use dnn::ModelConfig;
 use pim_sim::{Category, CycleLedger, Profile, SystemProfile};
 use pq::{PqConfig, PqCostModel};
+
+/// Converts modeled Joules to integer picojoules (round-to-nearest) — the
+/// single f64→integer crossing of the perf reports, applied once at
+/// ingest so serialized metrics stay exact from then on.
+#[must_use]
+pub fn picojoules(joules: f64) -> u128 {
+    debug_assert!(joules >= 0.0 && joules.is_finite(), "bad energy {joules}");
+    (joules * 1e12).round() as u128
+}
 
 /// Geometric mean of positive values (1.0 for an empty slice).
 #[must_use]
@@ -121,6 +145,14 @@ pub fn pq_model_cost(
 mod tests {
     use super::*;
     use pq::PqVariant;
+
+    #[test]
+    fn picojoules_rounds_once() {
+        assert_eq!(picojoules(0.0), 0);
+        assert_eq!(picojoules(1.0), 1_000_000_000_000);
+        assert_eq!(picojoules(1.4e-12), 1);
+        assert_eq!(picojoules(0.4e-12), 0);
+    }
 
     #[test]
     fn geomean_basics() {

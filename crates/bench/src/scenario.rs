@@ -1,0 +1,363 @@
+//! The perf-harness scenario registry: each paper figure class exposed as
+//! a deterministic callable.
+//!
+//! A [`Scenario`] is the unit `bench-runner` measures: a named workload
+//! that executes on the simulator (functionally where the figure is
+//! functional, analytically where it is a cost sweep) and returns a
+//! [`ScenarioOutcome`] — the merged [`pim_sim::Stats`] ledger (integer
+//! femtoseconds + event counters), the modeled energy, and a fingerprint
+//! of any functional output. Everything in the outcome is deterministic:
+//! two runs on any machine, at any worker count, produce identical
+//! outcomes. Host wall-clock is measured *around* the scenario by
+//! [`run_scenarios`], never inside it, so it stays out of the
+//! deterministic surface.
+//!
+//! The registry covers the repo's figure benches at "smoke" (fast, run on
+//! every CI push by the `perf-gate` job) and "full" (adds the large
+//! shapes) granularity.
+
+use crate::picojoules;
+use dnn::{InferenceSim, ModelConfig, Workload};
+use localut::kernels::{RcKernel, StreamingKernel};
+use localut::tiling::DistributedGemm;
+use localut::{GemmDims, Method};
+use pim_sim::{DpuConfig, EnergyModel, Stats};
+use quant::{BitConfig, NumericFormat, QMatrix};
+use runtime::{values_checksum, ParallelExecutor, ShardPlan};
+use std::time::Instant;
+
+/// Which scenario subset a run covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunProfile {
+    /// The fast subset CI's perf gate runs on every push.
+    Smoke,
+    /// Every registered scenario, including the large shapes.
+    Full,
+}
+
+impl RunProfile {
+    /// The profile's canonical name (`smoke` / `full`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RunProfile::Smoke => "smoke",
+            RunProfile::Full => "full",
+        }
+    }
+}
+
+impl std::str::FromStr for RunProfile {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "smoke" => Ok(RunProfile::Smoke),
+            "full" => Ok(RunProfile::Full),
+            other => Err(format!("unknown profile '{other}' (smoke|full)")),
+        }
+    }
+}
+
+/// Execution context a scenario runs under.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioCtx {
+    /// Host worker threads for the bank-parallel runtime (never changes a
+    /// simulated number — the runtime is deterministic by construction —
+    /// only the host wall-clock).
+    pub threads: usize,
+}
+
+impl Default for ScenarioCtx {
+    fn default() -> Self {
+        ScenarioCtx { threads: 4 }
+    }
+}
+
+/// What one scenario execution measured (the deterministic part).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Merged simulated statistics (integer femtoseconds + counters).
+    pub stats: Stats,
+    /// Modeled energy in picojoules (rounded once from the f64 model).
+    pub energy_pj: u128,
+    /// Fingerprint of the functional output values (0 for analytic
+    /// scenarios with no functional output).
+    pub checksum: u64,
+}
+
+/// One measured scenario plus its host wall-clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredScenario {
+    /// The scenario's registry name.
+    pub name: String,
+    /// The deterministic outcome.
+    pub outcome: ScenarioOutcome,
+    /// Host wall-clock of the scenario body, in nanoseconds. Excluded
+    /// from regression comparison and from deterministic report output.
+    pub wall_nanos: u128,
+}
+
+/// A registered, callable figure scenario.
+pub struct Scenario {
+    /// Unique registry name (stable across PRs — baselines key on it).
+    pub name: &'static str,
+    /// One-line description shown by `bench-runner --list`.
+    pub title: &'static str,
+    /// Whether the smoke profile includes this scenario.
+    pub smoke: bool,
+    runner: fn(&ScenarioCtx) -> ScenarioOutcome,
+}
+
+impl Scenario {
+    /// Executes the scenario body.
+    #[must_use]
+    pub fn run(&self, ctx: &ScenarioCtx) -> ScenarioOutcome {
+        (self.runner)(ctx)
+    }
+}
+
+/// All registered scenarios, in report order.
+#[must_use]
+pub fn registry() -> &'static [Scenario] {
+    &[
+        Scenario {
+            name: "fig03_placement",
+            title: "buffer vs streaming placement arms, functional (small GEMM)",
+            smoke: true,
+            runner: placement_scenario,
+        },
+        Scenario {
+            name: "fig09_gemm",
+            title: "LoCaLUT GEMM 768x768x128 W1A3, functional on the bank-parallel runtime",
+            smoke: true,
+            runner: |ctx| gemm_scenario(ctx, 768),
+        },
+        Scenario {
+            name: "fig09_gemm_wide",
+            title: "LoCaLUT GEMM 3072x768x128 W1A3, functional on the bank-parallel runtime",
+            smoke: false,
+            runner: |ctx| gemm_scenario(ctx, 3072),
+        },
+        Scenario {
+            name: "fig14_energy",
+            title: "system energy, LoCaLUT vs Naive PIM at 768x768x128 W1A3 (analytic)",
+            smoke: true,
+            runner: energy_scenario,
+        },
+        Scenario {
+            name: "fig16_breakdown",
+            title: "per-DPU kernel category breakdown, OP+LC+RC at the paper shape (analytic)",
+            smoke: true,
+            runner: breakdown_scenario,
+        },
+        Scenario {
+            name: "fig19_serving",
+            title: "mixed BERT/OPT serving batch on the runtime worker pool",
+            smoke: false,
+            runner: serving_scenario,
+        },
+    ]
+}
+
+/// Selects scenarios by profile and optional name filter (substring match).
+#[must_use]
+pub fn select(profile: RunProfile, filter: Option<&str>) -> Vec<&'static Scenario> {
+    registry()
+        .iter()
+        .filter(|s| profile == RunProfile::Full || s.smoke)
+        .filter(|s| filter.is_none_or(|f| s.name.contains(f)))
+        .collect()
+}
+
+/// Runs the given scenarios in registry order, timing each body with the
+/// host monotonic clock.
+#[must_use]
+pub fn run_scenarios(scenarios: &[&Scenario], ctx: &ScenarioCtx) -> Vec<MeasuredScenario> {
+    scenarios
+        .iter()
+        .map(|s| {
+            let t0 = Instant::now();
+            let outcome = s.run(ctx);
+            MeasuredScenario {
+                name: s.name.to_owned(),
+                outcome,
+                wall_nanos: t0.elapsed().as_nanos(),
+            }
+        })
+        .collect()
+}
+
+fn w1a3() -> (NumericFormat, NumericFormat) {
+    (NumericFormat::Bipolar, NumericFormat::Int(3))
+}
+
+/// Fig. 3 class: the two §IV-D placement arms run functionally on a small
+/// GEMM and their ledgers merged — exercises both LUT kernel hot paths.
+fn placement_scenario(_ctx: &ScenarioCtx) -> ScenarioOutcome {
+    let (wf, af) = w1a3();
+    let w = QMatrix::pseudo_random(48, 40, wf, 11);
+    let a = QMatrix::pseudo_random(40, 12, af, 12);
+    let buffer = RcKernel::with_p(DpuConfig::upmem(), wf, af, 5)
+        .expect("paper p_local fits")
+        .run(&w, &a)
+        .expect("feasible");
+    let streaming = StreamingKernel::new(DpuConfig::upmem(), wf, af, 5, 2)
+        .expect("slice budget fits")
+        .run(&w, &a)
+        .expect("feasible");
+    assert_eq!(buffer.values, streaming.values, "placement arms diverged");
+    let stats =
+        Stats::from_profile(&buffer.profile).merged(&Stats::from_profile(&streaming.profile));
+    let model = EnergyModel::upmem();
+    let energy = model.dpu_dynamic_j(&buffer.profile) + model.dpu_dynamic_j(&streaming.profile);
+    ScenarioOutcome {
+        stats,
+        energy_pj: picojoules(energy),
+        checksum: values_checksum(&buffer.values),
+    }
+}
+
+/// Fig. 9 class: a full LoCaLUT GEMM executed functionally across a
+/// 16-bank shard plan on the parallel runtime. The simulated side is the
+/// per-bank ledger merge; the host side (wall-clock, measured by the
+/// harness) is what the LUT-kernel hot-path optimization targets.
+fn gemm_scenario(ctx: &ScenarioCtx, m: usize) -> ScenarioOutcome {
+    let (wf, af) = w1a3();
+    let dims = GemmDims { m, k: 768, n: 128 };
+    let w = QMatrix::pseudo_random(dims.m, dims.k, wf, 1);
+    let a = QMatrix::pseudo_random(dims.k, dims.n, af, 2);
+    let plan = ShardPlan::for_banks(dims, 16);
+    let par = ParallelExecutor::new(ctx.threads)
+        .execute_plan(&plan, Method::LoCaLut, &w, &a)
+        .expect("feasible");
+    ScenarioOutcome {
+        stats: par.stats.clone(),
+        energy_pj: picojoules(par.energy(&EnergyModel::upmem()).total_j()),
+        checksum: par.checksum(),
+    }
+}
+
+/// Fig. 14 class: system energy of LoCaLUT vs Naive PIM on the 2048-DPU
+/// server (analytic). The ledger records the LoCaLUT execution; the energy
+/// field records its total Joules, so a cost-model regression moves both.
+fn energy_scenario(_ctx: &ScenarioCtx) -> ScenarioOutcome {
+    let (wf, af) = w1a3();
+    let dims = GemmDims {
+        m: 768,
+        k: 768,
+        n: 128,
+    };
+    let dist = DistributedGemm::upmem_server();
+    let localut = dist.cost(Method::LoCaLut, dims, wf, af).expect("feasible");
+    let naive = dist.cost(Method::NaivePim, dims, wf, af).expect("feasible");
+    assert!(
+        localut.total_seconds() < naive.total_seconds(),
+        "LoCaLUT must beat Naive PIM on the paper shape"
+    );
+    let model = EnergyModel::upmem();
+    let stats = Stats::from_profile(&localut.host).merged(&Stats::from_profile(&localut.pim));
+    ScenarioOutcome {
+        stats,
+        energy_pj: picojoules(
+            model
+                .system_energy(dist.system.config(), &localut)
+                .total_j(),
+        ),
+        checksum: 0,
+    }
+}
+
+/// Fig. 16 class: the buffer-resident kernel's per-category breakdown at
+/// the paper's representative shape (analytic cost twin).
+fn breakdown_scenario(_ctx: &ScenarioCtx) -> ScenarioOutcome {
+    let (wf, af) = w1a3();
+    let kernel = RcKernel::with_p(DpuConfig::upmem(), wf, af, 5).expect("paper p_local fits");
+    let profile = kernel.cost(GemmDims {
+        m: 768,
+        k: 765,
+        n: 128,
+    });
+    ScenarioOutcome {
+        stats: Stats::from_profile(&profile),
+        energy_pj: picojoules(EnergyModel::upmem().dpu_dynamic_j(&profile)),
+        checksum: 0,
+    }
+}
+
+/// Fig. 19 class: a mixed serving batch (BERT prefill + OPT
+/// prefill+decode) on the runtime worker pool; the batch's associative
+/// stats merge is worker-count invariant by construction.
+fn serving_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
+    let cfg: BitConfig = "W4A4".parse().expect("valid");
+    let sim = InferenceSim::upmem_server();
+    let requests = vec![
+        Workload::prefill(ModelConfig::bert_base(), 16),
+        Workload::with_decode(ModelConfig::opt_125m(), 8, 4),
+        Workload::prefill(ModelConfig::bert_base(), 32),
+    ];
+    let pool = ParallelExecutor::new(ctx.threads);
+    let batch = sim
+        .run_batch(&pool, Method::LoCaLut, cfg, &requests)
+        .expect("feasible");
+    let energy = EnergyModel::upmem()
+        .system_energy(sim.dist.system.config(), &batch.merged)
+        .total_j();
+    ScenarioOutcome {
+        stats: batch.stats.clone(),
+        energy_pj: picojoules(energy),
+        checksum: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_nonempty() {
+        let mut names: Vec<&str> = registry().iter().map(|s| s.name).collect();
+        assert!(!names.is_empty());
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), registry().len(), "duplicate scenario names");
+    }
+
+    #[test]
+    fn smoke_profile_is_a_strict_subset_of_full() {
+        let smoke = select(RunProfile::Smoke, None);
+        let full = select(RunProfile::Full, None);
+        assert!(!smoke.is_empty());
+        assert!(smoke.len() < full.len());
+        for s in &smoke {
+            assert!(full.iter().any(|f| f.name == s.name));
+        }
+    }
+
+    #[test]
+    fn filter_selects_by_substring() {
+        let hits = select(RunProfile::Full, Some("fig09"));
+        assert_eq!(hits.len(), 2);
+        assert!(select(RunProfile::Full, Some("no-such-scenario")).is_empty());
+    }
+
+    #[test]
+    fn cheap_scenarios_are_deterministic_and_thread_invariant() {
+        // The two analytic scenarios plus the small functional one — fast
+        // enough for debug-profile test runs.
+        for name in ["fig03_placement", "fig14_energy", "fig16_breakdown"] {
+            let scenario = registry().iter().find(|s| s.name == name).unwrap();
+            let one = scenario.run(&ScenarioCtx { threads: 1 });
+            let four = scenario.run(&ScenarioCtx { threads: 4 });
+            assert_eq!(one, four, "{name} outcome varies with threads");
+            assert!(one.stats.total_seconds() > 0.0, "{name} charged no time");
+            assert!(one.energy_pj > 0, "{name} modeled no energy");
+        }
+    }
+
+    #[test]
+    fn placement_scenario_fingerprints_its_output() {
+        let outcome = placement_scenario(&ScenarioCtx::default());
+        assert_ne!(outcome.checksum, 0);
+        assert_eq!(outcome.stats.banks(), 2); // buffer arm + streaming arm
+    }
+}

@@ -99,6 +99,28 @@ pub(crate) fn weight_group_codes(w: &QMatrix, m: usize, kb: usize, p: usize) -> 
         .collect()
 }
 
+/// Precomputes the packed weight row index of **every** `(m, kb)` group in
+/// one pass: `out[m * kblocks + kb]` equals
+/// `pack_index(&weight_group_codes(w, m, kb, p), bits)`.
+///
+/// This is the LUT kernels' hot-path hoist: the packed weight row depends
+/// only on `(m, kb)`, yet the naive triple loop re-extracts and re-packs it
+/// for every activation column — `M · ⌈K/p⌉ · N` heap-allocated code groups
+/// where `M · ⌈K/p⌉` suffice. Packing here walks each weight row's code
+/// slice directly (no per-group `Vec`), and the zero weight pad past `K`
+/// falls out of the zero initialization.
+pub(crate) fn packed_weight_rows(w: &QMatrix, p: usize, bits: u8) -> Vec<u64> {
+    let kblocks = w.cols().div_ceil(p);
+    let mut packed = vec![0u64; w.rows() * kblocks];
+    for m in 0..w.rows() {
+        let row = &mut packed[m * kblocks..(m + 1) * kblocks];
+        for (k, &code) in w.row(m).iter().enumerate() {
+            row[k / p] |= u64::from(code) << (usize::from(bits) * (k % p));
+        }
+    }
+    packed
+}
+
 /// Resolves the zero pad code or errors when `K % p != 0` and none exists.
 pub(crate) fn pad_code_for(af: NumericFormat, k: usize, p: usize) -> Result<u16, LocaLutError> {
     let remainder = k % p;
@@ -462,6 +484,23 @@ mod tests {
         let g = group_codes(&a, 1, 0, 2, 9);
         assert_eq!(g[0], a.code_at(2, 0));
         assert_eq!(g[1], 9); // padded
+    }
+
+    #[test]
+    fn packed_weight_rows_match_per_group_packing() {
+        use crate::packed::pack_index;
+        for (m, k, p, bits) in [(4usize, 11usize, 3usize, 2u8), (3, 12, 4, 1), (1, 5, 5, 3)] {
+            let w = QMatrix::pseudo_random(m, k, NumericFormat::Int(bits), 99);
+            let kblocks = k.div_ceil(p);
+            let packed = packed_weight_rows(&w, p, bits);
+            assert_eq!(packed.len(), m * kblocks);
+            for mm in 0..m {
+                for kb in 0..kblocks {
+                    let expect = pack_index(&weight_group_codes(&w, mm, kb, p), bits);
+                    assert_eq!(packed[mm * kblocks + kb], expect, "({mm}, {kb})");
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,10 +10,9 @@
 use crate::capacity::{localut_bytes, max_p_localut};
 use crate::gemm::{GemmDims, GemmResult};
 use crate::kernels::{
-    charge_operand_input, charge_output, group_codes, pad_code_for, require_integer,
-    weight_group_codes, SharedLuts,
+    charge_operand_input, charge_output, group_codes, packed_weight_rows, pad_code_for,
+    require_integer, SharedLuts,
 };
-use crate::packed::pack_index;
 use crate::perm::{lehmer_rank, sort_permutation};
 use crate::LocaLutError;
 use pim_sim::{Category, Dpu, DpuConfig, Profile};
@@ -160,6 +159,11 @@ impl RcKernel {
         let reorder = luts.reorder();
         let kblocks = dims.k.div_ceil(p);
 
+        // Hot path: the packed weight row of group (m, kb) is independent
+        // of the activation column, so pack all M × ⌈K/p⌉ rows once up
+        // front instead of re-extracting them for every n.
+        let packed = packed_weight_rows(w, p, self.wf.bits());
+
         let mut values = vec![0i32; dims.m * dims.n];
         for n in 0..dims.n {
             for kb in 0..kblocks {
@@ -168,12 +172,14 @@ impl RcKernel {
                 let sorted: Vec<u16> = perm.iter().map(|&i| acodes[usize::from(i)]).collect();
                 let perm_id = lehmer_rank(&perm)?;
                 let col = canonical.column_of(&sorted)?;
+                // One bounds check per group (column base hoist) instead
+                // of two checked 2D lookups per element.
+                let canon_col = canonical.column_slice(col);
+                let reord_col = reorder.column_slice(perm_id);
                 for m in 0..dims.m {
-                    let wcodes = weight_group_codes(w, m, kb, p);
-                    let row = pack_index(&wcodes, self.wf.bits());
                     // One reordering lookup, one canonical lookup.
-                    let crow = reorder.lookup(row, perm_id);
-                    values[m * dims.n + n] += canonical.lookup(crow, col);
+                    let crow = reord_col[packed[m * kblocks + kb] as usize];
+                    values[m * dims.n + n] += canon_col[crow as usize];
                 }
             }
         }

@@ -11,9 +11,8 @@
 use crate::capacity::{localut_bytes, slice_pair_bytes};
 use crate::gemm::{GemmDims, GemmResult};
 use crate::kernels::{
-    charge_output, group_codes, pad_code_for, require_integer, weight_group_codes, SharedLuts,
+    charge_output, group_codes, packed_weight_rows, pad_code_for, require_integer, SharedLuts,
 };
-use crate::packed::pack_index;
 use crate::perm::{lehmer_rank, sort_permutation};
 use crate::LocaLutError;
 use pim_sim::{Category, Dpu, DpuConfig, Profile};
@@ -170,17 +169,24 @@ impl StreamingKernel {
         let kblocks = dims.k.div_ceil(p);
         let kk = self.k_slices as usize;
 
+        // Hot path: pack every (m, kb) weight row once up front — the
+        // naive loop re-packed each row once per column batch (⌈N/k⌉
+        // times), with a heap-allocated code group per repack.
+        let packed = packed_weight_rows(w, p, self.wf.bits());
+
         let mut values = vec![0i32; dims.m * dims.n];
+        let mut slices: Vec<(usize, &[i32], &[u64])> = Vec::with_capacity(kk);
         for kb in 0..kblocks {
             // Process the N columns of this K-block in batches of k groups:
             // their slice pairs co-reside in WRAM while the weight block
             // streams once per batch.
             for n0 in (0..dims.n).step_by(kk) {
-                let batch = (n0..dims.n.min(n0 + kk)).collect::<Vec<_>>();
-                // "Stream" the slice pairs: fetch the columns (functional
-                // model — the canonical/reorder structures are bank data).
-                let mut slices = Vec::with_capacity(batch.len());
-                for &n in &batch {
+                // "Stream" the slice pairs: resolve the column bases
+                // (functional model — the canonical/reorder structures are
+                // bank data, so borrowing is enough; the stream's cost is
+                // charged analytically).
+                slices.clear();
+                for n in n0..dims.n.min(n0 + kk) {
                     let acodes = group_codes(a, kb, n, p, pad);
                     let perm = sort_permutation(&acodes);
                     let sorted: Vec<u16> = perm.iter().map(|&i| acodes[usize::from(i)]).collect();
@@ -188,17 +194,17 @@ impl StreamingKernel {
                     let col = canonical.column_of(&sorted)?;
                     slices.push((
                         n,
-                        canonical.column_slice(col).to_vec(),
-                        reorder.column_slice(perm_id).to_vec(),
+                        canonical.column_slice(col),
+                        reorder.column_slice(perm_id),
                     ));
                 }
                 // One pass over the weight rows, reusing all k slices.
                 for m in 0..dims.m {
-                    let wcodes = weight_group_codes(w, m, kb, p);
-                    let row = pack_index(&wcodes, self.wf.bits());
-                    for (n, canon_slice, reord_slice) in &slices {
-                        let crow = reord_slice[row as usize];
-                        values[m * dims.n + n] += canon_slice[crow as usize];
+                    let row = packed[m * kblocks + kb] as usize;
+                    let out = m * dims.n;
+                    for &(n, canon_slice, reord_slice) in &slices {
+                        let crow = reord_slice[row];
+                        values[out + n] += canon_slice[crow as usize];
                     }
                 }
             }

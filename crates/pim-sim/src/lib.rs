@@ -62,7 +62,7 @@ pub use dpu::{Dpu, DpuConfig};
 pub use dram::DramBank;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use processor::{InstrClass, Processor};
-pub use stats::{Category, CycleLedger, Profile, Stats};
+pub use stats::{Category, CounterSnapshot, CycleLedger, Profile, Stats};
 pub use system::{PimSystem, SystemConfig, SystemProfile};
 pub use timing::DpuTimings;
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -402,6 +402,84 @@ impl Stats {
     }
 }
 
+/// A plain-data snapshot of a [`Stats`] aggregate: the exact integer
+/// femtosecond ledger plus the merged event counters, with no behavior
+/// attached.
+///
+/// This is the export surface for measurement harnesses (the `bench`
+/// crate's scenario reports): everything is public, integer, and ordered,
+/// so a snapshot can be serialized deterministically and compared across
+/// runs without touching floating point.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Number of profiles merged into the aggregate.
+    pub banks: u64,
+    /// Total simulated femtoseconds across all categories (exact sum).
+    pub total_femtos: u128,
+    /// Per-category simulated femtoseconds, non-zero entries only, in
+    /// [`Category::ALL`] display order.
+    pub category_femtos: Vec<(Category, u128)>,
+    /// Bytes read from DRAM banks.
+    pub dram_read_bytes: u128,
+    /// Bytes written to DRAM banks.
+    pub dram_write_bytes: u128,
+    /// WRAM accesses.
+    pub wram_accesses: u128,
+    /// Instructions retired by DPU cores.
+    pub instructions: u128,
+    /// Bytes moved over the host link.
+    pub host_bytes: u128,
+    /// Host-side scalar operations.
+    pub host_ops: u128,
+}
+
+impl Stats {
+    /// Exports the aggregate as a [`CounterSnapshot`] — the deterministic,
+    /// integer-only view a perf harness records.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pim_sim::{Category, CycleLedger, Profile, Stats};
+    ///
+    /// let mut ledger = CycleLedger::new();
+    /// ledger.charge(Category::Compute, 1.5e-9);
+    /// ledger.instructions = 42;
+    /// let snap = Stats::from_ledger(&ledger).snapshot();
+    /// assert_eq!(snap.banks, 1);
+    /// assert_eq!(snap.total_femtos, 1_500_000);
+    /// assert_eq!(snap.category_femtos, vec![(Category::Compute, 1_500_000)]);
+    /// assert_eq!(snap.instructions, 42);
+    /// ```
+    #[must_use]
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            banks: self.banks,
+            total_femtos: self.femtos.iter().sum(),
+            category_femtos: Category::ALL
+                .iter()
+                .map(|&c| (c, self.femtos[c.index()]))
+                .filter(|&(_, f)| f > 0)
+                .collect(),
+            dram_read_bytes: self.dram_read_bytes,
+            dram_write_bytes: self.dram_write_bytes,
+            wram_accesses: self.wram_accesses,
+            instructions: self.instructions,
+            host_bytes: self.host_bytes,
+            host_ops: self.host_ops,
+        }
+    }
+}
+
+impl Category {
+    /// Parses a category from its [`Category::label`] string (the inverse
+    /// of `label`, used when reading serialized snapshots back).
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Category> {
+        Category::ALL.into_iter().find(|c| c.label() == label)
+    }
+}
+
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -546,6 +624,38 @@ mod tests {
         assert!(text.contains("accumulate"));
         assert!(!text.contains("lut-load"));
         assert!(text.contains("1 bank profile(s)"));
+    }
+
+    #[test]
+    fn snapshot_mirrors_the_aggregate_exactly() {
+        let a = stats_with(&[(Category::Compute, 0.25), (Category::LutLoad, 1e-12)], 9);
+        let b = stats_with(&[(Category::Compute, 0.5)], 1);
+        let merged = a.merged(&b);
+        let snap = merged.snapshot();
+        assert_eq!(snap.banks, 2);
+        assert_eq!(snap.instructions, 10);
+        assert_eq!(
+            snap.total_femtos,
+            merged.femtoseconds(Category::Compute) + merged.femtoseconds(Category::LutLoad)
+        );
+        // Non-zero categories only, in display order.
+        assert_eq!(
+            snap.category_femtos,
+            vec![
+                (Category::LutLoad, 1_000),
+                (Category::Compute, 750_000_000_000_000),
+            ]
+        );
+        // The empty aggregate snapshots to the empty snapshot.
+        assert_eq!(Stats::default().snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn category_labels_roundtrip() {
+        for c in Category::ALL {
+            assert_eq!(Category::from_label(c.label()), Some(c));
+        }
+        assert_eq!(Category::from_label("not-a-category"), None);
     }
 
     #[test]

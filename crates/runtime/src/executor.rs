@@ -50,7 +50,40 @@ pub struct ParallelGemm {
     pub stats: Stats,
 }
 
+/// FNV-1a hash over the little-endian bytes of a value vector: a compact,
+/// deterministic fingerprint of a functional output. Perf reports record
+/// it so a kernel "optimization" that silently changes results is caught
+/// by the regression gate, not just by the (slower) e2e test suite.
+///
+/// # Examples
+///
+/// ```
+/// use runtime::values_checksum;
+///
+/// let a = values_checksum(&[1, 2, 3]);
+/// assert_eq!(a, values_checksum(&[1, 2, 3])); // deterministic
+/// assert_ne!(a, values_checksum(&[1, 2, 4])); // value-sensitive
+/// assert_ne!(a, values_checksum(&[3, 2, 1])); // order-sensitive
+/// ```
+#[must_use]
+pub fn values_checksum(values: &[i32]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for v in values {
+        for byte in v.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
 impl ParallelGemm {
+    /// [`values_checksum`] of this GEMM's merged output values.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        values_checksum(&self.values)
+    }
+
     /// The simulated critical path across banks: the slowest bank's time
     /// (banks run concurrently on hardware; the host phases the system
     /// model adds are outside this kernel-level view).
@@ -390,6 +423,22 @@ mod tests {
             .execute(Method::LoCaLut, &w, &a)
             .unwrap();
         assert!(par.energy(&EnergyModel::upmem()).total_j() > 0.0);
+    }
+
+    #[test]
+    fn checksum_is_invariant_to_worker_count_and_sensitive_to_values() {
+        let (w, a) = operands(6, 10, 4, 5);
+        let one = ParallelExecutor::new(1)
+            .execute(Method::OpLcRc, &w, &a)
+            .unwrap();
+        let four = ParallelExecutor::new(4)
+            .execute(Method::OpLcRc, &w, &a)
+            .unwrap();
+        assert_eq!(one.checksum(), values_checksum(&one.values));
+        assert_eq!(one.checksum(), four.checksum());
+        let mut tweaked = one.values.clone();
+        tweaked[0] ^= 1;
+        assert_ne!(values_checksum(&tweaked), one.checksum());
     }
 
     #[test]

@@ -51,5 +51,5 @@
 mod executor;
 mod shard;
 
-pub use executor::{BankResult, ParallelExecutor, ParallelGemm};
+pub use executor::{values_checksum, BankResult, ParallelExecutor, ParallelGemm};
 pub use shard::{Shard, ShardPlan};
