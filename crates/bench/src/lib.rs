@@ -29,14 +29,10 @@ use dnn::ModelConfig;
 use pim_sim::{Category, CycleLedger, Profile, SystemProfile};
 use pq::{PqConfig, PqCostModel};
 
-/// Converts modeled Joules to integer picojoules (round-to-nearest) — the
-/// single f64→integer crossing of the perf reports, applied once at
-/// ingest so serialized metrics stay exact from then on.
-#[must_use]
-pub fn picojoules(joules: f64) -> u128 {
-    debug_assert!(joules >= 0.0 && joules.is_finite(), "bad energy {joules}");
-    (joules * 1e12).round() as u128
-}
+/// Joules → integer picojoules: the canonical conversion lives with the
+/// serving engine's response types; re-exported here so the perf reports
+/// and the engine price energy through one function.
+pub use engine::picojoules;
 
 /// Geometric mean of positive values (1.0 for an empty slice).
 #[must_use]
@@ -145,14 +141,6 @@ pub fn pq_model_cost(
 mod tests {
     use super::*;
     use pq::PqVariant;
-
-    #[test]
-    fn picojoules_rounds_once() {
-        assert_eq!(picojoules(0.0), 0);
-        assert_eq!(picojoules(1.0), 1_000_000_000_000);
-        assert_eq!(picojoules(1.4e-12), 1);
-        assert_eq!(picojoules(0.4e-12), 0);
-    }
 
     #[test]
     fn geomean_basics() {

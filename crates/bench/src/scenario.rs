@@ -2,8 +2,10 @@
 //! a deterministic callable.
 //!
 //! A [`Scenario`] is the unit `bench-runner` measures: a named workload
-//! that executes on the simulator (functionally where the figure is
-//! functional, analytically where it is a cost sweep) and returns a
+//! that executes on the simulator — routed through the [`engine`] serving
+//! API, the same surface the examples and binaries use (functionally
+//! where the figure is functional, analytically where it is a cost
+//! sweep) — and returns a
 //! [`ScenarioOutcome`] — the merged [`pim_sim::Stats`] ledger (integer
 //! femtoseconds + event counters), the modeled energy, and a fingerprint
 //! of any functional output. Everything in the outcome is deterministic:
@@ -17,13 +19,12 @@
 //! shapes) granularity.
 
 use crate::picojoules;
-use dnn::{InferenceSim, ModelConfig, Workload};
-use localut::kernels::{RcKernel, StreamingKernel};
-use localut::tiling::DistributedGemm;
+use dnn::{ModelConfig, Workload};
+use engine::{Engine, GemmRequest, InferenceRequest, PlanPin};
+use localut::plan::Placement;
 use localut::{GemmDims, Method};
-use pim_sim::{DpuConfig, EnergyModel, Stats};
+use pim_sim::Stats;
 use quant::{BitConfig, NumericFormat, QMatrix};
-use runtime::{values_checksum, ParallelExecutor, ShardPlan};
 use std::time::Instant;
 
 /// Which scenario subset a run covers.
@@ -191,76 +192,90 @@ fn w1a3() -> (NumericFormat, NumericFormat) {
     (NumericFormat::Bipolar, NumericFormat::Int(3))
 }
 
-/// Fig. 3 class: the two §IV-D placement arms run functionally on a small
-/// GEMM and their ledgers merged — exercises both LUT kernel hot paths.
-fn placement_scenario(_ctx: &ScenarioCtx) -> ScenarioOutcome {
+/// The serving engine a scenario runs on: every functional and analytic
+/// path below routes through the session API, exactly like the examples
+/// and the `localut-sim` binary.
+fn serving_engine(ctx: &ScenarioCtx, banks: u32) -> Engine {
+    Engine::builder().threads(ctx.threads).banks(banks).build()
+}
+
+/// Fig. 3 class: the two §IV-D placement arms served as pinned engine
+/// requests on a small GEMM and their ledgers merged — exercises both LUT
+/// kernel hot paths (and, because both pins share `p = 5`, nothing about
+/// the LUT cache: the two placements key separately by design).
+fn placement_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
     let (wf, af) = w1a3();
+    let eng = serving_engine(ctx, 1);
     let w = QMatrix::pseudo_random(48, 40, wf, 11);
     let a = QMatrix::pseudo_random(40, 12, af, 12);
-    let buffer = RcKernel::with_p(DpuConfig::upmem(), wf, af, 5)
-        .expect("paper p_local fits")
-        .run(&w, &a)
-        .expect("feasible");
-    let streaming = StreamingKernel::new(DpuConfig::upmem(), wf, af, 5, 2)
-        .expect("slice budget fits")
-        .run(&w, &a)
-        .expect("feasible");
+    let buffer = eng
+        .submit(&GemmRequest::new(w.clone(), a.clone()).with_pin(PlanPin {
+            placement: Placement::BufferResident,
+            p: 5,
+        }))
+        .expect("paper p_local fits");
+    let streaming = eng
+        .submit(&GemmRequest::new(w, a).with_pin(PlanPin {
+            placement: Placement::Streaming,
+            p: 5,
+        }))
+        .expect("slice budget fits");
     assert_eq!(buffer.values, streaming.values, "placement arms diverged");
-    let stats =
-        Stats::from_profile(&buffer.profile).merged(&Stats::from_profile(&streaming.profile));
-    let model = EnergyModel::upmem();
+    let model = eng.energy_model();
     let energy = model.dpu_dynamic_j(&buffer.profile) + model.dpu_dynamic_j(&streaming.profile);
     ScenarioOutcome {
-        stats,
+        stats: buffer.stats.merged(&streaming.stats),
         energy_pj: picojoules(energy),
-        checksum: values_checksum(&buffer.values),
+        checksum: buffer.checksum,
     }
 }
 
-/// Fig. 9 class: a full LoCaLUT GEMM executed functionally across a
-/// 16-bank shard plan on the parallel runtime. The simulated side is the
-/// per-bank ledger merge; the host side (wall-clock, measured by the
-/// harness) is what the LUT-kernel hot-path optimization targets.
+/// Fig. 9 class: a full LoCaLUT GEMM served across a 16-bank shard plan.
+/// The simulated side is the per-bank ledger merge; the host side
+/// (wall-clock, measured by the harness) is what the LUT-kernel hot-path
+/// optimization targets.
 fn gemm_scenario(ctx: &ScenarioCtx, m: usize) -> ScenarioOutcome {
     let (wf, af) = w1a3();
     let dims = GemmDims { m, k: 768, n: 128 };
     let w = QMatrix::pseudo_random(dims.m, dims.k, wf, 1);
     let a = QMatrix::pseudo_random(dims.k, dims.n, af, 2);
-    let plan = ShardPlan::for_banks(dims, 16);
-    let par = ParallelExecutor::new(ctx.threads)
-        .execute_plan(&plan, Method::LoCaLut, &w, &a)
+    let response = serving_engine(ctx, 16)
+        .submit(&GemmRequest::new(w, a))
         .expect("feasible");
     ScenarioOutcome {
-        stats: par.stats.clone(),
-        energy_pj: picojoules(par.energy(&EnergyModel::upmem()).total_j()),
-        checksum: par.checksum(),
+        stats: response.stats,
+        energy_pj: response.energy_pj,
+        checksum: response.checksum,
     }
 }
 
 /// Fig. 14 class: system energy of LoCaLUT vs Naive PIM on the 2048-DPU
 /// server (analytic). The ledger records the LoCaLUT execution; the energy
 /// field records its total Joules, so a cost-model regression moves both.
-fn energy_scenario(_ctx: &ScenarioCtx) -> ScenarioOutcome {
-    let (wf, af) = w1a3();
+fn energy_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
+    let cfg: BitConfig = "W1A3".parse().expect("valid");
     let dims = GemmDims {
         m: 768,
         k: 768,
         n: 128,
     };
-    let dist = DistributedGemm::upmem_server();
-    let localut = dist.cost(Method::LoCaLut, dims, wf, af).expect("feasible");
-    let naive = dist.cost(Method::NaivePim, dims, wf, af).expect("feasible");
+    let eng = serving_engine(ctx, 16);
+    let localut = eng
+        .system_cost(Method::LoCaLut, dims, cfg)
+        .expect("feasible");
+    let naive = eng
+        .system_cost(Method::NaivePim, dims, cfg)
+        .expect("feasible");
     assert!(
         localut.total_seconds() < naive.total_seconds(),
         "LoCaLUT must beat Naive PIM on the paper shape"
     );
-    let model = EnergyModel::upmem();
     let stats = Stats::from_profile(&localut.host).merged(&Stats::from_profile(&localut.pim));
     ScenarioOutcome {
         stats,
         energy_pj: picojoules(
-            model
-                .system_energy(dist.system.config(), &localut)
+            eng.energy_model()
+                .system_energy(eng.sim().dist.system.config(), &localut)
                 .total_j(),
         ),
         checksum: 0,
@@ -268,43 +283,51 @@ fn energy_scenario(_ctx: &ScenarioCtx) -> ScenarioOutcome {
 }
 
 /// Fig. 16 class: the buffer-resident kernel's per-category breakdown at
-/// the paper's representative shape (analytic cost twin).
-fn breakdown_scenario(_ctx: &ScenarioCtx) -> ScenarioOutcome {
-    let (wf, af) = w1a3();
-    let kernel = RcKernel::with_p(DpuConfig::upmem(), wf, af, 5).expect("paper p_local fits");
-    let profile = kernel.cost(GemmDims {
-        m: 768,
-        k: 765,
-        n: 128,
-    });
+/// the paper's representative shape (the pinned cost twin).
+fn breakdown_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
+    let cfg: BitConfig = "W1A3".parse().expect("valid");
+    let eng = serving_engine(ctx, 1);
+    let profile = eng
+        .pinned_kernel_cost(
+            PlanPin {
+                placement: Placement::BufferResident,
+                p: 5,
+            },
+            cfg,
+            GemmDims {
+                m: 768,
+                k: 765,
+                n: 128,
+            },
+        )
+        .expect("paper p_local fits");
     ScenarioOutcome {
         stats: Stats::from_profile(&profile),
-        energy_pj: picojoules(EnergyModel::upmem().dpu_dynamic_j(&profile)),
+        energy_pj: picojoules(eng.energy_model().dpu_dynamic_j(&profile)),
         checksum: 0,
     }
 }
 
 /// Fig. 19 class: a mixed serving batch (BERT prefill + OPT
-/// prefill+decode) on the runtime worker pool; the batch's associative
+/// prefill+decode) on the engine's worker pool; the batch's associative
 /// stats merge is worker-count invariant by construction.
 fn serving_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
     let cfg: BitConfig = "W4A4".parse().expect("valid");
-    let sim = InferenceSim::upmem_server();
     let requests = vec![
         Workload::prefill(ModelConfig::bert_base(), 16),
         Workload::with_decode(ModelConfig::opt_125m(), 8, 4),
         Workload::prefill(ModelConfig::bert_base(), 32),
     ];
-    let pool = ParallelExecutor::new(ctx.threads);
-    let batch = sim
-        .run_batch(&pool, Method::LoCaLut, cfg, &requests)
+    let response = serving_engine(ctx, 16)
+        .infer(
+            &InferenceRequest::serving(requests)
+                .with_method(Method::LoCaLut)
+                .with_bits(cfg),
+        )
         .expect("feasible");
-    let energy = EnergyModel::upmem()
-        .system_energy(sim.dist.system.config(), &batch.merged)
-        .total_j();
     ScenarioOutcome {
-        stats: batch.stats.clone(),
-        energy_pj: picojoules(energy),
+        stats: response.stats,
+        energy_pj: response.energy_pj,
         checksum: 0,
     }
 }

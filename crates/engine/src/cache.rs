@@ -1,0 +1,180 @@
+//! The keyed LUT cache: one canonical/reordering build per
+//! `(formats, p, placement)`, shared by every request that needs it.
+//!
+//! Building the canonical LUT is the expensive host-side step of a LUT
+//! kernel launch (up to ~12 M entries at W1A3, `p = 8`). A serving engine
+//! sees the *same* configuration over and over — every repeated GEMM or
+//! inference request at one bit-config re-derives the same plan — so the
+//! engine builds each image once and hands out `Arc` clones from then on,
+//! the software twin of the paper's one-time §V-A broadcast amortized
+//! across a whole serving session instead of a single launch.
+
+use localut::kernels::SharedLuts;
+use localut::plan::Placement;
+use localut::LocaLutError;
+use quant::NumericFormat;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The cache key: everything a [`SharedLuts`] build depends on, plus the
+/// placement the kernel uses it under.
+///
+/// The LUT *images* for buffer-resident and streaming kernels at equal
+/// `(wf, af, p)` are identical; the placement still participates in the
+/// key so cache statistics distinguish the two serving configurations and
+/// an eviction policy could treat the (much larger) streamed images
+/// separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LutKey {
+    /// Weight format.
+    pub wf: NumericFormat,
+    /// Activation format.
+    pub af: NumericFormat,
+    /// Packing degree.
+    pub p: u32,
+    /// LUT placement the requesting kernel runs under.
+    pub placement: Placement,
+}
+
+/// Running counters of cache behavior (monotonic over the engine's life).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served from an already-built image.
+    pub hits: u64,
+    /// Requests that had to build the image.
+    pub misses: u64,
+    /// Distinct keys currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total lookups (`hits + misses`).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// How one request's LUT lookup resolved (recorded on responses whose
+/// method uses shared LUT images; LUT-free methods record nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The images were already resident.
+    Hit,
+    /// The images were built by this request (and are now resident).
+    Miss,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<LutKey, SharedLuts>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A thread-safe `(formats, p, placement) → SharedLuts` cache.
+///
+/// `SharedLuts` is internally `Arc`-backed, so a cached entry is cloned
+/// out by reference-count bump — N concurrent requests read one image.
+/// The build runs under the lock: two racing first requests for one key
+/// would otherwise both pay the multi-megabyte build, and determinism of
+/// the recorded hit/miss outcome matters more here than lock hold time
+/// (the engine's batch path warms the cache serially for exactly that
+/// reason).
+#[derive(Debug, Default)]
+pub(crate) struct LutCache {
+    inner: Mutex<Inner>,
+}
+
+impl LutCache {
+    /// Returns the shared images for `key`, building them on first use.
+    pub(crate) fn get_or_build(
+        &self,
+        key: LutKey,
+    ) -> Result<(SharedLuts, CacheOutcome), LocaLutError> {
+        let mut inner = self.inner.lock().expect("lut cache poisoned");
+        if let Some(luts) = inner.map.get(&key) {
+            let luts = luts.clone();
+            inner.hits += 1;
+            return Ok((luts, CacheOutcome::Hit));
+        }
+        let luts = SharedLuts::build(key.wf, key.af, key.p)?;
+        inner.map.insert(key, luts.clone());
+        inner.misses += 1;
+        Ok((luts, CacheOutcome::Miss))
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("lut cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(p: u32, placement: Placement) -> LutKey {
+        LutKey {
+            wf: NumericFormat::Int(2),
+            af: NumericFormat::Int(3),
+            p,
+            placement,
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_image() {
+        let cache = LutCache::default();
+        let (first, o1) = cache
+            .get_or_build(key(2, Placement::BufferResident))
+            .unwrap();
+        let (second, o2) = cache
+            .get_or_build(key(2, Placement::BufferResident))
+            .unwrap();
+        assert_eq!((o1, o2), (CacheOutcome::Miss, CacheOutcome::Hit));
+        // Same underlying canonical image, not a rebuild.
+        assert!(std::ptr::eq(first.canonical(), second.canonical()));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+        assert_eq!(cache.stats().lookups(), 2);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = LutCache::default();
+        cache
+            .get_or_build(key(2, Placement::BufferResident))
+            .unwrap();
+        cache
+            .get_or_build(key(3, Placement::BufferResident))
+            .unwrap();
+        cache.get_or_build(key(2, Placement::Streaming)).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 3, 3));
+    }
+
+    #[test]
+    fn failed_builds_are_not_cached() {
+        let cache = LutCache::default();
+        let bad = LutKey {
+            wf: NumericFormat::Int(16),
+            af: NumericFormat::Int(16),
+            p: 8,
+            placement: Placement::Streaming,
+        };
+        assert!(cache.get_or_build(bad).is_err());
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().lookups(), 0);
+    }
+}

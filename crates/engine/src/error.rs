@@ -1,0 +1,124 @@
+//! The single error surface of the serving engine.
+//!
+//! Every layer below the engine has its own error enum — [`QuantError`]
+//! (formats/quantizers), [`LocaLutError`] (planning and kernels),
+//! [`SimError`] (the hardware substrate), [`PqError`] (the PQ baselines).
+//! [`EngineError`] wraps all four **losslessly** via `From`, so engine
+//! consumers match on one type, `?` works across every layer, and the
+//! original error stays reachable through [`std::error::Error::source`].
+
+use core::fmt;
+use localut::LocaLutError;
+use pim_sim::SimError;
+use pq::PqError;
+use quant::QuantError;
+
+/// Any error an [`crate::Engine`] request can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A quantization-layer error ([`quant`]).
+    Quant(QuantError),
+    /// A planning or kernel error ([`localut`]); also what the runtime's
+    /// sharded execution reports.
+    Gemm(LocaLutError),
+    /// A hardware-substrate error ([`pim_sim`]).
+    Sim(SimError),
+    /// A product-quantization baseline error ([`pq`]).
+    Pq(PqError),
+    /// The request itself was malformed (empty batch, zero banks, a plan
+    /// pin on a LUT-free method, ...).
+    InvalidRequest(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Quant(e) => write!(f, "quantization error: {e}"),
+            EngineError::Gemm(e) => write!(f, "gemm error: {e}"),
+            EngineError::Sim(e) => write!(f, "simulator error: {e}"),
+            EngineError::Pq(e) => write!(f, "pq error: {e}"),
+            EngineError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Quant(e) => Some(e),
+            EngineError::Gemm(e) => Some(e),
+            EngineError::Sim(e) => Some(e),
+            EngineError::Pq(e) => Some(e),
+            EngineError::InvalidRequest(_) => None,
+        }
+    }
+}
+
+impl From<QuantError> for EngineError {
+    fn from(e: QuantError) -> Self {
+        EngineError::Quant(e)
+    }
+}
+
+impl From<LocaLutError> for EngineError {
+    fn from(e: LocaLutError) -> Self {
+        EngineError::Gemm(e)
+    }
+}
+
+impl From<SimError> for EngineError {
+    fn from(e: SimError) -> Self {
+        EngineError::Sim(e)
+    }
+}
+
+impl From<PqError> for EngineError {
+    fn from(e: PqError) -> Self {
+        EngineError::Pq(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn wrapping_is_lossless_and_source_chains() {
+        let quant = QuantError::UnsupportedBits(99);
+        let wrapped = EngineError::from(quant.clone());
+        assert_eq!(wrapped, EngineError::Quant(quant.clone()));
+        let source = wrapped.source().expect("wrapped errors expose a source");
+        assert_eq!(source.to_string(), quant.to_string());
+
+        // Two-level chain: LocaLutError already wraps SimError; the
+        // engine wrapper keeps the whole chain walkable.
+        let sim = SimError::InvalidConfig("zero DPUs".to_owned());
+        let gemm = LocaLutError::Sim(sim.clone());
+        let wrapped = EngineError::from(gemm);
+        let mid = wrapped.source().expect("gemm source");
+        let leaf = mid.source().expect("sim source below gemm");
+        assert_eq!(leaf.to_string(), sim.to_string());
+    }
+
+    #[test]
+    fn every_variant_displays_distinctly() {
+        let errors = [
+            EngineError::from(QuantError::UnsupportedBits(17)),
+            EngineError::from(LocaLutError::InvalidPackingDegree(0)),
+            EngineError::from(SimError::InvalidConfig("x".to_owned())),
+            EngineError::from(PqError::InvalidConfig("y")),
+            EngineError::InvalidRequest("empty batch".to_owned()),
+        ];
+        let mut rendered: Vec<String> = errors.iter().map(ToString::to_string).collect();
+        assert!(rendered.iter().all(|s| !s.is_empty()));
+        rendered.sort();
+        rendered.dedup();
+        assert_eq!(rendered.len(), errors.len(), "ambiguous Display");
+    }
+
+    #[test]
+    fn invalid_request_has_no_source() {
+        assert!(EngineError::InvalidRequest("x".into()).source().is_none());
+    }
+}

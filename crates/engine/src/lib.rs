@@ -1,0 +1,809 @@
+//! # engine — the unified serving surface of the LoCaLUT reproduction
+//!
+//! Every consumer used to hand-wire `quant → localut::Planner →
+//! runtime::ParallelExecutor → dnn::InferenceSim` and juggle four disjoint
+//! error enums. This crate redesigns that surface around one typed entry
+//! point:
+//!
+//! * [`EngineBuilder`] — profile, worker threads, bank count, bit-config
+//!   and method defaults → [`Engine`].
+//! * [`Engine`] — accepts typed requests ([`GemmRequest`],
+//!   [`BatchGemmRequest`], [`InferenceRequest`]) and returns typed
+//!   responses carrying values, merged [`pim_sim::Stats`], picojoule
+//!   energy, and checksums, all through a single [`EngineError`].
+//! * **LUT caching** — the engine owns a keyed cache
+//!   (`(formats, p, placement) → SharedLuts`), so repeated requests skip
+//!   the expensive canonical/reordering rebuild: the first real step
+//!   toward request-serving throughput. Cache behavior is observable via
+//!   [`Engine::lut_cache_stats`] and per-response [`CacheOutcome`]s.
+//! * [`Session`] — a lightweight accumulator over one engine for serving
+//!   sessions: per-session merged statistics, energy, and request counts.
+//!
+//! Determinism is inherited from the layers below: for a fixed request,
+//! every response is bitwise identical at any worker count, with or
+//! without a warm cache — pinned by the workspace test suites.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use engine::{Engine, GemmRequest};
+//! use quant::{NumericFormat, QMatrix};
+//!
+//! let engine = Engine::builder().threads(2).banks(4).build();
+//! let w = QMatrix::pseudo_random(16, 24, NumericFormat::Int(2), 1);
+//! let a = QMatrix::pseudo_random(24, 8, NumericFormat::Int(3), 2);
+//!
+//! // First request builds the LUT images; the repeat reuses them and is
+//! // bitwise identical (only the recorded cache outcome differs).
+//! let first = engine.submit(&GemmRequest::new(w.clone(), a.clone()))?;
+//! let again = engine.submit(&GemmRequest::new(w, a))?;
+//! assert_eq!(first.values, again.values);
+//! assert_eq!(first.stats, again.stats);
+//! assert_eq!((first.checksum, first.energy_pj), (again.checksum, again.energy_pj));
+//! assert_eq!(engine.lut_cache_stats().hits, 1);
+//! # Ok::<(), engine::EngineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod cache;
+mod error;
+pub mod request;
+pub mod response;
+
+pub use cache::{CacheOutcome, CacheStats, LutKey};
+pub use error::EngineError;
+pub use request::{BatchGemmRequest, GemmRequest, InferenceRequest, PlanPin};
+pub use response::{picojoules, BatchGemmResponse, GemmResponse, InferenceResponse};
+
+use cache::LutCache;
+use dnn::InferenceSim;
+use localut::kernels::{BankKernel, RcKernel, StreamingKernel};
+use localut::plan::{ExecutionPlan, Placement, Planner};
+use localut::{GemmConfig, GemmDims, Method};
+use pim_sim::{DpuConfig, EnergyModel, Profile, Stats, SystemProfile};
+use quant::{BitConfig, NumericFormat};
+use runtime::{ParallelExecutor, ShardPlan};
+
+/// Configures and constructs an [`Engine`].
+///
+/// Defaults model the paper's serving setup: the UPMEM DPU profile with
+/// `k = 2` co-resident slice pairs, 4 worker threads, 16-bank GEMM
+/// sharding, [`Method::LoCaLut`] and `W1A3`.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    gemm: GemmConfig,
+    threads: usize,
+    banks: u32,
+    method: Method,
+    bits: BitConfig,
+    energy: EnergyModel,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            gemm: GemmConfig::upmem(),
+            threads: 4,
+            banks: 16,
+            method: Method::LoCaLut,
+            bits: BitConfig { bw: 1, ba: 3 },
+            energy: EnergyModel::upmem(),
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Host worker threads for the bank-parallel runtime (≥ 1; never
+    /// changes a simulated number, only host wall-clock).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Default number of banks a GEMM request's output is sharded across
+    /// (≥ 1; overridable per request).
+    #[must_use]
+    pub fn banks(mut self, banks: u32) -> Self {
+        self.banks = banks.max(1);
+        self
+    }
+
+    /// Default execution method (overridable per request).
+    #[must_use]
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Default bit configuration for inference requests (overridable per
+    /// request; GEMM requests carry their formats in the operands).
+    #[must_use]
+    pub fn bits(mut self, bits: BitConfig) -> Self {
+        self.bits = bits;
+        self
+    }
+
+    /// Number of co-resident LUT slice pairs (`k` of §IV-C), applied to
+    /// both the kernel configuration and the inference simulator.
+    #[must_use]
+    pub fn k_slices(mut self, k_slices: u32) -> Self {
+        self.gemm.k_slices = k_slices;
+        self
+    }
+
+    /// The DPU hardware profile kernels run on.
+    #[must_use]
+    pub fn dpu(mut self, dpu: DpuConfig) -> Self {
+        self.gemm.dpu = dpu;
+        self
+    }
+
+    /// The energy model responses are priced under.
+    #[must_use]
+    pub fn energy_model(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Builds the engine (infallible: defaults are always valid and
+    /// request-dependent failures surface per request).
+    #[must_use]
+    pub fn build(self) -> Engine {
+        let mut sim = InferenceSim::upmem_server();
+        sim.dist.gemm = self.gemm.clone();
+        Engine {
+            pool: ParallelExecutor::with_config(self.threads, self.gemm.clone()),
+            gemm: self.gemm,
+            sim,
+            banks: self.banks,
+            method: self.method,
+            bits: self.bits,
+            energy: self.energy,
+            cache: LutCache::default(),
+        }
+    }
+}
+
+/// The serving engine: one typed entry point over the planner, the
+/// bank-parallel runtime, and the inference simulator, with a keyed cache
+/// of the expensive canonical/reordering LUT images.
+///
+/// An engine is `Sync`: it serves requests from `&self`, so one instance
+/// can be shared across application threads (the LUT cache is internally
+/// locked).
+#[derive(Debug)]
+pub struct Engine {
+    gemm: GemmConfig,
+    pool: ParallelExecutor,
+    sim: InferenceSim,
+    banks: u32,
+    method: Method,
+    bits: BitConfig,
+    energy: EnergyModel,
+    cache: LutCache,
+}
+
+/// A kernel prepared for execution: built once, LUTs possibly from cache.
+struct PreparedGemm {
+    bank: BankKernel,
+    plan: ShardPlan,
+    method: Method,
+    lut_cache: Option<CacheOutcome>,
+}
+
+impl Engine {
+    /// Starts configuring an engine.
+    #[must_use]
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// An engine with all defaults (see [`EngineBuilder`]).
+    #[must_use]
+    pub fn upmem() -> Self {
+        EngineBuilder::default().build()
+    }
+
+    /// The worker count of the underlying pool.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The kernel configuration requests run under.
+    #[must_use]
+    pub fn gemm_config(&self) -> &GemmConfig {
+        &self.gemm
+    }
+
+    /// The engine's default execution method.
+    #[must_use]
+    pub fn default_method(&self) -> Method {
+        self.method
+    }
+
+    /// The engine's default bit configuration.
+    #[must_use]
+    pub fn default_bits(&self) -> BitConfig {
+        self.bits
+    }
+
+    /// The inference simulator requests are timed on.
+    #[must_use]
+    pub fn sim(&self) -> &InferenceSim {
+        &self.sim
+    }
+
+    /// The worker pool (for consumers that need the ordered parallel map
+    /// directly).
+    #[must_use]
+    pub fn pool(&self) -> &ParallelExecutor {
+        &self.pool
+    }
+
+    /// Running LUT-cache counters.
+    #[must_use]
+    pub fn lut_cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Opens a serving session over this engine.
+    #[must_use]
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            engine: self,
+            stats: Stats::default(),
+            energy_pj: 0,
+            requests: 0,
+        }
+    }
+
+    /// Executes one GEMM request functionally on the bank-parallel
+    /// runtime.
+    ///
+    /// # Errors
+    ///
+    /// Shape, format, budget, or planning errors ([`EngineError`]).
+    pub fn submit(&self, request: &GemmRequest) -> Result<GemmResponse, EngineError> {
+        let prepared = self.prepare(request)?;
+        self.execute(request, &prepared, &self.pool)
+    }
+
+    /// Serves a batch of GEMM requests: the LUT cache is warmed in
+    /// request order, then the requests fan out across the worker pool
+    /// (each request's bank merge runs inside one worker). Responses are
+    /// bitwise identical to submitting the requests one by one.
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-index failing request.
+    pub fn submit_batch(&self, batch: &BatchGemmRequest) -> Result<BatchGemmResponse, EngineError> {
+        // Deterministic cache warm-up: kernels build serially in request
+        // order, so recorded hit/miss outcomes do not depend on worker
+        // scheduling.
+        let prepared = batch
+            .requests
+            .iter()
+            .map(|request| self.prepare(request))
+            .collect::<Result<Vec<_>, _>>()?;
+        let items: Vec<(&GemmRequest, &PreparedGemm)> =
+            batch.requests.iter().zip(&prepared).collect();
+        // Inside a worker, each request executes its shard merge serially
+        // (1-thread executor): outputs are worker-count invariant by
+        // construction, so this only chooses where host parallelism goes.
+        let serial = ParallelExecutor::with_config(1, self.gemm.clone());
+        let results = self.pool.map(&items, |(request, prepared)| {
+            self.execute(request, prepared, &serial)
+        });
+        let mut responses = Vec::with_capacity(results.len());
+        for result in results {
+            responses.push(result?);
+        }
+        let mut stats = Stats::default();
+        let mut energy_pj = 0u128;
+        for response in &responses {
+            stats.merge(&response.stats);
+            energy_pj += response.energy_pj;
+        }
+        Ok(BatchGemmResponse {
+            responses,
+            stats,
+            energy_pj,
+        })
+    }
+
+    /// Times an inference serving request end-to-end on the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Kernel feasibility errors, reported for the lowest-index failing
+    /// workload; [`EngineError::InvalidRequest`] for an empty request.
+    pub fn infer(&self, request: &InferenceRequest) -> Result<InferenceResponse, EngineError> {
+        if request.workloads.is_empty() {
+            return Err(EngineError::InvalidRequest(
+                "inference request with no workloads".to_owned(),
+            ));
+        }
+        let method = request.method.unwrap_or(self.method);
+        let bits = request.bits.unwrap_or(self.bits);
+        let batch = self
+            .sim
+            .run_batch(&self.pool, method, bits, &request.workloads)?;
+        let energy = self
+            .energy
+            .system_energy(self.sim.dist.system.config(), &batch.merged)
+            .total_j();
+        Ok(InferenceResponse {
+            reports: batch.reports,
+            merged: batch.merged,
+            stats: batch.stats,
+            energy_pj: picojoules(energy),
+            method,
+        })
+    }
+
+    /// Plans one GEMM with the engine's configured slice count (§V-A).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Gemm`] when no feasible configuration exists.
+    pub fn plan(&self, dims: GemmDims, bits: BitConfig) -> Result<ExecutionPlan, EngineError> {
+        self.plan_with_k(dims, bits, Some(self.gemm.k_slices))
+    }
+
+    /// Plans one GEMM with an explicit slice count (`None` searches
+    /// `k ∈ {1, 2, 4, 8}`).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Gemm`] when no feasible configuration exists.
+    pub fn plan_with_k(
+        &self,
+        dims: GemmDims,
+        bits: BitConfig,
+        k_slices: Option<u32>,
+    ) -> Result<ExecutionPlan, EngineError> {
+        Ok(Planner::new(self.gemm.dpu.clone()).plan(
+            dims,
+            bits.weight_format(),
+            bits.activation_format(),
+            k_slices,
+        )?)
+    }
+
+    /// Analytic system-level cost of `method` at `dims` on the paper's
+    /// 2048-DPU server (host + PIM phases; no data touched).
+    ///
+    /// # Errors
+    ///
+    /// Kernel feasibility errors.
+    pub fn system_cost(
+        &self,
+        method: Method,
+        dims: GemmDims,
+        bits: BitConfig,
+    ) -> Result<SystemProfile, EngineError> {
+        Ok(self
+            .sim
+            .dist
+            .cost(method, dims, bits.weight_format(), bits.activation_format())?)
+    }
+
+    /// Analytic per-DPU cost of a **pinned** kernel at `dims` — the cost
+    /// twin of a pinned [`GemmRequest`]. Purely analytic: no LUT image is
+    /// built or cached, since cost depends on dimensions alone.
+    ///
+    /// # Errors
+    ///
+    /// Budget or format errors for the pinned configuration.
+    pub fn pinned_kernel_cost(
+        &self,
+        pin: PlanPin,
+        bits: BitConfig,
+        dims: GemmDims,
+    ) -> Result<Profile, EngineError> {
+        let (wf, af) = (bits.weight_format(), bits.activation_format());
+        Ok(match pin.placement {
+            Placement::BufferResident => {
+                RcKernel::with_p(self.gemm.dpu.clone(), wf, af, pin.p)?.cost(dims)
+            }
+            Placement::Streaming => {
+                StreamingKernel::new(self.gemm.dpu.clone(), wf, af, pin.p, self.gemm.k_slices)?
+                    .cost(dims)
+            }
+        })
+    }
+
+    /// One-time initialization cost of `method` at `bits` (§V-A LUT build
+    /// + broadcast), amortized across a serving session.
+    ///
+    /// # Errors
+    ///
+    /// Kernel feasibility errors.
+    pub fn init_cost(&self, method: Method, bits: BitConfig) -> Result<SystemProfile, EngineError> {
+        Ok(self.sim.init_cost(method, bits)?)
+    }
+
+    /// The energy model responses are priced under.
+    #[must_use]
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    fn prepare(&self, request: &GemmRequest) -> Result<PreparedGemm, EngineError> {
+        let dims = GemmDims::of(&request.w, &request.a)?;
+        let banks = request.banks.unwrap_or(self.banks);
+        if banks == 0 {
+            return Err(EngineError::InvalidRequest(
+                "GEMM request with zero banks".to_owned(),
+            ));
+        }
+        let wf = request.w.format();
+        let af = request.a.format();
+        let (bank, method, lut_cache) = if let Some(pin) = request.pin {
+            // A pin chooses among the LUT kernels; combining it with an
+            // explicitly LUT-free method is contradictory, not a default
+            // to silently override.
+            if let Some(method) = request.method {
+                if !matches!(method, Method::OpLcRc | Method::LoCaLut) {
+                    return Err(EngineError::InvalidRequest(format!(
+                        "plan pin on LUT-free method {method}"
+                    )));
+                }
+            }
+            let (bank, outcome) = self.pinned_kernel(pin, wf, af)?;
+            let method = match pin.placement {
+                Placement::BufferResident => Method::OpLcRc,
+                Placement::Streaming => Method::LoCaLut,
+            };
+            (bank, method, Some(outcome))
+        } else {
+            let method = request.method.unwrap_or(self.method);
+            let (bank, outcome) = self.bank_kernel(method, wf, af, dims)?;
+            (bank, method, outcome)
+        };
+        Ok(PreparedGemm {
+            bank,
+            plan: ShardPlan::for_banks(dims, banks),
+            method,
+            lut_cache,
+        })
+    }
+
+    fn execute(
+        &self,
+        request: &GemmRequest,
+        prepared: &PreparedGemm,
+        executor: &ParallelExecutor,
+    ) -> Result<GemmResponse, EngineError> {
+        let par =
+            executor.execute_plan_with(&prepared.plan, &prepared.bank, &request.w, &request.a)?;
+        let energy_pj = picojoules(par.energy(&self.energy).total_j());
+        let checksum = par.checksum();
+        Ok(GemmResponse {
+            values: par.values,
+            dims: par.dims,
+            method: prepared.method,
+            stats: par.stats,
+            profile: par.profile,
+            per_bank: par.per_bank,
+            energy_pj,
+            checksum,
+            lut_cache: prepared.lut_cache,
+        })
+    }
+
+    /// Builds the kernel `method` would use, sourcing shared LUT images
+    /// from the cache — [`BankKernel::build_with`] keeps the method
+    /// dispatch and planning identical to the serial path's
+    /// [`BankKernel::build`]; only the LUT source differs.
+    fn bank_kernel(
+        &self,
+        method: Method,
+        wf: NumericFormat,
+        af: NumericFormat,
+        dims: GemmDims,
+    ) -> Result<(BankKernel, Option<CacheOutcome>), EngineError> {
+        let mut recorded = None;
+        let bank =
+            BankKernel::build_with(&self.gemm, method, wf, af, dims, |wf, af, p, placement| {
+                let (luts, outcome) = self.cache.get_or_build(LutKey {
+                    wf,
+                    af,
+                    p,
+                    placement,
+                })?;
+                recorded = Some(outcome);
+                Ok(luts)
+            })?;
+        Ok((bank, recorded))
+    }
+
+    fn pinned_kernel(
+        &self,
+        pin: PlanPin,
+        wf: NumericFormat,
+        af: NumericFormat,
+    ) -> Result<(BankKernel, CacheOutcome), EngineError> {
+        let (luts, outcome) = self.cache.get_or_build(LutKey {
+            wf,
+            af,
+            p: pin.p,
+            placement: pin.placement,
+        })?;
+        let bank = match pin.placement {
+            Placement::BufferResident => BankKernel::Rc(
+                RcKernel::with_p(self.gemm.dpu.clone(), wf, af, pin.p)?,
+                luts,
+            ),
+            Placement::Streaming => BankKernel::Streaming(
+                StreamingKernel::new(self.gemm.dpu.clone(), wf, af, pin.p, self.gemm.k_slices)?,
+                luts,
+            ),
+        };
+        Ok((bank, outcome))
+    }
+}
+
+/// A serving session: accumulates merged statistics, energy, and request
+/// counts across the typed calls it forwards to its [`Engine`].
+///
+/// # Examples
+///
+/// ```
+/// use engine::{Engine, GemmRequest};
+/// use quant::{NumericFormat, QMatrix};
+///
+/// let engine = Engine::builder().threads(2).banks(2).build();
+/// let mut session = engine.session();
+/// for seed in 0..3 {
+///     let w = QMatrix::pseudo_random(8, 12, NumericFormat::Int(2), seed);
+///     let a = QMatrix::pseudo_random(12, 4, NumericFormat::Int(3), seed + 100);
+///     session.submit(&GemmRequest::new(w, a))?;
+/// }
+/// assert_eq!(session.requests(), 3);
+/// assert!(session.energy_pj() > 0);
+/// # Ok::<(), engine::EngineError>(())
+/// ```
+#[derive(Debug)]
+pub struct Session<'e> {
+    engine: &'e Engine,
+    stats: Stats,
+    energy_pj: u128,
+    requests: usize,
+}
+
+impl Session<'_> {
+    /// Executes one GEMM request and folds it into the session aggregate.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::submit`]. Failed requests leave the aggregate
+    /// untouched.
+    pub fn submit(&mut self, request: &GemmRequest) -> Result<GemmResponse, EngineError> {
+        let response = self.engine.submit(request)?;
+        self.stats.merge(&response.stats);
+        self.energy_pj += response.energy_pj;
+        self.requests += 1;
+        Ok(response)
+    }
+
+    /// Serves a GEMM batch and folds it into the session aggregate.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::submit_batch`]. Failed batches leave the aggregate
+    /// untouched.
+    pub fn submit_batch(
+        &mut self,
+        batch: &BatchGemmRequest,
+    ) -> Result<BatchGemmResponse, EngineError> {
+        let response = self.engine.submit_batch(batch)?;
+        self.stats.merge(&response.stats);
+        self.energy_pj += response.energy_pj;
+        self.requests += response.requests();
+        Ok(response)
+    }
+
+    /// Serves an inference request and folds it into the session
+    /// aggregate.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::infer`]. Failed requests leave the aggregate
+    /// untouched.
+    pub fn infer(&mut self, request: &InferenceRequest) -> Result<InferenceResponse, EngineError> {
+        let response = self.engine.infer(request)?;
+        self.stats.merge(&response.stats);
+        self.energy_pj += response.energy_pj;
+        self.requests += response.requests();
+        Ok(response)
+    }
+
+    /// The engine this session serves on.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        self.engine
+    }
+
+    /// Merged statistics over every successful request.
+    #[must_use]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Total modeled energy over every successful request, picojoules.
+    #[must_use]
+    pub fn energy_pj(&self) -> u128 {
+        self.energy_pj
+    }
+
+    /// Number of requests served (batch members count individually).
+    #[must_use]
+    pub fn requests(&self) -> usize {
+        self.requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quant::QMatrix;
+
+    fn operands(seed: u64) -> (QMatrix, QMatrix) {
+        (
+            QMatrix::pseudo_random(10, 18, NumericFormat::Int(2), seed),
+            QMatrix::pseudo_random(18, 6, NumericFormat::Int(3), seed + 7),
+        )
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let engine = Engine::builder()
+            .threads(0) // clamped
+            .banks(0) // clamped
+            .method(Method::Op)
+            .k_slices(4)
+            .build();
+        assert_eq!(engine.threads(), 1);
+        assert_eq!(engine.default_method(), Method::Op);
+        assert_eq!(engine.gemm_config().k_slices, 4);
+        // The inference simulator inherits the kernel configuration.
+        assert_eq!(engine.sim().dist.gemm.k_slices, 4);
+    }
+
+    #[test]
+    fn lut_free_methods_record_no_cache_outcome() {
+        let engine = Engine::builder().threads(1).banks(2).build();
+        let (w, a) = operands(3);
+        let response = engine
+            .submit(&GemmRequest::new(w, a).with_method(Method::NaivePim))
+            .unwrap();
+        assert_eq!(response.lut_cache, None);
+        assert_eq!(engine.lut_cache_stats().lookups(), 0);
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache() {
+        let engine = Engine::builder().threads(2).banks(4).build();
+        let (w, a) = operands(5);
+        let first = engine
+            .submit(&GemmRequest::new(w.clone(), a.clone()))
+            .unwrap();
+        let second = engine.submit(&GemmRequest::new(w, a)).unwrap();
+        assert_eq!(first.lut_cache, Some(CacheOutcome::Miss));
+        assert_eq!(second.lut_cache, Some(CacheOutcome::Hit));
+        let (f, s) = (first, second);
+        // Bitwise identical response, modulo the recorded cache outcome.
+        assert_eq!(f.values, s.values);
+        assert_eq!(f.stats, s.stats);
+        assert_eq!(f.profile, s.profile);
+        assert_eq!(f.energy_pj, s.energy_pj);
+        assert_eq!(f.checksum, s.checksum);
+        assert_eq!(
+            engine.lut_cache_stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn pin_on_lut_free_method_is_rejected() {
+        use localut::plan::Placement;
+        let engine = Engine::upmem();
+        let (w, a) = operands(13);
+        let pin = PlanPin {
+            placement: Placement::BufferResident,
+            p: 3,
+        };
+        let err = engine
+            .submit(
+                &GemmRequest::new(w.clone(), a.clone())
+                    .with_method(Method::NaivePim)
+                    .with_pin(pin),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidRequest(_)));
+        // The LUT methods compose with a pin.
+        assert!(engine
+            .submit(
+                &GemmRequest::new(w, a)
+                    .with_method(Method::OpLcRc)
+                    .with_pin(pin)
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn pinned_cost_is_analytic_and_touches_no_cache() {
+        use localut::plan::Placement;
+        let engine = Engine::upmem();
+        let profile = engine
+            .pinned_kernel_cost(
+                PlanPin {
+                    placement: Placement::BufferResident,
+                    p: 3,
+                },
+                BitConfig { bw: 2, ba: 3 },
+                GemmDims { m: 8, k: 12, n: 4 },
+            )
+            .unwrap();
+        assert!(profile.total_seconds() > 0.0);
+        assert_eq!(engine.lut_cache_stats().lookups(), 0);
+    }
+
+    #[test]
+    fn zero_bank_override_is_rejected() {
+        let engine = Engine::upmem();
+        let (w, a) = operands(9);
+        let err = engine
+            .submit(&GemmRequest::new(w, a).with_banks(0))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidRequest(_)));
+    }
+
+    #[test]
+    fn empty_inference_request_is_rejected() {
+        let engine = Engine::upmem();
+        let err = engine
+            .infer(&InferenceRequest::serving(vec![]))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidRequest(_)));
+    }
+
+    #[test]
+    fn infeasible_formats_error_through_engine_error() {
+        let engine = Engine::upmem();
+        let w = QMatrix::pseudo_random(4, 4, NumericFormat::Int(16), 1);
+        let a = QMatrix::pseudo_random(4, 2, NumericFormat::Int(16), 2);
+        let err = engine.submit(&GemmRequest::new(w, a)).unwrap_err();
+        assert!(matches!(err, EngineError::Gemm(_)));
+    }
+
+    #[test]
+    fn session_accumulates_across_request_kinds() {
+        let engine = Engine::builder().threads(2).banks(2).build();
+        let mut session = engine.session();
+        let (w, a) = operands(11);
+        let solo = session
+            .submit(&GemmRequest::new(w.clone(), a.clone()))
+            .unwrap();
+        let batch = session
+            .submit_batch(&BatchGemmRequest::new(vec![
+                GemmRequest::new(w.clone(), a.clone()),
+                GemmRequest::new(w, a),
+            ]))
+            .unwrap();
+        assert_eq!(session.requests(), 3);
+        let mut expect = solo.stats.clone();
+        expect.merge(&batch.stats);
+        assert_eq!(session.stats(), &expect);
+        assert_eq!(session.energy_pj(), solo.energy_pj + batch.energy_pj);
+    }
+}

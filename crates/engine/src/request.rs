@@ -1,0 +1,149 @@
+//! Typed requests: what a consumer hands the engine.
+//!
+//! Every request carries its operands plus *optional* overrides; anything
+//! left `None` falls back to the engine's builder-time defaults, so the
+//! common serving call is just `engine.submit(&GemmRequest::new(w, a))`.
+
+use dnn::Workload;
+use localut::plan::Placement;
+use localut::Method;
+use quant::{BitConfig, QMatrix};
+
+/// A pinned execution plan: force the LUT placement and packing degree
+/// instead of letting the §V-A planner choose.
+///
+/// Pinning serves two real needs: evaluation workloads that compare
+/// placement arms head-to-head (the Fig. 3 scenario), and serving
+/// deployments that fix the plan at rollout so every request skips the
+/// planner entirely and lands on one cached LUT image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanPin {
+    /// Forced LUT placement.
+    pub placement: Placement,
+    /// Forced packing degree `p`.
+    pub p: u32,
+}
+
+/// One GEMM to execute functionally on the bank-parallel runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemmRequest {
+    /// Quantized weight matrix (`M×K`).
+    pub w: QMatrix,
+    /// Quantized activation matrix (`K×N`).
+    pub a: QMatrix,
+    /// Execution method; `None` uses the engine default.
+    pub method: Option<Method>,
+    /// Banks to shard the output across; `None` uses the engine default.
+    pub banks: Option<u32>,
+    /// Optional pinned plan (LUT methods only; overrides `method`'s
+    /// planning step).
+    pub pin: Option<PlanPin>,
+}
+
+impl GemmRequest {
+    /// A request with engine-default method and bank count.
+    #[must_use]
+    pub fn new(w: QMatrix, a: QMatrix) -> Self {
+        GemmRequest {
+            w,
+            a,
+            method: None,
+            banks: None,
+            pin: None,
+        }
+    }
+
+    /// Overrides the execution method.
+    #[must_use]
+    pub fn with_method(mut self, method: Method) -> Self {
+        self.method = Some(method);
+        self
+    }
+
+    /// Overrides the bank count the output is sharded across.
+    #[must_use]
+    pub fn with_banks(mut self, banks: u32) -> Self {
+        self.banks = Some(banks);
+        self
+    }
+
+    /// Pins placement and packing degree, bypassing the planner.
+    #[must_use]
+    pub fn with_pin(mut self, pin: PlanPin) -> Self {
+        self.pin = Some(pin);
+        self
+    }
+}
+
+/// A batch of GEMM requests served as one unit: the engine warms the LUT
+/// cache in request order, then fans the requests out across its worker
+/// pool (each request's own bank merge runs serially inside one worker,
+/// so the batch is bitwise identical to submitting the requests one by
+/// one — pinned by tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchGemmRequest {
+    /// The requests, in submission (and response) order.
+    pub requests: Vec<GemmRequest>,
+}
+
+impl BatchGemmRequest {
+    /// Wraps a vector of requests.
+    #[must_use]
+    pub fn new(requests: Vec<GemmRequest>) -> Self {
+        BatchGemmRequest { requests }
+    }
+}
+
+impl FromIterator<GemmRequest> for BatchGemmRequest {
+    fn from_iter<I: IntoIterator<Item = GemmRequest>>(iter: I) -> Self {
+        BatchGemmRequest::new(iter.into_iter().collect())
+    }
+}
+
+/// An inference serving request: one or more model workloads timed
+/// end-to-end on the engine's worker pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceRequest {
+    /// The workloads, in request (and report) order.
+    pub workloads: Vec<Workload>,
+    /// Execution method; `None` uses the engine default.
+    pub method: Option<Method>,
+    /// Bit configuration; `None` uses the engine default.
+    pub bits: Option<BitConfig>,
+}
+
+impl InferenceRequest {
+    /// A single-workload request with engine defaults.
+    #[must_use]
+    pub fn single(workload: Workload) -> Self {
+        InferenceRequest {
+            workloads: vec![workload],
+            method: None,
+            bits: None,
+        }
+    }
+
+    /// A multi-request serving batch with engine defaults.
+    #[must_use]
+    pub fn serving(workloads: Vec<Workload>) -> Self {
+        InferenceRequest {
+            workloads,
+            method: None,
+            bits: None,
+        }
+    }
+
+    /// Overrides the execution method.
+    #[must_use]
+    pub fn with_method(mut self, method: Method) -> Self {
+        self.method = Some(method);
+        self
+    }
+
+    /// Overrides the bit configuration.
+    #[must_use]
+    pub fn with_bits(mut self, bits: BitConfig) -> Self {
+        self.bits = Some(bits);
+        self
+    }
+}

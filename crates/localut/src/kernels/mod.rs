@@ -40,7 +40,7 @@ pub use streaming::StreamingKernel;
 
 use crate::canonical::CanonicalLut;
 use crate::gemm::{GemmConfig, GemmDims, GemmResult, Method};
-use crate::plan::Planner;
+use crate::plan::{Placement, Planner};
 use crate::reorder::ReorderLut;
 use crate::LocaLutError;
 use pim_sim::{Category, Dpu, Profile};
@@ -298,6 +298,35 @@ impl BankKernel {
         af: NumericFormat,
         dims: GemmDims,
     ) -> Result<Self, LocaLutError> {
+        Self::build_with(cfg, method, wf, af, dims, |wf, af, p, _| {
+            SharedLuts::build(wf, af, p)
+        })
+    }
+
+    /// [`BankKernel::build`] with an injected LUT source: wherever the
+    /// method needs shared images, `luts_for(wf, af, p, placement)` is
+    /// asked for them instead of [`SharedLuts::build`]. This keeps the
+    /// method dispatch and planning in exactly one place while letting a
+    /// serving layer substitute a cache — the returned kernel is
+    /// otherwise identical to `build`'s.
+    ///
+    /// # Errors
+    ///
+    /// Format, budget, or planning errors, plus whatever `luts_for`
+    /// reports.
+    pub fn build_with(
+        cfg: &GemmConfig,
+        method: Method,
+        wf: NumericFormat,
+        af: NumericFormat,
+        dims: GemmDims,
+        mut luts_for: impl FnMut(
+            NumericFormat,
+            NumericFormat,
+            u32,
+            Placement,
+        ) -> Result<SharedLuts, LocaLutError>,
+    ) -> Result<Self, LocaLutError> {
         match method {
             Method::NaivePim => Ok(BankKernel::Naive(NaiveKernel::new(cfg.dpu.clone()), wf, af)),
             Method::Ltc => Ok(BankKernel::Ltc(LtcKernel::new(cfg.dpu.clone()), wf, af)),
@@ -305,13 +334,13 @@ impl BankKernel {
             Method::OpLc => Ok(BankKernel::Lc(LcKernel::auto(cfg.dpu.clone(), wf, af)?)),
             Method::OpLcRc => {
                 let kernel = RcKernel::auto(cfg.dpu.clone(), wf, af)?;
-                let luts = SharedLuts::build(wf, af, kernel.p())?;
+                let luts = luts_for(wf, af, kernel.p(), Placement::BufferResident)?;
                 Ok(BankKernel::Rc(kernel, luts))
             }
             Method::LoCaLut => {
                 let planner = Planner::new(cfg.dpu.clone());
                 let plan = planner.plan(dims, wf, af, Some(cfg.k_slices))?;
-                let luts = SharedLuts::build(wf, af, plan.p)?;
+                let luts = luts_for(wf, af, plan.p, plan.placement)?;
                 match plan.kernel(&cfg.dpu)? {
                     crate::plan::PlannedKernel::Buffer(k) => Ok(BankKernel::Rc(k, luts)),
                     crate::plan::PlannedKernel::Streaming(k) => Ok(BankKernel::Streaming(k, luts)),

@@ -11,7 +11,7 @@ use pim_sim::{DpuConfig, Profile};
 use quant::{NumericFormat, QMatrix};
 
 /// Where the planner placed the LUTs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Placement {
     /// Canonical + reordering LUTs fully resident in WRAM (Eq. 4).
     BufferResident,

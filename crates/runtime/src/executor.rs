@@ -50,7 +50,32 @@ pub struct ParallelGemm {
     pub stats: Stats,
 }
 
-/// FNV-1a hash over the little-endian bytes of a value vector: a compact,
+/// FNV-1a over a byte stream — the **one** checksum primitive of the
+/// workspace. Every deterministic fingerprint (functional GEMM outputs
+/// here, batch fingerprints in the `engine` crate, the perf reports'
+/// `values_checksum` column) routes through this function so the hash
+/// constants exist exactly once.
+///
+/// # Examples
+///
+/// ```
+/// use runtime::fnv1a_64;
+///
+/// // The FNV-1a offset basis hashes the empty stream.
+/// assert_eq!(fnv1a_64([]), 0xcbf2_9ce4_8422_2325);
+/// assert_ne!(fnv1a_64([1u8, 2]), fnv1a_64([2u8, 1])); // order-sensitive
+/// ```
+#[must_use]
+pub fn fnv1a_64<I: IntoIterator<Item = u8>>(bytes: I) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// [`fnv1a_64`] over the little-endian bytes of a value vector: a compact,
 /// deterministic fingerprint of a functional output. Perf reports record
 /// it so a kernel "optimization" that silently changes results is caught
 /// by the regression gate, not just by the (slower) e2e test suite.
@@ -67,14 +92,7 @@ pub struct ParallelGemm {
 /// ```
 #[must_use]
 pub fn values_checksum(values: &[i32]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for v in values {
-        for byte in v.to_le_bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    hash
+    fnv1a_64(values.iter().flat_map(|v| v.to_le_bytes()))
 }
 
 impl ParallelGemm {
@@ -214,13 +232,37 @@ impl ParallelExecutor {
         a: &QMatrix,
     ) -> Result<ParallelGemm, LocaLutError> {
         let dims = GemmDims::of(w, a)?;
+        let bank = BankKernel::build(&self.gemm, method, w.format(), a.format(), dims)?;
+        self.execute_plan_with(plan, &bank, w, a)
+    }
+
+    /// Executes a **prebuilt** bank kernel over an explicit shard plan —
+    /// the injection point the `engine` crate's LUT cache uses: callers
+    /// that already hold a [`BankKernel`] (e.g. one whose shared LUT
+    /// images came from a cache rather than a fresh build) skip the
+    /// per-call plan-and-build that [`ParallelExecutor::execute_plan`]
+    /// performs, while the sharding, scatter, and merge stay identical.
+    ///
+    /// # Errors
+    ///
+    /// Shape or format errors;
+    /// [`LocaLutError::ShardPlanMismatch`] when the plan was built for
+    /// different dimensions than the operands; shard errors are reported
+    /// for the lowest-id failing shard.
+    pub fn execute_plan_with(
+        &self,
+        plan: &ShardPlan,
+        bank: &BankKernel,
+        w: &QMatrix,
+        a: &QMatrix,
+    ) -> Result<ParallelGemm, LocaLutError> {
+        let dims = GemmDims::of(w, a)?;
         if plan.dims() != dims {
             return Err(LocaLutError::ShardPlanMismatch {
                 plan: plan.dims(),
                 operands: dims,
             });
         }
-        let bank = BankKernel::build(&self.gemm, method, w.format(), a.format(), dims)?;
 
         // Hoist one weight tile per distinct row band and one activation
         // tile per distinct column band: every shard in a band runs
@@ -447,6 +489,29 @@ mod tests {
         for threads in [1usize, 2, 5, 64] {
             let out = ParallelExecutor::new(threads).map(&items, |&x| x + 1);
             assert_eq!(out, (1..38).collect::<Vec<_>>(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn injected_kernel_matches_internal_build() {
+        let (w, a) = operands(9, 15, 7, 7);
+        let dims = GemmDims::of(&w, &a).unwrap();
+        let plan = ShardPlan::for_banks(dims, 4);
+        let pool = ParallelExecutor::new(2);
+        let internal = pool.execute_plan(&plan, Method::LoCaLut, &w, &a).unwrap();
+        let bank = BankKernel::build(
+            pool.gemm_config(),
+            Method::LoCaLut,
+            w.format(),
+            a.format(),
+            dims,
+        )
+        .unwrap();
+        // One build, many executions: repeated injected runs are bitwise
+        // identical to the internal plan-and-build path.
+        for _ in 0..2 {
+            let injected = pool.execute_plan_with(&plan, &bank, &w, &a).unwrap();
+            assert_eq!(injected, internal);
         }
     }
 

@@ -51,5 +51,5 @@
 mod executor;
 mod shard;
 
-pub use executor::{values_checksum, BankResult, ParallelExecutor, ParallelGemm};
+pub use executor::{fnv1a_64, values_checksum, BankResult, ParallelExecutor, ParallelGemm};
 pub use shard::{Shard, ShardPlan};

@@ -1,44 +1,44 @@
-//! End-to-end BERT-base inference on the simulated 2048-DPU UPMEM server:
-//! the Fig. 8 execution flow (GEMMs on PIM, attention/softmax/norms on the
-//! host) across methods and quantization configs, with the Fig. 16(a)
-//! phase breakdown and the energy model.
+//! End-to-end BERT-base inference served through the `engine` session
+//! API on the simulated 2048-DPU UPMEM server: the Fig. 8 execution flow
+//! (GEMMs on PIM, attention/softmax/norms on the host) across methods and
+//! quantization configs, with the Fig. 16(a) phase breakdown and modeled
+//! energy straight off the typed responses.
 //!
 //! ```sh
 //! cargo run --release --example bert_inference
 //! ```
 
-use dnn::{InferenceSim, ModelConfig, Phase, Workload};
+use dnn::{ModelConfig, Workload};
+use engine::{Engine, InferenceRequest};
 use localut::Method;
-use pim_sim::EnergyModel;
 use quant::BitConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sim = InferenceSim::upmem_server();
-    let energy = EnergyModel::upmem();
-    let sys = sim.dist.system.config().clone();
+    let eng = Engine::builder().threads(2).build();
     let workload = Workload::prefill(ModelConfig::bert_base(), 32);
     println!("BERT-base, batch 32, seq 128, 2048 DPUs\n");
 
     for cfg_str in ["W1A3", "W1A4", "W2A2", "W4A4"] {
         let cfg: BitConfig = cfg_str.parse()?;
         println!("== {cfg_str} ==");
-        let naive = sim.run(Method::NaivePim, cfg, &workload)?;
+        let request = InferenceRequest::single(workload.clone()).with_bits(cfg);
+        let naive = eng.infer(&request.clone().with_method(Method::NaivePim))?;
         for method in [Method::NaivePim, Method::Ltc, Method::Op, Method::LoCaLut] {
-            let report = sim.run(method, cfg, &workload)?;
-            let joules = energy.system_energy(&sys, &report.profile).total_j();
+            let response = eng.infer(&request.clone().with_method(method))?;
             println!(
                 "  {:<10}  {:>8.3} s  ({:>5.2}x)   {:>9.1} J",
                 method.label(),
-                report.total_seconds(),
-                naive.total_seconds() / report.total_seconds(),
-                joules,
+                response.total_seconds(),
+                naive.total_seconds() / response.total_seconds(),
+                response.energy_pj as f64 * 1e-12,
             );
         }
         // Phase breakdown for the full design.
-        let localut = sim.run(Method::LoCaLut, cfg, &workload)?;
-        let total = localut.total_seconds();
+        let localut = eng.infer(&request.clone().with_method(Method::LoCaLut))?;
+        let report = &localut.reports[0];
+        let total = report.total_seconds();
         print!("  LoCaLUT phases:");
-        for (phase, seconds) in localut.phases() {
+        for (phase, seconds) in report.phases() {
             if seconds > 0.0 {
                 print!("  {} {:.0}%", phase.label(), 100.0 * seconds / total);
             }
@@ -49,13 +49,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's headline: prefill speedup holds for OPT's decode too.
     let opt = Workload::with_decode(ModelConfig::opt_125m(), 32, 8);
     let cfg: BitConfig = "W4A4".parse()?;
-    let op = sim.run(Method::Op, cfg, &opt)?;
-    let lo = sim.run(Method::LoCaLut, cfg, &opt)?;
+    let request = InferenceRequest::single(opt).with_bits(cfg);
+    let op_response = eng.infer(&request.clone().with_method(Method::Op))?;
+    let lo_response = eng.infer(&request.with_method(Method::LoCaLut))?;
+    let (op, lo) = (&op_response.reports[0], &lo_response.reports[0]);
     println!(
         "OPT-125M W4A4 (8 output tokens): prefill {:.2}x, decode {:.2}x over OP",
         op.prefill_seconds / lo.prefill_seconds,
         op.decode_seconds / lo.decode_seconds,
     );
-    let _ = Phase::GemmOnPim;
     Ok(())
 }

@@ -1,21 +1,23 @@
 //! Design-space exploration with the §IV-D performance model: capacity
-//! footprints, the `p*` decision surface, and the streaming-vs-buffer
+//! footprints, the `p*` decision surface (queried through the `engine`
+//! serving API's planner entry point), and the streaming-vs-buffer
 //! break-even point (Eq. 6).
 //!
 //! ```sh
 //! cargo run --release --example design_space
 //! ```
 
+use engine::Engine;
 use localut::capacity::{localut_bytes, max_p_localut, max_p_op, op_lut_bytes};
 use localut::model::PerfModel;
-use localut::plan::{Placement, Planner};
+use localut::plan::Placement;
 use localut::GemmDims;
 use pim_sim::DpuConfig;
 use quant::BitConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dpu = DpuConfig::upmem();
-    let planner = Planner::new(dpu.clone());
+    let engine = Engine::builder().dpu(dpu.clone()).build();
     let model = PerfModel::upmem();
 
     println!("== Capacity fitting (§V-A) ==");
@@ -61,7 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for m in [8usize, 32, 128, 512, 2048, 8192] {
         let dims = GemmDims { m, k: 768, n: 128 };
-        let plan = planner.plan(dims, w2a2.weight_format(), w2a2.activation_format(), None)?;
+        // `None` searches k ∈ {1, 2, 4, 8}, like a deployment sizing pass.
+        let plan = engine.plan_with_k(dims, w2a2, None)?;
         println!(
             "  {:<6}  {:>16}  {:>3}  {:>3}  {:>14.4e}",
             m,

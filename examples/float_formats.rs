@@ -8,10 +8,12 @@
 //! ```
 
 use dnn::tasks::SyntheticTask;
+use engine::Engine;
 use localut::canonical::CanonicalLut;
 use localut::packed::pack_index;
 use localut::perm::{apply, sort_permutation};
-use quant::NumericFormat;
+use localut::GemmDims;
+use quant::{BitConfig, NumericFormat};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("FP4 (e2m1) code table:");
@@ -61,5 +63,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "FP16 of 0x3C00 (1.0): {}",
         NumericFormat::Fp16.decode_f32(0x3C00)
     );
+
+    // LUT footprints depend only on bitwidth, so the serving engine's
+    // §IV-D planner prices float formats exactly like integer ones:
+    // W4A4-class budgets govern FP4 placement too.
+    println!("\nEngine placement decisions, FP4-class vs W4A4 (same budgets):");
+    let eng = Engine::upmem();
+    let w4a4: BitConfig = "W4A4".parse()?;
+    for m in [32usize, 768, 8192] {
+        let dims = GemmDims { m, k: 768, n: 128 };
+        let plan = eng.plan(dims, w4a4)?;
+        println!(
+            "  M={m:<5} -> {} at p = {} (predicted {:.3e} s/DPU)",
+            plan.placement, plan.p, plan.predicted_seconds
+        );
+    }
     Ok(())
 }

@@ -8,8 +8,9 @@
 //! ```
 
 use dnn::tasks::SyntheticTask;
+use engine::{Engine, GemmRequest};
 use pq::{PqConfig, PqEngine, PqVariant};
-use quant::BitConfig;
+use quant::{BitConfig, Quantizer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let task = SyntheticTask::glue_suite()[3].clone(); // SST-2 stand-in
@@ -22,10 +23,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * data.fp32_accuracy()
     );
 
-    println!("LoCaLUT quantized pipelines:");
+    // The integer pipelines score through the serving engine: quantize
+    // the teacher and features, submit the scoring GEMM, dequantize the
+    // returned values. Kernels are bit-exact, so this matches the
+    // reference-GEMM accuracy of `TaskData::quantized_accuracy` exactly.
+    let eng = Engine::builder().threads(2).banks(4).build();
+    println!("LoCaLUT quantized pipelines (served):");
     for cfg_str in ["W1A3", "W1A4", "W2A2", "W4A4"] {
         let cfg: BitConfig = cfg_str.parse()?;
-        let acc = data.quantized_accuracy(cfg)?;
+        let w = Quantizer::symmetric(cfg.weight_format()).quantize_matrix(
+            &data.teacher,
+            data.classes,
+            data.dim,
+        )?;
+        let a = Quantizer::symmetric(cfg.activation_format()).quantize_matrix(
+            &data.features,
+            data.dim,
+            data.samples,
+        )?;
+        let scale = w.scale() * a.scale();
+        let response = eng.submit(&GemmRequest::new(w, a))?;
+        let scores: Vec<f32> = response.values.iter().map(|&v| v as f32 * scale).collect();
+        let acc = data.accuracy_of_scores(&scores);
+        assert_eq!(
+            acc,
+            data.quantized_accuracy(cfg)?,
+            "engine path diverged from the reference pipeline"
+        );
         println!("  {cfg_str}: {:.1}%", 100.0 * acc);
     }
 

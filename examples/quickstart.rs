@@ -1,17 +1,20 @@
-//! Quickstart: quantize a small GEMM, run it through every method, verify
-//! bit-exactness against the reference, and compare simulated times.
+//! Quickstart: quantize a small GEMM and serve it through the unified
+//! `engine` session API — every method verified bit-exact against the
+//! reference, repeated requests hitting the LUT cache, and simulated
+//! times compared.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use localut::gemm::{reference_gemm, GemmConfig, GemmDims, Method};
+use engine::{Engine, GemmRequest};
+use localut::gemm::{reference_gemm, GemmDims, Method};
 use quant::{BitConfig, Quantizer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("LoCaLUT quickstart: W1A3 GEMM on one simulated UPMEM DPU\n");
+    println!("LoCaLUT quickstart: W1A3 GEMM served by the engine session API\n");
 
     // 1. Make some fp32 data and quantize it to W1A3.
     let cfg: BitConfig = "W1A3".parse()?;
@@ -31,29 +34,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a =
         Quantizer::symmetric(cfg.activation_format()).quantize_matrix(&adata, dims.k, dims.n)?;
 
-    // 2. Run every method; all must agree exactly with the reference GEMM.
+    let scale = w.scale() * a.scale();
+
+    // 2. Build one engine, open a session, and serve every method; all
+    //    must agree exactly with the reference GEMM.
+    let engine = Engine::builder().threads(2).banks(4).build();
+    let mut session = engine.session();
     let reference: Vec<i32> = reference_gemm(&w, &a)?;
-    let gemm = GemmConfig::upmem();
     println!(
         "  {:<10}  {:>14}  {:>9}",
         "method", "sim time (s)", "exact?"
     );
-    let naive_seconds = gemm.run(Method::NaivePim, &w, &a)?.profile.total_seconds();
+    let naive =
+        session.submit(&GemmRequest::new(w.clone(), a.clone()).with_method(Method::NaivePim))?;
+    let naive_seconds = naive.stats.total_seconds();
     for method in Method::ALL {
-        let result = gemm.run(method, &w, &a)?;
-        let exact = result.values == reference;
+        let response =
+            session.submit(&GemmRequest::new(w.clone(), a.clone()).with_method(method))?;
+        let exact = response.values == reference;
         println!(
             "  {:<10}  {:>14.6e}  {:>9}  ({:.2}x vs naive)",
             method.label(),
-            result.profile.total_seconds(),
+            response.stats.total_seconds(),
             if exact { "yes" } else { "NO" },
-            naive_seconds / result.profile.total_seconds(),
+            naive_seconds / response.stats.total_seconds(),
         );
         assert!(exact, "{method} diverged from the reference!");
     }
+    println!(
+        "\n  session: {} requests, {:.3e} J modeled, {} LUT-cache hits / {} misses",
+        session.requests(),
+        session.energy_pj() as f64 * 1e-12,
+        engine.lut_cache_stats().hits,
+        engine.lut_cache_stats().misses,
+    );
 
-    // 3. Dequantized outputs approximate the fp32 GEMM.
-    let scale = w.scale() * a.scale();
+    // 3. A repeated request is served from the cached LUT images and is
+    //    bitwise identical.
+    let first = session.submit(&GemmRequest::new(w.clone(), a.clone()))?;
+    let again = session.submit(&GemmRequest::new(w, a))?;
+    assert_eq!(first.values, again.values);
+    assert_eq!(first.checksum, again.checksum);
+    assert_eq!(again.lut_cache, Some(engine::CacheOutcome::Hit));
+
+    // 4. Dequantized outputs approximate the fp32 GEMM.
     let mut fp32 = vec![0.0f32; dims.m * dims.n];
     for m in 0..dims.m {
         for n in 0..dims.n {
@@ -74,13 +98,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rms_err / rms
     );
     // For contrast: the same pipeline at W4A4 is much tighter — the error
-    // comes from quantization, not from the LUT machinery.
+    // comes from quantization, not from the LUT machinery. Same engine,
+    // different formats (they key separately in the LUT cache).
     let cfg4: BitConfig = "W4A4".parse()?;
     let w4 = Quantizer::symmetric(cfg4.weight_format()).quantize_matrix(&wdata, dims.m, dims.k)?;
     let a4 =
         Quantizer::symmetric(cfg4.activation_format()).quantize_matrix(&adata, dims.k, dims.n)?;
-    let out4 = gemm.run(Method::LoCaLut, &w4, &a4)?;
     let scale4 = w4.scale() * a4.scale();
+    let out4 = session.submit(&GemmRequest::new(w4, a4))?;
     let err4: f32 = out4
         .values
         .iter()

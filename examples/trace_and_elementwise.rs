@@ -1,17 +1,21 @@
-//! Two extension features in one walkthrough:
+//! Three extension features in one walkthrough:
 //!
 //! 1. **Event tracing** — watch the simulated DPU execute a slice-streaming
 //!    pass event by event (the first few events of a kernel-shaped charge
 //!    sequence).
 //! 2. **Elementwise packed LUTs** (§VII-A) — LUT reconfigurability beyond
 //!    inner products: packed bitwise XOR and saturating add.
+//! 3. **Serving-session aggregation** — the same event machinery rolled up
+//!    by the `engine` session API: repeated requests, one LUT build.
 //!
 //! ```sh
 //! cargo run --release --example trace_and_elementwise
 //! ```
 
+use engine::{Engine, GemmRequest};
 use localut::elementwise::ElementwiseLut;
 use pim_sim::{Category, Dpu, DpuConfig};
+use quant::{NumericFormat, QMatrix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Event trace of a slice-streaming pass ==\n");
@@ -49,5 +53,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  x        = {x:?}");
     println!("  y        = {y:?}");
     println!("  x sat+ y = {:?} (saturates at 7)", sat.apply(&x, &y));
+
+    println!("\n== Serving-session aggregation ==\n");
+    // Every event the trace above showed one at a time ends up, in
+    // aggregate, on a session's merged ledger when requests go through
+    // the engine — and repeated requests reuse one cached LUT image.
+    let engine = Engine::builder().threads(2).banks(2).build();
+    let mut session = engine.session();
+    for seed in 0..4u64 {
+        let w = QMatrix::pseudo_random(16, 24, NumericFormat::Int(2), seed);
+        let a = QMatrix::pseudo_random(24, 8, NumericFormat::Int(3), seed + 50);
+        session.submit(&GemmRequest::new(w, a))?;
+    }
+    let cache = engine.lut_cache_stats();
+    println!(
+        "  {} requests: {:.4e} simulated s, {:.3e} J, LUT cache {} hit(s) / {} miss(es)",
+        session.requests(),
+        session.stats().total_seconds(),
+        session.energy_pj() as f64 * 1e-12,
+        cache.hits,
+        cache.misses,
+    );
     Ok(())
 }

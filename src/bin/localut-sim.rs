@@ -1,4 +1,4 @@
-//! `localut-sim` — command-line front end to the simulator.
+//! `localut-sim` — command-line front end to the serving engine.
 //!
 //! Plan and time a quantized GEMM on the simulated 2048-DPU UPMEM server:
 //!
@@ -10,21 +10,20 @@
 //! localut-sim --model bert --config W1A3 --threads 4 --requests 8
 //! ```
 //!
-//! Prints the §IV-D plan (placement, p*, k), the per-DPU kernel breakdown
-//! (Fig. 16b categories), the system-level time, and the speedup over
-//! Naive PIM. With `--threads N > 1`, `--shape` additionally executes the
-//! GEMM *functionally* on the bank-parallel runtime and verifies the
-//! result is bit-identical to the serial path; `--model` serves
-//! `--requests` independent inference requests on the runtime's worker
-//! pool.
+//! Every path routes through one [`engine::Engine`]: the §IV-D plan
+//! (placement, p*, k), the per-DPU kernel breakdown (Fig. 16b
+//! categories), the system-level time, and the speedup over Naive PIM.
+//! With `--threads N > 1`, `--shape` additionally executes the GEMM
+//! *functionally* on the bank-parallel runtime — twice, to show the LUT
+//! cache — and verifies the result is bit-identical to the serial path;
+//! `--model` serves `--requests` independent inference requests on the
+//! engine's worker pool.
 
-use dnn::{InferenceSim, ModelConfig, Workload};
-use localut::plan::Planner;
-use localut::tiling::{DistributedGemm, TileGrid};
+use dnn::{ModelConfig, Workload};
+use engine::{Engine, GemmRequest, InferenceRequest};
+use localut::tiling::TileGrid;
 use localut::{GemmConfig, GemmDims, Method};
-use pim_sim::EnergyModel;
 use quant::{BitConfig, QMatrix};
-use runtime::ParallelExecutor;
 use std::process::ExitCode;
 
 struct Args {
@@ -109,17 +108,25 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// One engine per invocation, configured from the CLI flags.
+fn build_engine(args: &Args) -> Engine {
+    Engine::builder()
+        .threads(args.threads)
+        .k_slices(args.k_slices)
+        .method(args.method)
+        .bits(args.config)
+        .build()
+}
+
 fn run_gemm(args: &Args, dims: GemmDims) -> Result<(), Box<dyn std::error::Error>> {
     let cfg = args.config;
-    let (wf, af) = (cfg.weight_format(), cfg.activation_format());
-    let mut dist = DistributedGemm::upmem_server();
-    dist.gemm.k_slices = args.k_slices;
+    let eng = build_engine(args);
 
     println!(
         "GEMM {dims} at {cfg}, method {}, k = {}",
         args.method, args.k_slices
     );
-    let grid = TileGrid::choose(dims, dist.system.config().n_dpus());
+    let grid = TileGrid::choose(dims, eng.sim().dist.system.config().n_dpus());
     let tile = grid.tile_dims(dims);
     println!(
         "  tiling: {} x {} DPUs ({} used), per-DPU tile {tile}",
@@ -128,14 +135,14 @@ fn run_gemm(args: &Args, dims: GemmDims) -> Result<(), Box<dyn std::error::Error
         grid.dpus_used()
     );
     if args.method == Method::LoCaLut {
-        let plan = Planner::new(dist.gemm.dpu.clone()).plan(tile, wf, af, Some(args.k_slices))?;
+        let plan = eng.plan(tile, cfg)?;
         println!(
             "  plan: {} at p = {}, k = {} (model-predicted {:.4e} s/DPU)",
             plan.placement, plan.p, plan.k_slices, plan.predicted_seconds
         );
     }
-    let profile = dist.cost(args.method, dims, wf, af)?;
-    let naive = dist.cost(Method::NaivePim, dims, wf, af)?;
+    let profile = eng.system_cost(args.method, dims, cfg)?;
+    let naive = eng.system_cost(Method::NaivePim, dims, cfg)?;
     println!("\n  per-DPU kernel breakdown:");
     print!("{}", textwrap(&profile.pim.to_string()));
     println!(
@@ -148,52 +155,71 @@ fn run_gemm(args: &Args, dims: GemmDims) -> Result<(), Box<dyn std::error::Error
         "  speedup over Naive PIM: {:.2}x",
         naive.total_seconds() / profile.total_seconds()
     );
-    let energy = EnergyModel::upmem();
     println!(
         "  energy: {:.2} J",
-        energy
-            .system_energy(dist.system.config(), &profile)
+        eng.energy_model()
+            .system_energy(eng.sim().dist.system.config(), &profile)
             .total_j()
     );
     if args.threads > 1 {
-        run_gemm_parallel(args, dims)?;
+        run_gemm_parallel(args, &eng, dims)?;
     }
     Ok(())
 }
 
-fn run_gemm_parallel(args: &Args, dims: GemmDims) -> Result<(), Box<dyn std::error::Error>> {
+fn run_gemm_parallel(
+    args: &Args,
+    eng: &Engine,
+    dims: GemmDims,
+) -> Result<(), Box<dyn std::error::Error>> {
     let cfg = args.config;
     let w = QMatrix::pseudo_random(dims.m, dims.k, cfg.weight_format(), 1);
     let a = QMatrix::pseudo_random(dims.k, dims.n, cfg.activation_format(), 2);
     let mut gemm = GemmConfig::upmem();
     gemm.k_slices = args.k_slices;
 
-    println!("\n  functional execution on the bank-parallel runtime:");
+    println!("\n  functional execution on the serving engine:");
     let t0 = std::time::Instant::now();
     let serial = gemm.run(args.method, &w, &a)?;
     let serial_wall = t0.elapsed();
-    let pool = ParallelExecutor::with_config(args.threads, gemm);
+    let request = GemmRequest::new(w, a).with_banks(16);
     let t1 = std::time::Instant::now();
-    let parallel = pool.execute(args.method, &w, &a)?;
+    let parallel = eng.submit(&request)?;
     let parallel_wall = t1.elapsed();
     assert_eq!(
         parallel.values, serial.values,
-        "parallel output diverged from the serial path"
+        "engine output diverged from the serial path"
     );
+    // Same request again: the expensive canonical/reorder images are now
+    // cached, so only the kernel itself runs.
+    let t2 = std::time::Instant::now();
+    let repeat = eng.submit(&request)?;
+    let repeat_wall = t2.elapsed();
+    assert_eq!(repeat.values, parallel.values, "cache changed the output");
     println!(
-        "    serial:   {:>8.1} ms wall",
+        "    serial:          {:>8.1} ms wall",
         serial_wall.as_secs_f64() * 1e3
     );
     println!(
-        "    parallel: {:>8.1} ms wall ({} workers, {} banks) — bit-identical ✓",
+        "    engine:          {:>8.1} ms wall ({} workers, {} banks) — bit-identical ✓",
         parallel_wall.as_secs_f64() * 1e3,
-        pool.threads(),
+        eng.threads(),
         parallel.per_bank.len()
     );
     println!(
-        "    simulated bank work {:.4e} s, critical path {:.4e} s",
-        parallel.total_bank_seconds(),
-        parallel.critical_path_seconds()
+        "    engine (cached): {:>8.1} ms wall ({} LUT-cache hit{}) — bit-identical ✓",
+        repeat_wall.as_secs_f64() * 1e3,
+        eng.lut_cache_stats().hits,
+        if eng.lut_cache_stats().hits == 1 {
+            ""
+        } else {
+            "s"
+        }
+    );
+    println!(
+        "    simulated bank work {:.4e} s, fingerprint {:016x}",
+        parallel.stats.total_seconds(),
+        parallel.checksum
     );
     Ok(())
 }
@@ -205,8 +231,7 @@ fn run_model(args: &Args, name: &str) -> Result<(), Box<dyn std::error::Error>> 
         "vit" => ModelConfig::vit_base(),
         other => return Err(format!("unknown model '{other}' (bert|opt|vit)").into()),
     };
-    let mut sim = InferenceSim::upmem_server();
-    sim.dist.gemm.k_slices = args.k_slices;
+    let eng = build_engine(args);
     let wl = if model.has_decode() {
         Workload::with_decode(model.clone(), args.batch, 8)
     } else {
@@ -216,9 +241,10 @@ fn run_model(args: &Args, name: &str) -> Result<(), Box<dyn std::error::Error>> 
         "{} at {}, batch {}, method {}",
         model.name, args.config, args.batch, args.method
     );
-    let init = sim.init_cost(args.method, args.config)?;
-    let report = sim.run(args.method, args.config, &wl)?;
-    let naive = sim.run(Method::NaivePim, args.config, &wl)?;
+    let init = eng.init_cost(args.method, args.config)?;
+    let response = eng.infer(&InferenceRequest::single(wl.clone()))?;
+    let report = &response.reports[0];
+    let naive = eng.infer(&InferenceRequest::single(wl.clone()).with_method(Method::NaivePim))?;
     println!("  one-time init: {:.4e} s", init.total_seconds());
     println!(
         "  inference: {:.4} s (prefill {:.4} s, decode {:.4} s)",
@@ -245,21 +271,21 @@ fn run_model(args: &Args, name: &str) -> Result<(), Box<dyn std::error::Error>> 
         if args.requests == 1 {
             println!("  note: --threads without --requests serves a single request; use --requests N for a real batch");
         }
-        let requests = vec![wl; args.requests];
-        let pool = ParallelExecutor::new(args.threads);
+        let request = InferenceRequest::serving(vec![wl; args.requests]);
         let t0 = std::time::Instant::now();
-        let batch = sim.run_batch(&pool, args.method, args.config, &requests)?;
+        let batch = eng.infer(&request)?;
         let wall = t0.elapsed();
         println!(
             "  batched serving: {} requests on {} workers in {:.1} ms wall",
             batch.requests(),
-            pool.threads(),
+            eng.threads(),
             wall.as_secs_f64() * 1e3
         );
         println!(
-            "    simulated session time {:.4} s ({:.4} s/request)",
+            "    simulated session time {:.4} s ({:.4} s/request, {:.2} J modeled)",
             batch.total_seconds(),
-            batch.total_seconds() / batch.requests() as f64
+            batch.total_seconds() / batch.requests() as f64,
+            batch.energy_pj as f64 * 1e-12
         );
     }
     Ok(())
