@@ -20,11 +20,14 @@
 
 use crate::picojoules;
 use dnn::{ModelConfig, Workload};
+use engine::serve::{drive_client, ArrivalMode, ServeConfig, Server};
+use engine::traffic::{client_log, Mix, TrafficConfig};
 use engine::{Engine, GemmRequest, InferenceRequest, PlanPin};
 use localut::plan::Placement;
 use localut::{GemmDims, Method};
 use pim_sim::Stats;
 use quant::{BitConfig, NumericFormat, QMatrix};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which scenario subset a run covers.
@@ -156,6 +159,13 @@ pub fn registry() -> &'static [Scenario] {
             title: "mixed BERT/OPT serving batch on the runtime worker pool",
             smoke: false,
             runner: serving_scenario,
+        },
+        Scenario {
+            name: "serve_mixed",
+            title:
+                "concurrent scheduler: 3 clients x 4 seeded mixed requests through engine::serve",
+            smoke: true,
+            runner: serve_sched_scenario,
         },
     ]
 }
@@ -332,6 +342,49 @@ fn serving_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
     }
 }
 
+/// The `serve` class: real concurrent traffic — client threads submitting
+/// a seeded mixed request log to the [`engine::serve`] scheduler, workers
+/// coalescing compatible GEMMs into dynamic batches. The recorded outcome
+/// is the server's deterministic summary: any interleaving, worker count,
+/// and batching policy merges to these exact integers (the property
+/// `tests/serve_concurrent.rs` pins against serial replay), so the perf
+/// gate can hold serving throughput to the committed baseline.
+fn serve_sched_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
+    let traffic = TrafficConfig {
+        clients: 3,
+        requests_per_client: 4,
+        mix: Mix::Mixed,
+        seed: 2026,
+    };
+    // Engine pool of 1: host parallelism comes from the scheduler workers
+    // here, and nesting both pools would oversubscribe small CI runners.
+    let engine = Arc::new(Engine::builder().threads(1).banks(4).build());
+    let server = Server::start(
+        engine,
+        &ServeConfig {
+            workers: ctx.threads,
+            max_batch: 4,
+        },
+    );
+    std::thread::scope(|scope| {
+        for client in 0..traffic.clients {
+            let server = &server;
+            let log = client_log(&traffic, client);
+            scope.spawn(move || drive_client(server, log, ArrivalMode::Closed));
+        }
+    });
+    let report = server.join();
+    assert_eq!(
+        report.summary.failed_requests, 0,
+        "seeded serve traffic must be feasible"
+    );
+    ScenarioOutcome {
+        stats: report.summary.stats.clone(),
+        energy_pj: report.summary.energy_pj,
+        checksum: report.summary.checksum,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,9 +418,15 @@ mod tests {
 
     #[test]
     fn cheap_scenarios_are_deterministic_and_thread_invariant() {
-        // The two analytic scenarios plus the small functional one — fast
-        // enough for debug-profile test runs.
-        for name in ["fig03_placement", "fig14_energy", "fig16_breakdown"] {
+        // The two analytic scenarios plus the small functional ones — fast
+        // enough for debug-profile test runs. serve_mixed doubles as the
+        // concurrency check: worker count must not move a single integer.
+        for name in [
+            "fig03_placement",
+            "fig14_energy",
+            "fig16_breakdown",
+            "serve_mixed",
+        ] {
             let scenario = registry().iter().find(|s| s.name == name).unwrap();
             let one = scenario.run(&ScenarioCtx { threads: 1 });
             let four = scenario.run(&ScenarioCtx { threads: 4 });
@@ -382,5 +441,15 @@ mod tests {
         let outcome = placement_scenario(&ScenarioCtx::default());
         assert_ne!(outcome.checksum, 0);
         assert_eq!(outcome.stats.banks(), 2); // buffer arm + streaming arm
+    }
+
+    #[test]
+    fn serve_scenario_fingerprints_its_gemm_traffic() {
+        let outcome = serve_sched_scenario(&ScenarioCtx { threads: 2 });
+        // The seeded mixed log always contains GEMMs, so the sorted-fold
+        // fingerprint is never the bare FNV basis of an empty stream.
+        assert_ne!(outcome.checksum, runtime::fnv1a_64([]));
+        assert!(outcome.stats.banks() > 0);
+        assert!(outcome.energy_pj > 0);
     }
 }

@@ -9,12 +9,13 @@
 //! the software twin of the paper's one-time §V-A broadcast amortized
 //! across a whole serving session instead of a single launch.
 
+use crate::lock_recover;
 use localut::kernels::SharedLuts;
 use localut::plan::Placement;
 use localut::LocaLutError;
 use quant::NumericFormat;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// The cache key: everything a [`SharedLuts`] build depends on, plus the
 /// placement the kernel uses it under.
@@ -87,12 +88,23 @@ pub(crate) struct LutCache {
 }
 
 impl LutCache {
+    /// Locks the cache via [`lock_recover`]: a serving worker that
+    /// panicked while holding the lock can only have left fully-built
+    /// entries behind (the map is mutated exactly once per build, by
+    /// inserting a complete [`SharedLuts`] *after* its build succeeded),
+    /// so the cached state is valid and every other server thread keeps
+    /// serving. Before this, one panicking worker turned every later
+    /// `submit` into a panic — a wedge, not a recovery.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        lock_recover(&self.inner)
+    }
+
     /// Returns the shared images for `key`, building them on first use.
     pub(crate) fn get_or_build(
         &self,
         key: LutKey,
     ) -> Result<(SharedLuts, CacheOutcome), LocaLutError> {
-        let mut inner = self.inner.lock().expect("lut cache poisoned");
+        let mut inner = self.lock_inner();
         if let Some(luts) = inner.map.get(&key) {
             let luts = luts.clone();
             inner.hits += 1;
@@ -105,7 +117,7 @@ impl LutCache {
     }
 
     pub(crate) fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("lut cache poisoned");
+        let inner = self.lock_inner();
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -162,6 +174,33 @@ mod tests {
         cache.get_or_build(key(2, Placement::Streaming)).unwrap();
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (0, 3, 3));
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_wedging() {
+        let cache = LutCache::default();
+        cache
+            .get_or_build(key(2, Placement::BufferResident))
+            .unwrap();
+        // Poison the mutex the way a panicking serving worker would:
+        // panic while holding the guard.
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let _guard = cache.inner.lock().unwrap();
+                panic!("worker dies while holding the cache lock");
+            });
+            assert!(handle.join().is_err(), "the worker must have panicked");
+        });
+        assert!(cache.inner.is_poisoned());
+        // The cache still serves — the resident entry survives and new
+        // keys still build — instead of panicking every caller.
+        let (_, outcome) = cache
+            .get_or_build(key(2, Placement::BufferResident))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        cache.get_or_build(key(2, Placement::Streaming)).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub enum EngineError {
     /// The request itself was malformed (empty batch, zero banks, a plan
     /// pin on a LUT-free method, ...).
     InvalidRequest(String),
+    /// A serving-scheduler failure ([`crate::serve`]): the server was
+    /// already shut down at submission, or the serving worker panicked
+    /// mid-request (the panic is contained; the ticket still resolves).
+    Serve(String),
 }
 
 impl fmt::Display for EngineError {
@@ -38,6 +42,7 @@ impl fmt::Display for EngineError {
             EngineError::Sim(e) => write!(f, "simulator error: {e}"),
             EngineError::Pq(e) => write!(f, "pq error: {e}"),
             EngineError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            EngineError::Serve(msg) => write!(f, "serving error: {msg}"),
         }
     }
 }
@@ -49,7 +54,7 @@ impl std::error::Error for EngineError {
             EngineError::Gemm(e) => Some(e),
             EngineError::Sim(e) => Some(e),
             EngineError::Pq(e) => Some(e),
-            EngineError::InvalidRequest(_) => None,
+            EngineError::InvalidRequest(_) | EngineError::Serve(_) => None,
         }
     }
 }
@@ -109,6 +114,7 @@ mod tests {
             EngineError::from(SimError::InvalidConfig("x".to_owned())),
             EngineError::from(PqError::InvalidConfig("y")),
             EngineError::InvalidRequest("empty batch".to_owned()),
+            EngineError::Serve("server is shut down".to_owned()),
         ];
         let mut rendered: Vec<String> = errors.iter().map(ToString::to_string).collect();
         assert!(rendered.iter().all(|s| !s.is_empty()));
@@ -120,5 +126,6 @@ mod tests {
     #[test]
     fn invalid_request_has_no_source() {
         assert!(EngineError::InvalidRequest("x".into()).source().is_none());
+        assert!(EngineError::Serve("x".into()).source().is_none());
     }
 }

@@ -18,6 +18,12 @@
 //!   [`Engine::lut_cache_stats`] and per-response [`CacheOutcome`]s.
 //! * [`Session`] — a lightweight accumulator over one engine for serving
 //!   sessions: per-session merged statistics, energy, and request counts.
+//! * [`serve`] — the **concurrent serving scheduler**: a thread-safe
+//!   [`Server`] frontend (admission queue + worker pool + dynamic GEMM
+//!   batching) over one shared engine, with deterministic merged
+//!   summaries and simulated-latency percentiles; [`traffic`] generates
+//!   the seeded request logs the scheduler, the `loadgen` binary, and the
+//!   tests share.
 //!
 //! Determinism is inherited from the layers below: for a fixed request,
 //! every response is bitwise identical at any worker count, with or
@@ -51,11 +57,15 @@ mod cache;
 mod error;
 pub mod request;
 pub mod response;
+pub mod serve;
+pub mod traffic;
 
 pub use cache::{CacheOutcome, CacheStats, LutKey};
 pub use error::EngineError;
 pub use request::{BatchGemmRequest, GemmRequest, InferenceRequest, PlanPin};
 pub use response::{picojoules, BatchGemmResponse, GemmResponse, InferenceResponse};
+pub use serve::{ServeConfig, ServeReport, ServeSummary, Server, Ticket};
+pub use traffic::{Mix, TrafficConfig, TrafficRequest};
 
 use cache::LutCache;
 use dnn::InferenceSim;
@@ -65,6 +75,7 @@ use localut::{GemmConfig, GemmDims, Method};
 use pim_sim::{DpuConfig, EnergyModel, Profile, Stats, SystemProfile};
 use quant::{BitConfig, NumericFormat};
 use runtime::{ParallelExecutor, ShardPlan};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Configures and constructs an [`Engine`].
 ///
@@ -186,6 +197,15 @@ pub struct Engine {
     cache: LutCache,
 }
 
+/// Locks a mutex, **recovering** the data from a poisoned lock instead of
+/// propagating the panic — the crate-wide policy for serving state (the
+/// LUT cache, the scheduler queue/metrics/tickets): every critical
+/// section leaves the guarded state valid at each panic point, so one
+/// panicking worker must not wedge every other serving thread.
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A kernel prepared for execution: built once, LUTs possibly from cache.
 struct PreparedGemm {
     bank: BankKernel,
@@ -229,6 +249,12 @@ impl Engine {
     #[must_use]
     pub fn default_bits(&self) -> BitConfig {
         self.bits
+    }
+
+    /// The engine's default bank count for GEMM requests.
+    #[must_use]
+    pub fn default_banks(&self) -> u32 {
+        self.banks
     }
 
     /// The inference simulator requests are timed on.

@@ -1,0 +1,881 @@
+//! The concurrent serving scheduler: many client threads, one shared
+//! [`Engine`], deterministic merged results.
+//!
+//! [`Server`] is the thread-safe request frontend the ROADMAP's
+//! "heavy traffic" north star asks for: it owns a shared engine, an
+//! admission queue, and a worker pool. Client threads submit typed
+//! requests from anywhere and get back a [`Ticket`] they can block on;
+//! workers drain the queue, **coalesce compatible GEMMs into dynamic
+//! batches** (riding [`Engine::submit_batch`]'s warm-cache fan-out so one
+//! busy period amortizes the LUT builds), and fulfill the tickets.
+//!
+//! ## The determinism contract
+//!
+//! Thread scheduling decides *when* a request runs and *which* requests
+//! share a batch — but never what any request computes. Every quantity in
+//! a [`ServeSummary`] is interleaving-invariant by construction:
+//!
+//! * per-request values, checksums, simulated statistics, and energy are
+//!   functions of the request alone (the engine below is deterministic at
+//!   any worker count, batched or not);
+//! * the merged [`Stats`] aggregate is associative **and commutative**, so
+//!   any completion order merges to the same integer femtoseconds;
+//! * the summary checksum folds the per-request checksums in *sorted*
+//!   order, and the latency percentiles are computed over the sorted
+//!   multiset of per-request simulated latencies.
+//!
+//! Hence the invariant the workspace tests pin: for a fixed seeded request
+//! log, any interleaving of concurrent clients produces a summary
+//! bit-identical to [`replay_serial`] of the same log. Host-dependent
+//! observables (dispatch counts, realized batch sizes) live on
+//! [`ServeReport`], *outside* the deterministic summary.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use engine::serve::{drive_client, replay_serial, ArrivalMode, ServeConfig, Server};
+//! use engine::traffic::{client_log, full_log, Mix, TrafficConfig};
+//! use engine::Engine;
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(Engine::builder().threads(1).banks(2).build());
+//! let traffic = TrafficConfig {
+//!     clients: 2,
+//!     requests_per_client: 2,
+//!     mix: Mix::Gemm,
+//!     seed: 7,
+//! };
+//! let server = Server::start(engine.clone(), &ServeConfig::default());
+//! std::thread::scope(|scope| {
+//!     for client in 0..traffic.clients {
+//!         let server = &server;
+//!         let log = client_log(&traffic, client);
+//!         scope.spawn(move || drive_client(server, log, ArrivalMode::Closed));
+//!     }
+//! });
+//! let report = server.join();
+//! assert_eq!(report.summary, replay_serial(&engine, &full_log(&traffic)));
+//! assert_eq!(report.summary.requests, 4);
+//! ```
+
+use crate::request::{GemmRequest, InferenceRequest, PlanPin};
+use crate::response::{GemmResponse, InferenceResponse};
+// The crate-wide poison-recovering lock: serving state is kept valid at
+// every panic point (completed responses are recorded atomically, queue
+// entries are whole jobs), so a worker that panicked while holding a lock
+// must not wedge every other client.
+use crate::lock_recover as lock;
+use crate::{BatchGemmRequest, Engine, EngineError};
+use localut::Method;
+use pim_sim::Stats;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use crate::traffic::TrafficRequest;
+
+/// Configures a [`Server`]'s worker pool and batching policy.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Scheduler worker threads draining the admission queue (clamped to
+    /// at least 1). Each worker serves one dispatch at a time; the
+    /// engine's own pool parallelism applies inside a dispatch.
+    pub workers: usize,
+    /// Upper bound on how many compatible GEMM requests one dispatch may
+    /// coalesce into a dynamic batch (clamped to at least 1; 1 disables
+    /// coalescing).
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+        }
+    }
+}
+
+/// How a client paces its submissions (affects queueing and batching
+/// opportunities on the host — never any deterministic output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalMode {
+    /// Fire-and-forget: submit the whole log, then wait on every ticket.
+    Open,
+    /// One in flight: wait for each response before the next submission.
+    Closed,
+}
+
+impl std::str::FromStr for ArrivalMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "open" => Ok(ArrivalMode::Open),
+            "closed" => Ok(ArrivalMode::Closed),
+            other => Err(format!("unknown arrival mode '{other}' (open|closed)")),
+        }
+    }
+}
+
+enum TicketState<T> {
+    Pending,
+    Done(Result<T, EngineError>),
+    Taken,
+}
+
+struct TicketCell<T> {
+    slot: Mutex<TicketState<T>>,
+    ready: Condvar,
+}
+
+impl<T> TicketCell<T> {
+    fn new() -> Self {
+        TicketCell {
+            slot: Mutex::new(TicketState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, result: Result<T, EngineError>) {
+        *lock(&self.slot) = TicketState::Done(result);
+        self.ready.notify_all();
+    }
+}
+
+/// A claim on one in-flight request: block on [`Ticket::wait`] for the
+/// typed response, or poll with [`Ticket::is_ready`].
+pub struct Ticket<T> {
+    cell: Arc<TicketCell<T>>,
+}
+
+impl<T> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+impl<T> Ticket<T> {
+    /// Whether the response has been produced (a subsequent
+    /// [`Ticket::wait`] will not block).
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        matches!(*lock(&self.cell.slot), TicketState::Done(_))
+    }
+
+    /// Blocks until the request completes and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// The request's own [`EngineError`], [`EngineError::Serve`] when the
+    /// server was already shut down at submission or the serving worker
+    /// panicked mid-request.
+    pub fn wait(self) -> Result<T, EngineError> {
+        let mut slot = lock(&self.cell.slot);
+        loop {
+            if matches!(*slot, TicketState::Done(_)) {
+                let TicketState::Done(result) = std::mem::replace(&mut *slot, TicketState::Taken)
+                else {
+                    unreachable!("checked Done above");
+                };
+                return result;
+            }
+            slot = self
+                .cell
+                .ready
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// The coalescing key: two GEMM requests may share a dynamic batch only
+/// when they agree on the *effective* method, bank count, and plan pin
+/// (after engine defaults) — the configurations under which a batched
+/// execution is the warm-cache twin of back-to-back solo submissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CompatKey {
+    method: Method,
+    banks: u32,
+    pin: Option<PlanPin>,
+}
+
+impl CompatKey {
+    fn of(engine: &Engine, request: &GemmRequest) -> CompatKey {
+        CompatKey {
+            method: request.method.unwrap_or(engine.default_method()),
+            banks: request.banks.unwrap_or(engine.default_banks()),
+            pin: request.pin,
+        }
+    }
+}
+
+enum Job {
+    Gemm(Box<GemmRequest>, Arc<TicketCell<GemmResponse>>),
+    Infer(Box<InferenceRequest>, Arc<TicketCell<InferenceResponse>>),
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+/// Per-request accounting shared by the concurrent server and the serial
+/// replay — the *same* code computes both sides of the determinism
+/// invariant.
+#[derive(Debug, Default)]
+struct Recorder {
+    stats: Stats,
+    energy_pj: u128,
+    gemm_requests: u64,
+    infer_requests: u64,
+    failed_requests: u64,
+    latencies: Vec<u128>,
+    checksums: Vec<u64>,
+}
+
+impl Recorder {
+    fn record_gemm(&mut self, result: &Result<GemmResponse, EngineError>) {
+        match result {
+            Ok(response) => {
+                self.stats.merge(&response.stats);
+                self.energy_pj += response.energy_pj;
+                self.gemm_requests += 1;
+                self.latencies.push(gemm_latency_femtos(response));
+                self.checksums.push(response.checksum);
+            }
+            Err(_) => self.failed_requests += 1,
+        }
+    }
+
+    fn record_infer(&mut self, result: &Result<InferenceResponse, EngineError>) {
+        match result {
+            Ok(response) => {
+                self.stats.merge(&response.stats);
+                self.energy_pj += response.energy_pj;
+                self.infer_requests += 1;
+                self.latencies.push(response.stats.snapshot().total_femtos);
+            }
+            Err(_) => self.failed_requests += 1,
+        }
+    }
+
+    fn summary(&self) -> ServeSummary {
+        let mut checksums = self.checksums.clone();
+        checksums.sort_unstable();
+        ServeSummary {
+            requests: self.gemm_requests + self.infer_requests,
+            gemm_requests: self.gemm_requests,
+            infer_requests: self.infer_requests,
+            failed_requests: self.failed_requests,
+            stats: self.stats.clone(),
+            energy_pj: self.energy_pj,
+            latency: LatencyDigest::from_unsorted(self.latencies.clone()),
+            checksum: runtime::fnv1a_64(checksums.iter().flat_map(|c| c.to_le_bytes())),
+        }
+    }
+}
+
+/// A GEMM request's simulated latency: the critical path across its bank
+/// shards in integer femtoseconds (banks execute concurrently on the
+/// modeled hardware, so the slowest shard bounds the response time).
+fn gemm_latency_femtos(response: &GemmResponse) -> u128 {
+    response
+        .per_bank
+        .iter()
+        .map(|bank| Stats::from_profile(&bank.profile).snapshot().total_femtos)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (integer
+/// femtoseconds; 0 for an empty slice).
+fn percentile(sorted: &[u128], q: u128) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u128 * q).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Percentiles of the per-request simulated latencies, in integer
+/// femtoseconds. Computed over the sorted multiset, so the digest is
+/// identical for every completion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyDigest {
+    /// Median (nearest-rank p50).
+    pub p50: u128,
+    /// 95th percentile (nearest-rank).
+    pub p95: u128,
+    /// 99th percentile (nearest-rank).
+    pub p99: u128,
+    /// Slowest request.
+    pub max: u128,
+    /// Sum over all requests (the denominator of mean latency).
+    pub total: u128,
+}
+
+impl LatencyDigest {
+    /// Digests an (unordered) collection of per-request latencies.
+    #[must_use]
+    pub fn from_unsorted(mut latencies: Vec<u128>) -> LatencyDigest {
+        latencies.sort_unstable();
+        LatencyDigest {
+            p50: percentile(&latencies, 50),
+            p95: percentile(&latencies, 95),
+            p99: percentile(&latencies, 99),
+            max: latencies.last().copied().unwrap_or(0),
+            total: latencies.iter().sum(),
+        }
+    }
+}
+
+/// The deterministic outcome of a serving run: bit-identical for every
+/// client interleaving, worker count, arrival mode, and batching policy
+/// over the same request log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Successful requests served (GEMM + inference).
+    pub requests: u64,
+    /// Successful GEMM requests.
+    pub gemm_requests: u64,
+    /// Successful inference requests.
+    pub infer_requests: u64,
+    /// Requests that returned an error (also interleaving-invariant:
+    /// feasibility is a function of the request).
+    pub failed_requests: u64,
+    /// Associative + commutative merge of every successful response's
+    /// statistics.
+    pub stats: Stats,
+    /// Total modeled energy, picojoules.
+    pub energy_pj: u128,
+    /// Latency percentiles over per-request simulated femtoseconds.
+    pub latency: LatencyDigest,
+    /// Order-invariant fingerprint: FNV-1a fold of the per-request GEMM
+    /// values checksums in sorted order.
+    pub checksum: u64,
+}
+
+impl ServeSummary {
+    /// Simulated throughput: requests per *simulated* second of merged
+    /// bank/host work — machine-independent, unlike wall-clock rates.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        let seconds = self.stats.total_seconds();
+        if seconds > 0.0 {
+            self.requests as f64 / seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A finished serving run: the deterministic [`ServeSummary`] plus
+/// host-dependent scheduling observables (how batching actually played
+/// out), which legitimately vary run to run and are therefore kept
+/// outside the summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeReport {
+    /// The interleaving-invariant outcome.
+    pub summary: ServeSummary,
+    /// Service dispatches executed (a coalesced batch counts once).
+    pub dispatches: u64,
+    /// Requests that shared a dispatch with at least one other request.
+    pub coalesced_requests: u64,
+    /// Largest dynamic batch any dispatch coalesced.
+    pub largest_batch: u64,
+}
+
+#[derive(Debug, Default)]
+struct Metrics {
+    recorder: Recorder,
+    dispatches: u64,
+    coalesced_requests: u64,
+    largest_batch: u64,
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    queue: Mutex<Queue>,
+    admit: Condvar,
+    metrics: Mutex<Metrics>,
+    max_batch: usize,
+}
+
+impl Shared {
+    fn report(&self) -> ServeReport {
+        let metrics = lock(&self.metrics);
+        ServeReport {
+            summary: metrics.recorder.summary(),
+            dispatches: metrics.dispatches,
+            coalesced_requests: metrics.coalesced_requests,
+            largest_batch: metrics.largest_batch,
+        }
+    }
+}
+
+/// The concurrent serving frontend: a shared [`Engine`], an admission
+/// queue, and a worker pool. See the [module docs](crate::serve) for the
+/// determinism contract.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("max_batch", &self.max_batch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Starts a server over `engine` with `config.workers` scheduler
+    /// threads.
+    #[must_use]
+    pub fn start(engine: Arc<Engine>, config: &ServeConfig) -> Server {
+        let shared = Arc::new(Shared {
+            engine,
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            admit: Condvar::new(),
+            metrics: Mutex::new(Metrics::default()),
+            max_batch: config.max_batch.max(1),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// The engine this server schedules onto.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// The scheduler worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one GEMM request; the ticket resolves when a worker has
+    /// served it (solo or inside a coalesced batch — bitwise the same).
+    /// After [`Server::join`] the ticket resolves immediately to
+    /// [`EngineError::Serve`].
+    pub fn submit_gemm(&self, request: GemmRequest) -> Ticket<GemmResponse> {
+        let cell = Arc::new(TicketCell::new());
+        self.enqueue(Job::Gemm(Box::new(request), cell.clone()), &cell);
+        Ticket { cell }
+    }
+
+    /// Enqueues one inference request (never coalesced: inference requests
+    /// are already internally batched workload groups).
+    pub fn submit_infer(&self, request: InferenceRequest) -> Ticket<InferenceResponse> {
+        let cell = Arc::new(TicketCell::new());
+        self.enqueue(Job::Infer(Box::new(request), cell.clone()), &cell);
+        Ticket { cell }
+    }
+
+    fn enqueue<T>(&self, job: Job, cell: &TicketCell<T>) {
+        let mut queue = lock(&self.shared.queue);
+        if queue.open {
+            queue.jobs.push_back(job);
+            drop(queue);
+            self.shared.admit.notify_one();
+        } else {
+            drop(queue);
+            cell.fulfill(Err(EngineError::Serve(
+                "server is shut down; request rejected".to_owned(),
+            )));
+        }
+    }
+
+    /// A point-in-time deterministic summary of everything served so far.
+    #[must_use]
+    pub fn summary(&self) -> ServeSummary {
+        lock(&self.shared.metrics).recorder.summary()
+    }
+
+    /// Closes admission, drains the queue, joins the workers, and returns
+    /// the final report. Requests already queued are still served;
+    /// requests submitted afterwards are rejected.
+    #[must_use]
+    pub fn join(self) -> ServeReport {
+        let shared = self.shared.clone();
+        drop(self); // Drop closes the queue and joins the workers.
+        shared.report()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        lock(&self.shared.queue).open = false;
+        self.shared.admit.notify_all();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked outside the catch_unwind window has
+            // nothing left to deliver; the remaining workers still drain
+            // the queue, so don't propagate.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(batch) = next_batch(shared) {
+        execute_batch(shared, batch);
+    }
+}
+
+/// Pops the next dispatch: the queue head, plus — when the head is a GEMM
+/// — every queued GEMM with the same [`CompatKey`], up to `max_batch`.
+/// Returns `None` once the queue is drained and closed.
+fn next_batch(shared: &Shared) -> Option<Vec<Job>> {
+    let mut queue = lock(&shared.queue);
+    loop {
+        if let Some(head) = queue.jobs.pop_front() {
+            let mut batch = vec![head];
+            if let Job::Gemm(request, _) = &batch[0] {
+                let key = CompatKey::of(&shared.engine, request);
+                let mut index = 0;
+                while index < queue.jobs.len() && batch.len() < shared.max_batch {
+                    let compatible = matches!(
+                        &queue.jobs[index],
+                        Job::Gemm(other, _) if CompatKey::of(&shared.engine, other) == key
+                    );
+                    if compatible {
+                        batch.push(queue.jobs.remove(index).expect("index in bounds"));
+                    } else {
+                        index += 1;
+                    }
+                }
+            }
+            return Some(batch);
+        }
+        if !queue.open {
+            return None;
+        }
+        queue = shared
+            .admit
+            .wait(queue)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Runs an engine call, converting a panic into an [`EngineError::Serve`]
+/// so the ticket always resolves and the worker survives.
+fn guarded<T>(call: impl FnOnce() -> Result<T, EngineError>) -> Result<T, EngineError> {
+    catch_unwind(AssertUnwindSafe(call)).unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "unknown panic".to_owned());
+        Err(EngineError::Serve(format!(
+            "serving worker panicked: {msg}"
+        )))
+    })
+}
+
+fn execute_batch(shared: &Shared, batch: Vec<Job>) {
+    let size = batch.len() as u64;
+    {
+        let mut metrics = lock(&shared.metrics);
+        metrics.dispatches += 1;
+        if size > 1 {
+            metrics.coalesced_requests += size;
+        }
+        metrics.largest_batch = metrics.largest_batch.max(size);
+    }
+
+    let mut gemms: Vec<(Box<GemmRequest>, Arc<TicketCell<GemmResponse>>)> = Vec::new();
+    for job in batch {
+        match job {
+            Job::Infer(request, cell) => {
+                let result = guarded(|| shared.engine.infer(&request));
+                lock(&shared.metrics).recorder.record_infer(&result);
+                cell.fulfill(result);
+            }
+            Job::Gemm(request, cell) => gemms.push((request, cell)),
+        }
+    }
+    match gemms.len() {
+        0 => {}
+        1 => {
+            let (request, cell) = gemms.pop().expect("one gemm");
+            let result = guarded(|| shared.engine.submit(&request));
+            lock(&shared.metrics).recorder.record_gemm(&result);
+            cell.fulfill(result);
+        }
+        _ => {
+            // Move the requests into the batch (no operand clones on the
+            // hot path); the failure fallback below reads them back out of
+            // `batch.requests` by reference.
+            let (requests, cells): (Vec<GemmRequest>, Vec<Arc<TicketCell<GemmResponse>>>) = gemms
+                .into_iter()
+                .map(|(request, cell)| (*request, cell))
+                .unzip();
+            let batch = BatchGemmRequest::new(requests);
+            match guarded(|| shared.engine.submit_batch(&batch)) {
+                Ok(response) if response.responses.len() == cells.len() => {
+                    for (result, cell) in response.responses.into_iter().zip(cells) {
+                        let result = Ok(result);
+                        lock(&shared.metrics).recorder.record_gemm(&result);
+                        cell.fulfill(result);
+                    }
+                }
+                // The batch fails as a unit on the first bad member; fall
+                // back to solo submissions so each ticket carries its own
+                // verdict — and the good requests still succeed, bitwise
+                // identical to the batched path. A *short* success
+                // (impossible today: submit_batch answers every request or
+                // errors as a unit) degrades the same way, so no ticket can
+                // ever be left unresolved by a zip truncation.
+                _ => {
+                    for (request, cell) in batch.requests.iter().zip(cells) {
+                        let result = guarded(|| shared.engine.submit(request));
+                        lock(&shared.metrics).recorder.record_gemm(&result);
+                        cell.fulfill(result);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Submits one client's request log against a server, pacing by `mode`,
+/// and returns how many of its requests failed. This is the client half
+/// every consumer (the `loadgen` binary, the bench `serve` scenario, the
+/// concurrency tests) shares.
+pub fn drive_client(server: &Server, log: Vec<TrafficRequest>, mode: ArrivalMode) -> usize {
+    match mode {
+        ArrivalMode::Closed => log
+            .into_iter()
+            .map(|request| match request {
+                TrafficRequest::Gemm(r) => server.submit_gemm(r).wait().is_err(),
+                TrafficRequest::Infer(r) => server.submit_infer(r).wait().is_err(),
+            })
+            .filter(|failed| *failed)
+            .count(),
+        ArrivalMode::Open => {
+            enum AnyTicket {
+                Gemm(Ticket<GemmResponse>),
+                Infer(Ticket<InferenceResponse>),
+            }
+            let tickets: Vec<AnyTicket> = log
+                .into_iter()
+                .map(|request| match request {
+                    TrafficRequest::Gemm(r) => AnyTicket::Gemm(server.submit_gemm(r)),
+                    TrafficRequest::Infer(r) => AnyTicket::Infer(server.submit_infer(r)),
+                })
+                .collect();
+            tickets
+                .into_iter()
+                .map(|ticket| match ticket {
+                    AnyTicket::Gemm(t) => t.wait().is_err(),
+                    AnyTicket::Infer(t) => t.wait().is_err(),
+                })
+                .filter(|failed| *failed)
+                .count()
+        }
+    }
+}
+
+/// Serves a request log serially — one request at a time, in log order,
+/// straight on the engine — and produces the same [`ServeSummary`] a
+/// concurrent [`Server`] run over the same log produces. This is the
+/// reference side of the determinism invariant.
+#[must_use]
+pub fn replay_serial(engine: &Engine, log: &[TrafficRequest]) -> ServeSummary {
+    let mut recorder = Recorder::default();
+    for request in log {
+        match request {
+            TrafficRequest::Gemm(r) => recorder.record_gemm(&engine.submit(r)),
+            TrafficRequest::Infer(r) => recorder.record_infer(&engine.infer(r)),
+        }
+    }
+    recorder.summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{client_log, full_log, Mix, TrafficConfig};
+    use quant::{NumericFormat, QMatrix};
+
+    fn small_gemm(seed: u64) -> GemmRequest {
+        GemmRequest::new(
+            QMatrix::pseudo_random(8, 12, NumericFormat::Int(2), seed),
+            QMatrix::pseudo_random(12, 4, NumericFormat::Int(3), seed + 50),
+        )
+        .with_banks(2)
+    }
+
+    fn mixed_traffic() -> TrafficConfig {
+        TrafficConfig {
+            clients: 2,
+            requests_per_client: 3,
+            mix: Mix::Mixed,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let digest = LatencyDigest::from_unsorted(vec![40, 10, 20, 30]);
+        assert_eq!(digest.p50, 20);
+        assert_eq!(digest.p95, 40);
+        assert_eq!(digest.p99, 40);
+        assert_eq!(digest.max, 40);
+        assert_eq!(digest.total, 100);
+        assert_eq!(
+            LatencyDigest::from_unsorted(vec![]),
+            LatencyDigest::default()
+        );
+        let single = LatencyDigest::from_unsorted(vec![7]);
+        assert_eq!((single.p50, single.p99, single.max), (7, 7, 7));
+    }
+
+    #[test]
+    fn single_worker_server_matches_serial_replay() {
+        let traffic = mixed_traffic();
+        let engine = Arc::new(Engine::builder().threads(1).banks(2).build());
+        let serial = replay_serial(&engine, &full_log(&traffic));
+        let server = Server::start(
+            engine.clone(),
+            &ServeConfig {
+                workers: 1,
+                max_batch: 4,
+            },
+        );
+        for client in 0..traffic.clients {
+            assert_eq!(
+                drive_client(&server, client_log(&traffic, client), ArrivalMode::Closed),
+                0
+            );
+        }
+        let report = server.join();
+        assert_eq!(report.summary, serial);
+        assert!(report.dispatches >= 1);
+        assert!(report.summary.latency.p50 > 0);
+        assert!(report.summary.throughput_rps() > 0.0);
+    }
+
+    #[test]
+    fn open_loop_coalesces_compatible_requests() {
+        let engine = Arc::new(Engine::builder().threads(1).banks(2).build());
+        // One worker + open-loop submission before any dispatch can finish
+        // guarantees a coalescing opportunity once the worker wakes.
+        let server = Server::start(
+            engine,
+            &ServeConfig {
+                workers: 1,
+                max_batch: 8,
+            },
+        );
+        let tickets: Vec<_> = (0..6).map(|i| server.submit_gemm(small_gemm(i))).collect();
+        let solo: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        let report = server.join();
+        assert_eq!(report.summary.gemm_requests, 6);
+        // Responses are bitwise what solo submissions produce (checksums
+        // folded in sorted order).
+        let mut sums: Vec<u64> = solo.iter().map(|r| r.checksum).collect();
+        sums.sort_unstable();
+        assert_eq!(
+            report.summary.checksum,
+            runtime::fnv1a_64(sums.iter().flat_map(|c| c.to_le_bytes()))
+        );
+        assert!(report.dispatches <= 6);
+        assert!(report.largest_batch >= 1);
+    }
+
+    #[test]
+    fn failed_requests_resolve_their_tickets_and_are_counted() {
+        let engine = Arc::new(Engine::upmem());
+        let server = Server::start(engine, &ServeConfig::default());
+        let bad = GemmRequest::new(
+            QMatrix::pseudo_random(4, 4, NumericFormat::Int(16), 1),
+            QMatrix::pseudo_random(4, 2, NumericFormat::Int(16), 2),
+        );
+        let err = server.submit_gemm(bad).wait().unwrap_err();
+        assert!(matches!(err, EngineError::Gemm(_)));
+        let ok = server.submit_gemm(small_gemm(9)).wait();
+        assert!(ok.is_ok());
+        let report = server.join();
+        assert_eq!(report.summary.failed_requests, 1);
+        assert_eq!(report.summary.gemm_requests, 1);
+    }
+
+    #[test]
+    fn mixed_batch_failure_falls_back_to_solo_verdicts() {
+        let engine = Arc::new(Engine::builder().threads(1).banks(2).build());
+        let server = Server::start(
+            engine,
+            &ServeConfig {
+                workers: 1,
+                max_batch: 8,
+            },
+        );
+        // Same compat key (engine-default method/banks, no pin) so the bad
+        // request coalesces with the good ones and fails the batch.
+        let bad = GemmRequest::new(
+            QMatrix::pseudo_random(4, 4, NumericFormat::Int(16), 1),
+            QMatrix::pseudo_random(4, 2, NumericFormat::Int(16), 2),
+        );
+        let good_a = small_gemm(1).with_banks(4);
+        let good_b = small_gemm(2).with_banks(4);
+        let bad = bad.with_banks(4);
+        let t1 = server.submit_gemm(good_a);
+        let t2 = server.submit_gemm(bad);
+        let t3 = server.submit_gemm(good_b);
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_err());
+        assert!(t3.wait().is_ok());
+        let report = server.join();
+        assert_eq!(report.summary.gemm_requests, 2);
+        assert_eq!(report.summary.failed_requests, 1);
+    }
+
+    #[test]
+    fn submissions_after_join_are_rejected_not_wedged() {
+        let engine = Arc::new(Engine::upmem());
+        let server = Server::start(engine.clone(), &ServeConfig::default());
+        let _ = server.join();
+        let server = Server::start(
+            engine,
+            &ServeConfig {
+                workers: 1,
+                max_batch: 1,
+            },
+        );
+        // Simulate a post-shutdown submission by closing the queue first.
+        lock(&server.shared.queue).open = false;
+        let ticket = server.submit_gemm(small_gemm(3));
+        assert!(ticket.is_ready());
+        assert!(matches!(ticket.wait(), Err(EngineError::Serve(_))));
+    }
+
+    #[test]
+    fn arrival_mode_parses() {
+        assert_eq!("open".parse::<ArrivalMode>().unwrap(), ArrivalMode::Open);
+        assert_eq!(
+            "closed".parse::<ArrivalMode>().unwrap(),
+            ArrivalMode::Closed
+        );
+        assert!("burst".parse::<ArrivalMode>().is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! `loadgen` — deterministic traffic generator and serving-load driver.
+//!
+//! Generates a seeded request mix ([`engine::traffic`]), drives it from
+//! many client threads through the concurrent serving scheduler
+//! ([`engine::serve::Server`]), and prints/writes a summary whose
+//! deterministic core — request counts, values checksum, merged simulated
+//! femtoseconds, latency percentiles, energy — is **byte-identical for
+//! any `--threads`, `--clients`-scheduling, `--max-batch`, or `--mode`**
+//! over the same `(--clients, --requests, --mix, --seed)` workload. CI's
+//! smoke job asserts exactly that by diffing two runs' JSON.
+//!
+//! ```sh
+//! loadgen --clients 4 --requests 8 --mix mixed --seed 42 --threads 4
+//! loadgen --mode open --max-batch 16 --out LOADGEN.json
+//! loadgen --keep-host --out LOADGEN_debug.json   # + wall clock & batching
+//! ```
+//!
+//! Exit codes: 0 success, 1 any request failed, 2 usage or I/O error.
+
+use bench::json::Json;
+use engine::serve::{drive_client, replay_serial, ArrivalMode, ServeConfig, Server};
+use engine::traffic::{client_log, full_log, Mix, TrafficConfig};
+use engine::{Engine, ServeReport, ServeSummary};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    traffic: TrafficConfig,
+    threads: usize,
+    engine_threads: usize,
+    max_batch: usize,
+    mode: ArrivalMode,
+    out: Option<String>,
+    keep_host: bool,
+    verify_serial: bool,
+}
+
+const USAGE: &str = "usage: loadgen [--clients N] [--requests N] [--mix gemm|infer|mixed] \
+[--seed S] [--threads N] [--engine-threads N] [--max-batch N] [--mode open|closed] \
+[--out FILE] [--keep-host] [--verify-serial]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        traffic: TrafficConfig {
+            clients: 4,
+            requests_per_client: 8,
+            mix: Mix::Mixed,
+            seed: 42,
+        },
+        threads: 4,
+        engine_threads: 2,
+        max_batch: 8,
+        mode: ArrivalMode::Closed,
+        out: None,
+        keep_host: false,
+        verify_serial: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        let positive = |v: String, what: &str| -> Result<usize, String> {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!("{what} must be a positive integer")),
+            }
+        };
+        match flag.as_str() {
+            "--clients" => args.traffic.clients = positive(value()?, "--clients")?,
+            "--requests" => args.traffic.requests_per_client = positive(value()?, "--requests")?,
+            "--mix" => args.traffic.mix = value()?.parse()?,
+            "--seed" => args.traffic.seed = value()?.parse().map_err(|_| "bad --seed")?,
+            "--threads" => args.threads = positive(value()?, "--threads")?,
+            "--engine-threads" => args.engine_threads = positive(value()?, "--engine-threads")?,
+            "--max-batch" => args.max_batch = positive(value()?, "--max-batch")?,
+            "--mode" => args.mode = value()?.parse()?,
+            "--out" => args.out = Some(value()?),
+            "--keep-host" => args.keep_host = true,
+            "--verify-serial" => args.verify_serial = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The deterministic JSON body: workload identity + summary. Host knobs
+/// (threads, arrival mode, batching) are deliberately excluded — they must
+/// not change a single byte here.
+fn summary_json(args: &Args, summary: &ServeSummary) -> Vec<(&'static str, Json)> {
+    let snap = summary.stats.snapshot();
+    vec![
+        ("schema", Json::Str("loadgen-v1".to_owned())),
+        (
+            "workload",
+            Json::object(vec![
+                ("clients", Json::UInt(args.traffic.clients as u128)),
+                (
+                    "requests_per_client",
+                    Json::UInt(args.traffic.requests_per_client as u128),
+                ),
+                ("mix", Json::Str(args.traffic.mix.name().to_owned())),
+                ("seed", Json::UInt(u128::from(args.traffic.seed))),
+            ]),
+        ),
+        (
+            "summary",
+            Json::object(vec![
+                ("requests", Json::UInt(u128::from(summary.requests))),
+                (
+                    "gemm_requests",
+                    Json::UInt(u128::from(summary.gemm_requests)),
+                ),
+                (
+                    "infer_requests",
+                    Json::UInt(u128::from(summary.infer_requests)),
+                ),
+                (
+                    "failed_requests",
+                    Json::UInt(u128::from(summary.failed_requests)),
+                ),
+                ("sim_femtos", Json::UInt(snap.total_femtos)),
+                ("bank_profiles", Json::UInt(u128::from(snap.banks))),
+                ("instructions", Json::UInt(snap.instructions)),
+                ("energy_pj", Json::UInt(summary.energy_pj)),
+                ("values_checksum", Json::UInt(u128::from(summary.checksum))),
+                (
+                    "latency_femtos",
+                    Json::object(vec![
+                        ("p50", Json::UInt(summary.latency.p50)),
+                        ("p95", Json::UInt(summary.latency.p95)),
+                        ("p99", Json::UInt(summary.latency.p99)),
+                        ("max", Json::UInt(summary.latency.max)),
+                        ("total", Json::UInt(summary.latency.total)),
+                    ]),
+                ),
+            ]),
+        ),
+    ]
+}
+
+/// Host-dependent observables, attached only under `--keep-host` (they
+/// vary with scheduling, so including them forfeits byte-reproducibility).
+fn host_json(args: &Args, report: &ServeReport, wall_nanos: u128) -> Json {
+    Json::object(vec![
+        ("threads", Json::UInt(args.threads as u128)),
+        ("engine_threads", Json::UInt(args.engine_threads as u128)),
+        ("max_batch", Json::UInt(args.max_batch as u128)),
+        (
+            "mode",
+            Json::Str(
+                match args.mode {
+                    ArrivalMode::Open => "open",
+                    ArrivalMode::Closed => "closed",
+                }
+                .to_owned(),
+            ),
+        ),
+        ("wall_nanos", Json::UInt(wall_nanos)),
+        ("dispatches", Json::UInt(u128::from(report.dispatches))),
+        (
+            "coalesced_requests",
+            Json::UInt(u128::from(report.coalesced_requests)),
+        ),
+        (
+            "largest_batch",
+            Json::UInt(u128::from(report.largest_batch)),
+        ),
+    ])
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    let engine = Arc::new(Engine::builder().threads(args.engine_threads).build());
+    let server = Server::start(
+        engine.clone(),
+        &ServeConfig {
+            workers: args.threads,
+            max_batch: args.max_batch,
+        },
+    );
+    println!(
+        "loadgen: {} client(s) x {} request(s), mix {}, seed {}, {} worker(s), {:?} arrivals",
+        args.traffic.clients,
+        args.traffic.requests_per_client,
+        args.traffic.mix.name(),
+        args.traffic.seed,
+        args.threads,
+        args.mode,
+    );
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..args.traffic.clients {
+            let server = &server;
+            let log = client_log(&args.traffic, client);
+            let mode = args.mode;
+            scope.spawn(move || drive_client(server, log, mode));
+        }
+    });
+    let wall_nanos = t0.elapsed().as_nanos();
+    let report = server.join();
+    let summary = &report.summary;
+
+    let mut table = bench::Table::new(&["metric", "value"]);
+    let snap = summary.stats.snapshot();
+    table.row(vec![
+        "requests (gemm + infer)".into(),
+        format!(
+            "{} ({} + {})",
+            summary.requests, summary.gemm_requests, summary.infer_requests
+        ),
+    ]);
+    table.row(vec!["failed".into(), summary.failed_requests.to_string()]);
+    table.row(vec![
+        "simulated work (ms)".into(),
+        format!("{:.4}", snap.total_femtos as f64 / 1e12),
+    ]);
+    table.row(vec![
+        "latency p50/p95/p99 (us, simulated)".into(),
+        format!(
+            "{:.2} / {:.2} / {:.2}",
+            summary.latency.p50 as f64 / 1e9,
+            summary.latency.p95 as f64 / 1e9,
+            summary.latency.p99 as f64 / 1e9
+        ),
+    ]);
+    table.row(vec![
+        "throughput (req/simulated s)".into(),
+        format!("{:.1}", summary.throughput_rps()),
+    ]);
+    table.row(vec![
+        "energy (J)".into(),
+        format!("{:.3e}", summary.energy_pj as f64 / 1e12),
+    ]);
+    table.row(vec![
+        "values checksum".into(),
+        format!("{:016x}", summary.checksum),
+    ]);
+    table.row(vec![
+        "host wall (ms) [not in JSON]".into(),
+        format!("{:.1}", wall_nanos as f64 / 1e6),
+    ]);
+    table.row(vec![
+        "dispatches / coalesced [not in JSON]".into(),
+        format!("{} / {}", report.dispatches, report.coalesced_requests),
+    ]);
+    table.print();
+    println!(
+        "lut cache: {} hit(s), {} miss(es)",
+        engine.lut_cache_stats().hits,
+        engine.lut_cache_stats().misses
+    );
+
+    if args.verify_serial {
+        // Replays the identical log one request at a time on a fresh
+        // engine and cross-checks the concurrent summary bit for bit.
+        let reference = Engine::builder().threads(1).build();
+        let serial = replay_serial(&reference, &full_log(&args.traffic));
+        if serial == *summary {
+            println!("serial replay: MATCH (summary is interleaving-invariant)");
+        } else {
+            return Err(format!(
+                "serial replay diverged from the concurrent run\nserial:     {serial:?}\nconcurrent: {summary:?}"
+            ));
+        }
+    }
+
+    if let Some(path) = &args.out {
+        let mut pairs = summary_json(args, summary);
+        if args.keep_host {
+            pairs.push(("host", host_json(args, &report, wall_nanos)));
+        }
+        let text = Json::object(pairs).to_pretty();
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "wrote {path} ({})",
+            if args.keep_host {
+                "with host fields — not byte-reproducible"
+            } else {
+                "deterministic: byte-identical at any thread count"
+            }
+        );
+    }
+
+    Ok(if summary.failed_requests == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -17,4 +17,5 @@ pub use quant;
 pub use runtime;
 pub use xpu;
 
+pub use engine::serve::Server;
 pub use engine::{Engine, EngineBuilder, EngineError, Session};

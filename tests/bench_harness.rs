@@ -11,17 +11,26 @@ use bench::regress::{compare, passes_gate, Verdict};
 use bench::report::{BenchReport, SCHEMA_VERSION};
 use bench::scenario::{run_scenarios, select, RunProfile, ScenarioCtx};
 
-/// The cheap scenario subset (analytic + the small functional one) that
-/// keeps this test fast under the debug profile.
+/// The cheap scenario subset (analytic + the small functional ones,
+/// including the concurrent serving scheduler) that keeps this test fast
+/// under the debug profile.
 fn cheap_measured(threads: usize) -> Vec<bench::scenario::MeasuredScenario> {
     let scenarios: Vec<_> = select(RunProfile::Smoke, None)
         .into_iter()
-        .filter(|s| ["fig03_placement", "fig14_energy", "fig16_breakdown"].contains(&s.name))
+        .filter(|s| {
+            [
+                "fig03_placement",
+                "fig14_energy",
+                "fig16_breakdown",
+                "serve_mixed",
+            ]
+            .contains(&s.name)
+        })
         .collect();
     assert_eq!(
         scenarios.len(),
-        3,
-        "expected the three cheap smoke scenarios"
+        4,
+        "expected the four cheap smoke scenarios"
     );
     run_scenarios(&scenarios, &ScenarioCtx { threads })
 }

@@ -1,0 +1,146 @@
+//! Concurrency stress tests for the serving scheduler: many client
+//! threads hammering one `Server` must produce summaries bit-identical to
+//! a serial replay of the same seeded request log — for every worker
+//! count, arrival mode, and batching policy — and the engine itself must
+//! be shareable across threads (`Send + Sync`) for that to be sound.
+
+use engine::serve::{drive_client, replay_serial, ArrivalMode, ServeConfig, Server};
+use engine::traffic::{client_log, full_log, Mix, TrafficConfig};
+use engine::{Engine, GemmRequest, ServeSummary};
+use quant::{NumericFormat, QMatrix};
+use std::sync::Arc;
+
+/// The static assertion the whole scheduler rests on: a shared `Engine`
+/// (and the `Server` over it) may cross and be referenced from many
+/// threads. A regression here fails to compile.
+#[test]
+fn engine_and_server_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<Server>();
+    assert_send_sync::<engine::Ticket<engine::GemmResponse>>();
+}
+
+fn serve_concurrently(
+    engine: &Arc<Engine>,
+    traffic: &TrafficConfig,
+    workers: usize,
+    max_batch: usize,
+    mode: ArrivalMode,
+) -> ServeSummary {
+    let server = Server::start(engine.clone(), &ServeConfig { workers, max_batch });
+    std::thread::scope(|scope| {
+        for client in 0..traffic.clients {
+            let server = &server;
+            let log = client_log(traffic, client);
+            scope.spawn(move || drive_client(server, log, mode));
+        }
+    });
+    let report = server.join();
+    // Host-side scheduling observables stay plausible even though they
+    // are not part of the deterministic surface.
+    assert!(report.dispatches >= 1);
+    assert!(report.largest_batch <= traffic.total_requests() as u64);
+    report.summary
+}
+
+#[test]
+fn any_interleaving_matches_serial_replay_bitwise() {
+    let traffic = TrafficConfig {
+        clients: 6,
+        requests_per_client: 3,
+        mix: Mix::Mixed,
+        seed: 97,
+    };
+    let engine = Arc::new(Engine::builder().threads(2).banks(4).build());
+    let serial = replay_serial(&engine, &full_log(&traffic));
+    assert_eq!(
+        serial.requests + serial.failed_requests,
+        traffic.total_requests() as u64
+    );
+    assert!(serial.gemm_requests > 0, "mixed traffic must contain GEMMs");
+    assert!(
+        serial.infer_requests > 0,
+        "mixed traffic must contain inference"
+    );
+
+    // Worker counts below, at, and above the client count; both arrival
+    // modes; batching from disabled to queue-wide. Every combination must
+    // merge to the identical summary — stats, energy, checksum, latency
+    // percentiles, all integer-exact.
+    for (workers, max_batch, mode) in [
+        (1, 1, ArrivalMode::Closed),
+        (2, 4, ArrivalMode::Closed),
+        (6, 2, ArrivalMode::Open),
+        (8, 16, ArrivalMode::Open),
+    ] {
+        let concurrent = serve_concurrently(&engine, &traffic, workers, max_batch, mode);
+        assert_eq!(
+            concurrent, serial,
+            "summary diverged at workers={workers} max_batch={max_batch} mode={mode:?}"
+        );
+    }
+}
+
+#[test]
+fn gemm_only_hammering_is_interleaving_invariant() {
+    // A pure-GEMM mix maximizes coalescing pressure: every request shares
+    // one compatibility class per bank count, so dynamic batches actually
+    // form under the open loop.
+    let traffic = TrafficConfig {
+        clients: 8,
+        requests_per_client: 2,
+        mix: Mix::Gemm,
+        seed: 5,
+    };
+    let engine = Arc::new(Engine::builder().threads(1).banks(2).build());
+    let serial = replay_serial(&engine, &full_log(&traffic));
+    assert_eq!(serial.failed_requests, 0);
+    assert_eq!(serial.infer_requests, 0);
+    let concurrent = serve_concurrently(&engine, &traffic, 3, 8, ArrivalMode::Open);
+    assert_eq!(concurrent, serial);
+    // The checksum is a real fingerprint: a different seed moves it.
+    let other = replay_serial(&engine, &full_log(&TrafficConfig { seed: 6, ..traffic }));
+    assert_ne!(other.checksum, serial.checksum);
+}
+
+#[test]
+fn warm_cache_does_not_change_the_summary() {
+    // Serial replay on a cold engine vs a server run on an engine whose
+    // LUT cache the replay already warmed: responses must stay bitwise
+    // identical (cache outcomes are observability, not semantics).
+    let traffic = TrafficConfig {
+        clients: 2,
+        requests_per_client: 2,
+        mix: Mix::Gemm,
+        seed: 31,
+    };
+    let engine = Arc::new(Engine::builder().threads(1).banks(2).build());
+    let cold = replay_serial(&engine, &full_log(&traffic));
+    assert!(engine.lut_cache_stats().lookups() > 0);
+    let warm = serve_concurrently(&engine, &traffic, 2, 4, ArrivalMode::Closed);
+    assert_eq!(warm, cold);
+}
+
+#[test]
+fn infeasible_requests_fail_identically_everywhere() {
+    let engine = Arc::new(Engine::builder().threads(1).banks(2).build());
+    let bad = || {
+        GemmRequest::new(
+            QMatrix::pseudo_random(4, 4, NumericFormat::Int(16), 1),
+            QMatrix::pseudo_random(4, 2, NumericFormat::Int(16), 2),
+        )
+    };
+    let server = Server::start(engine.clone(), &ServeConfig::default());
+    let tickets: Vec<_> = (0..4).map(|_| server.submit_gemm(bad())).collect();
+    for ticket in tickets {
+        assert!(ticket.wait().is_err());
+    }
+    let report = server.join();
+    assert_eq!(report.summary.failed_requests, 4);
+    assert_eq!(report.summary.requests, 0);
+    assert_eq!(
+        report.summary.latency,
+        engine::serve::LatencyDigest::default()
+    );
+}

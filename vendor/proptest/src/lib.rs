@@ -36,7 +36,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Number of elements a [`vec`] strategy may produce.
+    /// Number of elements a [`vec()`] strategy may produce.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,
