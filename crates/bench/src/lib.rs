@@ -18,7 +18,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod json;
+/// The dependency-free JSON tree the reports serialize through. The
+/// implementation lives in the `netserve` crate (the wire protocol is
+/// built on the same writer); re-exported here so report code keeps
+/// saying `bench::json`.
+pub use netserve::json;
 pub mod regress;
 pub mod report;
 pub mod scenario;

@@ -21,10 +21,12 @@
 use crate::picojoules;
 use dnn::{ModelConfig, Workload};
 use engine::serve::{drive_client, ArrivalMode, ServeConfig, Server};
-use engine::traffic::{client_log, Mix, TrafficConfig};
+use engine::traffic::{client_log, Mix, TrafficConfig, TrafficRequest};
 use engine::{Engine, GemmRequest, InferenceRequest, PlanPin};
 use localut::plan::Placement;
 use localut::{GemmDims, Method};
+use netserve::server::{NetConfig, NetServer};
+use netserve::NetClient;
 use pim_sim::Stats;
 use quant::{BitConfig, NumericFormat, QMatrix};
 use std::sync::Arc;
@@ -166,6 +168,12 @@ pub fn registry() -> &'static [Scenario] {
                 "concurrent scheduler: 3 clients x 4 seeded mixed requests through engine::serve",
             smoke: true,
             runner: serve_sched_scenario,
+        },
+        Scenario {
+            name: "serve_net",
+            title: "network front-end: 2 clients x 3 seeded mixed requests over loopback TCP",
+            smoke: true,
+            runner: serve_net_scenario,
         },
     ]
 }
@@ -361,10 +369,11 @@ fn serve_sched_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
     let engine = Arc::new(Engine::builder().threads(1).banks(4).build());
     let server = Server::start(
         engine,
-        &ServeConfig {
-            workers: ctx.threads,
-            max_batch: 4,
-        },
+        &ServeConfig::builder()
+            .workers(ctx.threads)
+            .max_batch(4)
+            .build()
+            .expect("static serve config is valid"),
     );
     std::thread::scope(|scope| {
         for client in 0..traffic.clients {
@@ -382,6 +391,59 @@ fn serve_sched_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
         stats: report.summary.stats.clone(),
         energy_pj: report.summary.energy_pj,
         checksum: report.summary.checksum,
+    }
+}
+
+/// The network front-end class: seeded mixed traffic driven over loopback
+/// TCP through [`netserve`] — frame codec, wire DTO round-trip, admission,
+/// and drain all on the measured path. The outcome is the server's
+/// deterministic summary, so it lands on the same integers regardless of
+/// worker count, connection interleaving, or kernel socket scheduling; the
+/// perf gate holds the wire path's simulated cost to the baseline.
+fn serve_net_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
+    let traffic = TrafficConfig {
+        clients: 2,
+        requests_per_client: 3,
+        mix: Mix::Mixed,
+        seed: 4810,
+    };
+    // Engine pool of 1 for the same oversubscription reason as serve_mixed.
+    let engine = Arc::new(Engine::builder().threads(1).banks(4).build());
+    let config = ServeConfig::builder()
+        .workers(ctx.threads)
+        .max_batch(4)
+        .build()
+        .expect("static serve config is valid");
+    let server = NetServer::bind(engine, &config, &NetConfig::default(), "127.0.0.1:0")
+        .expect("loopback bind");
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        for client in 0..traffic.clients {
+            let log = client_log(&traffic, client);
+            scope.spawn(move || {
+                let mut client = NetClient::connect(addr).expect("loopback connect");
+                for request in log {
+                    match request {
+                        TrafficRequest::Gemm(r) => {
+                            client.gemm(&r).expect("seeded gemm is feasible");
+                        }
+                        TrafficRequest::Infer(r) => {
+                            client.infer(&r).expect("seeded inference is feasible");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let report = server.join();
+    assert_eq!(
+        report.serve.summary.failed_requests, 0,
+        "seeded net traffic must be feasible"
+    );
+    ScenarioOutcome {
+        stats: report.serve.summary.stats.clone(),
+        energy_pj: report.serve.summary.energy_pj,
+        checksum: report.serve.summary.checksum,
     }
 }
 
@@ -426,6 +488,7 @@ mod tests {
             "fig14_energy",
             "fig16_breakdown",
             "serve_mixed",
+            "serve_net",
         ] {
             let scenario = registry().iter().find(|s| s.name == name).unwrap();
             let one = scenario.run(&ScenarioCtx { threads: 1 });

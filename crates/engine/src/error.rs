@@ -26,13 +26,176 @@ pub enum EngineError {
     /// A product-quantization baseline error ([`pq`]).
     Pq(PqError),
     /// The request itself was malformed (empty batch, zero banks, a plan
-    /// pin on a LUT-free method, ...).
+    /// pin on a LUT-free method, an invalid serving configuration, ...).
     InvalidRequest(String),
-    /// A serving-scheduler failure ([`crate::serve`]): the server was
-    /// already shut down at submission, or the serving worker panicked
-    /// mid-request (the panic is contained; the ticket still resolves).
+    /// A serving-scheduler failure ([`crate::serve`]): the serving worker
+    /// panicked mid-request (the panic is contained; the ticket still
+    /// resolves).
     Serve(String),
+    /// The server declined to admit the request — typed backpressure, not
+    /// a failure of the request itself. Clients are expected to retry
+    /// ([`Rejection::QueueFull`]) or stop ([`Rejection::QuotaExhausted`],
+    /// [`Rejection::Draining`]).
+    Rejected(Rejection),
+    /// A network-transport or wire-protocol failure: socket I/O, frame
+    /// decoding, payload decoding, or a remote-reported error. The
+    /// underlying [`NetError`] stays reachable through
+    /// [`std::error::Error::source`].
+    Net(NetError),
 }
+
+/// Why a serving front-end declined to admit a request.
+///
+/// Rejections are *control-flow*, not request failures: the request was
+/// never executed and (for [`Rejection::QueueFull`]) may simply be
+/// resubmitted after backing off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// The bounded admission queue is at capacity; retry after the hinted
+    /// backoff instead of buffering unboundedly.
+    QueueFull {
+        /// The queue capacity that was hit.
+        capacity: usize,
+        /// Suggested client backoff before resubmitting, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The connection spent its per-client request quota.
+    QuotaExhausted {
+        /// The quota that was exhausted.
+        limit: u64,
+    },
+    /// The server is draining (or already shut down): admission is closed
+    /// and no new request will be accepted.
+    Draining,
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejection::QueueFull {
+                capacity,
+                retry_after_ms,
+            } => write!(
+                f,
+                "admission queue full (capacity {capacity}); retry after {retry_after_ms} ms"
+            ),
+            Rejection::QuotaExhausted { limit } => {
+                write!(f, "per-client request quota exhausted (limit {limit})")
+            }
+            Rejection::Draining => write!(f, "server is draining; admission closed"),
+        }
+    }
+}
+
+impl std::error::Error for Rejection {}
+
+/// A network-layer failure, typed so remote consumers can distinguish
+/// transport faults from protocol faults from remote verdicts.
+///
+/// Socket errors are captured as [`std::io::ErrorKind`] plus a detail
+/// string (not the unclonable [`std::io::Error`] itself), keeping
+/// [`EngineError`]'s `Clone + PartialEq` contract intact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A socket-level I/O failure (connect, read, write, shutdown).
+    Io {
+        /// The [`std::io::ErrorKind`] of the underlying failure.
+        kind: std::io::ErrorKind,
+        /// Human-readable detail (operation + OS message).
+        detail: String,
+    },
+    /// The byte stream violated the frame envelope; the leaf
+    /// [`FrameError`] stays reachable through `source()`.
+    Frame(FrameError),
+    /// The frame payload was well-framed but not a valid wire message.
+    Decode(String),
+    /// The peer answered with a message that is valid on the wire but
+    /// impossible in the current protocol state (e.g. a response kind
+    /// that does not match the request).
+    Protocol(String),
+    /// The remote server reported a request failure; `kind` is the remote
+    /// [`EngineError`] variant name, `message` its rendered text.
+    Remote {
+        /// Remote error classification (variant name).
+        kind: String,
+        /// Remote error text.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io { kind, detail } => write!(f, "socket error ({kind:?}): {detail}"),
+            NetError::Frame(e) => write!(f, "frame error: {e}"),
+            NetError::Decode(msg) => write!(f, "wire decode error: {msg}"),
+            NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            NetError::Remote { kind, message } => {
+                write!(f, "remote error [{kind}]: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl NetError {
+    /// Captures a socket failure as a clonable, comparable value.
+    #[must_use]
+    pub fn io(operation: &str, error: &std::io::Error) -> NetError {
+        NetError::Io {
+            kind: error.kind(),
+            detail: format!("{operation}: {error}"),
+        }
+    }
+}
+
+/// A violation of the length-prefixed frame envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The 4-byte magic did not match the protocol constant.
+    BadMagic([u8; 4]),
+    /// The peer speaks a frame-envelope version this build does not.
+    UnsupportedVersion(u16),
+    /// The declared payload length exceeds the configured maximum.
+    Oversized {
+        /// Declared payload length, bytes.
+        len: u32,
+        /// Configured maximum payload length, bytes.
+        max: u32,
+    },
+    /// The stream ended mid-frame (mid-header or mid-payload).
+    Truncated {
+        /// Bytes the frame still owed when the stream ended.
+        expected: usize,
+        /// Bytes actually received for that section.
+        got: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic(magic) => write!(f, "bad frame magic {magic:02x?}"),
+            FrameError::UnsupportedVersion(v) => write!(f, "unsupported frame version {v}"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Truncated { expected, got } => {
+                write!(f, "stream truncated mid-frame ({got} of {expected} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -43,6 +206,8 @@ impl fmt::Display for EngineError {
             EngineError::Pq(e) => write!(f, "pq error: {e}"),
             EngineError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             EngineError::Serve(msg) => write!(f, "serving error: {msg}"),
+            EngineError::Rejected(r) => write!(f, "request rejected: {r}"),
+            EngineError::Net(e) => write!(f, "network error: {e}"),
         }
     }
 }
@@ -54,6 +219,8 @@ impl std::error::Error for EngineError {
             EngineError::Gemm(e) => Some(e),
             EngineError::Sim(e) => Some(e),
             EngineError::Pq(e) => Some(e),
+            EngineError::Rejected(r) => Some(r),
+            EngineError::Net(e) => Some(e),
             EngineError::InvalidRequest(_) | EngineError::Serve(_) => None,
         }
     }
@@ -80,6 +247,24 @@ impl From<SimError> for EngineError {
 impl From<PqError> for EngineError {
     fn from(e: PqError) -> Self {
         EngineError::Pq(e)
+    }
+}
+
+impl From<NetError> for EngineError {
+    fn from(e: NetError) -> Self {
+        EngineError::Net(e)
+    }
+}
+
+impl From<FrameError> for EngineError {
+    fn from(e: FrameError) -> Self {
+        EngineError::Net(NetError::Frame(e))
+    }
+}
+
+impl From<Rejection> for EngineError {
+    fn from(r: Rejection) -> Self {
+        EngineError::Rejected(r)
     }
 }
 
@@ -114,7 +299,9 @@ mod tests {
             EngineError::from(SimError::InvalidConfig("x".to_owned())),
             EngineError::from(PqError::InvalidConfig("y")),
             EngineError::InvalidRequest("empty batch".to_owned()),
-            EngineError::Serve("server is shut down".to_owned()),
+            EngineError::Serve("worker panicked".to_owned()),
+            EngineError::Rejected(Rejection::Draining),
+            EngineError::from(NetError::Decode("not a request".to_owned())),
         ];
         let mut rendered: Vec<String> = errors.iter().map(ToString::to_string).collect();
         assert!(rendered.iter().all(|s| !s.is_empty()));
@@ -127,5 +314,60 @@ mod tests {
     fn invalid_request_has_no_source() {
         assert!(EngineError::InvalidRequest("x".into()).source().is_none());
         assert!(EngineError::Serve("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn net_errors_chain_down_to_the_frame_leaf() {
+        // Three-level chain: EngineError -> NetError -> FrameError.
+        let frame = FrameError::Truncated {
+            expected: 12,
+            got: 3,
+        };
+        let wrapped = EngineError::from(frame);
+        assert_eq!(wrapped, EngineError::Net(NetError::Frame(frame)));
+        let mid = wrapped.source().expect("net source");
+        assert_eq!(mid.to_string(), NetError::Frame(frame).to_string());
+        let leaf = mid.source().expect("frame leaf below net");
+        assert_eq!(leaf.to_string(), frame.to_string());
+
+        // Socket capture is clonable/comparable and keeps the ErrorKind.
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "no listener");
+        let net = NetError::io("connect", &io);
+        assert_eq!(net.clone(), net);
+        assert!(matches!(
+            net,
+            NetError::Io {
+                kind: std::io::ErrorKind::ConnectionRefused,
+                ..
+            }
+        ));
+        assert!(net.to_string().contains("connect"));
+    }
+
+    #[test]
+    fn rejections_are_typed_and_chained() {
+        let rejected = EngineError::from(Rejection::QueueFull {
+            capacity: 8,
+            retry_after_ms: 25,
+        });
+        let source = rejected.source().expect("rejection source");
+        assert!(source.to_string().contains("capacity 8"));
+        assert!(source.to_string().contains("25 ms"));
+        let quota = EngineError::Rejected(Rejection::QuotaExhausted { limit: 4 });
+        assert!(quota.to_string().contains("limit 4"));
+        // Every frame violation renders distinctly.
+        let frames = [
+            FrameError::BadMagic(*b"HTTP"),
+            FrameError::UnsupportedVersion(9),
+            FrameError::Oversized { len: 10, max: 4 },
+            FrameError::Truncated {
+                expected: 8,
+                got: 1,
+            },
+        ];
+        let mut rendered: Vec<String> = frames.iter().map(ToString::to_string).collect();
+        rendered.sort();
+        rendered.dedup();
+        assert_eq!(rendered.len(), frames.len());
     }
 }

@@ -61,10 +61,12 @@ pub mod serve;
 pub mod traffic;
 
 pub use cache::{CacheOutcome, CacheStats, LutKey};
-pub use error::EngineError;
+pub use error::{EngineError, FrameError, NetError, Rejection};
 pub use request::{BatchGemmRequest, GemmRequest, InferenceRequest, PlanPin};
 pub use response::{picojoules, BatchGemmResponse, GemmResponse, InferenceResponse};
-pub use serve::{ServeConfig, ServeReport, ServeSummary, Server, Ticket};
+pub use serve::{
+    ServeConfig, ServeConfigBuilder, ServeRecorder, ServeReport, ServeSummary, Server, Ticket,
+};
 pub use traffic::{Mix, TrafficConfig, TrafficRequest};
 
 use cache::LutCache;

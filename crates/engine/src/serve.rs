@@ -65,7 +65,7 @@ use crate::response::{GemmResponse, InferenceResponse};
 // entries are whole jobs), so a worker that panicked while holding a lock
 // must not wedge every other client.
 use crate::lock_recover as lock;
-use crate::{BatchGemmRequest, Engine, EngineError};
+use crate::{BatchGemmRequest, Engine, EngineError, Rejection};
 use localut::Method;
 use pim_sim::Stats;
 use std::collections::VecDeque;
@@ -75,17 +75,78 @@ use std::thread::JoinHandle;
 
 use crate::traffic::TrafficRequest;
 
-/// Configures a [`Server`]'s worker pool and batching policy.
-#[derive(Debug, Clone)]
+/// Backoff hint carried by [`Rejection::QueueFull`] rejections from this
+/// scheduler, in milliseconds.
+pub const RETRY_AFTER_MS: u64 = 25;
+
+/// Configures a [`Server`]'s worker pool, batching policy, and admission
+/// limits.
+///
+/// Constructed through the validating [`ServeConfig::builder`] (mirroring
+/// [`crate::EngineBuilder`]) — invalid knob combinations are typed
+/// [`EngineError::InvalidRequest`]s at build time, never silent clamps:
+///
+/// ```
+/// use engine::serve::ServeConfig;
+///
+/// let config = ServeConfig::builder()
+///     .workers(4)
+///     .max_batch(8)
+///     .queue_cap(64)
+///     .quota(1_000)
+///     .build()
+///     .expect("valid");
+/// assert_eq!(config.workers(), 4);
+/// assert!(ServeConfig::builder().workers(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Scheduler worker threads draining the admission queue (clamped to
-    /// at least 1). Each worker serves one dispatch at a time; the
-    /// engine's own pool parallelism applies inside a dispatch.
-    pub workers: usize,
+    workers: usize,
+    max_batch: usize,
+    queue_cap: Option<usize>,
+    quota: Option<u64>,
+}
+
+impl ServeConfig {
+    /// A builder seeded with the default configuration.
+    #[must_use]
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::default(),
+        }
+    }
+
+    /// Scheduler worker threads draining the admission queue. Each worker
+    /// serves one dispatch at a time; the engine's own pool parallelism
+    /// applies inside a dispatch.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
     /// Upper bound on how many compatible GEMM requests one dispatch may
-    /// coalesce into a dynamic batch (clamped to at least 1; 1 disables
-    /// coalescing).
-    pub max_batch: usize,
+    /// coalesce into a dynamic batch (1 disables coalescing).
+    #[must_use]
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Admission-queue capacity. `None` (the default) leaves admission
+    /// unbounded; `Some(cap)` makes submission beyond `cap` queued jobs
+    /// resolve immediately to [`Rejection::QueueFull`] — explicit
+    /// backpressure instead of unbounded buffering.
+    #[must_use]
+    pub fn queue_cap(&self) -> Option<usize> {
+        self.queue_cap
+    }
+
+    /// Per-client request quota. The scheduler itself has no client
+    /// identity, so this knob is enforced by connection-owning front-ends
+    /// (the `netserve` crate's TCP server applies it per connection).
+    #[must_use]
+    pub fn quota(&self) -> Option<u64> {
+        self.quota
+    }
 }
 
 impl Default for ServeConfig {
@@ -93,7 +154,77 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 2,
             max_batch: 8,
+            queue_cap: None,
+            quota: None,
         }
+    }
+}
+
+/// Validating builder for [`ServeConfig`]; see [`ServeConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the scheduler worker count (must be ≥ 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the dynamic-batch coalescing bound (must be ≥ 1; 1 disables
+    /// coalescing).
+    #[must_use]
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// Bounds the admission queue (must be ≥ 1 when set).
+    #[must_use]
+    pub fn queue_cap(mut self, queue_cap: usize) -> Self {
+        self.config.queue_cap = Some(queue_cap);
+        self
+    }
+
+    /// Sets the per-client request quota (must be ≥ 1 when set).
+    #[must_use]
+    pub fn quota(mut self, quota: u64) -> Self {
+        self.config.quota = Some(quota);
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] when `workers` or `max_batch` is 0,
+    /// or a set `queue_cap`/`quota` is 0.
+    pub fn build(self) -> Result<ServeConfig, EngineError> {
+        let c = &self.config;
+        if c.workers == 0 {
+            return Err(EngineError::InvalidRequest(
+                "ServeConfig workers must be at least 1".to_owned(),
+            ));
+        }
+        if c.max_batch == 0 {
+            return Err(EngineError::InvalidRequest(
+                "ServeConfig max_batch must be at least 1 (1 disables coalescing)".to_owned(),
+            ));
+        }
+        if c.queue_cap == Some(0) {
+            return Err(EngineError::InvalidRequest(
+                "ServeConfig queue_cap must be at least 1 when bounded".to_owned(),
+            ));
+        }
+        if c.quota == Some(0) {
+            return Err(EngineError::InvalidRequest(
+                "ServeConfig quota must be at least 1 when set".to_owned(),
+            ));
+        }
+        Ok(self.config)
     }
 }
 
@@ -170,9 +301,10 @@ impl<T> Ticket<T> {
     ///
     /// # Errors
     ///
-    /// The request's own [`EngineError`], [`EngineError::Serve`] when the
-    /// server was already shut down at submission or the serving worker
-    /// panicked mid-request.
+    /// The request's own [`EngineError`]; [`EngineError::Rejected`] when
+    /// admission declined the request (server draining, bounded queue
+    /// full); [`EngineError::Serve`] when the serving worker panicked
+    /// mid-request.
     pub fn wait(self) -> Result<T, EngineError> {
         let mut slot = lock(&self.cell.slot);
         loop {
@@ -223,11 +355,12 @@ struct Queue {
     open: bool,
 }
 
-/// Per-request accounting shared by the concurrent server and the serial
-/// replay — the *same* code computes both sides of the determinism
+/// Per-request accounting shared by the concurrent server, the serial
+/// replay, and remote clients reconstructing a summary from wire
+/// responses — the *same* code computes every side of the determinism
 /// invariant.
-#[derive(Debug, Default)]
-struct Recorder {
+#[derive(Debug, Default, Clone)]
+pub struct ServeRecorder {
     stats: Stats,
     energy_pj: u128,
     gemm_requests: u64,
@@ -237,33 +370,69 @@ struct Recorder {
     checksums: Vec<u64>,
 }
 
-impl Recorder {
-    fn record_gemm(&mut self, result: &Result<GemmResponse, EngineError>) {
+impl ServeRecorder {
+    /// A fresh recorder (the identity: `summary()` of it is all-zero).
+    #[must_use]
+    pub fn new() -> ServeRecorder {
+        ServeRecorder::default()
+    }
+
+    /// Records one GEMM verdict.
+    pub fn record_gemm(&mut self, result: &Result<GemmResponse, EngineError>) {
         match result {
-            Ok(response) => {
-                self.stats.merge(&response.stats);
-                self.energy_pj += response.energy_pj;
-                self.gemm_requests += 1;
-                self.latencies.push(gemm_latency_femtos(response));
-                self.checksums.push(response.checksum);
-            }
-            Err(_) => self.failed_requests += 1,
+            Ok(response) => self.record_gemm_parts(
+                &response.stats,
+                response.energy_pj,
+                gemm_latency_femtos(response),
+                response.checksum,
+            ),
+            Err(_) => self.record_failure(),
         }
     }
 
-    fn record_infer(&mut self, result: &Result<InferenceResponse, EngineError>) {
+    /// Records a successful GEMM from its deterministic parts — what a
+    /// remote client extracts from a wire response. In-process recording
+    /// routes through this same method, so the two sides cannot drift.
+    pub fn record_gemm_parts(
+        &mut self,
+        stats: &Stats,
+        energy_pj: u128,
+        latency_femtos: u128,
+        checksum: u64,
+    ) {
+        self.stats.merge(stats);
+        self.energy_pj += energy_pj;
+        self.gemm_requests += 1;
+        self.latencies.push(latency_femtos);
+        self.checksums.push(checksum);
+    }
+
+    /// Records one inference verdict.
+    pub fn record_infer(&mut self, result: &Result<InferenceResponse, EngineError>) {
         match result {
-            Ok(response) => {
-                self.stats.merge(&response.stats);
-                self.energy_pj += response.energy_pj;
-                self.infer_requests += 1;
-                self.latencies.push(response.stats.snapshot().total_femtos);
-            }
-            Err(_) => self.failed_requests += 1,
+            Ok(response) => self.record_infer_parts(&response.stats, response.energy_pj),
+            Err(_) => self.record_failure(),
         }
     }
 
-    fn summary(&self) -> ServeSummary {
+    /// Records a successful inference from its deterministic parts (the
+    /// latency is the request's own merged simulated time, derived here
+    /// so every recording path agrees).
+    pub fn record_infer_parts(&mut self, stats: &Stats, energy_pj: u128) {
+        self.stats.merge(stats);
+        self.energy_pj += energy_pj;
+        self.infer_requests += 1;
+        self.latencies.push(stats.snapshot().total_femtos);
+    }
+
+    /// Records a failed request of either kind.
+    pub fn record_failure(&mut self) {
+        self.failed_requests += 1;
+    }
+
+    /// The deterministic summary of everything recorded so far.
+    #[must_use]
+    pub fn summary(&self) -> ServeSummary {
         let mut checksums = self.checksums.clone();
         checksums.sort_unstable();
         ServeSummary {
@@ -282,7 +451,8 @@ impl Recorder {
 /// A GEMM request's simulated latency: the critical path across its bank
 /// shards in integer femtoseconds (banks execute concurrently on the
 /// modeled hardware, so the slowest shard bounds the response time).
-fn gemm_latency_femtos(response: &GemmResponse) -> u128 {
+#[must_use]
+pub fn gemm_latency_femtos(response: &GemmResponse) -> u128 {
     response
         .per_bank
         .iter()
@@ -391,7 +561,7 @@ pub struct ServeReport {
 
 #[derive(Debug, Default)]
 struct Metrics {
-    recorder: Recorder,
+    recorder: ServeRecorder,
     dispatches: u64,
     coalesced_requests: u64,
     largest_batch: u64,
@@ -403,6 +573,7 @@ struct Shared {
     admit: Condvar,
     metrics: Mutex<Metrics>,
     max_batch: usize,
+    queue_cap: Option<usize>,
 }
 
 impl Shared {
@@ -435,8 +606,10 @@ impl std::fmt::Debug for Shared {
 }
 
 impl Server {
-    /// Starts a server over `engine` with `config.workers` scheduler
-    /// threads.
+    /// Starts a server over `engine` with `config.workers()` scheduler
+    /// threads. The configuration arrives pre-validated (only
+    /// [`ServeConfig::builder`] and `Default` can construct one), so
+    /// there are no silent clamps here.
     #[must_use]
     pub fn start(engine: Arc<Engine>, config: &ServeConfig) -> Server {
         let shared = Arc::new(Shared {
@@ -447,9 +620,10 @@ impl Server {
             }),
             admit: Condvar::new(),
             metrics: Mutex::new(Metrics::default()),
-            max_batch: config.max_batch.max(1),
+            max_batch: config.max_batch(),
+            queue_cap: config.queue_cap(),
         });
-        let workers = (0..config.workers.max(1))
+        let workers = (0..config.workers())
             .map(|i| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
@@ -476,7 +650,8 @@ impl Server {
     /// Enqueues one GEMM request; the ticket resolves when a worker has
     /// served it (solo or inside a coalesced batch — bitwise the same).
     /// After [`Server::join`] the ticket resolves immediately to
-    /// [`EngineError::Serve`].
+    /// [`Rejection::Draining`]; when a bounded queue is at capacity it
+    /// resolves immediately to [`Rejection::QueueFull`].
     pub fn submit_gemm(&self, request: GemmRequest) -> Ticket<GemmResponse> {
         let cell = Arc::new(TicketCell::new());
         self.enqueue(Job::Gemm(Box::new(request), cell.clone()), &cell);
@@ -493,16 +668,27 @@ impl Server {
 
     fn enqueue<T>(&self, job: Job, cell: &TicketCell<T>) {
         let mut queue = lock(&self.shared.queue);
-        if queue.open {
-            queue.jobs.push_back(job);
+        if !queue.open {
             drop(queue);
-            self.shared.admit.notify_one();
-        } else {
-            drop(queue);
-            cell.fulfill(Err(EngineError::Serve(
-                "server is shut down; request rejected".to_owned(),
-            )));
+            cell.fulfill(Err(EngineError::Rejected(Rejection::Draining)));
+            return;
         }
+        // Bounded admission: a full queue rejects immediately with a
+        // typed, retry-after-hinted verdict — the ticket never blocks and
+        // the queue never grows past its cap.
+        if let Some(cap) = self.shared.queue_cap {
+            if queue.jobs.len() >= cap {
+                drop(queue);
+                cell.fulfill(Err(EngineError::Rejected(Rejection::QueueFull {
+                    capacity: cap,
+                    retry_after_ms: RETRY_AFTER_MS,
+                })));
+                return;
+            }
+        }
+        queue.jobs.push_back(job);
+        drop(queue);
+        self.shared.admit.notify_one();
     }
 
     /// A point-in-time deterministic summary of everything served so far.
@@ -701,7 +887,7 @@ pub fn drive_client(server: &Server, log: Vec<TrafficRequest>, mode: ArrivalMode
 /// reference side of the determinism invariant.
 #[must_use]
 pub fn replay_serial(engine: &Engine, log: &[TrafficRequest]) -> ServeSummary {
-    let mut recorder = Recorder::default();
+    let mut recorder = ServeRecorder::new();
     for request in log {
         match request {
             TrafficRequest::Gemm(r) => recorder.record_gemm(&engine.submit(r)),
@@ -757,10 +943,11 @@ mod tests {
         let serial = replay_serial(&engine, &full_log(&traffic));
         let server = Server::start(
             engine.clone(),
-            &ServeConfig {
-                workers: 1,
-                max_batch: 4,
-            },
+            &ServeConfig::builder()
+                .workers(1)
+                .max_batch(4)
+                .build()
+                .expect("valid"),
         );
         for client in 0..traffic.clients {
             assert_eq!(
@@ -782,10 +969,11 @@ mod tests {
         // guarantees a coalescing opportunity once the worker wakes.
         let server = Server::start(
             engine,
-            &ServeConfig {
-                workers: 1,
-                max_batch: 8,
-            },
+            &ServeConfig::builder()
+                .workers(1)
+                .max_batch(8)
+                .build()
+                .expect("valid"),
         );
         let tickets: Vec<_> = (0..6).map(|i| server.submit_gemm(small_gemm(i))).collect();
         let solo: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
@@ -825,10 +1013,11 @@ mod tests {
         let engine = Arc::new(Engine::builder().threads(1).banks(2).build());
         let server = Server::start(
             engine,
-            &ServeConfig {
-                workers: 1,
-                max_batch: 8,
-            },
+            &ServeConfig::builder()
+                .workers(1)
+                .max_batch(8)
+                .build()
+                .expect("valid"),
         );
         // Same compat key (engine-default method/banks, no pin) so the bad
         // request coalesces with the good ones and fails the batch.
@@ -857,16 +1046,101 @@ mod tests {
         let _ = server.join();
         let server = Server::start(
             engine,
-            &ServeConfig {
-                workers: 1,
-                max_batch: 1,
-            },
+            &ServeConfig::builder()
+                .workers(1)
+                .max_batch(1)
+                .build()
+                .expect("valid"),
         );
         // Simulate a post-shutdown submission by closing the queue first.
         lock(&server.shared.queue).open = false;
         let ticket = server.submit_gemm(small_gemm(3));
         assert!(ticket.is_ready());
-        assert!(matches!(ticket.wait(), Err(EngineError::Serve(_))));
+        assert!(matches!(
+            ticket.wait(),
+            Err(EngineError::Rejected(Rejection::Draining))
+        ));
+    }
+
+    #[test]
+    fn builder_validates_every_knob() {
+        assert!(ServeConfig::builder().build().is_ok());
+        for bad in [
+            ServeConfig::builder().workers(0),
+            ServeConfig::builder().max_batch(0),
+            ServeConfig::builder().queue_cap(0),
+            ServeConfig::builder().quota(0),
+        ] {
+            assert!(matches!(bad.build(), Err(EngineError::InvalidRequest(_))));
+        }
+        let config = ServeConfig::builder()
+            .workers(3)
+            .max_batch(2)
+            .queue_cap(16)
+            .quota(9)
+            .build()
+            .unwrap();
+        assert_eq!(
+            (
+                config.workers(),
+                config.max_batch(),
+                config.queue_cap(),
+                config.quota()
+            ),
+            (3, 2, Some(16), Some(9))
+        );
+        // The default is itself a valid configuration with no limits.
+        assert_eq!(ServeConfig::default().queue_cap(), None);
+        assert_eq!(ServeConfig::default().quota(), None);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_with_typed_backpressure() {
+        let engine = Arc::new(Engine::builder().threads(1).banks(2).build());
+        let server = Server::start(
+            engine,
+            &ServeConfig::builder()
+                .workers(1)
+                .max_batch(1)
+                .queue_cap(1)
+                .build()
+                .expect("valid"),
+        );
+        // Hold the single worker on a slow request, then overfill the
+        // 1-deep queue: beyond-capacity tickets must resolve *immediately*
+        // (no hang, no unbounded buffering) to a QueueFull rejection
+        // carrying the capacity and a retry hint.
+        let slow = GemmRequest::new(
+            QMatrix::pseudo_random(256, 96, NumericFormat::Bipolar, 1),
+            QMatrix::pseudo_random(96, 64, NumericFormat::Int(3), 2),
+        )
+        .with_banks(2);
+        let head = server.submit_gemm(slow);
+        let burst: Vec<_> = (0..32).map(|i| server.submit_gemm(small_gemm(i))).collect();
+        let mut rejected = 0;
+        let mut served = 0;
+        for ticket in burst {
+            match ticket.wait() {
+                Err(EngineError::Rejected(Rejection::QueueFull {
+                    capacity,
+                    retry_after_ms,
+                })) => {
+                    assert_eq!(capacity, 1);
+                    assert_eq!(retry_after_ms, RETRY_AFTER_MS);
+                    rejected += 1;
+                }
+                Ok(_) => served += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(head.wait().is_ok());
+        // With a 1-deep queue and a busy worker, the 32-deep burst cannot
+        // be admitted wholesale; rejections are the backpressure signal.
+        assert!(rejected > 0, "no backpressure on an overfilled queue");
+        let report = server.join();
+        assert_eq!(report.summary.gemm_requests, served + 1);
+        // Rejected submissions never executed and are not failures.
+        assert_eq!(report.summary.failed_requests, 0);
     }
 
     #[test]

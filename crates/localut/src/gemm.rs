@@ -136,6 +136,32 @@ impl Method {
             Method::LoCaLut => "LoCaLUT",
         }
     }
+
+    /// The canonical machine-readable token (`naive`, `ltc`, `op`,
+    /// `oplc`, `oplcrc`, `localut`) — what CLI flags and wire encodings
+    /// carry; the inverse of [`Method::from_str`](core::str::FromStr).
+    #[must_use]
+    pub fn flag_name(self) -> &'static str {
+        match self {
+            Method::NaivePim => "naive",
+            Method::Ltc => "ltc",
+            Method::Op => "op",
+            Method::OpLc => "oplc",
+            Method::OpLcRc => "oplcrc",
+            Method::LoCaLut => "localut",
+        }
+    }
+}
+
+impl core::str::FromStr for Method {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Method::ALL
+            .into_iter()
+            .find(|m| m.flag_name() == s)
+            .ok_or_else(|| format!("unknown method '{s}' (naive|ltc|op|oplc|oplcrc|localut)"))
+    }
 }
 
 impl core::fmt::Display for Method {
@@ -250,6 +276,14 @@ mod tests {
             .quantize_matrix(&[3.0, -3.0, 1.0, 0.0, -2.0, 2.0], 3, 2)
             .unwrap();
         (w, a)
+    }
+
+    #[test]
+    fn method_flag_names_roundtrip() {
+        for method in Method::ALL {
+            assert_eq!(method.flag_name().parse::<Method>().unwrap(), method);
+        }
+        assert!("turbo".parse::<Method>().is_err());
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! The blocking TCP client for the network serving front-end.
+//!
+//! [`NetClient`] speaks one frame per message over a plain
+//! `std::net::TcpStream`. The typed convenience calls ([`NetClient::gemm`],
+//! [`NetClient::infer`]) map wire-level outcomes back onto the same
+//! [`EngineError`] surface the in-process API raises: a typed rejection
+//! becomes [`EngineError::Rejected`] (so backpressure stays matchable),
+//! a server-side failure becomes [`engine::NetError::Remote`] carrying
+//! the original variant name, and transport faults chain through
+//! [`engine::NetError::Io`]/[`engine::NetError::Frame`].
+//!
+//! Requests can also be pipelined: [`NetClient::send`] any number of
+//! frames, then [`NetClient::recv`] responses in order — the server
+//! answers strictly in per-connection request order.
+
+use crate::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
+use crate::wire::{self, WireGemmResponse, WireInferResponse, WireRequest, WireResponse};
+use engine::{EngineError, GemmRequest, InferenceRequest, NetError, Rejection, ServeSummary};
+use std::io::ErrorKind;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connection to a [`crate::server::NetServer`].
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    max_payload: u32,
+}
+
+impl NetClient {
+    /// Connects to a serving daemon.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Net`] on connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient, EngineError> {
+        let stream = TcpStream::connect(addr).map_err(|e| NetError::io("connect", &e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| NetError::io("set nodelay", &e))?;
+        Ok(NetClient {
+            stream,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        })
+    }
+
+    /// Overrides the response payload cap (default 16 MiB).
+    #[must_use]
+    pub fn with_max_payload(mut self, max_payload: u32) -> Self {
+        self.max_payload = max_payload;
+        self
+    }
+
+    /// Sends one request frame without waiting for the response
+    /// (pipelining half; pair with [`NetClient::recv`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Net`] on transport failure.
+    pub fn send(&mut self, request: &WireRequest) -> Result<(), EngineError> {
+        write_frame(&mut self.stream, wire::encode_request(request).as_bytes())?;
+        Ok(())
+    }
+
+    /// Receives the next response frame (pipelining half).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Net`]: decode errors, transport faults, or an
+    /// unexpected close (`Io` with [`ErrorKind::UnexpectedEof`]) when the
+    /// server hung up with responses still owed.
+    pub fn recv(&mut self) -> Result<WireResponse, EngineError> {
+        match read_frame(&mut self.stream, self.max_payload)? {
+            Some(payload) => Ok(wire::decode_response(&payload)?),
+            None => Err(NetError::Io {
+                kind: ErrorKind::UnexpectedEof,
+                detail: "server closed the connection before responding".to_owned(),
+            }
+            .into()),
+        }
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::send`] and [`NetClient::recv`].
+    pub fn call(&mut self, request: &WireRequest) -> Result<WireResponse, EngineError> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Executes one GEMM remotely — the network twin of
+    /// [`engine::Engine::submit`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Rejected`] for typed backpressure (retryable where
+    /// the variant says so); [`EngineError::Net`] with
+    /// [`NetError::Remote`] when the server-side execution failed;
+    /// transport/decode errors as usual.
+    pub fn gemm(&mut self, request: &GemmRequest) -> Result<WireGemmResponse, EngineError> {
+        match self.call(&WireRequest::Gemm(request.clone()))? {
+            WireResponse::Gemm(g) => Ok(g),
+            other => Err(unexpected(other, "gemm")),
+        }
+    }
+
+    /// Executes one GEMM, retrying typed [`Rejection::QueueFull`]
+    /// backpressure with the server-suggested delay, up to `attempts`
+    /// tries total. Other outcomes (including other rejections) return
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::gemm`]; a final `QueueFull` after the last attempt
+    /// is returned as-is.
+    pub fn gemm_with_retry(
+        &mut self,
+        request: &GemmRequest,
+        attempts: u32,
+    ) -> Result<WireGemmResponse, EngineError> {
+        retry(attempts, |_| self.gemm(request))
+    }
+
+    /// Executes one inference request remotely — the network twin of
+    /// [`engine::Engine::infer`].
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::gemm`].
+    pub fn infer(&mut self, request: &InferenceRequest) -> Result<WireInferResponse, EngineError> {
+        match self.call(&WireRequest::Infer(request.clone()))? {
+            WireResponse::Infer(i) => Ok(i),
+            other => Err(unexpected(other, "infer")),
+        }
+    }
+
+    /// Inference with the same `QueueFull` retry policy as
+    /// [`NetClient::gemm_with_retry`].
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::infer`].
+    pub fn infer_with_retry(
+        &mut self,
+        request: &InferenceRequest,
+        attempts: u32,
+    ) -> Result<WireInferResponse, EngineError> {
+        retry(attempts, |_| self.infer(request))
+    }
+
+    /// Liveness probe; returns how many requests this connection has had
+    /// admitted.
+    ///
+    /// # Errors
+    ///
+    /// Transport/decode errors.
+    pub fn ping(&mut self) -> Result<u64, EngineError> {
+        match self.call(&WireRequest::Ping)? {
+            WireResponse::Pong { served } => Ok(served),
+            other => Err(unexpected(other, "ping")),
+        }
+    }
+
+    /// Asks the server to drain and returns its summary at that moment.
+    /// The server stops accepting, flushes every in-flight ticket, and
+    /// exits; this connection is closed afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Transport/decode errors.
+    pub fn drain(&mut self) -> Result<ServeSummary, EngineError> {
+        match self.call(&WireRequest::Drain)? {
+            WireResponse::Drained(summary) => Ok(*summary),
+            other => Err(unexpected(other, "drain")),
+        }
+    }
+}
+
+fn unexpected(response: WireResponse, verb: &str) -> EngineError {
+    let kind = match response {
+        WireResponse::Rejected(r) => return EngineError::Rejected(r),
+        WireResponse::Error { kind, message } => return NetError::Remote { kind, message }.into(),
+        WireResponse::Gemm(_) => "gemm",
+        WireResponse::Infer(_) => "infer",
+        WireResponse::Pong { .. } => "pong",
+        WireResponse::Drained(_) => "drained",
+    };
+    NetError::Protocol(format!("unexpected response to '{verb}': {kind}")).into()
+}
+
+/// Runs `attempt` up to `attempts` times, sleeping the server-suggested
+/// `retry_after_ms` between `QueueFull` rejections.
+fn retry<T>(
+    attempts: u32,
+    mut attempt: impl FnMut(u32) -> Result<T, EngineError>,
+) -> Result<T, EngineError> {
+    let attempts = attempts.max(1);
+    let mut tried = 0;
+    loop {
+        match attempt(tried) {
+            Err(EngineError::Rejected(Rejection::QueueFull { retry_after_ms, .. }))
+                if tried + 1 < attempts =>
+            {
+                std::thread::sleep(Duration::from_millis(retry_after_ms));
+                tried += 1;
+            }
+            other => return other,
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! The length-prefixed frame envelope every wire message travels in.
+//!
+//! A frame is a fixed 12-byte header followed by the payload bytes
+//! (compact JSON, see [`crate::wire`]):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic     b"LCNS"
+//!      4     2  version   big-endian u16, currently 1
+//!      6     2  reserved  must be 0
+//!      8     4  length    big-endian u32 payload byte count
+//!     12     n  payload
+//! ```
+//!
+//! Every malformation maps to a typed [`FrameError`] leaf chained under
+//! [`NetError::Frame`]: wrong magic, unknown version, a length above the
+//! receiver's cap ([`FrameError::Oversized`] — checked *before* any
+//! allocation), and EOF mid-header or mid-payload
+//! ([`FrameError::Truncated`]). EOF *between* frames is not an error; it
+//! is the normal way a peer closes.
+//!
+//! [`FrameReader`] is a resumable state machine so the server can read
+//! with a socket timeout and poll its drain flag between `poll` calls
+//! without losing partial progress; on a plain blocking stream,
+//! [`read_frame`] never observes `Pending` and behaves like a simple
+//! blocking read.
+
+use engine::{FrameError, NetError};
+use std::io::{ErrorKind, Read, Write};
+
+/// The four magic bytes opening every frame ("LoCaLUT Net Serve").
+pub const MAGIC: [u8; 4] = *b"LCNS";
+
+/// The frame-envelope version this build speaks.
+pub const VERSION: u16 = 1;
+
+/// Header length in bytes: magic + version + reserved + payload length.
+pub const HEADER_LEN: usize = 12;
+
+/// Default cap on payload size (16 MiB) — a wire GEMM of the traffic
+/// generator's largest shape is under 100 KiB, so this is generous
+/// without letting a hostile length field allocate unboundedly.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// Encodes the header for a payload of `len` bytes.
+#[must_use]
+fn header(len: u32) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..4].copy_from_slice(&MAGIC);
+    h[4..6].copy_from_slice(&VERSION.to_be_bytes());
+    h[8..12].copy_from_slice(&len.to_be_bytes());
+    h
+}
+
+/// Writes one frame (header + payload) to `w`.
+///
+/// # Errors
+///
+/// [`NetError::Protocol`] if the payload exceeds `u32::MAX` bytes;
+/// [`NetError::Io`] on any transport failure.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), NetError> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        NetError::Protocol(format!("payload of {} bytes overflows u32", payload.len()))
+    })?;
+    w.write_all(&header(len))
+        .and_then(|()| w.write_all(payload))
+        .and_then(|()| w.flush())
+        .map_err(|e| NetError::io("write frame", &e))
+}
+
+/// The outcome of a [`FrameReader::poll`].
+#[derive(Debug)]
+pub enum FramePoll {
+    /// A complete payload arrived.
+    Frame(Vec<u8>),
+    /// The peer closed cleanly at a frame boundary.
+    Closed,
+    /// The read timed out (or would block) — poll again.
+    Pending,
+}
+
+/// Phase of the frame currently being assembled.
+enum Phase {
+    Header,
+    Payload,
+}
+
+/// A resumable frame decoder: feed it a stream repeatedly; partial reads
+/// (timeouts on a socket with `set_read_timeout`) keep their progress.
+pub struct FrameReader {
+    max_payload: u32,
+    phase: Phase,
+    buf: Vec<u8>,
+    got: usize,
+}
+
+impl FrameReader {
+    /// A reader enforcing the given payload cap.
+    #[must_use]
+    pub fn new(max_payload: u32) -> Self {
+        FrameReader {
+            max_payload,
+            phase: Phase::Header,
+            buf: vec![0u8; HEADER_LEN],
+            got: 0,
+        }
+    }
+
+    /// True when a frame is partially assembled — a drain should keep
+    /// reading rather than cut the peer off mid-message.
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        self.got > 0 || matches!(self.phase, Phase::Payload)
+    }
+
+    /// Pumps the reader. Returns [`FramePoll::Frame`] once a whole payload
+    /// is in (the reader resets and can decode the next frame),
+    /// [`FramePoll::Closed`] on EOF at a frame boundary, and
+    /// [`FramePoll::Pending`] when the underlying read timed out.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`NetError`]: [`FrameError`] leaves for bad magic, version,
+    /// oversized length, or mid-frame EOF; [`NetError::Io`] otherwise.
+    pub fn poll(&mut self, r: &mut impl Read) -> Result<FramePoll, NetError> {
+        loop {
+            while self.got < self.buf.len() {
+                match r.read(&mut self.buf[self.got..]) {
+                    Ok(0) => {
+                        return if self.mid_frame() {
+                            let expected = self.buf.len();
+                            let got = self.got;
+                            self.reset();
+                            Err(NetError::Frame(FrameError::Truncated { expected, got }))
+                        } else {
+                            Ok(FramePoll::Closed)
+                        };
+                    }
+                    Ok(n) => self.got += n,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e)
+                        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                    {
+                        return Ok(FramePoll::Pending);
+                    }
+                    Err(e) => return Err(NetError::io("read frame", &e)),
+                }
+            }
+            match self.phase {
+                Phase::Header => {
+                    let len = self.decode_header()?;
+                    if len == 0 {
+                        self.reset();
+                        return Ok(FramePoll::Frame(Vec::new()));
+                    }
+                    self.phase = Phase::Payload;
+                    self.buf = vec![0u8; len as usize];
+                    self.got = 0;
+                }
+                Phase::Payload => {
+                    let payload = std::mem::take(&mut self.buf);
+                    self.reset();
+                    return Ok(FramePoll::Frame(payload));
+                }
+            }
+        }
+    }
+
+    fn decode_header(&self) -> Result<u32, NetError> {
+        let magic: [u8; 4] = self.buf[..4].try_into().expect("4-byte slice");
+        if magic != MAGIC {
+            return Err(NetError::Frame(FrameError::BadMagic(magic)));
+        }
+        let version = u16::from_be_bytes(self.buf[4..6].try_into().expect("2-byte slice"));
+        if version != VERSION {
+            return Err(NetError::Frame(FrameError::UnsupportedVersion(version)));
+        }
+        let len = u32::from_be_bytes(self.buf[8..12].try_into().expect("4-byte slice"));
+        if len > self.max_payload {
+            return Err(NetError::Frame(FrameError::Oversized {
+                len,
+                max: self.max_payload,
+            }));
+        }
+        Ok(len)
+    }
+
+    fn reset(&mut self) {
+        self.phase = Phase::Header;
+        self.buf = vec![0u8; HEADER_LEN];
+        self.got = 0;
+    }
+}
+
+/// Reads one frame from a blocking stream.
+///
+/// Returns `Some(payload)` for a frame, `None` for a clean close.
+///
+/// # Errors
+///
+/// As [`FrameReader::poll`]. A stream with a read timeout configured can
+/// surface spurious timeouts here; this helper loops through them, so use
+/// [`FrameReader`] directly when the timeout must be observable.
+pub fn read_frame(r: &mut impl Read, max_payload: u32) -> Result<Option<Vec<u8>>, NetError> {
+    let mut reader = FrameReader::new(max_payload);
+    loop {
+        match reader.poll(r)? {
+            FramePoll::Frame(payload) => return Ok(Some(payload)),
+            FramePoll::Closed => return Ok(None),
+            FramePoll::Pending => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn framed(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, payload).unwrap();
+        out
+    }
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let mut bytes = framed(b"first");
+        bytes.extend_from_slice(&framed(b""));
+        bytes.extend_from_slice(&framed(b"third"));
+        let mut cursor = Cursor::new(bytes);
+        assert_eq!(
+            read_frame(&mut cursor, 64).unwrap().as_deref(),
+            Some(&b"first"[..])
+        );
+        assert_eq!(
+            read_frame(&mut cursor, 64).unwrap().as_deref(),
+            Some(&b""[..])
+        );
+        assert_eq!(
+            read_frame(&mut cursor, 64).unwrap().as_deref(),
+            Some(&b"third"[..])
+        );
+        // Clean EOF at the boundary is a close, not an error.
+        assert!(read_frame(&mut cursor, 64).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_headers_yield_typed_leaves() {
+        let mut bad_magic = framed(b"x");
+        bad_magic[0] = b'Z';
+        match read_frame(&mut Cursor::new(bad_magic), 64) {
+            Err(NetError::Frame(FrameError::BadMagic(m))) => assert_eq!(&m[1..], b"CNS"),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+
+        let mut bad_version = framed(b"x");
+        bad_version[5] = 9;
+        match read_frame(&mut Cursor::new(bad_version), 64) {
+            Err(NetError::Frame(FrameError::UnsupportedVersion(9))) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        // Header claims 1 GiB; cap is 16 bytes. The reader must refuse
+        // from the header alone (the payload bytes never exist).
+        let mut bytes = header(1 << 30).to_vec();
+        bytes.extend_from_slice(b"tiny");
+        match read_frame(&mut Cursor::new(bytes), 16) {
+            Err(NetError::Frame(FrameError::Oversized { len, max })) => {
+                assert_eq!(len, 1 << 30);
+                assert_eq!(max, 16);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_mid_header_and_mid_payload_is_typed() {
+        let full = framed(b"hello world");
+        for cut in [1, HEADER_LEN - 1, HEADER_LEN + 3] {
+            match read_frame(&mut Cursor::new(full[..cut].to_vec()), 64) {
+                Err(NetError::Frame(FrameError::Truncated { expected, got })) => {
+                    if cut < HEADER_LEN {
+                        assert_eq!((expected, got), (HEADER_LEN, cut));
+                    } else {
+                        assert_eq!((expected, got), (11, cut - HEADER_LEN));
+                    }
+                }
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reader_resumes_across_single_byte_reads() {
+        // A reader that trickles one byte per call exercises every resume
+        // point in the state machine.
+        struct Trickle(Cursor<Vec<u8>>);
+        impl Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let take = 1.min(buf.len());
+                self.0.read(&mut buf[..take])
+            }
+        }
+        let mut t = Trickle(Cursor::new(framed(b"slow")));
+        assert_eq!(
+            read_frame(&mut t, 64).unwrap().as_deref(),
+            Some(&b"slow"[..])
+        );
+    }
+
+    #[test]
+    fn mid_frame_flag_tracks_partial_progress_across_timeouts() {
+        // Yields a fixed chunk, then WouldBlock (a socket read timeout),
+        // so poll() surfaces Pending with the frame half-assembled.
+        struct Chunked {
+            data: Vec<u8>,
+            pos: usize,
+            chunk: usize,
+        }
+        impl Read for Chunked {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.pos >= self.chunk.min(self.data.len()) {
+                    return Err(std::io::Error::from(ErrorKind::WouldBlock));
+                }
+                let end = self.chunk.min(self.data.len());
+                let n = (end - self.pos).min(buf.len());
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+
+        let bytes = framed(b"abc");
+        let mut reader = FrameReader::new(64);
+        assert!(!reader.mid_frame());
+
+        let mut src = Chunked {
+            data: bytes.clone(),
+            pos: 0,
+            chunk: 5, // stalls mid-header
+        };
+        assert!(matches!(reader.poll(&mut src), Ok(FramePoll::Pending)));
+        assert!(reader.mid_frame(), "5 header bytes in: mid-frame");
+
+        src.chunk = bytes.len(); // the rest arrives
+        match reader.poll(&mut src) {
+            Ok(FramePoll::Frame(p)) => assert_eq!(p, b"abc"),
+            other => panic!("expected the completed frame, got {other:?}"),
+        }
+        assert!(!reader.mid_frame(), "reset after yielding the frame");
+    }
+}

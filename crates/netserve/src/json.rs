@@ -1,19 +1,26 @@
-//! A minimal, dependency-free JSON layer for the perf-harness reports.
+//! A minimal, dependency-free JSON layer shared by the perf-harness
+//! reports and the network wire protocol.
 //!
 //! The build environment has no registry access, so there is no `serde`;
-//! `BENCH_*.json` files instead go through this hand-rolled tree. Two
-//! properties matter more than generality:
+//! `BENCH_*.json` files and [`crate::wire`] frame payloads instead go
+//! through this hand-rolled tree (the `bench` crate re-exports this
+//! module, so report code keeps saying `bench::json`). Two properties
+//! matter more than generality:
 //!
 //! * **Deterministic output** — object keys are sorted at write time and
 //!   integers are written as exact decimal digits (`u128`-wide, since the
 //!   simulated-femtosecond ledger is `u128`), so the same report always
 //!   serializes to the same bytes and consecutive baselines diff cleanly.
+//!   Wire payloads use the same writer via [`Json::to_compact`], which is
+//!   what makes a request log replayable bit for bit.
 //! * **Lossless integers** — counters round-trip as integers, never
-//!   through `f64` (which loses precision past 2^53).
+//!   through `f64` (which loses precision past 2^53). Negative integers
+//!   (GEMM output values on the wire) take the [`Json::Int`] path.
 //!
 //! The parser accepts standard JSON (it tolerates unsorted keys and
-//! whitespace); floats and negative numbers parse into [`Json::Float`],
-//! which the report schema does not use but a hand-edited file may contain.
+//! whitespace); fractional or exponent-bearing numbers parse into
+//! [`Json::Float`], which the report schema does not use but a
+//! hand-edited file may contain.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -27,7 +34,10 @@ pub enum Json {
     Bool(bool),
     /// A non-negative integer (the schema's counters and femtoseconds).
     UInt(u128),
-    /// Any other number (negative or fractional).
+    /// A negative integer, exact (wire-encoded GEMM values can be
+    /// negative; they must not detour through `f64`).
+    Int(i128),
+    /// Any other number (fractional or exponent-bearing).
     Float(f64),
     /// A string.
     Str(String),
@@ -62,6 +72,17 @@ impl Json {
         }
     }
 
+    /// The value as a signed integer: [`Json::Int`] directly, or a
+    /// [`Json::UInt`] that fits in `i128`.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Json::Int(v) => Some(*v),
+            Json::UInt(v) => i128::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
     /// The string slice if this is a [`Json::Str`].
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {
@@ -90,11 +111,67 @@ impl Json {
         out
     }
 
+    /// Serializes on a single line with no whitespace — the wire-frame and
+    /// request-log form. Keys are sorted exactly as in [`Json::to_pretty`],
+    /// so compact output is equally deterministic.
+    #[must_use]
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
                 let _ = write!(out, "{v}");
             }
             Json::Float(v) => {
@@ -379,11 +456,13 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| "bad number".to_owned())?;
-        if !is_float && !text.starts_with('-') {
-            return text
-                .parse::<u128>()
-                .map(Json::UInt)
-                .map_err(|_| format!("integer out of range at byte {start}"));
+        if !is_float {
+            return if text.starts_with('-') {
+                text.parse::<i128>().map(Json::Int)
+            } else {
+                text.parse::<u128>().map(Json::UInt)
+            }
+            .map_err(|_| format!("integer out of range at byte {start}"));
         }
         text.parse::<f64>()
             .map(Json::Float)
@@ -445,8 +524,36 @@ mod tests {
         assert_eq!(parsed.get("b").unwrap().as_uint(), Some(2));
         let arr = parsed.get("a").unwrap().as_array().unwrap();
         assert_eq!(arr[0], Json::Float(1.5));
-        assert_eq!(arr[1], Json::Float(-3.0));
+        assert_eq!(arr[1], Json::Int(-3));
         assert_eq!(arr[2], Json::Float(200.0));
+    }
+
+    #[test]
+    fn negative_integers_roundtrip_exactly() {
+        // i128::MIN would corrupt through any f64 path; it must survive.
+        let v = Json::Array(vec![Json::Int(-1), Json::Int(i128::MIN)]);
+        let parsed = Json::parse(&v.to_pretty()).unwrap();
+        assert_eq!(parsed, v);
+        assert_eq!(parsed.as_array().unwrap()[1].as_int(), Some(i128::MIN));
+        // as_int also accepts in-range unsigned values, but not overflow.
+        assert_eq!(Json::UInt(7).as_int(), Some(7));
+        assert_eq!(Json::UInt(u128::MAX).as_int(), None);
+    }
+
+    #[test]
+    fn compact_form_is_single_line_sorted_and_reparses() {
+        let v = Json::object(vec![
+            ("zulu", Json::Array(vec![Json::Int(-2), Json::UInt(3)])),
+            ("alpha", Json::object(vec![("k", Json::Str("v\n".into()))])),
+            ("empty", Json::Array(vec![])),
+        ]);
+        let compact = v.to_compact();
+        assert!(!compact.contains('\n'), "one line only:\n{compact}");
+        assert_eq!(
+            compact,
+            "{\"alpha\":{\"k\":\"v\\n\"},\"empty\":[],\"zulu\":[-2,3]}"
+        );
+        assert_eq!(Json::parse(&compact).unwrap(), v);
     }
 
     #[test]

@@ -1,0 +1,988 @@
+//! Versioned, typed wire DTOs shared by the in-process and network paths.
+//!
+//! [`WireRequest`] and [`WireResponse`] mirror the engine's typed API
+//! ([`GemmRequest`], [`InferenceRequest`] and their responses) so a remote
+//! caller works with exactly the objects an in-process caller does — the
+//! network layer adds an encoding, not a second API. Payloads are compact
+//! JSON ([`crate::json`]) with sorted keys, so encoding is deterministic:
+//! the same request always serializes to the same bytes, which is what
+//! lets the server's request log be both human-greppable and bitwise
+//! replayable.
+//!
+//! Every number that matters is integer-exact on the wire (`u128`
+//! femtoseconds and picojoules, `i32` GEMM values via [`Json::Int`]).
+//! The only floats are model seconds and quantization scales, written in
+//! shortest-roundtrip form (`{:?}`), which re-parses to the identical
+//! bit pattern — so a decoded response compares equal to the original.
+//!
+//! Decoding is strict and total: every malformed payload maps to
+//! [`NetError::Decode`] with a message naming the offending field; an
+//! unknown request/response `kind` or model name is an error, never a
+//! panic or a silent default.
+
+use crate::json::Json;
+use dnn::{ModelConfig, Workload};
+use engine::serve::{gemm_latency_femtos, LatencyDigest};
+use engine::traffic::TrafficRequest;
+use engine::{
+    CacheOutcome, EngineError, GemmRequest, GemmResponse, InferenceRequest, InferenceResponse,
+    NetError, PlanPin, Rejection, ServeRecorder, ServeSummary,
+};
+use localut::plan::Placement;
+use localut::{GemmDims, Method};
+use pim_sim::{Category, CounterSnapshot, Stats};
+use quant::{BitConfig, NumericFormat, QMatrix};
+
+/// Version stamped into every payload (`"v"`); bumped on any schema
+/// change. The frame envelope carries its own version — this one guards
+/// the *DTO* schema, so a logged request stays self-describing.
+pub const WIRE_VERSION: u128 = 1;
+
+/// A request as it travels over the wire — the same typed request the
+/// in-process API takes, plus the two control verbs only a remote caller
+/// needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// Execute one GEMM ([`engine::Engine::submit`] semantics).
+    Gemm(GemmRequest),
+    /// Execute one inference request ([`engine::Engine::infer`] semantics).
+    Infer(InferenceRequest),
+    /// Liveness probe; answered immediately with [`WireResponse::Pong`].
+    Ping,
+    /// Ask the server to drain: stop accepting, flush in-flight tickets,
+    /// exit. Answered with [`WireResponse::Drained`].
+    Drain,
+}
+
+/// The GEMM response fields that cross the wire: everything deterministic
+/// from [`GemmResponse`] plus the request's serving latency (which a
+/// remote client cannot derive — it lives in the per-bank profiles that
+/// stay server-side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireGemmResponse {
+    /// Row-major `M×N` integer outputs, bit-identical to the server's.
+    pub values: Vec<i32>,
+    /// Full GEMM dimensions.
+    pub dims: GemmDims,
+    /// The method that executed.
+    pub method: Method,
+    /// Merged per-bank statistics.
+    pub stats: Stats,
+    /// Modeled energy, picojoules.
+    pub energy_pj: u128,
+    /// FNV-1a fingerprint of `values`.
+    pub checksum: u64,
+    /// Simulated serving latency ([`gemm_latency_femtos`]).
+    pub latency_femtos: u128,
+    /// LUT-cache outcome (`None` for LUT-free methods).
+    pub lut_cache: Option<CacheOutcome>,
+}
+
+impl WireGemmResponse {
+    /// Projects a server-side response onto the wire.
+    #[must_use]
+    pub fn from_response(r: &GemmResponse) -> Self {
+        WireGemmResponse {
+            values: r.values.clone(),
+            dims: r.dims,
+            method: r.method,
+            stats: r.stats.clone(),
+            energy_pj: r.energy_pj,
+            checksum: r.checksum,
+            latency_femtos: gemm_latency_femtos(r),
+            lut_cache: r.lut_cache,
+        }
+    }
+}
+
+/// The inference response fields that cross the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireInferResponse {
+    /// Per-workload `(prefill_seconds, decode_seconds)` in request order.
+    pub reports: Vec<(f64, f64)>,
+    /// Merged per-request statistics.
+    pub stats: Stats,
+    /// Modeled energy, picojoules.
+    pub energy_pj: u128,
+    /// The method that executed.
+    pub method: Method,
+}
+
+impl WireInferResponse {
+    /// Projects a server-side response onto the wire.
+    #[must_use]
+    pub fn from_response(r: &InferenceResponse) -> Self {
+        WireInferResponse {
+            reports: r
+                .reports
+                .iter()
+                .map(|rep| (rep.prefill_seconds, rep.decode_seconds))
+                .collect(),
+            stats: r.stats.clone(),
+            energy_pj: r.energy_pj,
+            method: r.method,
+        }
+    }
+}
+
+/// A response as it travels over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireResponse {
+    /// A served GEMM.
+    Gemm(WireGemmResponse),
+    /// A served inference request.
+    Infer(WireInferResponse),
+    /// Typed backpressure: the request was *not* admitted (queue full,
+    /// quota exhausted, or the server is draining) and may be retried
+    /// where the variant says so.
+    Rejected(Rejection),
+    /// The request was admitted but failed; `kind` names the
+    /// [`EngineError`] variant.
+    Error {
+        /// The [`EngineError`] variant name (e.g. `"Gemm"`).
+        kind: String,
+        /// The rendered error chain.
+        message: String,
+    },
+    /// Answer to [`WireRequest::Ping`].
+    Pong {
+        /// Requests this connection has had admitted so far.
+        served: u64,
+    },
+    /// Answer to [`WireRequest::Drain`]: the summary at the moment the
+    /// drain began (final numbers come from the server's own report).
+    Drained(Box<ServeSummary>),
+}
+
+/// Records a wire response into a client-side [`ServeRecorder`] exactly
+/// as the server records the underlying result — the mechanism by which
+/// a remote client reconstructs the server's [`ServeSummary`] bit for
+/// bit. Rejections record nothing: a rejected request was never executed.
+pub fn record_response(recorder: &mut ServeRecorder, response: &WireResponse) {
+    match response {
+        WireResponse::Gemm(g) => {
+            recorder.record_gemm_parts(&g.stats, g.energy_pj, g.latency_femtos, g.checksum);
+        }
+        WireResponse::Infer(i) => recorder.record_infer_parts(&i.stats, i.energy_pj),
+        WireResponse::Error { .. } => recorder.record_failure(),
+        WireResponse::Rejected(_) | WireResponse::Pong { .. } | WireResponse::Drained(_) => {}
+    }
+}
+
+/// Wraps a served GEMM result as the wire response the client expects.
+#[must_use]
+pub fn gemm_result_response(result: &Result<GemmResponse, EngineError>) -> WireResponse {
+    match result {
+        Ok(r) => WireResponse::Gemm(WireGemmResponse::from_response(r)),
+        Err(e) => error_response(e),
+    }
+}
+
+/// Wraps a served inference result as the wire response the client
+/// expects.
+#[must_use]
+pub fn infer_result_response(result: &Result<InferenceResponse, EngineError>) -> WireResponse {
+    match result {
+        Ok(r) => WireResponse::Infer(WireInferResponse::from_response(r)),
+        Err(e) => error_response(e),
+    }
+}
+
+/// Maps a server-side error to the wire: typed rejections stay typed;
+/// everything else becomes [`WireResponse::Error`] with the variant name.
+#[must_use]
+pub fn error_response(error: &EngineError) -> WireResponse {
+    match error {
+        EngineError::Rejected(r) => WireResponse::Rejected(*r),
+        other => WireResponse::Error {
+            kind: error_kind(other).to_owned(),
+            message: other.to_string(),
+        },
+    }
+}
+
+fn error_kind(error: &EngineError) -> &'static str {
+    match error {
+        EngineError::Quant(_) => "Quant",
+        EngineError::Gemm(_) => "Gemm",
+        EngineError::Sim(_) => "Sim",
+        EngineError::Pq(_) => "Pq",
+        EngineError::InvalidRequest(_) => "InvalidRequest",
+        EngineError::Serve(_) => "Serve",
+        EngineError::Rejected(_) => "Rejected",
+        EngineError::Net(_) => "Net",
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn u<T: Into<u128>>(v: T) -> Json {
+    Json::UInt(v.into())
+}
+
+fn signed(v: i128) -> Json {
+    if v < 0 {
+        Json::Int(v)
+    } else {
+        Json::UInt(v as u128)
+    }
+}
+
+fn format_token(f: NumericFormat) -> String {
+    match f {
+        NumericFormat::Int(b) => format!("int{b}"),
+        NumericFormat::Uint(b) => format!("uint{b}"),
+        NumericFormat::Bipolar => "bipolar".to_owned(),
+        NumericFormat::Fp4 => "fp4".to_owned(),
+        NumericFormat::Fp8 => "fp8".to_owned(),
+        NumericFormat::Fp16 => "fp16".to_owned(),
+    }
+}
+
+fn qmatrix_json(m: &QMatrix) -> Json {
+    Json::object(vec![
+        ("rows", u(m.rows() as u64)),
+        ("cols", u(m.cols() as u64)),
+        ("format", Json::Str(format_token(m.format()))),
+        ("scale", Json::Float(f64::from(m.scale()))),
+        (
+            "codes",
+            Json::Array(m.codes().iter().map(|&c| u(c)).collect()),
+        ),
+    ])
+}
+
+fn stats_json(stats: &Stats) -> Json {
+    let snap = stats.snapshot();
+    Json::object(vec![
+        ("banks", u(snap.banks)),
+        (
+            "category_femtos",
+            Json::Object(
+                snap.category_femtos
+                    .iter()
+                    .map(|&(c, f)| (c.label().to_owned(), Json::UInt(f)))
+                    .collect(),
+            ),
+        ),
+        ("dram_read_bytes", Json::UInt(snap.dram_read_bytes)),
+        ("dram_write_bytes", Json::UInt(snap.dram_write_bytes)),
+        ("wram_accesses", Json::UInt(snap.wram_accesses)),
+        ("instructions", Json::UInt(snap.instructions)),
+        ("host_bytes", Json::UInt(snap.host_bytes)),
+        ("host_ops", Json::UInt(snap.host_ops)),
+    ])
+}
+
+/// The canonical JSON form of a [`ServeSummary`] (used by the drain
+/// response, the daemon's `--out` file, and the multi-process tests).
+#[must_use]
+pub fn summary_json(summary: &ServeSummary) -> Json {
+    Json::object(vec![
+        ("requests", u(summary.requests)),
+        ("gemm_requests", u(summary.gemm_requests)),
+        ("infer_requests", u(summary.infer_requests)),
+        ("failed_requests", u(summary.failed_requests)),
+        ("stats", stats_json(&summary.stats)),
+        ("energy_pj", Json::UInt(summary.energy_pj)),
+        (
+            "latency",
+            Json::object(vec![
+                ("p50", Json::UInt(summary.latency.p50)),
+                ("p95", Json::UInt(summary.latency.p95)),
+                ("p99", Json::UInt(summary.latency.p99)),
+                ("max", Json::UInt(summary.latency.max)),
+                ("total", Json::UInt(summary.latency.total)),
+            ]),
+        ),
+        ("checksum", u(summary.checksum)),
+    ])
+}
+
+fn request_json(request: &WireRequest) -> Json {
+    let mut pairs: Vec<(&str, Json)> = vec![("v", Json::UInt(WIRE_VERSION))];
+    match request {
+        WireRequest::Gemm(r) => {
+            pairs.push(("kind", Json::Str("gemm".into())));
+            pairs.push(("w", qmatrix_json(&r.w)));
+            pairs.push(("a", qmatrix_json(&r.a)));
+            if let Some(m) = r.method {
+                pairs.push(("method", Json::Str(m.flag_name().into())));
+            }
+            if let Some(b) = r.banks {
+                pairs.push(("banks", u(b)));
+            }
+            if let Some(pin) = r.pin {
+                pairs.push((
+                    "pin",
+                    Json::object(vec![
+                        ("placement", Json::Str(pin.placement.to_string())),
+                        ("p", u(pin.p)),
+                    ]),
+                ));
+            }
+        }
+        WireRequest::Infer(r) => {
+            pairs.push(("kind", Json::Str("infer".into())));
+            pairs.push((
+                "workloads",
+                Json::Array(
+                    r.workloads
+                        .iter()
+                        .map(|w| {
+                            Json::object(vec![
+                                ("model", Json::Str(w.model.name.into())),
+                                ("batch", u(w.batch as u64)),
+                                ("decode_tokens", u(w.decode_tokens)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+            if let Some(m) = r.method {
+                pairs.push(("method", Json::Str(m.flag_name().into())));
+            }
+            if let Some(bits) = r.bits {
+                pairs.push(("bits", Json::Str(bits.to_string())));
+            }
+        }
+        WireRequest::Ping => pairs.push(("kind", Json::Str("ping".into()))),
+        WireRequest::Drain => pairs.push(("kind", Json::Str("drain".into()))),
+    }
+    Json::object(pairs)
+}
+
+fn rejection_json(rejection: &Rejection) -> Vec<(&'static str, Json)> {
+    match *rejection {
+        Rejection::QueueFull {
+            capacity,
+            retry_after_ms,
+        } => vec![
+            ("reason", Json::Str("queue-full".into())),
+            ("capacity", u(capacity as u64)),
+            ("retry_after_ms", u(retry_after_ms)),
+        ],
+        Rejection::QuotaExhausted { limit } => vec![
+            ("reason", Json::Str("quota-exhausted".into())),
+            ("limit", u(limit)),
+        ],
+        Rejection::Draining => vec![("reason", Json::Str("draining".into()))],
+    }
+}
+
+fn response_json(response: &WireResponse) -> Json {
+    let mut pairs: Vec<(&str, Json)> = vec![("v", Json::UInt(WIRE_VERSION))];
+    match response {
+        WireResponse::Gemm(g) => {
+            pairs.push(("kind", Json::Str("gemm".into())));
+            pairs.push((
+                "values",
+                Json::Array(g.values.iter().map(|&v| signed(i128::from(v))).collect()),
+            ));
+            pairs.push((
+                "dims",
+                Json::object(vec![
+                    ("m", u(g.dims.m as u64)),
+                    ("k", u(g.dims.k as u64)),
+                    ("n", u(g.dims.n as u64)),
+                ]),
+            ));
+            pairs.push(("method", Json::Str(g.method.flag_name().into())));
+            pairs.push(("stats", stats_json(&g.stats)));
+            pairs.push(("energy_pj", Json::UInt(g.energy_pj)));
+            pairs.push(("checksum", u(g.checksum)));
+            pairs.push(("latency_femtos", Json::UInt(g.latency_femtos)));
+            if let Some(outcome) = g.lut_cache {
+                pairs.push((
+                    "lut_cache",
+                    Json::Str(
+                        match outcome {
+                            CacheOutcome::Hit => "hit",
+                            CacheOutcome::Miss => "miss",
+                        }
+                        .into(),
+                    ),
+                ));
+            }
+        }
+        WireResponse::Infer(i) => {
+            pairs.push(("kind", Json::Str("infer".into())));
+            pairs.push((
+                "reports",
+                Json::Array(
+                    i.reports
+                        .iter()
+                        .map(|&(prefill, decode)| {
+                            Json::object(vec![
+                                ("prefill_seconds", Json::Float(prefill)),
+                                ("decode_seconds", Json::Float(decode)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+            pairs.push(("stats", stats_json(&i.stats)));
+            pairs.push(("energy_pj", Json::UInt(i.energy_pj)));
+            pairs.push(("method", Json::Str(i.method.flag_name().into())));
+        }
+        WireResponse::Rejected(r) => {
+            pairs.push(("kind", Json::Str("rejected".into())));
+            pairs.extend(rejection_json(r));
+        }
+        WireResponse::Error { kind, message } => {
+            pairs.push(("kind", Json::Str("error".into())));
+            pairs.push(("error_kind", Json::Str(kind.clone())));
+            pairs.push(("message", Json::Str(message.clone())));
+        }
+        WireResponse::Pong { served } => {
+            pairs.push(("kind", Json::Str("pong".into())));
+            pairs.push(("served", u(*served)));
+        }
+        WireResponse::Drained(summary) => {
+            pairs.push(("kind", Json::Str("drained".into())));
+            pairs.push(("summary", summary_json(summary)));
+        }
+    }
+    Json::object(pairs)
+}
+
+/// Encodes a request as its canonical compact payload — the exact bytes
+/// framed onto the wire and the exact line the server's request log
+/// stores.
+#[must_use]
+pub fn encode_request(request: &WireRequest) -> String {
+    request_json(request).to_compact()
+}
+
+/// Encodes a response as its canonical compact payload.
+#[must_use]
+pub fn encode_response(response: &WireResponse) -> String {
+    response_json(response).to_compact()
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+fn decode_err(what: impl Into<String>) -> NetError {
+    NetError::Decode(what.into())
+}
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, NetError> {
+    obj.get(key)
+        .ok_or_else(|| decode_err(format!("missing field '{key}'")))
+}
+
+fn uint_field(obj: &Json, key: &str) -> Result<u128, NetError> {
+    field(obj, key)?
+        .as_uint()
+        .ok_or_else(|| decode_err(format!("field '{key}' must be a non-negative integer")))
+}
+
+fn u64_field(obj: &Json, key: &str) -> Result<u64, NetError> {
+    u64::try_from(uint_field(obj, key)?)
+        .map_err(|_| decode_err(format!("field '{key}' overflows u64")))
+}
+
+fn usize_field(obj: &Json, key: &str) -> Result<usize, NetError> {
+    usize::try_from(uint_field(obj, key)?)
+        .map_err(|_| decode_err(format!("field '{key}' overflows usize")))
+}
+
+fn str_field<'a>(obj: &'a Json, key: &str) -> Result<&'a str, NetError> {
+    field(obj, key)?
+        .as_str()
+        .ok_or_else(|| decode_err(format!("field '{key}' must be a string")))
+}
+
+fn array_field<'a>(obj: &'a Json, key: &str) -> Result<&'a [Json], NetError> {
+    field(obj, key)?
+        .as_array()
+        .ok_or_else(|| decode_err(format!("field '{key}' must be an array")))
+}
+
+fn float_field(obj: &Json, key: &str) -> Result<f64, NetError> {
+    match field(obj, key)? {
+        Json::Float(v) => Ok(*v),
+        Json::UInt(v) => Ok(*v as f64),
+        Json::Int(v) => Ok(*v as f64),
+        _ => Err(decode_err(format!("field '{key}' must be a number"))),
+    }
+}
+
+fn parse_payload(payload: &[u8]) -> Result<Json, NetError> {
+    let text = std::str::from_utf8(payload).map_err(|_| decode_err("payload is not UTF-8"))?;
+    let value = Json::parse(text).map_err(|e| decode_err(format!("payload is not JSON: {e}")))?;
+    let v = uint_field(&value, "v")?;
+    if v != WIRE_VERSION {
+        return Err(decode_err(format!(
+            "unsupported wire version {v} (this build speaks {WIRE_VERSION})"
+        )));
+    }
+    Ok(value)
+}
+
+fn format_from_token(token: &str) -> Result<NumericFormat, NetError> {
+    let bits = |prefix: &str, lo: u8, hi: u8| -> Result<u8, NetError> {
+        token[prefix.len()..]
+            .parse::<u8>()
+            .ok()
+            .filter(|b| (lo..=hi).contains(b))
+            .ok_or_else(|| decode_err(format!("bad numeric format '{token}'")))
+    };
+    match token {
+        "bipolar" => Ok(NumericFormat::Bipolar),
+        "fp4" => Ok(NumericFormat::Fp4),
+        "fp8" => Ok(NumericFormat::Fp8),
+        "fp16" => Ok(NumericFormat::Fp16),
+        t if t.starts_with("uint") => Ok(NumericFormat::Uint(bits("uint", 1, 16)?)),
+        t if t.starts_with("int") => Ok(NumericFormat::Int(bits("int", 2, 16)?)),
+        t => Err(decode_err(format!("unknown numeric format '{t}'"))),
+    }
+}
+
+fn qmatrix_from_json(value: &Json, which: &str) -> Result<QMatrix, NetError> {
+    let rows = usize_field(value, "rows")?;
+    let cols = usize_field(value, "cols")?;
+    let format = format_from_token(str_field(value, "format")?)?;
+    let scale = float_field(value, "scale")? as f32;
+    let codes = array_field(value, "codes")?
+        .iter()
+        .map(|c| {
+            c.as_uint()
+                .and_then(|v| u16::try_from(v).ok())
+                .ok_or_else(|| decode_err(format!("matrix '{which}': codes must be u16")))
+        })
+        .collect::<Result<Vec<u16>, NetError>>()?;
+    QMatrix::from_codes(codes, rows, cols, format, scale)
+        .map_err(|e| decode_err(format!("matrix '{which}' is invalid: {e}")))
+}
+
+fn method_from_token(token: &str) -> Result<Method, NetError> {
+    token.parse::<Method>().map_err(decode_err)
+}
+
+fn stats_from_json(value: &Json) -> Result<Stats, NetError> {
+    let categories = match field(value, "category_femtos")? {
+        Json::Object(map) => map
+            .iter()
+            .map(|(label, femtos)| {
+                let category = Category::from_label(label)
+                    .ok_or_else(|| decode_err(format!("unknown cost category '{label}'")))?;
+                let femtos = femtos
+                    .as_uint()
+                    .ok_or_else(|| decode_err("category femtos must be integers"))?;
+                Ok((category, femtos))
+            })
+            .collect::<Result<Vec<(Category, u128)>, NetError>>()?,
+        _ => return Err(decode_err("field 'category_femtos' must be an object")),
+    };
+    let snap = CounterSnapshot {
+        banks: u64_field(value, "banks")?,
+        total_femtos: categories.iter().map(|&(_, f)| f).sum(),
+        category_femtos: categories,
+        dram_read_bytes: uint_field(value, "dram_read_bytes")?,
+        dram_write_bytes: uint_field(value, "dram_write_bytes")?,
+        wram_accesses: uint_field(value, "wram_accesses")?,
+        instructions: uint_field(value, "instructions")?,
+        host_bytes: uint_field(value, "host_bytes")?,
+        host_ops: uint_field(value, "host_ops")?,
+    };
+    Ok(Stats::from_snapshot(&snap))
+}
+
+/// Decodes the canonical JSON form of a [`ServeSummary`] (inverse of
+/// [`summary_json`]).
+///
+/// # Errors
+///
+/// [`NetError::Decode`] naming the first malformed field.
+pub fn summary_from_json(value: &Json) -> Result<ServeSummary, NetError> {
+    let latency = field(value, "latency")?;
+    Ok(ServeSummary {
+        requests: u64_field(value, "requests")?,
+        gemm_requests: u64_field(value, "gemm_requests")?,
+        infer_requests: u64_field(value, "infer_requests")?,
+        failed_requests: u64_field(value, "failed_requests")?,
+        stats: stats_from_json(field(value, "stats")?)?,
+        energy_pj: uint_field(value, "energy_pj")?,
+        latency: LatencyDigest {
+            p50: uint_field(latency, "p50")?,
+            p95: uint_field(latency, "p95")?,
+            p99: uint_field(latency, "p99")?,
+            max: uint_field(latency, "max")?,
+            total: uint_field(latency, "total")?,
+        },
+        checksum: u64_field(value, "checksum")?,
+    })
+}
+
+fn workload_from_json(value: &Json) -> Result<Workload, NetError> {
+    let model = match str_field(value, "model")? {
+        "BERT" => ModelConfig::bert_base(),
+        "OPT" => ModelConfig::opt_125m(),
+        "ViT" => ModelConfig::vit_base(),
+        other => return Err(decode_err(format!("unknown model '{other}'"))),
+    };
+    let decode_tokens = u64_field(value, "decode_tokens")?;
+    let decode_tokens = u32::try_from(decode_tokens)
+        .map_err(|_| decode_err("field 'decode_tokens' overflows u32"))?;
+    Ok(Workload {
+        model,
+        batch: usize_field(value, "batch")?,
+        decode_tokens,
+    })
+}
+
+fn gemm_request_from_json(value: &Json) -> Result<GemmRequest, NetError> {
+    let mut request = GemmRequest::new(
+        qmatrix_from_json(field(value, "w")?, "w")?,
+        qmatrix_from_json(field(value, "a")?, "a")?,
+    );
+    if let Some(m) = value.get("method") {
+        let token = m
+            .as_str()
+            .ok_or_else(|| decode_err("field 'method' must be a string"))?;
+        request.method = Some(method_from_token(token)?);
+    }
+    if value.get("banks").is_some() {
+        let banks = u64_field(value, "banks")?;
+        request.banks =
+            Some(u32::try_from(banks).map_err(|_| decode_err("field 'banks' overflows u32"))?);
+    }
+    if let Some(pin) = value.get("pin") {
+        let placement = match str_field(pin, "placement")? {
+            "buffer-resident" => Placement::BufferResident,
+            "slice-streaming" => Placement::Streaming,
+            other => return Err(decode_err(format!("unknown placement '{other}'"))),
+        };
+        let p = u64_field(pin, "p")?;
+        request.pin = Some(PlanPin {
+            placement,
+            p: u32::try_from(p).map_err(|_| decode_err("field 'p' overflows u32"))?,
+        });
+    }
+    Ok(request)
+}
+
+fn infer_request_from_json(value: &Json) -> Result<InferenceRequest, NetError> {
+    let workloads = array_field(value, "workloads")?
+        .iter()
+        .map(workload_from_json)
+        .collect::<Result<Vec<Workload>, NetError>>()?;
+    let mut request = InferenceRequest::serving(workloads);
+    if let Some(m) = value.get("method") {
+        let token = m
+            .as_str()
+            .ok_or_else(|| decode_err("field 'method' must be a string"))?;
+        request.method = Some(method_from_token(token)?);
+    }
+    if let Some(bits) = value.get("bits") {
+        let token = bits
+            .as_str()
+            .ok_or_else(|| decode_err("field 'bits' must be a string"))?;
+        request.bits = Some(
+            token
+                .parse::<BitConfig>()
+                .map_err(|e| decode_err(format!("bad bit config '{token}': {e}")))?,
+        );
+    }
+    Ok(request)
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+///
+/// [`NetError::Decode`] naming the first malformed field; unknown `kind`
+/// values are errors (forward compatibility is the version field's job).
+pub fn decode_request(payload: &[u8]) -> Result<WireRequest, NetError> {
+    let value = parse_payload(payload)?;
+    match str_field(&value, "kind")? {
+        "gemm" => Ok(WireRequest::Gemm(gemm_request_from_json(&value)?)),
+        "infer" => Ok(WireRequest::Infer(infer_request_from_json(&value)?)),
+        "ping" => Ok(WireRequest::Ping),
+        "drain" => Ok(WireRequest::Drain),
+        other => Err(decode_err(format!("unknown request kind '{other}'"))),
+    }
+}
+
+fn rejection_from_json(value: &Json) -> Result<Rejection, NetError> {
+    match str_field(value, "reason")? {
+        "queue-full" => Ok(Rejection::QueueFull {
+            capacity: usize_field(value, "capacity")?,
+            retry_after_ms: u64_field(value, "retry_after_ms")?,
+        }),
+        "quota-exhausted" => Ok(Rejection::QuotaExhausted {
+            limit: u64_field(value, "limit")?,
+        }),
+        "draining" => Ok(Rejection::Draining),
+        other => Err(decode_err(format!("unknown rejection reason '{other}'"))),
+    }
+}
+
+fn gemm_response_from_json(value: &Json) -> Result<WireGemmResponse, NetError> {
+    let values = array_field(value, "values")?
+        .iter()
+        .map(|v| {
+            v.as_int()
+                .and_then(|i| i32::try_from(i).ok())
+                .ok_or_else(|| decode_err("GEMM values must be i32"))
+        })
+        .collect::<Result<Vec<i32>, NetError>>()?;
+    let dims = field(value, "dims")?;
+    let lut_cache = match value.get("lut_cache") {
+        None => None,
+        Some(j) => match j.as_str() {
+            Some("hit") => Some(CacheOutcome::Hit),
+            Some("miss") => Some(CacheOutcome::Miss),
+            _ => return Err(decode_err("field 'lut_cache' must be \"hit\" or \"miss\"")),
+        },
+    };
+    Ok(WireGemmResponse {
+        values,
+        dims: GemmDims {
+            m: usize_field(dims, "m")?,
+            k: usize_field(dims, "k")?,
+            n: usize_field(dims, "n")?,
+        },
+        method: method_from_token(str_field(value, "method")?)?,
+        stats: stats_from_json(field(value, "stats")?)?,
+        energy_pj: uint_field(value, "energy_pj")?,
+        checksum: u64_field(value, "checksum")?,
+        latency_femtos: uint_field(value, "latency_femtos")?,
+        lut_cache,
+    })
+}
+
+fn infer_response_from_json(value: &Json) -> Result<WireInferResponse, NetError> {
+    let reports = array_field(value, "reports")?
+        .iter()
+        .map(|r| {
+            Ok((
+                float_field(r, "prefill_seconds")?,
+                float_field(r, "decode_seconds")?,
+            ))
+        })
+        .collect::<Result<Vec<(f64, f64)>, NetError>>()?;
+    Ok(WireInferResponse {
+        reports,
+        stats: stats_from_json(field(value, "stats")?)?,
+        energy_pj: uint_field(value, "energy_pj")?,
+        method: method_from_token(str_field(value, "method")?)?,
+    })
+}
+
+/// Decodes a response payload.
+///
+/// # Errors
+///
+/// [`NetError::Decode`] naming the first malformed field.
+pub fn decode_response(payload: &[u8]) -> Result<WireResponse, NetError> {
+    let value = parse_payload(payload)?;
+    match str_field(&value, "kind")? {
+        "gemm" => Ok(WireResponse::Gemm(gemm_response_from_json(&value)?)),
+        "infer" => Ok(WireResponse::Infer(infer_response_from_json(&value)?)),
+        "rejected" => Ok(WireResponse::Rejected(rejection_from_json(&value)?)),
+        "error" => Ok(WireResponse::Error {
+            kind: str_field(&value, "error_kind")?.to_owned(),
+            message: str_field(&value, "message")?.to_owned(),
+        }),
+        "pong" => Ok(WireResponse::Pong {
+            served: u64_field(&value, "served")?,
+        }),
+        "drained" => Ok(WireResponse::Drained(Box::new(summary_from_json(field(
+            &value, "summary",
+        )?)?))),
+        other => Err(decode_err(format!("unknown response kind '{other}'"))),
+    }
+}
+
+/// Parses a server request log (one compact JSON request per line) back
+/// into the replayable form [`engine::serve::replay_serial`] takes.
+/// Control verbs (`ping`/`drain`) are never logged; finding one is an
+/// error, as is any malformed line.
+///
+/// # Errors
+///
+/// [`NetError::Decode`] with the 1-based line number of the first
+/// problem.
+pub fn parse_request_log(text: &str) -> Result<Vec<TrafficRequest>, NetError> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            match decode_request(line.as_bytes())
+                .map_err(|e| decode_err(format!("log line {}: {e}", i + 1)))?
+            {
+                WireRequest::Gemm(r) => Ok(TrafficRequest::Gemm(r)),
+                WireRequest::Infer(r) => Ok(TrafficRequest::Infer(r)),
+                WireRequest::Ping | WireRequest::Drain => Err(decode_err(format!(
+                    "log line {}: control requests are never logged",
+                    i + 1
+                ))),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::traffic::{full_log, Mix, TrafficConfig};
+    use engine::Engine;
+
+    fn mixed_log() -> Vec<TrafficRequest> {
+        full_log(&TrafficConfig {
+            clients: 2,
+            requests_per_client: 3,
+            mix: Mix::Mixed,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn every_traffic_request_roundtrips_bitwise() {
+        // The traffic generator covers both kinds, every optional field
+        // combination it emits, and negative-capable code paths.
+        for request in mixed_log() {
+            let wire = match request {
+                TrafficRequest::Gemm(ref r) => WireRequest::Gemm(r.clone()),
+                TrafficRequest::Infer(ref r) => WireRequest::Infer(r.clone()),
+            };
+            let encoded = encode_request(&wire);
+            let decoded = decode_request(encoded.as_bytes()).unwrap();
+            assert_eq!(decoded, wire);
+            // Canonical form: re-encoding the decoded request is stable.
+            assert_eq!(encode_request(&decoded), encoded);
+        }
+    }
+
+    #[test]
+    fn optional_gemm_fields_roundtrip() {
+        let base = mixed_log()
+            .iter()
+            .find_map(|t| match t {
+                TrafficRequest::Gemm(r) => Some(r.clone()),
+                TrafficRequest::Infer(_) => None,
+            })
+            .expect("mixed traffic contains a GEMM");
+        let pinned = base
+            .clone()
+            .with_method(Method::LoCaLut)
+            .with_banks(3)
+            .with_pin(PlanPin {
+                placement: Placement::Streaming,
+                p: 4,
+            });
+        let wire = WireRequest::Gemm(pinned);
+        let decoded = decode_request(encode_request(&wire).as_bytes()).unwrap();
+        assert_eq!(decoded, wire);
+
+        for control in [WireRequest::Ping, WireRequest::Drain] {
+            let decoded = decode_request(encode_request(&control).as_bytes()).unwrap();
+            assert_eq!(decoded, control);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_and_record_identically() {
+        // Serve the log in-process, project every response onto the wire,
+        // decode it back, and feed a recorder from the decoded DTOs: the
+        // reconstructed summary must equal the server-side one bitwise.
+        let engine = Engine::builder().threads(1).banks(2).build();
+        let mut server_side = ServeRecorder::new();
+        let mut client_side = ServeRecorder::new();
+        for request in mixed_log() {
+            let response = match request {
+                TrafficRequest::Gemm(r) => {
+                    let result = engine.submit(&r);
+                    server_side.record_gemm(&result);
+                    gemm_result_response(&result)
+                }
+                TrafficRequest::Infer(r) => {
+                    let result = engine.infer(&r);
+                    server_side.record_infer(&result);
+                    infer_result_response(&result)
+                }
+            };
+            let decoded = decode_response(encode_response(&response).as_bytes()).unwrap();
+            assert_eq!(decoded, response, "response DTO must roundtrip bitwise");
+            record_response(&mut client_side, &decoded);
+        }
+        assert_eq!(client_side.summary(), server_side.summary());
+    }
+
+    #[test]
+    fn control_and_failure_responses_roundtrip() {
+        let summary = {
+            let engine = Engine::builder().threads(1).banks(2).build();
+            engine::serve::replay_serial(&engine, &mixed_log())
+        };
+        let cases = [
+            WireResponse::Pong { served: 7 },
+            WireResponse::Rejected(Rejection::QueueFull {
+                capacity: 4,
+                retry_after_ms: 25,
+            }),
+            WireResponse::Rejected(Rejection::QuotaExhausted { limit: 9 }),
+            WireResponse::Rejected(Rejection::Draining),
+            WireResponse::Error {
+                kind: "Gemm".into(),
+                message: "dimension mismatch".into(),
+            },
+            WireResponse::Drained(Box::new(summary)),
+        ];
+        for case in cases {
+            let decoded = decode_response(encode_response(&case).as_bytes()).unwrap();
+            assert_eq!(decoded, case);
+        }
+    }
+
+    #[test]
+    fn request_log_replays_bitwise() {
+        let log = mixed_log();
+        let text: String = log
+            .iter()
+            .map(|r| {
+                let wire = match r {
+                    TrafficRequest::Gemm(g) => WireRequest::Gemm(g.clone()),
+                    TrafficRequest::Infer(i) => WireRequest::Infer(i.clone()),
+                };
+                encode_request(&wire) + "\n"
+            })
+            .collect();
+        let parsed = parse_request_log(&text).unwrap();
+        let engine = Engine::builder().threads(1).banks(2).build();
+        let original = engine::serve::replay_serial(&engine, &log);
+        let replayed = engine::serve::replay_serial(&engine, &parsed);
+        assert_eq!(replayed, original);
+    }
+
+    #[test]
+    fn malformed_payloads_name_the_problem() {
+        let cases: [(&[u8], &str); 6] = [
+            (b"not json", "not JSON"),
+            (b"{\"kind\":\"gemm\"}", "missing field 'v'"),
+            (b"{\"v\":1}", "missing field 'kind'"),
+            (b"{\"v\":99,\"kind\":\"ping\"}", "unsupported wire version"),
+            (b"{\"v\":1,\"kind\":\"warp\"}", "unknown request kind"),
+            (b"{\"v\":1,\"kind\":\"gemm\"}", "missing field 'w'"),
+        ];
+        for (payload, needle) in cases {
+            let err = decode_request(payload).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "payload {:?}: expected '{needle}' in '{err}'",
+                String::from_utf8_lossy(payload)
+            );
+        }
+        // A structurally valid matrix with out-of-range codes is refused
+        // by QMatrix's own validation, surfaced as a decode error.
+        let bad = b"{\"v\":1,\"kind\":\"gemm\",\"w\":{\"rows\":1,\"cols\":1,\"format\":\"bipolar\",\"scale\":1.0,\"codes\":[9]},\"a\":{\"rows\":1,\"cols\":1,\"format\":\"bipolar\",\"scale\":1.0,\"codes\":[0]}}";
+        let err = decode_request(bad).unwrap_err();
+        assert!(err.to_string().contains("matrix 'w'"), "got: {err}");
+    }
+}

@@ -469,6 +469,41 @@ impl Stats {
             host_ops: self.host_ops,
         }
     }
+
+    /// Rebuilds the aggregate a [`CounterSnapshot`] was exported from —
+    /// the exact inverse of [`Stats::snapshot`], since a snapshot omits
+    /// only categories whose femtosecond count is zero. This is the
+    /// ingest half of any serialization boundary (a snapshot is plain
+    /// data; `Stats` is the mergeable aggregate).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pim_sim::{Category, CycleLedger, Stats};
+    ///
+    /// let mut ledger = CycleLedger::new();
+    /// ledger.charge(Category::Compute, 2.5e-9);
+    /// ledger.host_ops = 3;
+    /// let stats = Stats::from_ledger(&ledger);
+    /// assert_eq!(Stats::from_snapshot(&stats.snapshot()), stats);
+    /// ```
+    #[must_use]
+    pub fn from_snapshot(snap: &CounterSnapshot) -> Stats {
+        let mut femtos = [0u128; N_CATEGORIES];
+        for &(category, f) in &snap.category_femtos {
+            femtos[category.index()] = f;
+        }
+        Stats {
+            femtos,
+            banks: snap.banks,
+            dram_read_bytes: snap.dram_read_bytes,
+            dram_write_bytes: snap.dram_write_bytes,
+            wram_accesses: snap.wram_accesses,
+            instructions: snap.instructions,
+            host_bytes: snap.host_bytes,
+            host_ops: snap.host_ops,
+        }
+    }
 }
 
 impl Category {
@@ -648,6 +683,18 @@ mod tests {
         );
         // The empty aggregate snapshots to the empty snapshot.
         assert_eq!(Stats::default().snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_from_snapshot() {
+        let merged = stats_with(&[(Category::Compute, 0.25), (Category::LutLoad, 1e-12)], 9)
+            .merged(&stats_with(&[(Category::HostTransfer, 0.5)], 1));
+        assert_eq!(Stats::from_snapshot(&merged.snapshot()), merged);
+        // The identity element round-trips too.
+        assert_eq!(
+            Stats::from_snapshot(&CounterSnapshot::default()),
+            Stats::default()
+        );
     }
 
     #[test]

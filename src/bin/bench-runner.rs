@@ -24,6 +24,7 @@ use bench::regress::{compare, passes_gate, restrict_to_selected};
 use bench::report::BenchReport;
 use bench::scenario::{registry, run_scenarios, select, RunProfile, ScenarioCtx};
 use bench::Table;
+use localut_repro::cli::{self, CliError, Flags};
 use std::process::ExitCode;
 
 struct Args {
@@ -42,7 +43,7 @@ const USAGE: &str = "usage: bench-runner [--profile smoke|full] [--filter SUBSTR
 [--threads N] [--out FILE] [--baseline FILE] [--tolerance FRACTION] [--tag NAME] \
 [--keep-wall] [--list]";
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Args, CliError> {
     let mut args = Args {
         profile: RunProfile::Smoke,
         filter: None,
@@ -54,34 +55,24 @@ fn parse_args() -> Result<Args, String> {
         keep_wall: false,
         list: false,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+    let mut flags = Flags::from_env(USAGE);
+    while let Some(flag) = flags.next_flag()? {
         match flag.as_str() {
-            "--profile" => args.profile = value()?.parse()?,
-            "--filter" => args.filter = Some(value()?),
-            "--threads" => {
-                args.threads = value()?.parse().map_err(|_| "bad --threads".to_owned())?;
-                if args.threads == 0 {
-                    return Err("--threads must be at least 1".to_owned());
-                }
-            }
-            "--out" => args.out = Some(value()?),
-            "--baseline" => args.baseline = Some(value()?),
+            "--profile" => args.profile = flags.parsed("--profile")?,
+            "--filter" => args.filter = Some(flags.value("--filter")?),
+            "--threads" => args.threads = flags.positive("--threads")?,
+            "--out" => args.out = Some(flags.value("--out")?),
+            "--baseline" => args.baseline = Some(flags.value("--baseline")?),
             "--tolerance" => {
-                args.tolerance = value()?.parse().map_err(|_| "bad --tolerance".to_owned())?;
+                args.tolerance = flags.parsed("--tolerance")?;
                 if !(args.tolerance >= 0.0 && args.tolerance.is_finite()) {
-                    return Err("--tolerance must be a non-negative fraction".to_owned());
+                    return Err(flags.usage_error("--tolerance must be a non-negative fraction"));
                 }
             }
-            "--tag" => args.tag = Some(value()?),
+            "--tag" => args.tag = Some(flags.value("--tag")?),
             "--keep-wall" => args.keep_wall = true,
             "--list" => args.list = true,
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+            other => return Err(flags.unknown(other)),
         }
     }
     Ok(args)
@@ -216,10 +207,7 @@ fn run(args: &Args) -> Result<ExitCode, String> {
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::from(2);
-        }
+        Err(e) => return cli::exit(&e),
     };
     if args.list {
         list_scenarios(&args);

@@ -1,29 +1,45 @@
 //! `loadgen` — deterministic traffic generator and serving-load driver.
 //!
-//! Generates a seeded request mix ([`engine::traffic`]), drives it from
-//! many client threads through the concurrent serving scheduler
-//! ([`engine::serve::Server`]), and prints/writes a summary whose
-//! deterministic core — request counts, values checksum, merged simulated
-//! femtoseconds, latency percentiles, energy — is **byte-identical for
-//! any `--threads`, `--clients`-scheduling, `--max-batch`, or `--mode`**
-//! over the same `(--clients, --requests, --mix, --seed)` workload. CI's
-//! smoke job asserts exactly that by diffing two runs' JSON.
+//! Generates a seeded request mix ([`engine::traffic`]) and drives it from
+//! many client threads — either **in-process** through the concurrent
+//! serving scheduler ([`engine::serve::Server`]) or, with `--remote ADDR`,
+//! **over TCP** against a `serve-daemon` process via [`netserve::NetClient`].
+//! Both paths print/write a summary whose deterministic core — request
+//! counts, values checksum, merged simulated femtoseconds, latency
+//! percentiles, energy — is **byte-identical for any `--threads`,
+//! `--clients`-scheduling, `--max-batch`, `--mode`, or transport** over the
+//! same `(--clients, --requests, --mix, --seed)` workload. CI's smoke job
+//! asserts exactly that by diffing an in-process run's JSON against a
+//! remote run's.
 //!
 //! ```sh
 //! loadgen --clients 4 --requests 8 --mix mixed --seed 42 --threads 4
 //! loadgen --mode open --max-batch 16 --out LOADGEN.json
-//! loadgen --keep-host --out LOADGEN_debug.json   # + wall clock & batching
+//! loadgen --remote 127.0.0.1:4810 --out LOADGEN_remote.json --drain
+//! loadgen --remote 127.0.0.1:4810 --client-offset 2 --client-count 2
 //! ```
+//!
+//! In remote mode each client thread opens its own connection; typed
+//! `QueueFull` rejections are retried with the server-suggested delay, so
+//! a queue-capped daemon slows the run down instead of failing it.
+//! `--client-offset`/`--client-count` split one workload's client ids
+//! across processes (the summary then covers only the slice this process
+//! drove — the daemon's own `--out`/`--log` stay the whole-workload
+//! authority). `--drain` asks the daemon to shut down after this process's
+//! traffic completes.
 //!
 //! Exit codes: 0 success, 1 any request failed, 2 usage or I/O error.
 
 use bench::json::Json;
-use engine::serve::{drive_client, replay_serial, ArrivalMode, ServeConfig, Server};
-use engine::traffic::{client_log, full_log, Mix, TrafficConfig};
-use engine::{Engine, ServeReport, ServeSummary};
+use engine::serve::{drive_client, replay_serial, ArrivalMode, ServeConfig, ServeRecorder, Server};
+use engine::traffic::{client_log, full_log, Mix, TrafficConfig, TrafficRequest};
+use engine::{Engine, EngineError, Rejection, ServeReport, ServeSummary};
+use localut_repro::cli::{self, CliError, Flags};
+use netserve::wire::{self, WireRequest, WireResponse};
+use netserve::NetClient;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Args {
     traffic: TrafficConfig,
@@ -34,13 +50,34 @@ struct Args {
     out: Option<String>,
     keep_host: bool,
     verify_serial: bool,
+    remote: Option<String>,
+    client_offset: usize,
+    client_count: Option<usize>,
+    drain: bool,
+}
+
+impl Args {
+    /// The client ids this process drives: `offset..offset + count`.
+    fn client_range(&self) -> std::ops::Range<usize> {
+        let count = self
+            .client_count
+            .unwrap_or(self.traffic.clients - self.client_offset);
+        self.client_offset..self.client_offset + count
+    }
+
+    /// Whether this process drives the whole declared workload (the
+    /// precondition for byte-comparing its summary against anything).
+    fn drives_full_workload(&self) -> bool {
+        self.client_range() == (0..self.traffic.clients)
+    }
 }
 
 const USAGE: &str = "usage: loadgen [--clients N] [--requests N] [--mix gemm|infer|mixed] \
 [--seed S] [--threads N] [--engine-threads N] [--max-batch N] [--mode open|closed] \
-[--out FILE] [--keep-host] [--verify-serial]";
+[--out FILE] [--keep-host] [--verify-serial] \
+[--remote HOST:PORT [--client-offset N] [--client-count N] [--drain]]";
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Args, CliError> {
     let mut args = Args {
         traffic: TrafficConfig {
             clients: 4,
@@ -55,41 +92,64 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         keep_host: false,
         verify_serial: false,
+        remote: None,
+        client_offset: 0,
+        client_count: None,
+        drain: false,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
-        let positive = |v: String, what: &str| -> Result<usize, String> {
-            match v.parse::<usize>() {
-                Ok(n) if n >= 1 => Ok(n),
-                _ => Err(format!("{what} must be a positive integer")),
-            }
-        };
+    let mut flags = Flags::from_env(USAGE);
+    while let Some(flag) = flags.next_flag()? {
         match flag.as_str() {
-            "--clients" => args.traffic.clients = positive(value()?, "--clients")?,
-            "--requests" => args.traffic.requests_per_client = positive(value()?, "--requests")?,
-            "--mix" => args.traffic.mix = value()?.parse()?,
-            "--seed" => args.traffic.seed = value()?.parse().map_err(|_| "bad --seed")?,
-            "--threads" => args.threads = positive(value()?, "--threads")?,
-            "--engine-threads" => args.engine_threads = positive(value()?, "--engine-threads")?,
-            "--max-batch" => args.max_batch = positive(value()?, "--max-batch")?,
-            "--mode" => args.mode = value()?.parse()?,
-            "--out" => args.out = Some(value()?),
+            "--clients" => args.traffic.clients = flags.positive("--clients")?,
+            "--requests" => args.traffic.requests_per_client = flags.positive("--requests")?,
+            "--mix" => args.traffic.mix = flags.parsed("--mix")?,
+            "--seed" => args.traffic.seed = flags.parsed("--seed")?,
+            "--threads" => args.threads = flags.positive("--threads")?,
+            "--engine-threads" => args.engine_threads = flags.positive("--engine-threads")?,
+            "--max-batch" => args.max_batch = flags.positive("--max-batch")?,
+            "--mode" => args.mode = flags.parsed("--mode")?,
+            "--out" => args.out = Some(flags.value("--out")?),
             "--keep-host" => args.keep_host = true,
             "--verify-serial" => args.verify_serial = true,
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+            "--remote" => args.remote = Some(flags.value("--remote")?),
+            "--client-offset" => args.client_offset = flags.parsed("--client-offset")?,
+            "--client-count" => args.client_count = Some(flags.parsed("--client-count")?),
+            "--drain" => args.drain = true,
+            other => return Err(flags.unknown(other)),
         }
+    }
+    if args.remote.is_none()
+        && (args.client_offset != 0 || args.client_count.is_some() || args.drain)
+    {
+        return Err(
+            flags.usage_error("--client-offset/--client-count/--drain require --remote HOST:PORT")
+        );
+    }
+    if args.client_offset >= args.traffic.clients && args.client_count != Some(0) {
+        return Err(flags.usage_error("--client-offset must be below --clients"));
+    }
+    if args.client_range().end > args.traffic.clients {
+        return Err(flags.usage_error("--client-offset + --client-count exceeds --clients"));
+    }
+    if args.client_count == Some(0) && !args.drain {
+        return Err(flags.usage_error("--client-count 0 only makes sense with --drain"));
+    }
+    if args.remote.is_some() && args.keep_host {
+        return Err(flags.usage_error(
+            "--keep-host reports in-process scheduler observables; drop it with --remote",
+        ));
+    }
+    if args.verify_serial && args.remote.is_some() && !args.drives_full_workload() {
+        return Err(flags.usage_error(
+            "--verify-serial needs the full workload: drop --client-offset/--client-count",
+        ));
     }
     Ok(args)
 }
 
 /// The deterministic JSON body: workload identity + summary. Host knobs
-/// (threads, arrival mode, batching) are deliberately excluded — they must
-/// not change a single byte here.
+/// (threads, arrival mode, batching, transport) are deliberately excluded —
+/// they must not change a single byte here.
 fn summary_json(args: &Args, summary: &ServeSummary) -> Vec<(&'static str, Json)> {
     let snap = summary.stats.snapshot();
     vec![
@@ -172,38 +232,9 @@ fn host_json(args: &Args, report: &ServeReport, wall_nanos: u128) -> Json {
     ])
 }
 
-fn run(args: &Args) -> Result<ExitCode, String> {
-    let engine = Arc::new(Engine::builder().threads(args.engine_threads).build());
-    let server = Server::start(
-        engine.clone(),
-        &ServeConfig {
-            workers: args.threads,
-            max_batch: args.max_batch,
-        },
-    );
-    println!(
-        "loadgen: {} client(s) x {} request(s), mix {}, seed {}, {} worker(s), {:?} arrivals",
-        args.traffic.clients,
-        args.traffic.requests_per_client,
-        args.traffic.mix.name(),
-        args.traffic.seed,
-        args.threads,
-        args.mode,
-    );
-
-    let t0 = Instant::now();
-    std::thread::scope(|scope| {
-        for client in 0..args.traffic.clients {
-            let server = &server;
-            let log = client_log(&args.traffic, client);
-            let mode = args.mode;
-            scope.spawn(move || drive_client(server, log, mode));
-        }
-    });
-    let wall_nanos = t0.elapsed().as_nanos();
-    let report = server.join();
-    let summary = &report.summary;
-
+/// The shared result table; `extras` appends host-only rows the JSON
+/// deliberately omits.
+fn print_summary_table(summary: &ServeSummary, wall_nanos: u128, extras: &[(String, String)]) {
     let mut table = bench::Table::new(&["metric", "value"]);
     let snap = summary.stats.snapshot();
     table.row(vec![
@@ -243,11 +274,98 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         "host wall (ms) [not in JSON]".into(),
         format!("{:.1}", wall_nanos as f64 / 1e6),
     ]);
-    table.row(vec![
-        "dispatches / coalesced [not in JSON]".into(),
-        format!("{} / {}", report.dispatches, report.coalesced_requests),
-    ]);
+    for (metric, value) in extras {
+        table.row(vec![metric.clone(), value.clone()]);
+    }
     table.print();
+}
+
+fn write_out(args: &Args, summary: &ServeSummary, host: Option<Json>) -> Result<(), String> {
+    let Some(path) = &args.out else {
+        return Ok(());
+    };
+    let mut pairs = summary_json(args, summary);
+    let reproducible = host.is_none() && args.drives_full_workload();
+    if let Some(host) = host {
+        pairs.push(("host", host));
+    }
+    let text = Json::object(pairs).to_pretty();
+    std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "wrote {path} ({})",
+        if reproducible {
+            "deterministic: byte-identical at any thread count or transport"
+        } else {
+            "covers only this process's slice / host fields — not byte-reproducible"
+        }
+    );
+    Ok(())
+}
+
+fn verify_serial_replay(args: &Args, summary: &ServeSummary) -> Result<(), String> {
+    // Replays the identical log one request at a time on a fresh engine
+    // and cross-checks the concurrent summary bit for bit.
+    let reference = Engine::builder().threads(1).build();
+    let serial = replay_serial(&reference, &full_log(&args.traffic));
+    if serial == *summary {
+        println!("serial replay: MATCH (summary is interleaving-invariant)");
+        Ok(())
+    } else {
+        Err(format!(
+            "serial replay diverged from the concurrent run\nserial:     {serial:?}\nconcurrent: {summary:?}"
+        ))
+    }
+}
+
+fn exit_by_failures(summary: &ServeSummary) -> ExitCode {
+    if summary.failed_requests == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    let engine = Arc::new(Engine::builder().threads(args.engine_threads).build());
+    let server = Server::start(
+        engine.clone(),
+        &ServeConfig::builder()
+            .workers(args.threads)
+            .max_batch(args.max_batch)
+            .build()
+            .map_err(|e| e.to_string())?,
+    );
+    println!(
+        "loadgen: {} client(s) x {} request(s), mix {}, seed {}, {} worker(s), {:?} arrivals",
+        args.traffic.clients,
+        args.traffic.requests_per_client,
+        args.traffic.mix.name(),
+        args.traffic.seed,
+        args.threads,
+        args.mode,
+    );
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..args.traffic.clients {
+            let server = &server;
+            let log = client_log(&args.traffic, client);
+            let mode = args.mode;
+            scope.spawn(move || drive_client(server, log, mode));
+        }
+    });
+    let wall_nanos = t0.elapsed().as_nanos();
+    let report = server.join();
+    let summary = &report.summary;
+
+    print_summary_table(
+        summary,
+        wall_nanos,
+        &[(
+            "dispatches / coalesced [not in JSON]".into(),
+            format!("{} / {}", report.dispatches, report.coalesced_requests),
+        )],
+    );
     println!(
         "lut cache: {} hit(s), {} miss(es)",
         engine.lut_cache_stats().hits,
@@ -255,52 +373,151 @@ fn run(args: &Args) -> Result<ExitCode, String> {
     );
 
     if args.verify_serial {
-        // Replays the identical log one request at a time on a fresh
-        // engine and cross-checks the concurrent summary bit for bit.
-        let reference = Engine::builder().threads(1).build();
-        let serial = replay_serial(&reference, &full_log(&args.traffic));
-        if serial == *summary {
-            println!("serial replay: MATCH (summary is interleaving-invariant)");
-        } else {
-            return Err(format!(
-                "serial replay diverged from the concurrent run\nserial:     {serial:?}\nconcurrent: {summary:?}"
-            ));
+        verify_serial_replay(args, summary)?;
+    }
+    let host = args.keep_host.then(|| host_json(args, &report, wall_nanos));
+    write_out(args, summary, host)?;
+    Ok(exit_by_failures(summary))
+}
+
+/// One remote request, retried through typed `QueueFull` backpressure with
+/// the server-suggested delay. Any other rejection is a hard error: the
+/// generator runs without quotas, so `QuotaExhausted`/`Draining` mean the
+/// operator pointed it at a daemon configured for something else.
+fn call_through_backpressure(
+    client: &mut NetClient,
+    request: &WireRequest,
+) -> Result<WireResponse, String> {
+    loop {
+        match client.call(request).map_err(|e| e.to_string())? {
+            WireResponse::Rejected(Rejection::QueueFull { retry_after_ms, .. }) => {
+                std::thread::sleep(Duration::from_millis(retry_after_ms));
+            }
+            WireResponse::Rejected(rejection) => {
+                return Err(EngineError::Rejected(rejection).to_string());
+            }
+            response => return Ok(response),
         }
     }
+}
 
-    if let Some(path) = &args.out {
-        let mut pairs = summary_json(args, summary);
-        if args.keep_host {
-            pairs.push(("host", host_json(args, &report, wall_nanos)));
-        }
-        let text = Json::object(pairs).to_pretty();
-        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
-        println!(
-            "wrote {path} ({})",
-            if args.keep_host {
-                "with host fields — not byte-reproducible"
-            } else {
-                "deterministic: byte-identical at any thread count"
+/// Drives one client's log over its own connection; returns the responses
+/// (order irrelevant — the summary fold is order-invariant).
+fn drive_remote_client(
+    addr: &str,
+    log: &[TrafficRequest],
+    mode: ArrivalMode,
+) -> Result<Vec<WireResponse>, String> {
+    let mut client = NetClient::connect(addr).map_err(|e| e.to_string())?;
+    let requests: Vec<WireRequest> = log
+        .iter()
+        .map(|r| match r {
+            TrafficRequest::Gemm(g) => WireRequest::Gemm(g.clone()),
+            TrafficRequest::Infer(i) => WireRequest::Infer(i.clone()),
+        })
+        .collect();
+    let mut responses = Vec::with_capacity(requests.len());
+    match mode {
+        // Closed loop: one request in flight per client.
+        ArrivalMode::Closed => {
+            for request in &requests {
+                responses.push(call_through_backpressure(&mut client, request)?);
             }
+        }
+        // Open loop: pipeline every frame, then collect in order; anything
+        // the bounded queue rejected is re-driven closed-loop.
+        ArrivalMode::Open => {
+            for request in &requests {
+                client.send(request).map_err(|e| e.to_string())?;
+            }
+            let mut retries = Vec::new();
+            for (index, _) in requests.iter().enumerate() {
+                match client.recv().map_err(|e| e.to_string())? {
+                    WireResponse::Rejected(Rejection::QueueFull { .. }) => retries.push(index),
+                    WireResponse::Rejected(rejection) => {
+                        return Err(EngineError::Rejected(rejection).to_string());
+                    }
+                    response => responses.push(response),
+                }
+            }
+            for index in retries {
+                responses.push(call_through_backpressure(&mut client, &requests[index])?);
+            }
+        }
+    }
+    Ok(responses)
+}
+
+fn run_remote(args: &Args, addr: &str) -> Result<ExitCode, String> {
+    let range = args.client_range();
+    println!(
+        "loadgen: remote {addr}, client(s) {}..{} of {} x {} request(s), mix {}, seed {}, {:?} arrivals",
+        range.start,
+        range.end,
+        args.traffic.clients,
+        args.traffic.requests_per_client,
+        args.traffic.mix.name(),
+        args.traffic.seed,
+        args.mode,
+    );
+
+    let t0 = Instant::now();
+    let results: Vec<Result<Vec<WireResponse>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = range
+            .clone()
+            .map(|client| {
+                let log = client_log(&args.traffic, client);
+                let mode = args.mode;
+                scope.spawn(move || drive_remote_client(addr, &log, mode))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("remote client thread panicked"))
+            .collect()
+    });
+    let wall_nanos = t0.elapsed().as_nanos();
+
+    // Rebuild the summary client-side from the wire responses — the same
+    // fold the server runs, so a full run's summary (and JSON) is
+    // byte-identical to the in-process path's.
+    let mut recorder = ServeRecorder::new();
+    for result in results {
+        for response in result? {
+            wire::record_response(&mut recorder, &response);
+        }
+    }
+    let summary = recorder.summary();
+
+    if !range.is_empty() {
+        print_summary_table(&summary, wall_nanos, &[]);
+    }
+    if args.verify_serial {
+        verify_serial_replay(args, &summary)?;
+    }
+    write_out(args, &summary, None)?;
+
+    if args.drain {
+        let mut client = NetClient::connect(addr).map_err(|e| e.to_string())?;
+        let server_summary = client.drain().map_err(|e| e.to_string())?;
+        println!(
+            "drained {addr}: server served {} request(s) total",
+            server_summary.requests
         );
     }
-
-    Ok(if summary.failed_requests == 0 {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    })
+    Ok(exit_by_failures(&summary))
 }
 
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::from(2);
-        }
+        Err(e) => return cli::exit(&e),
     };
-    match run(&args) {
+    let outcome = match &args.remote {
+        Some(addr) => run_remote(&args, addr),
+        None => run(&args),
+    };
+    match outcome {
         Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");

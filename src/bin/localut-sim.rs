@@ -23,6 +23,7 @@ use dnn::{ModelConfig, Workload};
 use engine::{Engine, GemmRequest, InferenceRequest};
 use localut::tiling::TileGrid;
 use localut::{GemmConfig, GemmDims, Method};
+use localut_repro::cli::{self, CliError, Flags};
 use quant::{BitConfig, QMatrix};
 use std::process::ExitCode;
 
@@ -41,7 +42,7 @@ const USAGE: &str = "usage: localut-sim (--shape MxKxN | --model bert|opt|vit) \
 [--config WxAy] [--method naive|ltc|op|oplc|oplcrc|localut] [--k N] [--batch N] \
 [--threads N] [--requests N]";
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Args, CliError> {
     let mut args = Args {
         shape: None,
         model: None,
@@ -52,18 +53,20 @@ fn parse_args() -> Result<Args, String> {
         threads: 1,
         requests: 1,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+    let mut flags = Flags::from_env(USAGE);
+    while let Some(flag) = flags.next_flag()? {
         match flag.as_str() {
             "--shape" => {
-                let v = value()?;
+                let v = flags.value("--shape")?;
                 let parts: Vec<usize> = v
                     .split(['x', 'X'])
-                    .map(|s| s.parse().map_err(|_| format!("bad shape '{v}'")))
-                    .collect::<Result<_, _>>()?;
+                    .map(|s| s.parse().ok())
+                    .collect::<Option<_>>()
+                    .ok_or_else(|| CliError::Usage(format!("bad --shape '{v}'")))?;
                 if parts.len() != 3 || parts.contains(&0) {
-                    return Err(format!("bad shape '{v}', expected MxKxN"));
+                    return Err(CliError::Usage(format!(
+                        "bad --shape '{v}', expected MxKxN"
+                    )));
                 }
                 args.shape = Some(GemmDims {
                     m: parts[0],
@@ -71,39 +74,23 @@ fn parse_args() -> Result<Args, String> {
                     n: parts[2],
                 });
             }
-            "--model" => args.model = Some(value()?.to_lowercase()),
-            "--config" => args.config = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--model" => args.model = Some(flags.value("--model")?.to_lowercase()),
+            "--config" => args.config = flags.parsed("--config")?,
             "--method" => {
-                args.method = match value()?.to_lowercase().as_str() {
-                    "naive" => Method::NaivePim,
-                    "ltc" => Method::Ltc,
-                    "op" => Method::Op,
-                    "oplc" => Method::OpLc,
-                    "oplcrc" => Method::OpLcRc,
-                    "localut" => Method::LoCaLut,
-                    other => return Err(format!("unknown method '{other}'")),
-                }
+                let v = flags.value("--method")?.to_lowercase();
+                args.method = v
+                    .parse()
+                    .map_err(|e: String| CliError::Usage(format!("bad --method: {e}")))?;
             }
-            "--k" => args.k_slices = value()?.parse().map_err(|_| "bad --k".to_owned())?,
-            "--batch" => args.batch = value()?.parse().map_err(|_| "bad --batch".to_owned())?,
-            "--threads" => {
-                args.threads = value()?.parse().map_err(|_| "bad --threads".to_owned())?;
-                if args.threads == 0 {
-                    return Err("--threads must be at least 1".to_owned());
-                }
-            }
-            "--requests" => {
-                args.requests = value()?.parse().map_err(|_| "bad --requests".to_owned())?;
-                if args.requests == 0 {
-                    return Err("--requests must be at least 1".to_owned());
-                }
-            }
-            "--help" | "-h" => return Err(USAGE.to_owned()),
-            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+            "--k" => args.k_slices = flags.parsed("--k")?,
+            "--batch" => args.batch = flags.parsed("--batch")?,
+            "--threads" => args.threads = flags.positive("--threads")?,
+            "--requests" => args.requests = flags.positive("--requests")?,
+            other => return Err(flags.unknown(other)),
         }
     }
     if args.shape.is_none() && args.model.is_none() {
-        return Err(USAGE.to_owned());
+        return Err(flags.usage_error("one of --shape or --model is required"));
     }
     Ok(args)
 }
@@ -298,10 +285,7 @@ fn textwrap(s: &str) -> String {
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return cli::exit(&e),
     };
     let result = if let Some(model) = &args.model {
         run_model(&args, &model.clone())

@@ -1,0 +1,193 @@
+//! Shared command-line plumbing for the workspace binaries.
+//!
+//! `localut-sim`, `bench-runner`, `loadgen`, and `serve-daemon` all parse
+//! flags through this one module, which pins the conventions that used to
+//! drift between hand-rolled loops:
+//!
+//! * `--help`/`-h` prints the usage line and **exits 0** everywhere;
+//! * usage errors print to stderr and **exit 2** (reserving 1 for "ran
+//!   but failed": a perf-gate regression, a failed request);
+//! * common flags spell the same way and validate the same way —
+//!   `--threads` is a positive integer, `--seed` a `u64`, `--out` a file
+//!   path;
+//! * unknown flags echo the usage line.
+//!
+//! The parsing style stays the flat `while let Some(flag)` loop the
+//! binaries always used; this module supplies the loop's plumbing
+//! ([`Flags`]) and the process-exit policy ([`CliError`], [`exit`]), not
+//! a framework.
+
+use std::fmt::Display;
+use std::process::ExitCode;
+use std::str::FromStr;
+
+/// Why argument parsing stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help`/`-h`: carries the usage line; [`exit`] prints it to
+    /// stdout and succeeds.
+    Help(&'static str),
+    /// A real usage problem; [`exit`] prints it to stderr and exits 2.
+    Usage(String),
+}
+
+/// Terminates argument handling the uniform way: help → usage on stdout,
+/// exit 0; error → message on stderr, exit 2.
+#[must_use]
+pub fn exit(error: &CliError) -> ExitCode {
+    match error {
+        CliError::Help(usage) => {
+            println!("{usage}");
+            ExitCode::SUCCESS
+        }
+        CliError::Usage(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The flag stream a binary's `parse_args` walks.
+#[derive(Debug)]
+pub struct Flags {
+    it: std::vec::IntoIter<String>,
+    usage: &'static str,
+}
+
+impl Flags {
+    /// Wraps the process arguments (skipping the binary name).
+    #[must_use]
+    pub fn from_env(usage: &'static str) -> Flags {
+        Flags::from_args(std::env::args().skip(1).collect(), usage)
+    }
+
+    /// Wraps an explicit argument vector (tests).
+    #[must_use]
+    pub fn from_args(args: Vec<String>, usage: &'static str) -> Flags {
+        Flags {
+            it: args.into_iter(),
+            usage,
+        }
+    }
+
+    /// The next flag, with `--help`/`-h` intercepted uniformly.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Help`] on a help flag.
+    pub fn next_flag(&mut self) -> Result<Option<String>, CliError> {
+        match self.it.next() {
+            Some(flag) if flag == "--help" || flag == "-h" => Err(CliError::Help(self.usage)),
+            other => Ok(other),
+        }
+    }
+
+    /// The value following `flag`.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] when the stream ends instead.
+    pub fn value(&mut self, flag: &str) -> Result<String, CliError> {
+        self.it
+            .next()
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+    }
+
+    /// The value following `flag`, parsed via [`FromStr`]; the type's own
+    /// error message is surfaced.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] on a missing or unparseable value.
+    pub fn parsed<T>(&mut self, flag: &str) -> Result<T, CliError>
+    where
+        T: FromStr,
+        T::Err: Display,
+    {
+        let value = self.value(flag)?;
+        value
+            .parse()
+            .map_err(|e| CliError::Usage(format!("bad {flag} '{value}': {e}")))
+    }
+
+    /// The value following `flag` as a positive integer (≥ 1) — the
+    /// shared contract of `--threads` and every other count flag.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] unless the value parses and is at least 1.
+    pub fn positive(&mut self, flag: &str) -> Result<usize, CliError> {
+        match self.value(flag)?.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(CliError::Usage(format!(
+                "{flag} must be a positive integer"
+            ))),
+        }
+    }
+
+    /// The uniform unknown-flag error, echoing the usage line.
+    #[must_use]
+    pub fn unknown(&self, flag: &str) -> CliError {
+        CliError::Usage(format!("unknown flag '{flag}'\n{}", self.usage))
+    }
+
+    /// A usage error that still echoes the usage line (for cross-flag
+    /// validation after the loop, e.g. "exactly one of --shape/--model").
+    #[must_use]
+    pub fn usage_error(&self, message: &str) -> CliError {
+        CliError::Usage(format!("{message}\n{}", self.usage))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Flags {
+        Flags::from_args(args.iter().map(|s| (*s).to_string()).collect(), "USAGE")
+    }
+
+    #[test]
+    fn help_is_intercepted_wherever_it_appears() {
+        let mut f = flags(&["--help"]);
+        assert_eq!(f.next_flag(), Err(CliError::Help("USAGE")));
+
+        let mut f = flags(&["--threads", "2", "-h"]);
+        assert_eq!(f.next_flag(), Ok(Some("--threads".to_owned())));
+        assert_eq!(f.positive("--threads").unwrap(), 2);
+        assert_eq!(f.next_flag(), Err(CliError::Help("USAGE")));
+    }
+
+    #[test]
+    fn positive_rejects_zero_garbage_and_missing() {
+        assert!(flags(&["0"]).positive("--threads").is_err());
+        assert!(flags(&["two"]).positive("--threads").is_err());
+        assert!(flags(&[]).positive("--threads").is_err());
+        assert_eq!(flags(&["4"]).positive("--threads").unwrap(), 4);
+    }
+
+    #[test]
+    fn parsed_surfaces_the_inner_error() {
+        let err = flags(&["W9A99"]).parsed::<quant::BitConfig>("--config");
+        match err {
+            Err(CliError::Usage(msg)) => {
+                assert!(msg.contains("--config"), "names the flag: {msg}");
+                assert!(msg.contains("W9A99"), "names the value: {msg}");
+            }
+            other => panic!("expected Usage, got {other:?}"),
+        }
+        let seed: u64 = flags(&["42"]).parsed("--seed").unwrap();
+        assert_eq!(seed, 42);
+    }
+
+    #[test]
+    fn unknown_flag_echoes_usage() {
+        let f = flags(&[]);
+        match f.unknown("--bogus") {
+            CliError::Usage(msg) => {
+                assert!(msg.contains("--bogus") && msg.contains("USAGE"));
+            }
+            CliError::Help(_) => panic!("unknown flag is not help"),
+        }
+    }
+}

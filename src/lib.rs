@@ -8,9 +8,12 @@
 //! `DESIGN.md` for the system inventory, and `EXPERIMENTS.md` for the
 //! paper-vs-measured record.
 
+pub mod cli;
+
 pub use dnn;
 pub use engine;
 pub use localut;
+pub use netserve;
 pub use pim_sim;
 pub use pq;
 pub use quant;
@@ -19,3 +22,4 @@ pub use xpu;
 
 pub use engine::serve::Server;
 pub use engine::{Engine, EngineBuilder, EngineError, Session};
+pub use netserve::{NetClient, NetConfig, NetServer};

@@ -1,0 +1,206 @@
+//! Multi-process acceptance tests for the network serving front-end: a
+//! real `serve-daemon` child process, driven by real `loadgen --remote`
+//! child processes over loopback TCP. Pins the PR's contract:
+//!
+//! * a remote run's summary JSON is **byte-identical** to an in-process
+//!   run of the same workload;
+//! * serially replaying the daemon's request log reproduces the daemon's
+//!   summary **bit for bit**, for multiple worker counts and with the
+//!   workload split across ≥ 2 client processes;
+//! * a drain request shuts the daemon down with exit code 0.
+
+use engine::serve::replay_serial;
+use engine::traffic::{full_log, Mix, TrafficConfig};
+use engine::Engine;
+use netserve::json::Json;
+use netserve::wire;
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+/// Kills the daemon if a test fails before draining it, so a broken run
+/// fails instead of hanging the suite.
+struct Daemon {
+    child: Child,
+    addr: String,
+    log: PathBuf,
+    out: PathBuf,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("netserve-{}-{name}", std::process::id()))
+}
+
+fn spawn_daemon(tag: &str, threads: usize) -> Daemon {
+    let port_file = tmp(&format!("{tag}-port.txt"));
+    let log = tmp(&format!("{tag}-requests.jsonl"));
+    let out = tmp(&format!("{tag}-serve.json"));
+    let _ = std::fs::remove_file(&port_file);
+    let child = Command::new(env!("CARGO_BIN_EXE_serve-daemon"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            &threads.to_string(),
+            "--engine-threads",
+            "1",
+            "--port-file",
+        ])
+        .arg(&port_file)
+        .arg("--log")
+        .arg(&log)
+        .arg("--out")
+        .arg(&out)
+        .spawn()
+        .expect("serve-daemon spawns");
+    // The daemon writes HOST:PORT once bound; poll for it.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(addr) = std::fs::read_to_string(&port_file) {
+            if !addr.is_empty() {
+                break addr;
+            }
+        }
+        assert!(Instant::now() < deadline, "daemon never published its port");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    let _ = std::fs::remove_file(&port_file);
+    Daemon {
+        child,
+        addr,
+        log,
+        out,
+    }
+}
+
+fn loadgen(args: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_loadgen"));
+    cmd.args(args);
+    cmd
+}
+
+/// Reads the daemon's `--out` JSON back into a typed summary.
+fn daemon_summary(daemon: &Daemon) -> engine::ServeSummary {
+    let text = std::fs::read_to_string(&daemon.out).expect("daemon wrote --out");
+    let doc = Json::parse(&text).expect("daemon out parses");
+    let Json::Object(pairs) = &doc else {
+        panic!("daemon out is not an object");
+    };
+    let summary = pairs
+        .iter()
+        .find(|(k, _)| *k == "summary")
+        .map(|(_, v)| v)
+        .expect("daemon out has a summary");
+    wire::summary_from_json(summary).expect("summary decodes")
+}
+
+/// Serially replays the daemon's request log on a fresh single-threaded
+/// engine.
+fn replay_daemon_log(daemon: &Daemon) -> engine::ServeSummary {
+    let text = std::fs::read_to_string(&daemon.log).expect("daemon wrote --log");
+    let log = wire::parse_request_log(&text).expect("request log parses");
+    let reference = Engine::builder().threads(1).build();
+    replay_serial(&reference, &log)
+}
+
+fn cleanup(daemon: &Daemon, extra: &[&PathBuf]) {
+    let _ = std::fs::remove_file(&daemon.log);
+    let _ = std::fs::remove_file(&daemon.out);
+    for path in extra {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn remote_run_is_byte_identical_to_in_process_and_replays_bitwise() {
+    let mut daemon = spawn_daemon("single", 2);
+    let local_out = tmp("single-local.json");
+    let remote_out = tmp("single-remote.json");
+
+    let workload = ["--clients", "2", "--requests", "2", "--seed", "9"];
+    let local = loadgen(&workload)
+        .arg("--out")
+        .arg(&local_out)
+        .status()
+        .expect("local loadgen runs");
+    assert!(local.success(), "in-process run failed: {local}");
+
+    let remote = loadgen(&["--remote", &daemon.addr])
+        .args(workload)
+        .arg("--drain")
+        .arg("--out")
+        .arg(&remote_out)
+        .status()
+        .expect("remote loadgen runs");
+    assert!(remote.success(), "remote run failed: {remote}");
+
+    // Draining must exit the daemon cleanly (code 0).
+    let status = daemon.child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit after drain: {status}");
+
+    let local_json = std::fs::read_to_string(&local_out).expect("local out");
+    let remote_json = std::fs::read_to_string(&remote_out).expect("remote out");
+    assert_eq!(
+        local_json, remote_json,
+        "remote transport changed a deterministic byte"
+    );
+
+    // And the daemon's own log replays to its own summary, bit for bit.
+    let summary = daemon_summary(&daemon);
+    assert_eq!(summary.requests, 4);
+    assert_eq!(replay_daemon_log(&daemon), summary);
+    cleanup(&daemon, &[&local_out, &remote_out]);
+}
+
+#[test]
+fn split_client_processes_replay_bitwise_at_a_different_worker_count() {
+    let mut daemon = spawn_daemon("split", 3);
+    let traffic = TrafficConfig {
+        clients: 4,
+        requests_per_client: 1,
+        mix: Mix::Mixed,
+        seed: 123,
+    };
+    let workload = ["--clients", "4", "--requests", "1", "--seed", "123"];
+
+    // Two concurrent OS processes, each driving half the client ids.
+    let mut first = loadgen(&["--remote", &daemon.addr])
+        .args(workload)
+        .args(["--client-offset", "0", "--client-count", "2"])
+        .spawn()
+        .expect("first half spawns");
+    let mut second = loadgen(&["--remote", &daemon.addr])
+        .args(workload)
+        .args(["--client-offset", "2", "--client-count", "2"])
+        .spawn()
+        .expect("second half spawns");
+    assert!(first.wait().expect("first exits").success());
+    assert!(second.wait().expect("second exits").success());
+
+    // A third, traffic-less process performs the drain.
+    let drain = loadgen(&["--remote", &daemon.addr])
+        .args(workload)
+        .args(["--client-count", "0", "--drain"])
+        .status()
+        .expect("drain process runs");
+    assert!(drain.success(), "drain run failed: {drain}");
+    let status = daemon.child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit after drain: {status}");
+
+    // The daemon saw the union of both processes' traffic; its summary
+    // must equal both the serial replay of its own log *and* the serial
+    // replay of the canonical workload (the fold is order-invariant).
+    let summary = daemon_summary(&daemon);
+    assert_eq!(summary.requests, 4);
+    assert_eq!(replay_daemon_log(&daemon), summary);
+    let reference = Engine::builder().threads(1).build();
+    assert_eq!(replay_serial(&reference, &full_log(&traffic)), summary);
+    cleanup(&daemon, &[]);
+}

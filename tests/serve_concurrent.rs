@@ -28,7 +28,14 @@ fn serve_concurrently(
     max_batch: usize,
     mode: ArrivalMode,
 ) -> ServeSummary {
-    let server = Server::start(engine.clone(), &ServeConfig { workers, max_batch });
+    let server = Server::start(
+        engine.clone(),
+        &ServeConfig::builder()
+            .workers(workers)
+            .max_batch(max_batch)
+            .build()
+            .expect("test serve config is valid"),
+    );
     std::thread::scope(|scope| {
         for client in 0..traffic.clients {
             let server = &server;
