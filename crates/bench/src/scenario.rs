@@ -145,6 +145,12 @@ pub fn registry() -> &'static [Scenario] {
             runner: |ctx| gemm_scenario(ctx, 3072),
         },
         Scenario {
+            name: "fig09_huge",
+            title: "LoCaLUT GEMM 768x768x128 W1A3 on the full machine: 32 ranks x 64 banks",
+            smoke: false,
+            runner: gemm_huge_scenario,
+        },
+        Scenario {
             name: "fig14_energy",
             title: "system energy, LoCaLUT vs Naive PIM at 768x768x128 W1A3 (analytic)",
             smoke: true,
@@ -174,6 +180,13 @@ pub fn registry() -> &'static [Scenario] {
             title: "network front-end: 2 clients x 3 seeded mixed requests over loopback TCP",
             smoke: true,
             runner: serve_net_scenario,
+        },
+        Scenario {
+            name: "serve_rank_scale",
+            title:
+                "concurrent scheduler on the ranked 32x64 machine: 2 clients x 3 seeded requests",
+            smoke: true,
+            runner: serve_rank_scale_scenario,
         },
     ]
 }
@@ -260,6 +273,35 @@ fn gemm_scenario(ctx: &ScenarioCtx, m: usize) -> ScenarioOutcome {
     let response = serving_engine(ctx, 16)
         .submit(&GemmRequest::new(w, a))
         .expect("feasible");
+    ScenarioOutcome {
+        stats: response.stats,
+        energy_pj: response.energy_pj,
+        checksum: response.checksum,
+    }
+}
+
+/// Fig. 9 at full-machine scale: the paper-shape GEMM sharded across the
+/// ranked 32 × 64 topology — a 128 × 16 grid of exactly 2048 bank shards,
+/// merged through the per-rank tree with the rank-bus contention phase on
+/// the measured path. The host side is the work-stealing executor's
+/// stress case (2048 ragged tiles); the simulated side pins the scale-out
+/// cost model.
+fn gemm_huge_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
+    let (wf, af) = w1a3();
+    let dims = GemmDims {
+        m: 768,
+        k: 768,
+        n: 128,
+    };
+    let w = QMatrix::pseudo_random(dims.m, dims.k, wf, 1);
+    let a = QMatrix::pseudo_random(dims.k, dims.n, af, 2);
+    let response = Engine::builder()
+        .threads(ctx.threads)
+        .ranks(32, 64)
+        .build()
+        .submit(&GemmRequest::new(w, a))
+        .expect("feasible");
+    assert_eq!(response.per_bank.len(), 2048, "full machine must populate");
     ScenarioOutcome {
         stats: response.stats,
         energy_pj: response.energy_pj,
@@ -394,6 +436,55 @@ fn serve_sched_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
     }
 }
 
+/// The scale-out serving class: the same concurrent scheduler as
+/// `serve_mixed`, but over an engine configured as the paper's full
+/// ranked machine (32 ranks × 64 banks). The seeded log's small
+/// per-request bank overrides are stripped so the ranked topology governs
+/// every GEMM's shard plan — each request merges through the per-rank
+/// tree and pays the rank-bus contention phase. The summary stays exactly
+/// as deterministic as the flat scenarios: the gate holds full-machine
+/// serving cost to the committed baseline.
+fn serve_rank_scale_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
+    let traffic = TrafficConfig {
+        clients: 2,
+        requests_per_client: 3,
+        mix: Mix::Mixed,
+        seed: 3215,
+    };
+    // Engine pool of 1 for the same oversubscription reason as serve_mixed.
+    let engine = Arc::new(Engine::builder().threads(1).ranks(32, 64).build());
+    let server = Server::start(
+        engine,
+        &ServeConfig::builder()
+            .workers(ctx.threads)
+            .max_batch(4)
+            .build()
+            .expect("static serve config is valid"),
+    );
+    std::thread::scope(|scope| {
+        for client in 0..traffic.clients {
+            let server = &server;
+            let mut log = client_log(&traffic, client);
+            for request in &mut log {
+                if let TrafficRequest::Gemm(gemm) = request {
+                    gemm.banks = None;
+                }
+            }
+            scope.spawn(move || drive_client(server, log, ArrivalMode::Closed));
+        }
+    });
+    let report = server.join();
+    assert_eq!(
+        report.summary.failed_requests, 0,
+        "seeded rank-scale traffic must be feasible"
+    );
+    ScenarioOutcome {
+        stats: report.summary.stats.clone(),
+        energy_pj: report.summary.energy_pj,
+        checksum: report.summary.checksum,
+    }
+}
+
 /// The network front-end class: seeded mixed traffic driven over loopback
 /// TCP through [`netserve`] — frame codec, wire DTO round-trip, admission,
 /// and drain all on the measured path. The outcome is the server's
@@ -474,7 +565,7 @@ mod tests {
     #[test]
     fn filter_selects_by_substring() {
         let hits = select(RunProfile::Full, Some("fig09"));
-        assert_eq!(hits.len(), 2);
+        assert_eq!(hits.len(), 3);
         assert!(select(RunProfile::Full, Some("no-such-scenario")).is_empty());
     }
 
@@ -489,6 +580,7 @@ mod tests {
             "fig16_breakdown",
             "serve_mixed",
             "serve_net",
+            "serve_rank_scale",
         ] {
             let scenario = registry().iter().find(|s| s.name == name).unwrap();
             let one = scenario.run(&ScenarioCtx { threads: 1 });

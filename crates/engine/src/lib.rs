@@ -5,8 +5,9 @@
 //! error enums. This crate redesigns that surface around one typed entry
 //! point:
 //!
-//! * [`EngineBuilder`] — profile, worker threads, bank count, bit-config
-//!   and method defaults → [`Engine`].
+//! * [`EngineBuilder`] — profile, worker threads, sharding [`Topology`]
+//!   (a flat bank fleet, or the paper's full 32 × 64 ranked machine),
+//!   bit-config and method defaults → [`Engine`].
 //! * [`Engine`] — accepts typed requests ([`GemmRequest`],
 //!   [`BatchGemmRequest`], [`InferenceRequest`]) and returns typed
 //!   responses carrying values, merged [`pim_sim::Stats`], picojoule
@@ -79,6 +80,48 @@ use quant::{BitConfig, NumericFormat};
 use runtime::{ParallelExecutor, ShardPlan};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
+/// How an engine shards GEMM requests across the machine by default.
+///
+/// The paper's server is hierarchical — 32 ranks × 64 DPU banks — and the
+/// topology decides whether requests see that hierarchy:
+///
+/// * [`Topology::Flat`] shards across `n` interchangeable banks with a
+///   flat statistics fold and **no** rank-bus contention term (the
+///   pre-scale-out behavior, and still the default).
+/// * [`Topology::Ranked`] shards across `ranks × banks_per_rank` banks
+///   grouped under a [`runtime::RankPlan`]: statistics merge through the
+///   per-rank tree and the busiest rank's host-link occupancy is charged
+///   as an extra serving phase.
+///
+/// A per-request bank override ([`GemmRequest::with_banks`]) always
+/// shards flat — it is an explicit "just use n banks" escape hatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// A flat fleet of `n` interchangeable banks.
+    Flat(u32),
+    /// The two-level machine: `ranks` ranks of `banks_per_rank` banks.
+    Ranked {
+        /// Number of ranks (the paper's server has 32).
+        ranks: u32,
+        /// DPU banks per rank (the paper's server has 64).
+        banks_per_rank: u32,
+    },
+}
+
+impl Topology {
+    /// Total bank count the topology shards across.
+    #[must_use]
+    pub fn total_banks(&self) -> u32 {
+        match *self {
+            Topology::Flat(banks) => banks,
+            Topology::Ranked {
+                ranks,
+                banks_per_rank,
+            } => ranks.saturating_mul(banks_per_rank),
+        }
+    }
+}
+
 /// Configures and constructs an [`Engine`].
 ///
 /// Defaults model the paper's serving setup: the UPMEM DPU profile with
@@ -88,7 +131,7 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 pub struct EngineBuilder {
     gemm: GemmConfig,
     threads: usize,
-    banks: u32,
+    topology: Topology,
     method: Method,
     bits: BitConfig,
     energy: EnergyModel,
@@ -99,7 +142,7 @@ impl Default for EngineBuilder {
         EngineBuilder {
             gemm: GemmConfig::upmem(),
             threads: 4,
-            banks: 16,
+            topology: Topology::Flat(16),
             method: Method::LoCaLut,
             bits: BitConfig { bw: 1, ba: 3 },
             energy: EnergyModel::upmem(),
@@ -117,10 +160,41 @@ impl EngineBuilder {
     }
 
     /// Default number of banks a GEMM request's output is sharded across
-    /// (≥ 1; overridable per request).
+    /// (≥ 1; overridable per request). Selects a flat
+    /// [`Topology`] — the pre-scale-out behavior.
     #[must_use]
     pub fn banks(mut self, banks: u32) -> Self {
-        self.banks = banks.max(1);
+        self.topology = Topology::Flat(banks.max(1));
+        self
+    }
+
+    /// Shards GEMM requests across the two-level machine: `ranks` ranks
+    /// of `banks_per_rank` banks each (≥ 1 each; the paper's server is
+    /// `ranks(32, 64)`). Ranked engines merge statistics through the
+    /// per-rank tree and charge the rank-bus contention phase; a
+    /// per-request bank override still shards flat.
+    #[must_use]
+    pub fn ranks(mut self, ranks: u32, banks_per_rank: u32) -> Self {
+        self.topology = Topology::Ranked {
+            ranks: ranks.max(1),
+            banks_per_rank: banks_per_rank.max(1),
+        };
+        self
+    }
+
+    /// Sets the sharding topology directly.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = match topology {
+            Topology::Flat(banks) => Topology::Flat(banks.max(1)),
+            Topology::Ranked {
+                ranks,
+                banks_per_rank,
+            } => Topology::Ranked {
+                ranks: ranks.max(1),
+                banks_per_rank: banks_per_rank.max(1),
+            },
+        };
         self
     }
 
@@ -168,10 +242,11 @@ impl EngineBuilder {
         let mut sim = InferenceSim::upmem_server();
         sim.dist.gemm = self.gemm.clone();
         Engine {
-            pool: ParallelExecutor::with_config(self.threads, self.gemm.clone()),
+            pool: ParallelExecutor::with_config(self.threads, self.gemm.clone())
+                .with_system(sim.dist.system.clone()),
             gemm: self.gemm,
             sim,
-            banks: self.banks,
+            topology: self.topology,
             method: self.method,
             bits: self.bits,
             energy: self.energy,
@@ -192,7 +267,7 @@ pub struct Engine {
     gemm: GemmConfig,
     pool: ParallelExecutor,
     sim: InferenceSim,
-    banks: u32,
+    topology: Topology,
     method: Method,
     bits: BitConfig,
     energy: EnergyModel,
@@ -253,10 +328,17 @@ impl Engine {
         self.bits
     }
 
-    /// The engine's default bank count for GEMM requests.
+    /// The engine's default bank count for GEMM requests (the topology's
+    /// total).
     #[must_use]
     pub fn default_banks(&self) -> u32 {
-        self.banks
+        self.topology.total_banks()
+    }
+
+    /// The sharding topology GEMM requests default to.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        self.topology
     }
 
     /// The inference simulator requests are timed on.
@@ -322,7 +404,8 @@ impl Engine {
         // Inside a worker, each request executes its shard merge serially
         // (1-thread executor): outputs are worker-count invariant by
         // construction, so this only chooses where host parallelism goes.
-        let serial = ParallelExecutor::with_config(1, self.gemm.clone());
+        let serial = ParallelExecutor::with_config(1, self.gemm.clone())
+            .with_system(self.sim.dist.system.clone());
         let results = self.pool.map(&items, |(request, prepared)| {
             self.execute(request, prepared, &serial)
         });
@@ -463,12 +546,23 @@ impl Engine {
 
     fn prepare(&self, request: &GemmRequest) -> Result<PreparedGemm, EngineError> {
         let dims = GemmDims::of(&request.w, &request.a)?;
-        let banks = request.banks.unwrap_or(self.banks);
-        if banks == 0 {
-            return Err(EngineError::InvalidRequest(
-                "GEMM request with zero banks".to_owned(),
-            ));
-        }
+        // A request-level bank override always shards flat; otherwise the
+        // engine topology decides (ranked engines build two-level plans).
+        let plan = match request.banks {
+            Some(0) => {
+                return Err(EngineError::InvalidRequest(
+                    "GEMM request with zero banks".to_owned(),
+                ));
+            }
+            Some(banks) => ShardPlan::for_banks(dims, banks),
+            None => match self.topology {
+                Topology::Flat(banks) => ShardPlan::for_banks(dims, banks),
+                Topology::Ranked {
+                    ranks,
+                    banks_per_rank,
+                } => ShardPlan::for_ranks(dims, ranks, banks_per_rank),
+            },
+        };
         let wf = request.w.format();
         let af = request.a.format();
         let (bank, method, lut_cache) = if let Some(pin) = request.pin {
@@ -495,7 +589,7 @@ impl Engine {
         };
         Ok(PreparedGemm {
             bank,
-            plan: ShardPlan::for_banks(dims, banks),
+            plan,
             method,
             lut_cache,
         })
@@ -784,6 +878,57 @@ mod tests {
             .unwrap();
         assert!(profile.total_seconds() > 0.0);
         assert_eq!(engine.lut_cache_stats().lookups(), 0);
+    }
+
+    #[test]
+    fn ranked_engines_shard_hierarchically_and_charge_the_link() {
+        let flat = Engine::builder().threads(2).banks(12).build();
+        let ranked = Engine::builder().threads(2).ranks(3, 4).build();
+        assert_eq!(ranked.default_banks(), 12);
+        assert_eq!(
+            ranked.topology(),
+            Topology::Ranked {
+                ranks: 3,
+                banks_per_rank: 4
+            }
+        );
+        let (w, a) = operands(21);
+        let f = flat
+            .submit(&GemmRequest::new(w.clone(), a.clone()))
+            .unwrap();
+        let r = ranked
+            .submit(&GemmRequest::new(w.clone(), a.clone()))
+            .unwrap();
+        // Same math, same shards: values and checksum are bit-identical.
+        assert_eq!(f.values, r.values);
+        assert_eq!(f.checksum, r.checksum);
+        assert_eq!(f.per_bank.len(), r.per_bank.len());
+        // The ranked engine additionally charges the rank-bus phase, so
+        // its merged statistics strictly dominate the flat fold.
+        assert_eq!(f.stats.banks(), r.stats.banks());
+        assert!(r.stats.total_seconds() > f.stats.total_seconds());
+        // A per-request bank override shards flat even on a ranked
+        // engine: the response matches the flat engine's bitwise.
+        let overridden = ranked
+            .submit(&GemmRequest::new(w, a).with_banks(12))
+            .unwrap();
+        assert_eq!(overridden.stats, f.stats);
+        assert_eq!(overridden.values, f.values);
+    }
+
+    #[test]
+    fn topology_arguments_are_clamped() {
+        let engine = Engine::builder().ranks(0, 0).build();
+        assert_eq!(
+            engine.topology(),
+            Topology::Ranked {
+                ranks: 1,
+                banks_per_rank: 1
+            }
+        );
+        let direct = Engine::builder().topology(Topology::Flat(0)).build();
+        assert_eq!(direct.topology(), Topology::Flat(1));
+        assert_eq!(direct.default_banks(), 1);
     }
 
     #[test]

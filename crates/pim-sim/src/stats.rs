@@ -247,6 +247,14 @@ impl Profile {
         Profile { ledger }
     }
 
+    /// In-place serial composition: folds `other` into this profile
+    /// without cloning the accumulated ledger. This is the fold primitive
+    /// for wide merges (a 2048-bank shard merge would otherwise clone the
+    /// accumulator once per bank through [`Profile::merged`]).
+    pub fn merge_from(&mut self, other: &Profile) {
+        self.ledger.merge(&other.ledger);
+    }
+
     /// Scales the profile by `n` repetitions.
     #[must_use]
     pub fn scaled(&self, n: u64) -> Profile {
@@ -351,6 +359,31 @@ impl Stats {
             host_bytes: u128::from(ledger.host_bytes),
             host_ops: u128::from(ledger.host_ops),
         }
+    }
+
+    /// Ingests one ledger as a **phase** rather than a bank profile: the
+    /// femtosecond quantization and counters are identical to
+    /// [`Stats::from_ledger`], but `banks()` stays 0. System-level phases
+    /// (the rank-bus contention term, host transfer epochs) merge into a
+    /// bank aggregate without inflating its profile count, so
+    /// `stats.banks()` keeps meaning "bank ledgers merged".
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pim_sim::{Category, CycleLedger, Stats};
+    ///
+    /// let mut ledger = CycleLedger::new();
+    /// ledger.charge(Category::HostTransfer, 1e-6);
+    /// let phase = Stats::from_phase_ledger(&ledger);
+    /// assert_eq!(phase.banks(), 0);
+    /// assert_eq!(phase.femtoseconds(Category::HostTransfer), 1_000_000_000);
+    /// ```
+    #[must_use]
+    pub fn from_phase_ledger(ledger: &CycleLedger) -> Self {
+        let mut stats = Self::from_ledger(ledger);
+        stats.banks = 0;
+        stats
     }
 
     /// Merges another aggregate into this one. Pure integer addition, so
@@ -642,6 +675,45 @@ mod tests {
         assert_eq!(left.instructions, 111);
         // Identity element.
         assert_eq!(a.clone().merged(&Stats::default()), a);
+    }
+
+    #[test]
+    fn phase_ledgers_merge_without_counting_as_banks() {
+        let bank = stats_with(&[(Category::Compute, 0.5)], 10);
+        let mut phase_ledger = CycleLedger::new();
+        phase_ledger.charge(Category::HostTransfer, 0.25);
+        phase_ledger.host_bytes = 4096;
+        let phase = Stats::from_phase_ledger(&phase_ledger);
+        assert_eq!(phase.banks(), 0);
+        let merged = bank.clone().merged(&phase);
+        assert_eq!(merged.banks(), 1); // still one bank profile
+        assert_eq!(
+            merged.femtoseconds(Category::HostTransfer),
+            250_000_000_000_000
+        );
+        assert_eq!(merged.host_bytes, 4096);
+        // Apart from the bank count, a phase carries the same quantized
+        // ledger a bank ingest would.
+        let as_bank = Stats::from_ledger(&phase_ledger);
+        assert_eq!(
+            phase.femtoseconds(Category::HostTransfer),
+            as_bank.femtoseconds(Category::HostTransfer)
+        );
+    }
+
+    #[test]
+    fn merge_from_equals_merged() {
+        let mut l1 = CycleLedger::new();
+        l1.charge(Category::Compute, 0.5);
+        l1.instructions = 3;
+        let mut l2 = CycleLedger::new();
+        l2.charge(Category::LutLoad, 0.25);
+        l2.dram_read_bytes = 64;
+        let a = Profile::from_ledger(l1);
+        let b = Profile::from_ledger(l2);
+        let mut in_place = a.clone();
+        in_place.merge_from(&b);
+        assert_eq!(in_place, a.merged(&b));
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub struct SystemConfig {
     /// Host scalar-op throughput in ops/s (multicore Xeon performing
     /// quantization, sorting, packing; ~10 Gop/s sustained).
     pub host_ops_per_sec: f64,
+    /// Sustained bandwidth of **one rank's** host link in bytes/s. Every
+    /// byte entering or leaving any bank of a rank crosses this shared
+    /// bus (UPMEM has no inter-bank path), so a rank whose banks move
+    /// more data than its siblings becomes the transfer bottleneck — the
+    /// rank-bus contention the aggregate scatter/gather numbers above
+    /// average away.
+    pub rank_link_bytes_per_sec: f64,
 }
 
 impl SystemConfig {
@@ -49,6 +56,7 @@ impl SystemConfig {
             scatter_bytes_per_sec: 12.0e9,
             gather_bytes_per_sec: 8.0e9,
             host_ops_per_sec: 10.0e9,
+            rank_link_bytes_per_sec: 1.6e9,
         }
     }
 
@@ -126,6 +134,7 @@ impl PimSystem {
             || cfg.scatter_bytes_per_sec <= 0.0
             || cfg.gather_bytes_per_sec <= 0.0
             || cfg.host_ops_per_sec <= 0.0
+            || cfg.rank_link_bytes_per_sec <= 0.0
         {
             return Err(SimError::InvalidConfig(
                 "bandwidths and host throughput must be positive".into(),
@@ -170,6 +179,45 @@ impl PimSystem {
     #[must_use]
     pub fn host_ops_seconds(&self, ops: u64) -> f64 {
         ops as f64 / self.cfg.host_ops_per_sec
+    }
+
+    /// Seconds for one rank's host link to move `bytes`.
+    #[must_use]
+    pub fn rank_link_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.cfg.rank_link_bytes_per_sec
+    }
+
+    /// The rank-bus contention phase for one execution epoch: each entry
+    /// of `per_rank_bytes` is the total byte volume one rank's banks
+    /// moved. Ranks transfer in parallel, but a rank's banks share its
+    /// link, so the epoch's occupancy is the **slowest** (busiest) rank's
+    /// link time — the bottleneck term a flat aggregate-bandwidth model
+    /// misses when tiles are ragged across ranks.
+    ///
+    /// The returned profile charges the occupancy to
+    /// [`Category::HostTransfer`] and records the fleet-wide byte total
+    /// in `host_bytes`. An empty or all-zero input yields an empty phase.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pim_sim::{Category, PimSystem};
+    ///
+    /// let sys = PimSystem::upmem_server();
+    /// let phase = sys.rank_link_profile(&[1000, 4000, 2000]);
+    /// // The busiest rank (4000 B) bounds the epoch...
+    /// assert!((phase.seconds(Category::HostTransfer)
+    ///     - sys.rank_link_seconds(4000)).abs() < 1e-18);
+    /// // ...while the counter records everything that moved.
+    /// assert_eq!(phase.ledger().host_bytes, 7000);
+    /// ```
+    #[must_use]
+    pub fn rank_link_profile(&self, per_rank_bytes: &[u64]) -> Profile {
+        let mut ledger = CycleLedger::new();
+        let busiest = per_rank_bytes.iter().copied().max().unwrap_or(0);
+        ledger.charge(Category::HostTransfer, self.rank_link_seconds(busiest));
+        ledger.host_bytes = per_rank_bytes.iter().sum();
+        Profile::from_ledger(ledger)
     }
 
     /// Builds a host-side ledger for one transfer + compute phase.
@@ -219,6 +267,24 @@ mod tests {
         let ten = sys.scatter_seconds(10_000_000);
         assert!((ten - 10.0 * one).abs() < 1e-12);
         assert!(sys.gather_seconds(1 << 20) > sys.broadcast_seconds(1 << 20));
+    }
+
+    #[test]
+    fn rank_link_bottleneck_is_the_busiest_rank() {
+        let sys = PimSystem::upmem_server();
+        let phase = sys.rank_link_profile(&[100, 900, 500, 900]);
+        assert!((phase.seconds(Category::HostTransfer) - sys.rank_link_seconds(900)).abs() < 1e-18);
+        assert_eq!(phase.ledger().host_bytes, 2400);
+        // Degenerate inputs yield an empty phase.
+        assert_eq!(sys.rank_link_profile(&[]).total_seconds(), 0.0);
+        assert_eq!(sys.rank_link_profile(&[0, 0]).total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn rank_link_bandwidth_must_be_positive() {
+        let mut cfg = SystemConfig::upmem_server();
+        cfg.rank_link_bytes_per_sec = 0.0;
+        assert!(PimSystem::new(cfg).is_err());
     }
 
     #[test]

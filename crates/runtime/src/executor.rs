@@ -8,20 +8,37 @@
 //! [`BankKernel`]'s internal `Arc`s (one build, N readers, as the §V-A
 //! broadcast works on hardware).
 //!
-//! Determinism: shards are assigned to workers round-robin by shard id, the
-//! per-shard results are collected into id-indexed slots, and both the
-//! value scatter and the profile fold run in ascending shard id order.
-//! Thread scheduling therefore cannot change any output bit, and the
-//! 1-thread execution of the same plan is bitwise identical to the
-//! N-thread one.
+//! Scheduling is work stealing: each worker owns a deque seeded with a
+//! contiguous block of shard ids, drains it from the front, and — once
+//! empty — steals the back half of a sibling's deque in one chunk of
+//! whole bank-shards, so ragged tile grids (2048-shard plans have edge
+//! tiles) cannot serialize the tail behind one worker.
+//!
+//! Determinism: results are keyed by shard id wherever they are produced,
+//! and both the value scatter and every ledger fold run in ascending
+//! shard id order after the pool joins — for ranked plans as a per-rank
+//! merge tree whose exact associativity makes it equal to the flat fold.
+//! Thread scheduling and steal timing therefore cannot change any output
+//! bit, and the 1-thread execution of the same plan is bitwise identical
+//! to the N-thread one.
 
 use crate::shard::{Shard, ShardPlan};
 use localut::gemm::{GemmConfig, GemmDims};
 use localut::kernels::BankKernel;
 use localut::{LocaLutError, Method};
-use pim_sim::{EnergyBreakdown, EnergyModel, Profile, Stats};
+use pim_sim::{CycleLedger, EnergyBreakdown, EnergyModel, PimSystem, Profile, Stats};
 use quant::QMatrix;
+use std::collections::VecDeque;
 use std::ops::Range;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks one of the executor's internal scheduling mutexes. No user code
+/// ever runs under these locks (they guard index deques manipulated with
+/// plain `VecDeque` operations), so a poisoned lock still holds a valid
+/// queue — recover it rather than compounding one worker's panic.
+fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One bank's contribution to a parallel GEMM.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,8 +63,21 @@ pub struct ParallelGemm {
     /// this is total bank *work*, and the critical path is the max).
     pub profile: Profile,
     /// Associative merge of the per-bank statistics — identical for every
-    /// merge order and thread count by construction.
+    /// merge order and thread count by construction. For ranked plans
+    /// this is the **rank merge tree** (banks fold into per-rank ledgers,
+    /// ranks fold into one — exactly equal to the flat fold, pinned by
+    /// tests) plus the [`ParallelGemm::link_phase`] contention term,
+    /// merged as a phase (it does not count toward [`Stats::banks`]).
     pub stats: Stats,
+    /// Per-rank statistics in rank order, one entry per populated rank of
+    /// the plan's [`crate::RankPlan`] — the intermediate level of the
+    /// merge tree. Empty for flat plans.
+    pub rank_stats: Vec<Stats>,
+    /// The rank-bus contention phase ([`PimSystem::rank_link_profile`]
+    /// over each rank's transfer counters): the busiest rank's host-link
+    /// occupancy. Already merged into [`ParallelGemm::stats`]; `None` for
+    /// flat plans.
+    pub link_phase: Option<Profile>,
 }
 
 /// FNV-1a over a byte stream — the **one** checksum primitive of the
@@ -167,6 +197,7 @@ impl ParallelGemm {
 pub struct ParallelExecutor {
     threads: usize,
     gemm: GemmConfig,
+    system: PimSystem,
 }
 
 impl ParallelExecutor {
@@ -177,13 +208,24 @@ impl ParallelExecutor {
         Self::with_config(threads, GemmConfig::upmem())
     }
 
-    /// An executor with an explicit kernel configuration.
+    /// An executor with an explicit kernel configuration and the default
+    /// UPMEM system topology (used only by ranked plans, for the
+    /// rank-bus contention term).
     #[must_use]
     pub fn with_config(threads: usize, gemm: GemmConfig) -> Self {
         ParallelExecutor {
             threads: threads.max(1),
             gemm,
+            system: PimSystem::upmem_server(),
         }
+    }
+
+    /// Replaces the system model ranked plans charge their rank-bus
+    /// contention under. Flat plans never consult it.
+    #[must_use]
+    pub fn with_system(mut self, system: PimSystem) -> Self {
+        self.system = system;
+        self
     }
 
     /// The worker count.
@@ -196,6 +238,12 @@ impl ParallelExecutor {
     #[must_use]
     pub fn gemm_config(&self) -> &GemmConfig {
         &self.gemm
+    }
+
+    /// The system model ranked plans price host-link contention under.
+    #[must_use]
+    pub fn system(&self) -> &PimSystem {
+        &self.system
     }
 
     /// Executes `method` on one shard per worker (a `threads`-bank plan).
@@ -302,11 +350,13 @@ impl ParallelExecutor {
             bank.run(&row_bands[row].1, &col_bands[col].1)
         });
 
-        // Deterministic merge, ascending shard id.
+        // Deterministic merge, ascending shard id. The profile fold
+        // accumulates one mutable ledger by reference — at 2048 shards,
+        // the previous `Profile::merged` fold cloned the accumulator once
+        // per bank.
         let mut values = vec![0i32; dims.m * dims.n];
         let mut per_bank = Vec::with_capacity(plan.len());
-        let mut profile = Profile::new();
-        let mut stats = Stats::default();
+        let mut work = CycleLedger::new();
         for (shard, result) in plan.shards().iter().zip(results) {
             let tile = result?;
             let tile_n = shard.cols.len();
@@ -315,12 +365,52 @@ impl ParallelExecutor {
                 values[dst..dst + tile_n]
                     .copy_from_slice(&tile.values[i * tile_n..(i + 1) * tile_n]);
             }
-            profile = profile.merged(&tile.profile);
-            stats.merge(&Stats::from_profile(&tile.profile));
+            work.merge(tile.profile.ledger());
             per_bank.push(BankResult {
                 shard: shard.clone(),
                 profile: tile.profile,
             });
+        }
+        let profile = Profile::from_ledger(work);
+
+        // Statistics: a flat plan folds every bank into one aggregate; a
+        // ranked plan folds hierarchically — banks into their rank's
+        // ledger, ranks into the total (bitwise identical by the merge's
+        // exact associativity) — and then charges the rank-bus contention
+        // phase from the per-rank transfer counters.
+        let mut stats = Stats::default();
+        let mut rank_stats = Vec::new();
+        let mut link_phase = None;
+        match plan.rank_plan() {
+            None => {
+                for bank in &per_bank {
+                    stats.merge(&Stats::from_profile(&bank.profile));
+                }
+            }
+            Some(ranks) => {
+                rank_stats.reserve(ranks.populated());
+                for owned in ranks.assignments() {
+                    let mut rank = Stats::default();
+                    for bank in &per_bank[owned.clone()] {
+                        rank.merge(&Stats::from_profile(&bank.profile));
+                    }
+                    stats.merge(&rank);
+                    rank_stats.push(rank);
+                }
+                // Every byte entering or leaving a bank's DRAM was staged
+                // over its rank's shared host link; the busiest rank's
+                // occupancy bounds the epoch.
+                let per_rank_bytes: Vec<u64> = rank_stats
+                    .iter()
+                    .map(|rank| {
+                        u64::try_from(rank.dram_read_bytes + rank.dram_write_bytes)
+                            .unwrap_or(u64::MAX)
+                    })
+                    .collect();
+                let link = self.system.rank_link_profile(&per_rank_bytes);
+                stats.merge(&Stats::from_phase_ledger(link.ledger()));
+                link_phase = Some(link);
+            }
         }
 
         Ok(ParallelGemm {
@@ -329,12 +419,24 @@ impl ParallelExecutor {
             per_bank,
             profile,
             stats,
+            rank_stats,
+            link_phase,
         })
     }
 
     /// Ordered parallel map: applies `f` to every item on the worker pool
     /// and returns the results in item order, regardless of scheduling —
     /// the building block batched multi-request serving uses.
+    ///
+    /// Scheduling is **work stealing**: every worker owns a deque seeded
+    /// with a contiguous block of item indices; it drains its own deque
+    /// from the front and, when empty, steals the back half of a sibling's
+    /// deque (whole items — at full-machine scale, whole bank-shards — in
+    /// one chunk, so a steal amortizes its synchronization). Ragged work
+    /// therefore cannot serialize the tail behind one unlucky worker.
+    /// Results are keyed by item index and assembled ascending after the
+    /// pool joins, so *who* executed an item can never change any output
+    /// bit.
     ///
     /// # Panics
     ///
@@ -355,30 +457,62 @@ impl ParallelExecutor {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        // With more workers than items, the surplus workers would have
+        // nothing to own or steal — don't spawn threads for them.
+        let workers = self.threads.min(items.len().max(1));
+        // Seed each worker's deque with a contiguous index block (the
+        // first `rem` workers take one extra so blocks differ by ≤ 1).
+        let base = items.len() / workers;
+        let rem = items.len() % workers;
+        let mut start = 0;
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let len = base + usize::from(w < rem);
+                let block = (start..start + len).collect();
+                start += len;
+                Mutex::new(block)
+            })
+            .collect();
+
         let mut slots: Vec<Option<R>> = Vec::new();
         slots.resize_with(items.len(), || None);
-        // With more workers than items, the surplus strips stay empty —
-        // don't spawn threads for them.
-        let workers = self.threads.min(items.len().max(1));
         std::thread::scope(|scope| {
-            let mut strips: Vec<Vec<(&T, &mut Option<R>)>> =
-                (0..workers).map(|_| Vec::new()).collect();
-            for (pair, strip) in items.iter().zip(slots.iter_mut()).zip((0..workers).cycle()) {
-                strips[strip].push(pair);
-            }
-            let f = &f;
-            let handles: Vec<_> = strips
-                .into_iter()
-                .map(|strip| {
+            let handles: Vec<_> = (0..workers)
+                .map(|wid| {
+                    let (deques, f) = (&deques, &f);
                     scope.spawn(move || {
-                        for (item, slot) in strip {
-                            *slot = Some(f(item));
+                        let mut produced: Vec<(usize, R)> = Vec::new();
+                        'work: loop {
+                            // Drain the owned deque front-to-back.
+                            while let Some(idx) = lock_clean(&deques[wid]).pop_front() {
+                                produced.push((idx, f(&items[idx])));
+                            }
+                            // Empty: scan siblings (nearest first) and
+                            // steal the back half of the first non-empty
+                            // deque found, as one chunk.
+                            for step in 1..workers {
+                                let victim = (wid + step) % workers;
+                                let mut stolen = {
+                                    let mut queue = lock_clean(&deques[victim]);
+                                    let keep = queue.len() - queue.len() / 2;
+                                    queue.split_off(keep)
+                                };
+                                if !stolen.is_empty() {
+                                    lock_clean(&deques[wid]).append(&mut stolen);
+                                    continue 'work;
+                                }
+                            }
+                            // Every deque is empty; in-flight items are
+                            // owned by the workers running them.
+                            break produced;
                         }
                     })
                 })
                 .collect();
             for handle in handles {
-                handle.join().expect("map worker panicked");
+                for (idx, result) in handle.join().expect("map worker panicked") {
+                    slots[idx] = Some(result);
+                }
             }
         });
         slots
@@ -481,6 +615,92 @@ mod tests {
         let mut tweaked = one.values.clone();
         tweaked[0] ^= 1;
         assert_ne!(values_checksum(&tweaked), one.checksum());
+    }
+
+    #[test]
+    fn ranked_plan_builds_the_merge_tree_and_charges_the_link() {
+        use pim_sim::Category;
+        let (w, a) = operands(12, 10, 8, 21);
+        let dims = GemmDims::of(&w, &a).unwrap();
+        let plan = ShardPlan::for_ranks(dims, 4, 8);
+        let pool = ParallelExecutor::new(3);
+        let par = pool.execute_plan(&plan, Method::LoCaLut, &w, &a).unwrap();
+        let ranks = plan.rank_plan().unwrap();
+        assert_eq!(par.rank_stats.len(), ranks.populated());
+
+        // The rank level partitions the banks: per-rank folds re-merge to
+        // the flat fold exactly, and the total equals tree + link phase.
+        let mut flat = Stats::default();
+        for bank in &par.per_bank {
+            flat.merge(&Stats::from_profile(&bank.profile));
+        }
+        let mut tree = Stats::default();
+        for rank in &par.rank_stats {
+            tree.merge(rank);
+        }
+        assert_eq!(tree, flat);
+        let link = par.link_phase.as_ref().unwrap();
+        assert_eq!(
+            par.stats,
+            flat.merged(&Stats::from_phase_ledger(link.ledger()))
+        );
+        // The link phase is real time but not a bank profile.
+        assert!(link.seconds(Category::HostTransfer) > 0.0);
+        assert_eq!(par.stats.banks() as usize, par.per_bank.len());
+
+        // The busiest rank's transfer counters price the occupancy.
+        let busiest = par
+            .rank_stats
+            .iter()
+            .map(|r| (r.dram_read_bytes + r.dram_write_bytes) as u64)
+            .max()
+            .unwrap();
+        let expect = pool.system().rank_link_seconds(busiest);
+        assert!((link.seconds(Category::HostTransfer) - expect).abs() < 1e-18);
+    }
+
+    #[test]
+    fn flat_plan_has_no_rank_level_outputs() {
+        let (w, a) = operands(8, 12, 6, 42);
+        let par = ParallelExecutor::new(2)
+            .execute(Method::OpLcRc, &w, &a)
+            .unwrap();
+        assert!(par.rank_stats.is_empty());
+        assert!(par.link_phase.is_none());
+    }
+
+    #[test]
+    fn ranked_outputs_are_worker_count_invariant() {
+        let (w, a) = operands(9, 15, 7, 7);
+        let dims = GemmDims::of(&w, &a).unwrap();
+        let plan = ShardPlan::for_ranks(dims, 8, 4);
+        let baseline = ParallelExecutor::new(1)
+            .execute_plan(&plan, Method::LoCaLut, &w, &a)
+            .unwrap();
+        for threads in [2usize, 5, 16] {
+            let par = ParallelExecutor::new(threads)
+                .execute_plan(&plan, Method::LoCaLut, &w, &a)
+                .unwrap();
+            assert_eq!(par, baseline, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_steals_ragged_work_without_reordering() {
+        // Item 0 is a straggler: the worker owning it sleeps while the
+        // others go idle and steal the rest of its block. Results must
+        // still come back in item order, every run.
+        let items: Vec<u64> = (0..64).collect();
+        let baseline: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+        for _ in 0..5 {
+            let out = ParallelExecutor::new(4).map(&items, |&x| {
+                if x == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                x * 3
+            });
+            assert_eq!(out, baseline);
+        }
     }
 
     #[test]

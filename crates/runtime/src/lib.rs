@@ -7,22 +7,29 @@
 //! * [`ShardPlan`] — partitions a GEMM's output into bank-owned tiles
 //!   using the same §V-B tiling policy the analytic system model prices
 //!   (`localut::tiling::TileGrid`), each tile independent because shards
-//!   span the full `K` reduction.
-//! * [`ParallelExecutor`] — a worker pool on `std::thread::scope` (no new
-//!   dependencies). Workers run shards through a shared, read-only
+//!   span the full `K` reduction. At full-machine scale the plan is
+//!   two-level: [`ShardPlan::for_ranks`] groups consecutive bank-shards
+//!   under ranks via a [`RankPlan`] (the paper's server: 32 × 64 = 2048).
+//! * [`ParallelExecutor`] — a work-stealing worker pool on
+//!   `std::thread::scope` (no new dependencies): per-worker deques of
+//!   shard ids with chunked steals, so ragged 2048-shard plans don't
+//!   serialize their tail. Workers run shards through a shared, read-only
 //!   [`localut::kernels::BankKernel`] — one canonical + reordering LUT
 //!   build behind `Arc`, mirroring the one-time §V-A broadcast — while
 //!   each shard charges its own bank-local `pim-sim` ledger.
 //! * [`ParallelGemm`] — the merged output: bit-identical values, per-bank
 //!   profiles, a deterministic shard-order profile fold, and an
 //!   associatively merged [`pim_sim::Stats`] aggregate that is invariant
-//!   to merge order and thread count.
+//!   to merge order and thread count. Ranked plans additionally carry
+//!   per-rank aggregates (the merge-tree's middle level, exactly equal to
+//!   the flat fold) and the rank-bus contention phase
+//!   ([`pim_sim::PimSystem::rank_link_profile`]).
 //!
-//! Determinism is a design invariant, not an accident: work is dealt by
-//! shard id, results are collected into id-indexed slots, and every merge
-//! runs in ascending id order, so for a fixed plan the executor's output is
-//! bitwise identical for **any** worker count — the property the
-//! end-to-end and property tests pin down.
+//! Determinism is a design invariant, not an accident: results are keyed
+//! by shard id no matter which worker produced them (steals included),
+//! and every merge runs in ascending id order, so for a fixed plan the
+//! executor's output is bitwise identical for **any** worker count — the
+//! property the end-to-end and property tests pin down.
 //!
 //! ## Quickstart
 //!
@@ -52,4 +59,4 @@ mod executor;
 mod shard;
 
 pub use executor::{fnv1a_64, values_checksum, BankResult, ParallelExecutor, ParallelGemm};
-pub use shard::{Shard, ShardPlan};
+pub use shard::{RankPlan, Shard, ShardPlan};

@@ -7,6 +7,13 @@
 //! The shapes come from [`TileGrid`], the same §V-B data/context-parallel
 //! tiling the analytic system model uses, so the runtime executes exactly
 //! the distribution the cost model prices.
+//!
+//! At full-machine scale the flat shard list grows a second level: a
+//! [`RankPlan`] groups consecutive bank-shards under ranks (the paper's
+//! machine is 32 ranks × 64 DPUs = 2048 banks), which is what makes the
+//! per-rank statistics merge tree and the rank-bus contention model of
+//! the executor possible. [`ShardPlan::for_banks`] keeps producing flat
+//! (rank-less) plans; [`ShardPlan::for_ranks`] produces ranked ones.
 
 use localut::tiling::TileGrid;
 use localut::GemmDims;
@@ -36,6 +43,86 @@ impl Shard {
     }
 }
 
+/// The rank level of a two-level shard hierarchy: which consecutive run
+/// of bank-shards each rank owns.
+///
+/// Shard ids are dense and ordered, so rank membership is a contiguous
+/// range: shard `s` belongs to rank `s / banks_per_rank`. Small plans
+/// populate only a prefix of the machine's ranks; every shard belongs to
+/// exactly one rank and no rank holds more than `banks_per_rank` shards.
+///
+/// # Examples
+///
+/// ```
+/// use runtime::RankPlan;
+///
+/// // 10 shards on a 4-rank × 3-banks-per-rank machine: ranks 0..3 get
+/// // 3 + 3 + 3 + 1 shards, rank 3 stays within its bank budget.
+/// let rp = RankPlan::new(10, 4, 3);
+/// assert_eq!(rp.populated(), 4);
+/// assert_eq!(rp.assignments(), &[0..3, 3..6, 6..9, 9..10]);
+/// assert_eq!(rp.rank_of(7), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankPlan {
+    ranks: u32,
+    banks_per_rank: u32,
+    assignments: Vec<Range<usize>>,
+}
+
+impl RankPlan {
+    /// Groups `n_shards` dense shard ids under `ranks` ranks of
+    /// `banks_per_rank` banks each (both clamped to at least 1). Callers
+    /// are expected to size the shard list to the machine
+    /// (`n_shards ≤ ranks × banks_per_rank`, as [`ShardPlan::for_ranks`]
+    /// guarantees); excess shards would spill past the last rank.
+    #[must_use]
+    pub fn new(n_shards: usize, ranks: u32, banks_per_rank: u32) -> Self {
+        let ranks = ranks.max(1);
+        let banks_per_rank = banks_per_rank.max(1);
+        let bpr = banks_per_rank as usize;
+        let assignments = (0..n_shards.div_ceil(bpr))
+            .map(|r| r * bpr..n_shards.min((r + 1) * bpr))
+            .collect();
+        RankPlan {
+            ranks,
+            banks_per_rank,
+            assignments,
+        }
+    }
+
+    /// The machine's rank count (populated or not).
+    #[must_use]
+    pub fn ranks(&self) -> u32 {
+        self.ranks
+    }
+
+    /// Banks (DPUs) per rank.
+    #[must_use]
+    pub fn banks_per_rank(&self) -> u32 {
+        self.banks_per_rank
+    }
+
+    /// Number of ranks that actually own at least one shard.
+    #[must_use]
+    pub fn populated(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The shard-id range each populated rank owns, in rank order. The
+    /// ranges are consecutive, disjoint, and cover `0..n_shards` exactly.
+    #[must_use]
+    pub fn assignments(&self) -> &[Range<usize>] {
+        &self.assignments
+    }
+
+    /// The rank owning shard `shard_id`.
+    #[must_use]
+    pub fn rank_of(&self, shard_id: usize) -> usize {
+        shard_id / self.banks_per_rank as usize
+    }
+}
+
 /// An ordered partition of a GEMM's output into bank-owned shards.
 ///
 /// # Examples
@@ -58,19 +145,51 @@ pub struct ShardPlan {
     dims: GemmDims,
     grid: TileGrid,
     shards: Vec<Shard>,
+    ranks: Option<RankPlan>,
 }
 
 impl ShardPlan {
     /// Plans `dims` across `n_banks` banks using the §V-B tiling policy
     /// (activation columns split first — pure data parallelism — then
     /// weight rows). Produces at most `n_banks` shards; small matrices
-    /// yield fewer.
+    /// yield fewer. The plan is **flat** (no rank level).
     #[must_use]
     pub fn for_banks(dims: GemmDims, n_banks: u32) -> Self {
         Self::from_grid(dims, TileGrid::choose(dims, n_banks.max(1)))
     }
 
-    /// Plans `dims` over an explicit tile grid.
+    /// Plans `dims` across a two-level `ranks × banks_per_rank` machine
+    /// (the paper's server: 32 × 64 = 2048): the tile grid targets the
+    /// full bank fleet, and consecutive shards are grouped under ranks by
+    /// a [`RankPlan`]. Executors use the rank level for the hierarchical
+    /// statistics merge and the per-rank host-link contention term.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use localut::GemmDims;
+    /// use runtime::ShardPlan;
+    ///
+    /// let dims = GemmDims { m: 768, k: 768, n: 128 };
+    /// let plan = ShardPlan::for_ranks(dims, 32, 64);
+    /// assert_eq!(plan.len(), 2048);
+    /// let rp = plan.rank_plan().expect("ranked plan");
+    /// assert_eq!((rp.ranks(), rp.banks_per_rank()), (32, 64));
+    /// assert_eq!(rp.populated(), 32);
+    /// ```
+    #[must_use]
+    pub fn for_ranks(dims: GemmDims, ranks: u32, banks_per_rank: u32) -> Self {
+        let ranks = ranks.max(1);
+        let banks_per_rank = banks_per_rank.max(1);
+        let mut plan = Self::from_grid(
+            dims,
+            TileGrid::choose(dims, ranks.saturating_mul(banks_per_rank)),
+        );
+        plan.ranks = Some(RankPlan::new(plan.shards.len(), ranks, banks_per_rank));
+        plan
+    }
+
+    /// Plans `dims` over an explicit tile grid (flat: no rank level).
     #[must_use]
     pub fn from_grid(dims: GemmDims, grid: TileGrid) -> Self {
         let shards = grid
@@ -79,7 +198,19 @@ impl ShardPlan {
             .enumerate()
             .map(|(id, (rows, cols))| Shard { id, rows, cols })
             .collect();
-        ShardPlan { dims, grid, shards }
+        ShardPlan {
+            dims,
+            grid,
+            shards,
+            ranks: None,
+        }
+    }
+
+    /// The rank level, when the plan was built for a two-level machine
+    /// ([`ShardPlan::for_ranks`]); `None` for flat plans.
+    #[must_use]
+    pub fn rank_plan(&self) -> Option<&RankPlan> {
+        self.ranks.as_ref()
     }
 
     /// The full GEMM dimensions the plan covers.
@@ -148,6 +279,57 @@ mod tests {
         let plan = ShardPlan::for_banks(GemmDims { m: 1, k: 9, n: 2 }, 64);
         assert_eq!(plan.len(), 2); // only two output columns to split
         assert_eq!(plan.shards()[0].dims(9), GemmDims { m: 1, k: 9, n: 1 });
+    }
+
+    #[test]
+    fn rank_plan_partitions_shard_ids_exactly() {
+        let dims = GemmDims {
+            m: 768,
+            k: 768,
+            n: 128,
+        };
+        let plan = ShardPlan::for_ranks(dims, 32, 64);
+        let rp = plan.rank_plan().unwrap();
+        assert_eq!(rp.populated(), 32);
+        let mut next = 0usize;
+        for (rank, range) in rp.assignments().iter().enumerate() {
+            assert_eq!(range.start, next, "gap before rank {rank}");
+            assert!(range.len() <= rp.banks_per_rank() as usize);
+            assert!(!range.is_empty());
+            for id in range.clone() {
+                assert_eq!(rp.rank_of(id), rank);
+            }
+            next = range.end;
+        }
+        assert_eq!(next, plan.len());
+    }
+
+    #[test]
+    fn small_ranked_plans_populate_a_rank_prefix() {
+        // 1×9×2 only yields 2 shards: one rank, partially filled.
+        let plan = ShardPlan::for_ranks(GemmDims { m: 1, k: 9, n: 2 }, 32, 64);
+        assert_eq!(plan.len(), 2);
+        let rp = plan.rank_plan().unwrap();
+        assert_eq!(rp.populated(), 1);
+        assert_eq!(rp.assignments().len(), 1);
+        assert_eq!(rp.assignments()[0], 0..2);
+    }
+
+    #[test]
+    fn flat_plans_have_no_rank_level() {
+        let plan = ShardPlan::for_banks(GemmDims { m: 8, k: 4, n: 8 }, 16);
+        assert!(plan.rank_plan().is_none());
+        // A ranked plan over the same total bank count shards identically.
+        let ranked = ShardPlan::for_ranks(GemmDims { m: 8, k: 4, n: 8 }, 4, 4);
+        assert_eq!(ranked.shards(), plan.shards());
+        assert_eq!(ranked.grid(), plan.grid());
+    }
+
+    #[test]
+    fn degenerate_rank_arguments_are_clamped() {
+        let rp = RankPlan::new(3, 0, 0);
+        assert_eq!((rp.ranks(), rp.banks_per_rank()), (1, 1));
+        assert_eq!(rp.assignments(), &[0..1, 1..2, 2..3]);
     }
 
     #[test]

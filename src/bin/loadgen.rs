@@ -19,6 +19,13 @@
 //! loadgen --remote 127.0.0.1:4810 --client-offset 2 --client-count 2
 //! ```
 //!
+//! `--ranks R [--banks-per-rank B]` serves the workload on the ranked
+//! machine (the paper's server is `--ranks 32 --banks-per-rank 64`): the
+//! seeded logs' small per-request bank overrides are stripped so the
+//! topology governs every GEMM's shard plan, and the topology joins the
+//! workload identity in the JSON. A `serve-daemon` driven remotely must be
+//! started with the same topology flags for summaries to compare.
+//!
 //! In remote mode each client thread opens its own connection; typed
 //! `QueueFull` rejections are retried with the server-suggested delay, so
 //! a queue-capped daemon slows the run down instead of failing it.
@@ -32,7 +39,7 @@
 
 use bench::json::Json;
 use engine::serve::{drive_client, replay_serial, ArrivalMode, ServeConfig, ServeRecorder, Server};
-use engine::traffic::{client_log, full_log, Mix, TrafficConfig, TrafficRequest};
+use engine::traffic::{client_log, Mix, TrafficConfig, TrafficRequest};
 use engine::{Engine, EngineError, Rejection, ServeReport, ServeSummary};
 use localut_repro::cli::{self, CliError, Flags};
 use netserve::wire::{self, WireRequest, WireResponse};
@@ -47,6 +54,8 @@ struct Args {
     engine_threads: usize,
     max_batch: usize,
     mode: ArrivalMode,
+    ranks: Option<u32>,
+    banks_per_rank: Option<u32>,
     out: Option<String>,
     keep_host: bool,
     verify_serial: bool,
@@ -70,11 +79,47 @@ impl Args {
     fn drives_full_workload(&self) -> bool {
         self.client_range() == (0..self.traffic.clients)
     }
+
+    /// One client's request log under this workload. With `--ranks` the
+    /// seeded per-request bank overrides are stripped so the engine's
+    /// ranked topology governs every GEMM's shard plan — part of the
+    /// workload identity, so it is recorded in the deterministic JSON.
+    fn client_requests(&self, client: usize) -> Vec<TrafficRequest> {
+        let mut log = client_log(&self.traffic, client);
+        if self.ranks.is_some() {
+            for request in &mut log {
+                if let TrafficRequest::Gemm(gemm) = request {
+                    gemm.banks = None;
+                }
+            }
+        }
+        log
+    }
+
+    /// The full workload log in canonical order (the serial-replay
+    /// reference), with the same topology rewrite as the driven logs.
+    fn full_requests(&self) -> Vec<TrafficRequest> {
+        (0..self.traffic.clients)
+            .flat_map(|client| self.client_requests(client))
+            .collect()
+    }
+
+    /// An engine for this workload: flat by default, the ranked machine
+    /// under `--ranks`.
+    fn build_engine(&self, threads: usize) -> Engine {
+        let builder = Engine::builder().threads(threads);
+        match self.ranks {
+            Some(ranks) => builder
+                .ranks(ranks, self.banks_per_rank.unwrap_or(64))
+                .build(),
+            None => builder.build(),
+        }
+    }
 }
 
 const USAGE: &str = "usage: loadgen [--clients N] [--requests N] [--mix gemm|infer|mixed] \
 [--seed S] [--threads N] [--engine-threads N] [--max-batch N] [--mode open|closed] \
-[--out FILE] [--keep-host] [--verify-serial] \
+[--ranks N [--banks-per-rank N]] [--out FILE] [--keep-host] [--verify-serial] \
 [--remote HOST:PORT [--client-offset N] [--client-count N] [--drain]]";
 
 fn parse_args() -> Result<Args, CliError> {
@@ -89,6 +134,8 @@ fn parse_args() -> Result<Args, CliError> {
         engine_threads: 2,
         max_batch: 8,
         mode: ArrivalMode::Closed,
+        ranks: None,
+        banks_per_rank: None,
         out: None,
         keep_host: false,
         verify_serial: false,
@@ -108,6 +155,17 @@ fn parse_args() -> Result<Args, CliError> {
             "--engine-threads" => args.engine_threads = flags.positive("--engine-threads")?,
             "--max-batch" => args.max_batch = flags.positive("--max-batch")?,
             "--mode" => args.mode = flags.parsed("--mode")?,
+            "--ranks" => {
+                args.ranks = Some(flags.positive("--ranks")?.try_into().unwrap_or(u32::MAX));
+            }
+            "--banks-per-rank" => {
+                args.banks_per_rank = Some(
+                    flags
+                        .positive("--banks-per-rank")?
+                        .try_into()
+                        .unwrap_or(u32::MAX),
+                );
+            }
             "--out" => args.out = Some(flags.value("--out")?),
             "--keep-host" => args.keep_host = true,
             "--verify-serial" => args.verify_serial = true,
@@ -117,6 +175,9 @@ fn parse_args() -> Result<Args, CliError> {
             "--drain" => args.drain = true,
             other => return Err(flags.unknown(other)),
         }
+    }
+    if args.banks_per_rank.is_some() && args.ranks.is_none() {
+        return Err(flags.usage_error("--banks-per-rank requires --ranks N"));
     }
     if args.remote.is_none()
         && (args.client_offset != 0 || args.client_count.is_some() || args.drain)
@@ -152,20 +213,28 @@ fn parse_args() -> Result<Args, CliError> {
 /// they must not change a single byte here.
 fn summary_json(args: &Args, summary: &ServeSummary) -> Vec<(&'static str, Json)> {
     let snap = summary.stats.snapshot();
+    let mut workload = vec![
+        ("clients", Json::UInt(args.traffic.clients as u128)),
+        (
+            "requests_per_client",
+            Json::UInt(args.traffic.requests_per_client as u128),
+        ),
+        ("mix", Json::Str(args.traffic.mix.name().to_owned())),
+        ("seed", Json::UInt(u128::from(args.traffic.seed))),
+    ];
+    // The ranked topology rewrites the workload (bank overrides are
+    // stripped), so it is part of the deterministic identity; flat runs
+    // keep the pre-scale-out block byte-for-byte.
+    if let Some(ranks) = args.ranks {
+        workload.push(("ranks", Json::UInt(u128::from(ranks))));
+        workload.push((
+            "banks_per_rank",
+            Json::UInt(u128::from(args.banks_per_rank.unwrap_or(64))),
+        ));
+    }
     vec![
         ("schema", Json::Str("loadgen-v1".to_owned())),
-        (
-            "workload",
-            Json::object(vec![
-                ("clients", Json::UInt(args.traffic.clients as u128)),
-                (
-                    "requests_per_client",
-                    Json::UInt(args.traffic.requests_per_client as u128),
-                ),
-                ("mix", Json::Str(args.traffic.mix.name().to_owned())),
-                ("seed", Json::UInt(u128::from(args.traffic.seed))),
-            ]),
-        ),
+        ("workload", Json::object(workload)),
         (
             "summary",
             Json::object(vec![
@@ -304,9 +373,10 @@ fn write_out(args: &Args, summary: &ServeSummary, host: Option<Json>) -> Result<
 
 fn verify_serial_replay(args: &Args, summary: &ServeSummary) -> Result<(), String> {
     // Replays the identical log one request at a time on a fresh engine
-    // and cross-checks the concurrent summary bit for bit.
-    let reference = Engine::builder().threads(1).build();
-    let serial = replay_serial(&reference, &full_log(&args.traffic));
+    // (same topology as the serving engine) and cross-checks the
+    // concurrent summary bit for bit.
+    let reference = args.build_engine(1);
+    let serial = replay_serial(&reference, &args.full_requests());
     if serial == *summary {
         println!("serial replay: MATCH (summary is interleaving-invariant)");
         Ok(())
@@ -326,7 +396,7 @@ fn exit_by_failures(summary: &ServeSummary) -> ExitCode {
 }
 
 fn run(args: &Args) -> Result<ExitCode, String> {
-    let engine = Arc::new(Engine::builder().threads(args.engine_threads).build());
+    let engine = Arc::new(args.build_engine(args.engine_threads));
     let server = Server::start(
         engine.clone(),
         &ServeConfig::builder()
@@ -349,7 +419,7 @@ fn run(args: &Args) -> Result<ExitCode, String> {
     std::thread::scope(|scope| {
         for client in 0..args.traffic.clients {
             let server = &server;
-            let log = client_log(&args.traffic, client);
+            let log = args.client_requests(client);
             let mode = args.mode;
             scope.spawn(move || drive_client(server, log, mode));
         }
@@ -466,7 +536,7 @@ fn run_remote(args: &Args, addr: &str) -> Result<ExitCode, String> {
         let handles: Vec<_> = range
             .clone()
             .map(|client| {
-                let log = client_log(&args.traffic, client);
+                let log = args.client_requests(client);
                 let mode = args.mode;
                 scope.spawn(move || drive_remote_client(addr, &log, mode))
             })

@@ -17,7 +17,9 @@
 //! the `--out` summary bit for bit (CI pins this). Backpressure knobs:
 //! `--queue-cap` bounds the submission queue (excess requests get typed
 //! retry-after rejections), `--quota` caps admissions per connection,
-//! `--max-conns` caps concurrent connections.
+//! `--max-conns` caps concurrent connections. `--ranks R
+//! [--banks-per-rank B]` serves on the ranked machine: requests without a
+//! per-request bank override shard across the two-level topology.
 //!
 //! Exit codes: 0 clean drain, 2 usage or I/O error.
 
@@ -35,6 +37,8 @@ struct Args {
     threads: usize,
     engine_threads: usize,
     max_batch: usize,
+    ranks: Option<u32>,
+    banks_per_rank: Option<u32>,
     queue_cap: Option<usize>,
     quota: Option<u64>,
     max_conns: usize,
@@ -44,7 +48,8 @@ struct Args {
 }
 
 const USAGE: &str = "usage: serve-daemon [--addr HOST:PORT] [--threads N] \
-[--engine-threads N] [--max-batch N] [--queue-cap N] [--quota N] [--max-conns N] \
+[--engine-threads N] [--max-batch N] [--ranks N [--banks-per-rank N]] \
+[--queue-cap N] [--quota N] [--max-conns N] \
 [--log FILE] [--out FILE] [--port-file FILE]";
 
 fn parse_args() -> Result<Args, CliError> {
@@ -53,6 +58,8 @@ fn parse_args() -> Result<Args, CliError> {
         threads: 4,
         engine_threads: 2,
         max_batch: 8,
+        ranks: None,
+        banks_per_rank: None,
         queue_cap: None,
         quota: None,
         max_conns: 64,
@@ -67,6 +74,17 @@ fn parse_args() -> Result<Args, CliError> {
             "--threads" => args.threads = flags.positive("--threads")?,
             "--engine-threads" => args.engine_threads = flags.positive("--engine-threads")?,
             "--max-batch" => args.max_batch = flags.positive("--max-batch")?,
+            "--ranks" => {
+                args.ranks = Some(flags.positive("--ranks")?.try_into().unwrap_or(u32::MAX));
+            }
+            "--banks-per-rank" => {
+                args.banks_per_rank = Some(
+                    flags
+                        .positive("--banks-per-rank")?
+                        .try_into()
+                        .unwrap_or(u32::MAX),
+                );
+            }
             "--queue-cap" => args.queue_cap = Some(flags.positive("--queue-cap")?),
             "--quota" => args.quota = Some(flags.parsed("--quota")?),
             "--max-conns" => args.max_conns = flags.positive("--max-conns")?,
@@ -75,6 +93,9 @@ fn parse_args() -> Result<Args, CliError> {
             "--port-file" => args.port_file = Some(flags.value("--port-file")?),
             other => return Err(flags.unknown(other)),
         }
+    }
+    if args.banks_per_rank.is_some() && args.ranks.is_none() {
+        return Err(flags.usage_error("--banks-per-rank requires --ranks N"));
     }
     Ok(args)
 }
@@ -96,7 +117,16 @@ fn run(args: &Args) -> Result<(), String> {
         log_path: args.log.clone().map(Into::into),
         ..NetConfig::default()
     };
-    let engine = Arc::new(Engine::builder().threads(args.engine_threads).build());
+    // Requests that arrive without a bank override shard by the daemon's
+    // topology — a loadgen driving ranked traffic must be started with
+    // the same `--ranks`/`--banks-per-rank` pair.
+    let builder = Engine::builder().threads(args.engine_threads);
+    let engine = Arc::new(match args.ranks {
+        Some(ranks) => builder
+            .ranks(ranks, args.banks_per_rank.unwrap_or(64))
+            .build(),
+        None => builder.build(),
+    });
     let server = NetServer::bind(engine, &serve_config, &net_config, args.addr.as_str())
         .map_err(|e| e.to_string())?;
     let addr = server.local_addr();

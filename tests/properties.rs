@@ -1,8 +1,9 @@
 //! Property-based integration tests (proptest): kernel ≡ reference over
 //! random shapes and bitwidths, canonicalization invariance, the
 //! combinatorial bijections, associativity of the runtime's statistics
-//! merge, and serial/parallel bit-exactness of the bank-parallel executor,
-//! all through the public API.
+//! merge (flat and through arbitrary rank trees), exact-cover of ranked
+//! shard plans, and serial/parallel bit-exactness of the bank-parallel
+//! executor, all through the public API.
 
 use localut::canonical::CanonicalLut;
 use localut::gemm::{reference_gemm, GemmConfig, GemmDims, Method};
@@ -16,7 +17,7 @@ use localut::value::dot_codes;
 use pim_sim::{Category, CycleLedger, DpuConfig, Stats};
 use proptest::prelude::*;
 use quant::{NumericFormat, QMatrix};
-use runtime::{ParallelExecutor, ShardPlan};
+use runtime::{ParallelExecutor, RankPlan, ShardPlan};
 
 fn qmatrix(rows: usize, cols: usize, format: NumericFormat, seed: u64) -> QMatrix {
     QMatrix::pseudo_random(rows, cols, format, seed)
@@ -152,6 +153,81 @@ proptest! {
         prop_assert_eq!(a.clone().merged(&b), b.clone().merged(&a));
         // Identity.
         prop_assert_eq!(a.clone().merged(&Stats::default()), a);
+    }
+
+    /// The rank merge tree is exact for **arbitrary** rank/bank splits of
+    /// the same ledger set: folding per-rank then across ranks lands on
+    /// the same `Stats` as the flat fold, bit for bit — the property that
+    /// licenses the executor's hierarchical merge at any machine shape.
+    #[test]
+    fn rank_tree_merge_equals_flat_fold(
+        secs in prop::collection::vec(0.0f64..1.0, 2..40),
+        banks_per_rank in 1u32..9,
+    ) {
+        let bank_stats: Vec<Stats> = secs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut l = CycleLedger::new();
+                l.charge(Category::LutLoad, *s);
+                l.charge(Category::Accumulate, s * 0.3);
+                l.instructions = (i as u64 + 1) * 17;
+                l.dram_read_bytes = (i as u64) * 129;
+                Stats::from_ledger(&l)
+            })
+            .collect();
+        let rank_plan = RankPlan::new(bank_stats.len(), 64, banks_per_rank);
+
+        let mut flat = Stats::default();
+        for stats in &bank_stats {
+            flat.merge(stats);
+        }
+        let mut tree = Stats::default();
+        for range in rank_plan.assignments() {
+            let mut rank = Stats::default();
+            for stats in &bank_stats[range.clone()] {
+                rank.merge(stats);
+            }
+            tree.merge(&rank);
+        }
+        prop_assert_eq!(tree, flat);
+    }
+
+    /// A ranked plan covers every output cell exactly once for arbitrary
+    /// machine shapes and GEMM sizes, and its rank level partitions the
+    /// shard ids exactly: consecutive, disjoint, within the per-rank bank
+    /// budget, and never more ranks than the machine has.
+    #[test]
+    fn rank_plan_covers_every_cell_exactly_once(
+        ranks in 1u32..40,
+        banks_per_rank in 1u32..70,
+        m in 1usize..90,
+        n in 1usize..70,
+    ) {
+        let dims = GemmDims { m, k: 3, n };
+        let plan = ShardPlan::for_ranks(dims, ranks, banks_per_rank);
+        // Output cover: every (row, col) in exactly one shard.
+        let mut covered = vec![false; m * n];
+        for shard in plan.shards() {
+            for r in shard.rows.clone() {
+                for c in shard.cols.clone() {
+                    prop_assert!(!covered[r * n + c], "overlap at ({}, {})", r, c);
+                    covered[r * n + c] = true;
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&v| v), "hole in the shard cover");
+        // Rank cover: the assignments tile 0..len exactly.
+        let rp = plan.rank_plan().expect("for_ranks builds the rank level");
+        prop_assert!(rp.populated() <= ranks as usize);
+        let mut next = 0usize;
+        for range in rp.assignments() {
+            prop_assert_eq!(range.start, next);
+            prop_assert!(!range.is_empty());
+            prop_assert!(range.len() <= banks_per_rank as usize);
+            next = range.end;
+        }
+        prop_assert_eq!(next, plan.len());
     }
 
     /// The bank-parallel executor is bit-identical to the serial path on
