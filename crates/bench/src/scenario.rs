@@ -176,6 +176,13 @@ pub fn registry() -> &'static [Scenario] {
             runner: serve_sched_scenario,
         },
         Scenario {
+            name: "serve_decode",
+            title:
+                "continuous batching: 2 clients x 3 seeded decoder sessions through engine::serve",
+            smoke: true,
+            runner: serve_decode_scenario,
+        },
+        Scenario {
             name: "serve_net",
             title: "network front-end: 2 clients x 3 seeded mixed requests over loopback TCP",
             smoke: true,
@@ -405,6 +412,7 @@ fn serve_sched_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
         requests_per_client: 4,
         mix: Mix::Mixed,
         seed: 2026,
+        decode_tokens: 4,
     };
     // Engine pool of 1: host parallelism comes from the scheduler workers
     // here, and nesting both pools would oversubscribe small CI runners.
@@ -450,6 +458,7 @@ fn serve_rank_scale_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
         requests_per_client: 3,
         mix: Mix::Mixed,
         seed: 3215,
+        decode_tokens: 4,
     };
     // Engine pool of 1 for the same oversubscription reason as serve_mixed.
     let engine = Arc::new(Engine::builder().threads(1).ranks(32, 64).build());
@@ -485,6 +494,56 @@ fn serve_rank_scale_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
     }
 }
 
+/// The continuous-batching class: seeded decoder sessions
+/// ([`Mix::Decode`]) through the [`engine::serve`] scheduler. Each session
+/// is decomposed into one prefill step plus its decode steps; workers run
+/// one step per dispatch and re-enqueue the continuation, so the decode
+/// waves of concurrent sessions interleave. The recorded outcome is the
+/// deterministic summary — identical at any worker count and any
+/// interleaving (pinned by `tests/serve_decode.rs` against serial replay)
+/// — so the perf gate holds decode-serving cost to the committed
+/// baseline.
+fn serve_decode_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
+    let traffic = TrafficConfig {
+        clients: 2,
+        requests_per_client: 3,
+        mix: Mix::Decode,
+        seed: 2608,
+        decode_tokens: 4,
+    };
+    // Engine pool of 1 for the same oversubscription reason as serve_mixed.
+    let engine = Arc::new(Engine::builder().threads(1).banks(4).build());
+    let server = Server::start(
+        engine,
+        &ServeConfig::builder()
+            .workers(ctx.threads)
+            .max_batch(4)
+            .build()
+            .expect("static serve config is valid"),
+    );
+    std::thread::scope(|scope| {
+        for client in 0..traffic.clients {
+            let server = &server;
+            let log = client_log(&traffic, client);
+            scope.spawn(move || drive_client(server, log, ArrivalMode::Closed));
+        }
+    });
+    let report = server.join();
+    assert_eq!(
+        report.summary.failed_requests, 0,
+        "seeded decode traffic must be feasible"
+    );
+    assert!(
+        report.summary.decode_steps > 0,
+        "decode traffic must schedule decode steps"
+    );
+    ScenarioOutcome {
+        stats: report.summary.stats.clone(),
+        energy_pj: report.summary.energy_pj,
+        checksum: report.summary.checksum,
+    }
+}
+
 /// The network front-end class: seeded mixed traffic driven over loopback
 /// TCP through [`netserve`] — frame codec, wire DTO round-trip, admission,
 /// and drain all on the measured path. The outcome is the server's
@@ -497,6 +556,7 @@ fn serve_net_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
         requests_per_client: 3,
         mix: Mix::Mixed,
         seed: 4810,
+        decode_tokens: 4,
     };
     // Engine pool of 1 for the same oversubscription reason as serve_mixed.
     let engine = Arc::new(Engine::builder().threads(1).banks(4).build());
@@ -520,6 +580,9 @@ fn serve_net_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
                         }
                         TrafficRequest::Infer(r) => {
                             client.infer(&r).expect("seeded inference is feasible");
+                        }
+                        TrafficRequest::Session(r) => {
+                            client.session(&r).expect("seeded session is feasible");
                         }
                     }
                 }
@@ -579,6 +642,7 @@ mod tests {
             "fig14_energy",
             "fig16_breakdown",
             "serve_mixed",
+            "serve_decode",
             "serve_net",
             "serve_rank_scale",
         ] {

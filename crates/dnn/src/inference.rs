@@ -61,6 +61,21 @@ impl Phase {
     }
 }
 
+/// Marks a workload as one decode step of a decomposed decoder session:
+/// one new token per sample, attending over `context` cached tokens.
+///
+/// A step-marked workload is what [`Workload::session_steps`] emits for
+/// the decode phase. It is timed on the **measured** planning path
+/// (`localut::Planner::plan_measured`): decode GEMMs are skinny, so the
+/// closed-form planner's `n`-cancellation no longer reflects the kernel's
+/// real weight-streaming cost, and prefill and decode may legitimately
+/// pick different `p*`/placement (cf. Fig. 13 / Fig. 19).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecodeStep {
+    /// KV-cache length this step attends over (grows by one per step).
+    pub context: usize,
+}
+
 /// An inference workload: model, batch, and decode length.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Workload {
@@ -70,6 +85,10 @@ pub struct Workload {
     pub batch: usize,
     /// Autoregressive output tokens (0 for prefill-only models).
     pub decode_tokens: u32,
+    /// `Some` when this workload is a single decode step of a decomposed
+    /// session ([`Workload::session_steps`]); `None` for the monolithic
+    /// prefill/prefill+decode workloads.
+    pub step: Option<DecodeStep>,
 }
 
 impl Workload {
@@ -80,6 +99,7 @@ impl Workload {
             model,
             batch,
             decode_tokens: 0,
+            step: None,
         }
     }
 
@@ -90,7 +110,49 @@ impl Workload {
             model,
             batch,
             decode_tokens,
+            step: None,
         }
+    }
+
+    /// One decode step: one new token per sample attending over `context`
+    /// cached tokens. See [`DecodeStep`].
+    #[must_use]
+    pub fn decode_step(model: ModelConfig, batch: usize, context: usize) -> Self {
+        Workload {
+            model,
+            batch,
+            decode_tokens: 0,
+            step: Some(DecodeStep { context }),
+        }
+    }
+
+    /// Decomposes this workload into its session steps: one prefill step,
+    /// then — for decoder (OPT-class) models — `decode_tokens` decode
+    /// steps whose KV context grows by one token each
+    /// (`seq_len, seq_len + 1, …`). A prefill-only workload decomposes to
+    /// just its prefill; a step-marked workload is already a step and
+    /// decomposes to itself.
+    ///
+    /// This is the schedulable-unit view continuous batching serves: each
+    /// step re-enters the admission queue independently, so new prefills
+    /// interleave between decode waves instead of queueing behind a whole
+    /// session.
+    #[must_use]
+    pub fn session_steps(&self) -> Vec<Workload> {
+        if self.step.is_some() {
+            return vec![self.clone()];
+        }
+        let mut steps = vec![Workload::prefill(self.model.clone(), self.batch)];
+        if self.model.kind == ModelKind::Opt {
+            for i in 0..self.decode_tokens as usize {
+                steps.push(Workload::decode_step(
+                    self.model.clone(),
+                    self.batch,
+                    self.model.seq_len + i,
+                ));
+            }
+        }
+        steps
     }
 }
 
@@ -188,7 +250,12 @@ impl InferenceSim {
     }
 
     /// Times one phase (all layers) at `tokens` new tokens attending over
-    /// `context` tokens, scaled by `repeats`.
+    /// `context` tokens, scaled by `repeats`. With `measured`, LoCaLUT
+    /// GEMMs plan by measured kernel cost
+    /// ([`localut::tiling::DistributedGemm::cost_measured`]) — the decode-
+    /// step path, where skinny tiles break the closed form's
+    /// `n`-cancellation.
+    #[allow(clippy::too_many_arguments)]
     fn phase_cost(
         &self,
         method: Method,
@@ -197,12 +264,17 @@ impl InferenceSim {
         tokens: usize,
         context: usize,
         repeats: u64,
+        measured: bool,
     ) -> Result<SystemProfile, LocaLutError> {
         let wf = cfg.weight_format();
         let af = cfg.activation_format();
         let mut total = SystemProfile::default();
         for gemm in layer_gemms(model, tokens) {
-            let one = self.dist.cost(method, gemm.dims, wf, af)?;
+            let one = if measured {
+                self.dist.cost_measured(method, gemm.dims, wf, af)?
+            } else {
+                self.dist.cost(method, gemm.dims, wf, af)?
+            };
             total = total.merged(&one.scaled(u64::from(gemm.count)));
         }
         // Host "Others": attention + softmax + norms + GELU.
@@ -294,15 +366,36 @@ impl InferenceSim {
         workload: &Workload,
     ) -> Result<InferenceReport, LocaLutError> {
         let model = &workload.model;
+        if let Some(step) = workload.step {
+            // One decode step of a decomposed session: one new token per
+            // sample over the step's exact KV context, timed on the
+            // measured (per-phase) planning path.
+            let decode =
+                self.phase_cost(method, cfg, model, workload.batch, step.context, 1, true)?;
+            return Ok(InferenceReport {
+                prefill_seconds: 0.0,
+                decode_seconds: decode.total_seconds(),
+                profile: decode,
+            });
+        }
         let prefill_tokens = workload.batch * model.seq_len;
-        let prefill = self.phase_cost(method, cfg, model, prefill_tokens, model.seq_len, 1)?;
+        let prefill =
+            self.phase_cost(method, cfg, model, prefill_tokens, model.seq_len, 1, false)?;
 
         let decode = if workload.decode_tokens > 0 && model.kind == ModelKind::Opt {
             // Each decode step: one token per sample, KV context grows by
             // one; attention context averaged over the steps.
             let steps = u64::from(workload.decode_tokens);
             let avg_context = model.seq_len + workload.decode_tokens as usize / 2;
-            self.phase_cost(method, cfg, model, workload.batch, avg_context, steps)?
+            self.phase_cost(
+                method,
+                cfg,
+                model,
+                workload.batch,
+                avg_context,
+                steps,
+                false,
+            )?
         } else {
             SystemProfile::default()
         };
@@ -517,6 +610,50 @@ mod tests {
         let cfg = BitConfig { bw: 16, ba: 16 };
         let err = sim.run_batch(&ParallelExecutor::new(2), Method::LoCaLut, cfg, &requests);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn session_steps_decompose_prefill_plus_decode() {
+        let wl = Workload::with_decode(ModelConfig::opt_125m(), 2, 3);
+        let steps = wl.session_steps();
+        assert_eq!(steps.len(), 4);
+        assert_eq!(steps[0], Workload::prefill(ModelConfig::opt_125m(), 2));
+        let seq = ModelConfig::opt_125m().seq_len;
+        for (i, step) in steps[1..].iter().enumerate() {
+            assert_eq!(step.step, Some(DecodeStep { context: seq + i }));
+            assert_eq!(step.batch, 2);
+            assert_eq!(step.decode_tokens, 0);
+        }
+        // Prefill-only workloads are a single step; encoder models never
+        // decompose into decode steps (monolithic `run` ignores their
+        // decode_tokens the same way); steps decompose to themselves.
+        assert_eq!(
+            Workload::prefill(ModelConfig::bert_base(), 8).session_steps(),
+            vec![Workload::prefill(ModelConfig::bert_base(), 8)]
+        );
+        assert_eq!(
+            Workload::with_decode(ModelConfig::bert_base(), 8, 4).session_steps(),
+            vec![Workload::prefill(ModelConfig::bert_base(), 8)]
+        );
+        assert_eq!(steps[2].session_steps(), vec![steps[2].clone()]);
+    }
+
+    #[test]
+    fn decode_step_times_decode_only() {
+        let sim = InferenceSim::upmem_server();
+        let cfg: BitConfig = "W4A4".parse().unwrap();
+        let seq = ModelConfig::opt_125m().seq_len;
+        let step = Workload::decode_step(ModelConfig::opt_125m(), 2, seq);
+        let r = sim.run(Method::LoCaLut, cfg, &step).unwrap();
+        assert_eq!(r.prefill_seconds, 0.0);
+        assert!(r.decode_seconds > 0.0);
+        // A longer KV context costs more host attention time.
+        let later = Workload::decode_step(ModelConfig::opt_125m(), 2, seq + 64);
+        let r2 = sim.run(Method::LoCaLut, cfg, &later).unwrap();
+        assert!(r2.decode_seconds > r.decode_seconds);
+        // Determinism: the measured planning path is a pure function of
+        // the step.
+        assert_eq!(sim.run(Method::LoCaLut, cfg, &step).unwrap(), r);
     }
 
     #[test]

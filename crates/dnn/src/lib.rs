@@ -30,4 +30,4 @@ pub mod layer;
 pub mod tasks;
 
 pub use config::{ModelConfig, ModelKind};
-pub use inference::{InferenceReport, InferenceSim, Phase, Workload};
+pub use inference::{DecodeStep, InferenceReport, InferenceSim, Phase, Workload};

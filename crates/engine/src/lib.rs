@@ -25,6 +25,13 @@
 //!   summaries and simulated-latency percentiles; [`traffic`] generates
 //!   the seeded request logs the scheduler, the `loadgen` binary, and the
 //!   tests share.
+//! * [`sessions`] — **continuous batching** for decoder serving: a
+//!   [`SessionRequest`] decomposes into one prefill step plus one step
+//!   per decode token, each re-entering the admission queue as its own
+//!   schedulable unit (new prefills interleave between decode waves),
+//!   with per-phase execution planning and LUT-cache keying
+//!   ([`Engine::session_plans`]) and deterministic TTFT/per-step latency
+//!   digests in the [`ServeSummary`].
 //!
 //! Determinism is inherited from the layers below: for a fixed request,
 //! every response is bitwise identical at any worker count, with or
@@ -59,6 +66,7 @@ mod error;
 pub mod request;
 pub mod response;
 pub mod serve;
+pub mod sessions;
 pub mod traffic;
 
 pub use cache::{CacheOutcome, CacheStats, LutKey};
@@ -66,8 +74,10 @@ pub use error::{EngineError, FrameError, NetError, Rejection};
 pub use request::{BatchGemmRequest, GemmRequest, InferenceRequest, PlanPin};
 pub use response::{picojoules, BatchGemmResponse, GemmResponse, InferenceResponse};
 pub use serve::{
-    ServeConfig, ServeConfigBuilder, ServeRecorder, ServeReport, ServeSummary, Server, Ticket,
+    LatencyDigest, ServeConfig, ServeConfigBuilder, ServeRecorder, ServeReport, ServeSummary,
+    Server, Ticket,
 };
+pub use sessions::{SessionPlans, SessionRequest, SessionResponse};
 pub use traffic::{Mix, TrafficConfig, TrafficRequest};
 
 use cache::LutCache;

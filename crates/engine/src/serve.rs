@@ -9,6 +9,21 @@
 //! batches** (riding [`Engine::submit_batch`]'s warm-cache fan-out so one
 //! busy period amortizes the LUT builds), and fulfill the tickets.
 //!
+//! ## Continuous batching
+//!
+//! Decoder sessions ([`Server::submit_session`]) are served **one step
+//! per dispatch**: a worker advances the session's next step (prefill,
+//! or one decode token over the step's exact KV context), then pushes
+//! the session to the *back* of the admission queue and picks up
+//! whatever is in front — so a freshly submitted prefill or GEMM is
+//! admitted between a long session's decode waves instead of waiting for
+//! the whole generation to finish. Step re-enqueues bypass the admission
+//! cap and the drain gate (an admitted session always runs to
+//! completion; the worker that pushes a continuation re-checks the queue
+//! before exiting, so no step is stranded at shutdown). See
+//! [`crate::sessions`] for the step state machine and its determinism
+//! argument.
+//!
 //! ## The determinism contract
 //!
 //! Thread scheduling decides *when* a request runs and *which* requests
@@ -44,6 +59,7 @@
 //!     requests_per_client: 2,
 //!     mix: Mix::Gemm,
 //!     seed: 7,
+//!     decode_tokens: 4,
 //! };
 //! let server = Server::start(engine.clone(), &ServeConfig::default());
 //! std::thread::scope(|scope| {
@@ -60,6 +76,7 @@
 
 use crate::request::{GemmRequest, InferenceRequest, PlanPin};
 use crate::response::{GemmResponse, InferenceResponse};
+use crate::sessions::{SessionJob, SessionRequest, SessionResponse, StepOutcome};
 // The crate-wide poison-recovering lock: serving state is kept valid at
 // every panic point (completed responses are recorded atomically, queue
 // entries are whole jobs), so a worker that panicked while holding a lock
@@ -348,6 +365,7 @@ impl CompatKey {
 enum Job {
     Gemm(Box<GemmRequest>, Arc<TicketCell<GemmResponse>>),
     Infer(Box<InferenceRequest>, Arc<TicketCell<InferenceResponse>>),
+    Session(Box<SessionJob>, Arc<TicketCell<SessionResponse>>),
 }
 
 struct Queue {
@@ -365,8 +383,12 @@ pub struct ServeRecorder {
     energy_pj: u128,
     gemm_requests: u64,
     infer_requests: u64,
+    session_requests: u64,
+    decode_steps: u64,
     failed_requests: u64,
     latencies: Vec<u128>,
+    ttfts: Vec<u128>,
+    decode_latencies: Vec<u128>,
     checksums: Vec<u64>,
 }
 
@@ -425,7 +447,41 @@ impl ServeRecorder {
         self.latencies.push(stats.snapshot().total_femtos);
     }
 
-    /// Records a failed request of either kind.
+    /// Records one session verdict.
+    pub fn record_session(&mut self, result: &Result<SessionResponse, EngineError>) {
+        match result {
+            Ok(response) => self.record_session_parts(
+                &response.stats,
+                response.energy_pj,
+                response.ttft_femtos,
+                &response.decode_step_femtos,
+            ),
+            Err(_) => self.record_failure(),
+        }
+    }
+
+    /// Records a completed session from its deterministic parts — what a
+    /// remote client extracts from a wire response. The session's
+    /// end-to-end latency (its merged simulated femtoseconds) joins the
+    /// request latency multiset; TTFT and each decode step's
+    /// femtoseconds additionally feed the per-phase digests.
+    pub fn record_session_parts(
+        &mut self,
+        stats: &Stats,
+        energy_pj: u128,
+        ttft_femtos: u128,
+        decode_step_femtos: &[u128],
+    ) {
+        self.stats.merge(stats);
+        self.energy_pj += energy_pj;
+        self.session_requests += 1;
+        self.decode_steps += decode_step_femtos.len() as u64;
+        self.latencies.push(stats.snapshot().total_femtos);
+        self.ttfts.push(ttft_femtos);
+        self.decode_latencies.extend_from_slice(decode_step_femtos);
+    }
+
+    /// Records a failed request of any kind.
     pub fn record_failure(&mut self) {
         self.failed_requests += 1;
     }
@@ -436,13 +492,17 @@ impl ServeRecorder {
         let mut checksums = self.checksums.clone();
         checksums.sort_unstable();
         ServeSummary {
-            requests: self.gemm_requests + self.infer_requests,
+            requests: self.gemm_requests + self.infer_requests + self.session_requests,
             gemm_requests: self.gemm_requests,
             infer_requests: self.infer_requests,
+            session_requests: self.session_requests,
+            decode_steps: self.decode_steps,
             failed_requests: self.failed_requests,
             stats: self.stats.clone(),
             energy_pj: self.energy_pj,
             latency: LatencyDigest::from_unsorted(self.latencies.clone()),
+            ttft: LatencyDigest::from_unsorted(self.ttfts.clone()),
+            decode: LatencyDigest::from_unsorted(self.decode_latencies.clone()),
             checksum: runtime::fnv1a_64(checksums.iter().flat_map(|c| c.to_le_bytes())),
         }
     }
@@ -514,6 +574,10 @@ pub struct ServeSummary {
     pub gemm_requests: u64,
     /// Successful inference requests.
     pub infer_requests: u64,
+    /// Completed decoder sessions ([`Server::submit_session`]).
+    pub session_requests: u64,
+    /// Decode steps executed across every completed session.
+    pub decode_steps: u64,
     /// Requests that returned an error (also interleaving-invariant:
     /// feasibility is a function of the request).
     pub failed_requests: u64,
@@ -522,8 +586,15 @@ pub struct ServeSummary {
     pub stats: Stats,
     /// Total modeled energy, picojoules.
     pub energy_pj: u128,
-    /// Latency percentiles over per-request simulated femtoseconds.
+    /// Latency percentiles over per-request simulated femtoseconds
+    /// (sessions contribute their end-to-end latency).
     pub latency: LatencyDigest,
+    /// Time-to-first-token percentiles over completed sessions' prefill
+    /// steps, integer femtoseconds (all-zero when no sessions ran).
+    pub ttft: LatencyDigest,
+    /// Per-decode-step latency percentiles over every decode step of
+    /// every completed session (all-zero when no sessions ran).
+    pub decode: LatencyDigest,
     /// Order-invariant fingerprint: FNV-1a fold of the per-request GEMM
     /// values checksums in sorted order.
     pub checksum: u64,
@@ -666,6 +737,20 @@ impl Server {
         Ticket { cell }
     }
 
+    /// Enqueues one decoder session, served with continuous batching: a
+    /// worker advances one step per dispatch and re-enqueues the session
+    /// at the back of the queue, so other requests interleave between
+    /// its decode waves. The ticket resolves once the final step
+    /// completes (or the first failing step's error). Admission control
+    /// (drain gate, queue cap) applies to the initial submission only —
+    /// an admitted session always runs to completion.
+    pub fn submit_session(&self, request: SessionRequest) -> Ticket<SessionResponse> {
+        let cell = Arc::new(TicketCell::new());
+        let job = SessionJob::new(&self.shared.engine, &request);
+        self.enqueue(Job::Session(Box::new(job), cell.clone()), &cell);
+        Ticket { cell }
+    }
+
     fn enqueue<T>(&self, job: Job, cell: &TicketCell<T>) {
         let mut queue = lock(&self.shared.queue);
         if !queue.open {
@@ -796,6 +881,31 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
                 lock(&shared.metrics).recorder.record_infer(&result);
                 cell.fulfill(result);
             }
+            Job::Session(mut session, cell) => {
+                // One step per dispatch — the continuous-batching pivot.
+                // The push happens on this worker before it returns to
+                // `next_batch`, so even at shutdown the continuation is
+                // in the queue before any drained-and-closed check this
+                // worker makes: no step is ever stranded.
+                match guarded(|| session.advance(&shared.engine)) {
+                    Ok(StepOutcome::Continue) => {
+                        let mut queue = lock(&shared.queue);
+                        queue.jobs.push_back(Job::Session(session, cell));
+                        drop(queue);
+                        shared.admit.notify_one();
+                    }
+                    Ok(StepOutcome::Done(response)) => {
+                        let result = Ok(*response);
+                        lock(&shared.metrics).recorder.record_session(&result);
+                        cell.fulfill(result);
+                    }
+                    Err(error) => {
+                        let result = Err(error);
+                        lock(&shared.metrics).recorder.record_session(&result);
+                        cell.fulfill(result);
+                    }
+                }
+            }
             Job::Gemm(request, cell) => gemms.push((request, cell)),
         }
     }
@@ -854,6 +964,7 @@ pub fn drive_client(server: &Server, log: Vec<TrafficRequest>, mode: ArrivalMode
             .map(|request| match request {
                 TrafficRequest::Gemm(r) => server.submit_gemm(r).wait().is_err(),
                 TrafficRequest::Infer(r) => server.submit_infer(r).wait().is_err(),
+                TrafficRequest::Session(r) => server.submit_session(r).wait().is_err(),
             })
             .filter(|failed| *failed)
             .count(),
@@ -861,12 +972,14 @@ pub fn drive_client(server: &Server, log: Vec<TrafficRequest>, mode: ArrivalMode
             enum AnyTicket {
                 Gemm(Ticket<GemmResponse>),
                 Infer(Ticket<InferenceResponse>),
+                Session(Ticket<SessionResponse>),
             }
             let tickets: Vec<AnyTicket> = log
                 .into_iter()
                 .map(|request| match request {
                     TrafficRequest::Gemm(r) => AnyTicket::Gemm(server.submit_gemm(r)),
                     TrafficRequest::Infer(r) => AnyTicket::Infer(server.submit_infer(r)),
+                    TrafficRequest::Session(r) => AnyTicket::Session(server.submit_session(r)),
                 })
                 .collect();
             tickets
@@ -874,6 +987,7 @@ pub fn drive_client(server: &Server, log: Vec<TrafficRequest>, mode: ArrivalMode
                 .map(|ticket| match ticket {
                     AnyTicket::Gemm(t) => t.wait().is_err(),
                     AnyTicket::Infer(t) => t.wait().is_err(),
+                    AnyTicket::Session(t) => t.wait().is_err(),
                 })
                 .filter(|failed| *failed)
                 .count()
@@ -892,6 +1006,7 @@ pub fn replay_serial(engine: &Engine, log: &[TrafficRequest]) -> ServeSummary {
         match request {
             TrafficRequest::Gemm(r) => recorder.record_gemm(&engine.submit(r)),
             TrafficRequest::Infer(r) => recorder.record_infer(&engine.infer(r)),
+            TrafficRequest::Session(r) => recorder.record_session(&engine.infer_session(r)),
         }
     }
     recorder.summary()
@@ -917,6 +1032,7 @@ mod tests {
             requests_per_client: 3,
             mix: Mix::Mixed,
             seed: 11,
+            decode_tokens: 4,
         }
     }
 

@@ -11,6 +11,7 @@
 //! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
 
 use crate::request::{GemmRequest, InferenceRequest};
+use crate::sessions::SessionRequest;
 use dnn::{ModelConfig, Workload};
 use quant::{NumericFormat, QMatrix};
 
@@ -23,16 +24,28 @@ pub enum Mix {
     Inference,
     /// Roughly one inference request per two GEMMs, seed-determined.
     Mixed,
+    /// Decoder sessions only ([`crate::Server::submit_session`]): every
+    /// request is an OPT generation of seed-determined length, served
+    /// with continuous batching.
+    Decode,
+    /// Chat-like bursty traffic: roughly half decoder sessions, the rest
+    /// split between one-shot inference (prefill/embedding-style) and
+    /// GEMM requests — the arrival pattern under which continuous
+    /// batching pays (prefills interleave between decode waves).
+    Chat,
 }
 
 impl Mix {
-    /// The mix's canonical flag name (`gemm` / `infer` / `mixed`).
+    /// The mix's canonical flag name
+    /// (`gemm` / `infer` / `mixed` / `decode` / `chat`).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Mix::Gemm => "gemm",
             Mix::Inference => "infer",
             Mix::Mixed => "mixed",
+            Mix::Decode => "decode",
+            Mix::Chat => "chat",
         }
     }
 }
@@ -45,12 +58,16 @@ impl std::str::FromStr for Mix {
             "gemm" => Ok(Mix::Gemm),
             "infer" => Ok(Mix::Inference),
             "mixed" => Ok(Mix::Mixed),
-            other => Err(format!("unknown mix '{other}' (gemm|infer|mixed)")),
+            "decode" => Ok(Mix::Decode),
+            "chat" => Ok(Mix::Chat),
+            other => Err(format!(
+                "unknown mix '{other}' (gemm|infer|mixed|decode|chat)"
+            )),
         }
     }
 }
 
-/// A fully deterministic traffic specification: these four values pin the
+/// A fully deterministic traffic specification: these values pin the
 /// complete request log, independent of how it is later scheduled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrafficConfig {
@@ -62,6 +79,11 @@ pub struct TrafficConfig {
     pub mix: Mix,
     /// Root seed; each client derives its own independent stream.
     pub seed: u64,
+    /// Upper bound on generated tokens per decoder session (session
+    /// lengths draw uniformly from `1..=decode_tokens`). Only the
+    /// session-bearing mixes ([`Mix::Decode`], [`Mix::Chat`]) consume
+    /// it; the legacy mixes generate identical logs at any value.
+    pub decode_tokens: u32,
 }
 
 impl TrafficConfig {
@@ -72,13 +94,16 @@ impl TrafficConfig {
     }
 }
 
-/// One generated request, typed for the two serving entry points.
+/// One generated request, typed for the serving entry points.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TrafficRequest {
     /// A GEMM request ([`crate::Engine::submit`]).
     Gemm(GemmRequest),
     /// An inference request ([`crate::Engine::infer`]).
     Infer(InferenceRequest),
+    /// A decoder session ([`crate::Engine::infer_session`], served with
+    /// continuous batching by [`crate::Server::submit_session`]).
+    Session(SessionRequest),
 }
 
 /// SplitMix64: a tiny, high-quality, dependency-free PRNG — chosen here
@@ -120,17 +145,25 @@ pub fn client_log(config: &TrafficConfig, client: usize) -> Vec<TrafficRequest> 
             .wrapping_add((client as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
     );
     (0..config.requests_per_client)
-        .map(|_| {
-            let infer = match config.mix {
-                Mix::Gemm => false,
-                Mix::Inference => true,
-                Mix::Mixed => rng.pick(3) == 0,
-            };
-            if infer {
-                generate_infer(&mut rng)
-            } else {
-                generate_gemm(&mut rng)
+        .map(|_| match config.mix {
+            // The legacy mixes draw the identical call sequence they
+            // always did: adding the session mixes must not move a single
+            // byte of an existing seeded log.
+            Mix::Gemm => generate_gemm(&mut rng),
+            Mix::Inference => generate_infer(&mut rng),
+            Mix::Mixed => {
+                if rng.pick(3) == 0 {
+                    generate_infer(&mut rng)
+                } else {
+                    generate_gemm(&mut rng)
+                }
             }
+            Mix::Decode => generate_session(&mut rng, config.decode_tokens),
+            Mix::Chat => match rng.pick(4) {
+                0 | 1 => generate_session(&mut rng, config.decode_tokens),
+                2 => generate_infer(&mut rng),
+                _ => generate_gemm(&mut rng),
+            },
         })
         .collect()
 }
@@ -170,6 +203,16 @@ fn generate_infer(rng: &mut SplitMix64) -> TrafficRequest {
     TrafficRequest::Infer(InferenceRequest::single(workload))
 }
 
+fn generate_session(rng: &mut SplitMix64, decode_tokens: u32) -> TrafficRequest {
+    let batch = [1usize, 2][rng.pick(2) as usize];
+    let steps = 1 + rng.pick(u64::from(decode_tokens.max(1))) as u32;
+    TrafficRequest::Session(SessionRequest::new(Workload::with_decode(
+        ModelConfig::opt_125m(),
+        batch,
+        steps,
+    )))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +223,7 @@ mod tests {
             requests_per_client: 5,
             mix,
             seed: 42,
+            decode_tokens: 4,
         }
     }
 
@@ -218,11 +262,53 @@ mod tests {
         let mixed = full_log(&config(Mix::Mixed));
         assert!(mixed.iter().any(|r| matches!(r, TrafficRequest::Gemm(_))));
         assert!(mixed.iter().any(|r| matches!(r, TrafficRequest::Infer(_))));
+        let decode = full_log(&config(Mix::Decode));
+        assert!(decode
+            .iter()
+            .all(|r| matches!(r, TrafficRequest::Session(_))));
+        let chat = full_log(&config(Mix::Chat));
+        assert!(chat.iter().any(|r| matches!(r, TrafficRequest::Session(_))));
+        assert!(chat
+            .iter()
+            .any(|r| !matches!(r, TrafficRequest::Session(_))));
+    }
+
+    #[test]
+    fn decode_tokens_bounds_session_lengths_and_leaves_legacy_logs_alone() {
+        let base = config(Mix::Decode);
+        for request in full_log(&base) {
+            let TrafficRequest::Session(session) = request else {
+                panic!("decode mix generates only sessions");
+            };
+            assert!((1..=base.decode_tokens).contains(&session.workload.decode_tokens));
+        }
+        // A longer budget changes session logs...
+        let longer = TrafficConfig {
+            decode_tokens: 16,
+            ..base
+        };
+        assert_ne!(full_log(&longer), full_log(&base));
+        // ...but the legacy mixes generate the identical log at any
+        // budget: the knob must not perturb pre-session seeded traffic.
+        for mix in [Mix::Gemm, Mix::Inference, Mix::Mixed] {
+            let legacy = config(mix);
+            let reconfigured = TrafficConfig {
+                decode_tokens: 16,
+                ..legacy
+            };
+            assert_eq!(full_log(&reconfigured), full_log(&legacy));
+        }
     }
 
     #[test]
     fn mix_names_roundtrip() {
-        for mix in [Mix::Gemm, Mix::Inference, Mix::Mixed] {
+        for mix in [
+            Mix::Gemm,
+            Mix::Inference,
+            Mix::Mixed,
+            Mix::Decode,
+            Mix::Chat,
+        ] {
             assert_eq!(mix.name().parse::<Mix>().unwrap(), mix);
         }
         assert!("everything".parse::<Mix>().is_err());

@@ -253,6 +253,32 @@ impl GemmConfig {
             }
         }
     }
+
+    /// Like [`GemmConfig::cost`], but LoCaLUT plans by **measured** kernel
+    /// cost ([`Planner::plan_measured`]) instead of the fixed-`k` closed
+    /// form — the per-phase planning path decode-skinny GEMMs use, where
+    /// the closed form's `n`-cancellation no longer holds. Every other
+    /// method is planner-free and costs identically to [`GemmConfig::cost`].
+    ///
+    /// # Errors
+    ///
+    /// Budget errors when no feasible LUT configuration exists.
+    pub fn cost_measured(
+        &self,
+        method: Method,
+        dims: GemmDims,
+        wf: NumericFormat,
+        af: NumericFormat,
+    ) -> Result<Profile, LocaLutError> {
+        match method {
+            Method::LoCaLut => {
+                let planner = Planner::new(self.dpu.clone());
+                let plan = planner.plan_measured(dims, wf, af)?;
+                Ok(plan.cost(&self.dpu, dims))
+            }
+            other => self.cost(other, dims, wf, af),
+        }
+    }
 }
 
 impl Default for GemmConfig {

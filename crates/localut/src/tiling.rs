@@ -139,9 +139,45 @@ impl DistributedGemm {
         wf: NumericFormat,
         af: NumericFormat,
     ) -> Result<SystemProfile, LocaLutError> {
+        self.cost_inner(method, dims, wf, af, false)
+    }
+
+    /// Like [`DistributedGemm::cost`], but the per-DPU LoCaLUT kernel is
+    /// planned by measured cost at the *tile* dimensions
+    /// ([`GemmConfig::cost_measured`]) — the decode-phase path, where the
+    /// tile is skinny and the closed-form planner's `n`-cancellation no
+    /// longer reflects the kernel's real weight-streaming cost. The host
+    /// phases (quantization, sorting/packing, transfers) are identical to
+    /// [`DistributedGemm::cost`].
+    ///
+    /// # Errors
+    ///
+    /// Kernel feasibility errors.
+    pub fn cost_measured(
+        &self,
+        method: Method,
+        dims: GemmDims,
+        wf: NumericFormat,
+        af: NumericFormat,
+    ) -> Result<SystemProfile, LocaLutError> {
+        self.cost_inner(method, dims, wf, af, true)
+    }
+
+    fn cost_inner(
+        &self,
+        method: Method,
+        dims: GemmDims,
+        wf: NumericFormat,
+        af: NumericFormat,
+        measured: bool,
+    ) -> Result<SystemProfile, LocaLutError> {
         let grid = TileGrid::choose(dims, self.system.config().n_dpus());
         let tile = grid.tile_dims(dims);
-        let pim = self.gemm.cost(method, tile, wf, af)?;
+        let pim = if measured {
+            self.gemm.cost_measured(method, tile, wf, af)?
+        } else {
+            self.gemm.cost(method, tile, wf, af)?
+        };
 
         let mut host = CycleLedger::new();
         let elems = dims.k as u64 * dims.n as u64;
@@ -280,6 +316,34 @@ mod tests {
             )
             .unwrap();
         assert_eq!(sp.host.seconds(Category::HostSortPack), 0.0);
+    }
+
+    #[test]
+    fn measured_cost_matches_host_phases_and_never_loses() {
+        let d = DistributedGemm::upmem_server();
+        // A decode-skinny GEMM: one new token over the full hidden dim.
+        let dims = GemmDims {
+            m: 3072,
+            k: 768,
+            n: 2,
+        };
+        let fixed = d.cost(Method::LoCaLut, dims, W1, A3).unwrap();
+        let measured = d.cost_measured(Method::LoCaLut, dims, W1, A3).unwrap();
+        // Host phases are planning-independent.
+        for cat in [
+            Category::HostQuantize,
+            Category::HostSortPack,
+            Category::HostTransfer,
+        ] {
+            assert_eq!(fixed.host.seconds(cat), measured.host.seconds(cat));
+        }
+        // The measured search covers the fixed plan as a candidate, so it
+        // can only match or beat it.
+        assert!(measured.pim.total_seconds() <= fixed.pim.total_seconds() + 1e-18);
+        // Planner-free methods are unchanged by the measured path.
+        let a = d.cost(Method::NaivePim, dims, W1, A3).unwrap();
+        let b = d.cost_measured(Method::NaivePim, dims, W1, A3).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -14,8 +14,12 @@
 //! answers strictly in per-connection request order.
 
 use crate::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
-use crate::wire::{self, WireGemmResponse, WireInferResponse, WireRequest, WireResponse};
-use engine::{EngineError, GemmRequest, InferenceRequest, NetError, Rejection, ServeSummary};
+use crate::wire::{
+    self, WireGemmResponse, WireInferResponse, WireRequest, WireResponse, WireSessionResponse,
+};
+use engine::{
+    EngineError, GemmRequest, InferenceRequest, NetError, Rejection, ServeSummary, SessionRequest,
+};
 use std::io::ErrorKind;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -150,6 +154,39 @@ impl NetClient {
         retry(attempts, |_| self.infer(request))
     }
 
+    /// Runs one decoder session remotely — the network twin of
+    /// [`engine::Engine::infer_session`]. The server serves it with
+    /// continuous batching and replies once the whole session (prefill
+    /// plus every decode step) completes, with per-step latencies in the
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::gemm`].
+    pub fn session(
+        &mut self,
+        request: &SessionRequest,
+    ) -> Result<WireSessionResponse, EngineError> {
+        match self.call(&WireRequest::Session(request.clone()))? {
+            WireResponse::Session(s) => Ok(s),
+            other => Err(unexpected(other, "session")),
+        }
+    }
+
+    /// Sessions with the same `QueueFull` retry policy as
+    /// [`NetClient::gemm_with_retry`].
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::session`].
+    pub fn session_with_retry(
+        &mut self,
+        request: &SessionRequest,
+        attempts: u32,
+    ) -> Result<WireSessionResponse, EngineError> {
+        retry(attempts, |_| self.session(request))
+    }
+
     /// Liveness probe; returns how many requests this connection has had
     /// admitted.
     ///
@@ -184,6 +221,7 @@ fn unexpected(response: WireResponse, verb: &str) -> EngineError {
         WireResponse::Error { kind, message } => return NetError::Remote { kind, message }.into(),
         WireResponse::Gemm(_) => "gemm",
         WireResponse::Infer(_) => "infer",
+        WireResponse::Session(_) => "session",
         WireResponse::Pong { .. } => "pong",
         WireResponse::Drained(_) => "drained",
     };

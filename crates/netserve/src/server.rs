@@ -40,7 +40,7 @@ use crate::wire::{self, WireRequest, WireResponse};
 use engine::serve::{ServeConfig, RETRY_AFTER_MS};
 use engine::{
     Engine, EngineError, GemmResponse, InferenceResponse, NetError, Rejection, ServeReport, Server,
-    Ticket,
+    SessionResponse, Ticket,
 };
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
@@ -144,6 +144,9 @@ enum Reply {
     Gemm(String, Ticket<GemmResponse>),
     /// A pending inference request, same contract.
     Infer(String, Ticket<InferenceResponse>),
+    /// A pending decoder session (served with continuous batching), same
+    /// contract.
+    Session(String, Ticket<SessionResponse>),
 }
 
 /// The TCP serving front-end. Bind it, let clients hammer it, then
@@ -374,7 +377,7 @@ fn handle_conn(shared: &Arc<NetShared>, stream: TcpStream) {
                 )))));
                 break;
             }
-            request @ (WireRequest::Gemm(_) | WireRequest::Infer(_)) => {
+            request @ (WireRequest::Gemm(_) | WireRequest::Infer(_) | WireRequest::Session(_)) => {
                 if let Some(limit) = shared.quota {
                     if submitted >= limit {
                         lock(&shared.counters).rejected_quota += 1;
@@ -389,6 +392,7 @@ fn handle_conn(shared: &Arc<NetShared>, stream: TcpStream) {
                 let reply = match request {
                     WireRequest::Gemm(r) => Reply::Gemm(line, shared.serve.submit_gemm(r)),
                     WireRequest::Infer(r) => Reply::Infer(line, shared.serve.submit_infer(r)),
+                    WireRequest::Session(r) => Reply::Session(line, shared.serve.submit_session(r)),
                     WireRequest::Ping | WireRequest::Drain => continue,
                 };
                 let _ = tx.send(reply);
@@ -422,6 +426,13 @@ fn writer_loop(shared: &Arc<NetShared>, mut stream: TcpStream, rx: &Receiver<Rep
                     shared.log_line(&line);
                 }
                 wire::infer_result_response(&result)
+            }
+            Reply::Session(line, ticket) => {
+                let result = ticket.wait();
+                if !matches!(result, Err(EngineError::Rejected(_))) {
+                    shared.log_line(&line);
+                }
+                wire::session_result_response(&result)
             }
         };
         if alive && write_frame(&mut stream, wire::encode_response(&response).as_bytes()).is_err() {

@@ -21,12 +21,12 @@
 //! panic or a silent default.
 
 use crate::json::Json;
-use dnn::{ModelConfig, Workload};
+use dnn::{DecodeStep, ModelConfig, Workload};
 use engine::serve::{gemm_latency_femtos, LatencyDigest};
 use engine::traffic::TrafficRequest;
 use engine::{
     CacheOutcome, EngineError, GemmRequest, GemmResponse, InferenceRequest, InferenceResponse,
-    NetError, PlanPin, Rejection, ServeRecorder, ServeSummary,
+    NetError, PlanPin, Rejection, ServeRecorder, ServeSummary, SessionRequest, SessionResponse,
 };
 use localut::plan::Placement;
 use localut::{GemmDims, Method};
@@ -47,6 +47,9 @@ pub enum WireRequest {
     Gemm(GemmRequest),
     /// Execute one inference request ([`engine::Engine::infer`] semantics).
     Infer(InferenceRequest),
+    /// Execute one decoder session ([`engine::Engine::infer_session`]
+    /// semantics; served remotely with continuous batching).
+    Session(SessionRequest),
     /// Liveness probe; answered immediately with [`WireResponse::Pong`].
     Ping,
     /// Ask the server to drain: stop accepting, flush in-flight tickets,
@@ -125,6 +128,44 @@ impl WireInferResponse {
     }
 }
 
+/// The session response fields that cross the wire: the deterministic
+/// aggregate plus the per-step latency observables continuous batching
+/// reports (TTFT and per-decode-step femtoseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSessionResponse {
+    /// Per-step `(prefill_seconds, decode_seconds)` in step order.
+    pub reports: Vec<(f64, f64)>,
+    /// Merged per-session statistics.
+    pub stats: Stats,
+    /// Modeled energy, picojoules.
+    pub energy_pj: u128,
+    /// The method that executed.
+    pub method: Method,
+    /// Time to first token, integer femtoseconds.
+    pub ttft_femtos: u128,
+    /// Each decode step's simulated femtoseconds, in step order.
+    pub decode_step_femtos: Vec<u128>,
+}
+
+impl WireSessionResponse {
+    /// Projects a server-side response onto the wire.
+    #[must_use]
+    pub fn from_response(r: &SessionResponse) -> Self {
+        WireSessionResponse {
+            reports: r
+                .reports
+                .iter()
+                .map(|rep| (rep.prefill_seconds, rep.decode_seconds))
+                .collect(),
+            stats: r.stats.clone(),
+            energy_pj: r.energy_pj,
+            method: r.method,
+            ttft_femtos: r.ttft_femtos,
+            decode_step_femtos: r.decode_step_femtos.clone(),
+        }
+    }
+}
+
 /// A response as it travels over the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireResponse {
@@ -132,6 +173,8 @@ pub enum WireResponse {
     Gemm(WireGemmResponse),
     /// A served inference request.
     Infer(WireInferResponse),
+    /// A completed decoder session.
+    Session(WireSessionResponse),
     /// Typed backpressure: the request was *not* admitted (queue full,
     /// quota exhausted, or the server is draining) and may be retried
     /// where the variant says so.
@@ -164,6 +207,12 @@ pub fn record_response(recorder: &mut ServeRecorder, response: &WireResponse) {
             recorder.record_gemm_parts(&g.stats, g.energy_pj, g.latency_femtos, g.checksum);
         }
         WireResponse::Infer(i) => recorder.record_infer_parts(&i.stats, i.energy_pj),
+        WireResponse::Session(s) => recorder.record_session_parts(
+            &s.stats,
+            s.energy_pj,
+            s.ttft_femtos,
+            &s.decode_step_femtos,
+        ),
         WireResponse::Error { .. } => recorder.record_failure(),
         WireResponse::Rejected(_) | WireResponse::Pong { .. } | WireResponse::Drained(_) => {}
     }
@@ -184,6 +233,16 @@ pub fn gemm_result_response(result: &Result<GemmResponse, EngineError>) -> WireR
 pub fn infer_result_response(result: &Result<InferenceResponse, EngineError>) -> WireResponse {
     match result {
         Ok(r) => WireResponse::Infer(WireInferResponse::from_response(r)),
+        Err(e) => error_response(e),
+    }
+}
+
+/// Wraps a served session result as the wire response the client
+/// expects.
+#[must_use]
+pub fn session_result_response(result: &Result<SessionResponse, EngineError>) -> WireResponse {
+    match result {
+        Ok(r) => WireResponse::Session(WireSessionResponse::from_response(r)),
         Err(e) => error_response(e),
     }
 }
@@ -276,6 +335,16 @@ fn stats_json(stats: &Stats) -> Json {
     ])
 }
 
+fn digest_json(digest: &LatencyDigest) -> Json {
+    Json::object(vec![
+        ("p50", Json::UInt(digest.p50)),
+        ("p95", Json::UInt(digest.p95)),
+        ("p99", Json::UInt(digest.p99)),
+        ("max", Json::UInt(digest.max)),
+        ("total", Json::UInt(digest.total)),
+    ])
+}
+
 /// The canonical JSON form of a [`ServeSummary`] (used by the drain
 /// response, the daemon's `--out` file, and the multi-process tests).
 #[must_use]
@@ -284,21 +353,28 @@ pub fn summary_json(summary: &ServeSummary) -> Json {
         ("requests", u(summary.requests)),
         ("gemm_requests", u(summary.gemm_requests)),
         ("infer_requests", u(summary.infer_requests)),
+        ("session_requests", u(summary.session_requests)),
+        ("decode_steps", u(summary.decode_steps)),
         ("failed_requests", u(summary.failed_requests)),
         ("stats", stats_json(&summary.stats)),
         ("energy_pj", Json::UInt(summary.energy_pj)),
-        (
-            "latency",
-            Json::object(vec![
-                ("p50", Json::UInt(summary.latency.p50)),
-                ("p95", Json::UInt(summary.latency.p95)),
-                ("p99", Json::UInt(summary.latency.p99)),
-                ("max", Json::UInt(summary.latency.max)),
-                ("total", Json::UInt(summary.latency.total)),
-            ]),
-        ),
+        ("latency", digest_json(&summary.latency)),
+        ("ttft", digest_json(&summary.ttft)),
+        ("decode", digest_json(&summary.decode)),
         ("checksum", u(summary.checksum)),
     ])
+}
+
+fn workload_json(w: &Workload) -> Json {
+    let mut pairs = vec![
+        ("model", Json::Str(w.model.name.into())),
+        ("batch", u(w.batch as u64)),
+        ("decode_tokens", u(w.decode_tokens)),
+    ];
+    if let Some(step) = w.step {
+        pairs.push(("context", u(step.context as u64)));
+    }
+    Json::object(pairs)
 }
 
 fn request_json(request: &WireRequest) -> Json {
@@ -328,19 +404,18 @@ fn request_json(request: &WireRequest) -> Json {
             pairs.push(("kind", Json::Str("infer".into())));
             pairs.push((
                 "workloads",
-                Json::Array(
-                    r.workloads
-                        .iter()
-                        .map(|w| {
-                            Json::object(vec![
-                                ("model", Json::Str(w.model.name.into())),
-                                ("batch", u(w.batch as u64)),
-                                ("decode_tokens", u(w.decode_tokens)),
-                            ])
-                        })
-                        .collect(),
-                ),
+                Json::Array(r.workloads.iter().map(workload_json).collect()),
             ));
+            if let Some(m) = r.method {
+                pairs.push(("method", Json::Str(m.flag_name().into())));
+            }
+            if let Some(bits) = r.bits {
+                pairs.push(("bits", Json::Str(bits.to_string())));
+            }
+        }
+        WireRequest::Session(r) => {
+            pairs.push(("kind", Json::Str("session".into())));
+            pairs.push(("workload", workload_json(&r.workload)));
             if let Some(m) = r.method {
                 pairs.push(("method", Json::Str(m.flag_name().into())));
             }
@@ -426,6 +501,36 @@ fn response_json(response: &WireResponse) -> Json {
             pairs.push(("stats", stats_json(&i.stats)));
             pairs.push(("energy_pj", Json::UInt(i.energy_pj)));
             pairs.push(("method", Json::Str(i.method.flag_name().into())));
+        }
+        WireResponse::Session(s) => {
+            pairs.push(("kind", Json::Str("session".into())));
+            pairs.push((
+                "reports",
+                Json::Array(
+                    s.reports
+                        .iter()
+                        .map(|&(prefill, decode)| {
+                            Json::object(vec![
+                                ("prefill_seconds", Json::Float(prefill)),
+                                ("decode_seconds", Json::Float(decode)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+            pairs.push(("stats", stats_json(&s.stats)));
+            pairs.push(("energy_pj", Json::UInt(s.energy_pj)));
+            pairs.push(("method", Json::Str(s.method.flag_name().into())));
+            pairs.push(("ttft_femtos", Json::UInt(s.ttft_femtos)));
+            pairs.push((
+                "decode_step_femtos",
+                Json::Array(
+                    s.decode_step_femtos
+                        .iter()
+                        .map(|&f| Json::UInt(f))
+                        .collect(),
+                ),
+            ));
         }
         WireResponse::Rejected(r) => {
             pairs.push(("kind", Json::Str("rejected".into())));
@@ -600,21 +705,28 @@ fn stats_from_json(value: &Json) -> Result<Stats, NetError> {
 ///
 /// [`NetError::Decode`] naming the first malformed field.
 pub fn summary_from_json(value: &Json) -> Result<ServeSummary, NetError> {
-    let latency = field(value, "latency")?;
+    let digest = |key: &str| -> Result<LatencyDigest, NetError> {
+        let d = field(value, key)?;
+        Ok(LatencyDigest {
+            p50: uint_field(d, "p50")?,
+            p95: uint_field(d, "p95")?,
+            p99: uint_field(d, "p99")?,
+            max: uint_field(d, "max")?,
+            total: uint_field(d, "total")?,
+        })
+    };
     Ok(ServeSummary {
         requests: u64_field(value, "requests")?,
         gemm_requests: u64_field(value, "gemm_requests")?,
         infer_requests: u64_field(value, "infer_requests")?,
+        session_requests: u64_field(value, "session_requests")?,
+        decode_steps: u64_field(value, "decode_steps")?,
         failed_requests: u64_field(value, "failed_requests")?,
         stats: stats_from_json(field(value, "stats")?)?,
         energy_pj: uint_field(value, "energy_pj")?,
-        latency: LatencyDigest {
-            p50: uint_field(latency, "p50")?,
-            p95: uint_field(latency, "p95")?,
-            p99: uint_field(latency, "p99")?,
-            max: uint_field(latency, "max")?,
-            total: uint_field(latency, "total")?,
-        },
+        latency: digest("latency")?,
+        ttft: digest("ttft")?,
+        decode: digest("decode")?,
         checksum: u64_field(value, "checksum")?,
     })
 }
@@ -629,10 +741,17 @@ fn workload_from_json(value: &Json) -> Result<Workload, NetError> {
     let decode_tokens = u64_field(value, "decode_tokens")?;
     let decode_tokens = u32::try_from(decode_tokens)
         .map_err(|_| decode_err("field 'decode_tokens' overflows u32"))?;
+    let step = match value.get("context") {
+        None => None,
+        Some(_) => Some(DecodeStep {
+            context: usize_field(value, "context")?,
+        }),
+    };
     Ok(Workload {
         model,
         batch: usize_field(value, "batch")?,
         decode_tokens,
+        step,
     })
 }
 
@@ -692,6 +811,27 @@ fn infer_request_from_json(value: &Json) -> Result<InferenceRequest, NetError> {
     Ok(request)
 }
 
+fn session_request_from_json(value: &Json) -> Result<SessionRequest, NetError> {
+    let mut request = SessionRequest::new(workload_from_json(field(value, "workload")?)?);
+    if let Some(m) = value.get("method") {
+        let token = m
+            .as_str()
+            .ok_or_else(|| decode_err("field 'method' must be a string"))?;
+        request.method = Some(method_from_token(token)?);
+    }
+    if let Some(bits) = value.get("bits") {
+        let token = bits
+            .as_str()
+            .ok_or_else(|| decode_err("field 'bits' must be a string"))?;
+        request.bits = Some(
+            token
+                .parse::<BitConfig>()
+                .map_err(|e| decode_err(format!("bad bit config '{token}': {e}")))?,
+        );
+    }
+    Ok(request)
+}
+
 /// Decodes a request payload.
 ///
 /// # Errors
@@ -703,6 +843,7 @@ pub fn decode_request(payload: &[u8]) -> Result<WireRequest, NetError> {
     match str_field(&value, "kind")? {
         "gemm" => Ok(WireRequest::Gemm(gemm_request_from_json(&value)?)),
         "infer" => Ok(WireRequest::Infer(infer_request_from_json(&value)?)),
+        "session" => Ok(WireRequest::Session(session_request_from_json(&value)?)),
         "ping" => Ok(WireRequest::Ping),
         "drain" => Ok(WireRequest::Drain),
         other => Err(decode_err(format!("unknown request kind '{other}'"))),
@@ -757,8 +898,8 @@ fn gemm_response_from_json(value: &Json) -> Result<WireGemmResponse, NetError> {
     })
 }
 
-fn infer_response_from_json(value: &Json) -> Result<WireInferResponse, NetError> {
-    let reports = array_field(value, "reports")?
+fn report_seconds_from_json(value: &Json) -> Result<Vec<(f64, f64)>, NetError> {
+    array_field(value, "reports")?
         .iter()
         .map(|r| {
             Ok((
@@ -766,12 +907,33 @@ fn infer_response_from_json(value: &Json) -> Result<WireInferResponse, NetError>
                 float_field(r, "decode_seconds")?,
             ))
         })
-        .collect::<Result<Vec<(f64, f64)>, NetError>>()?;
+        .collect()
+}
+
+fn infer_response_from_json(value: &Json) -> Result<WireInferResponse, NetError> {
     Ok(WireInferResponse {
-        reports,
+        reports: report_seconds_from_json(value)?,
         stats: stats_from_json(field(value, "stats")?)?,
         energy_pj: uint_field(value, "energy_pj")?,
         method: method_from_token(str_field(value, "method")?)?,
+    })
+}
+
+fn session_response_from_json(value: &Json) -> Result<WireSessionResponse, NetError> {
+    let decode_step_femtos = array_field(value, "decode_step_femtos")?
+        .iter()
+        .map(|f| {
+            f.as_uint()
+                .ok_or_else(|| decode_err("decode step femtos must be integers"))
+        })
+        .collect::<Result<Vec<u128>, NetError>>()?;
+    Ok(WireSessionResponse {
+        reports: report_seconds_from_json(value)?,
+        stats: stats_from_json(field(value, "stats")?)?,
+        energy_pj: uint_field(value, "energy_pj")?,
+        method: method_from_token(str_field(value, "method")?)?,
+        ttft_femtos: uint_field(value, "ttft_femtos")?,
+        decode_step_femtos,
     })
 }
 
@@ -785,6 +947,7 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, NetError> {
     match str_field(&value, "kind")? {
         "gemm" => Ok(WireResponse::Gemm(gemm_response_from_json(&value)?)),
         "infer" => Ok(WireResponse::Infer(infer_response_from_json(&value)?)),
+        "session" => Ok(WireResponse::Session(session_response_from_json(&value)?)),
         "rejected" => Ok(WireResponse::Rejected(rejection_from_json(&value)?)),
         "error" => Ok(WireResponse::Error {
             kind: str_field(&value, "error_kind")?.to_owned(),
@@ -819,6 +982,7 @@ pub fn parse_request_log(text: &str) -> Result<Vec<TrafficRequest>, NetError> {
             {
                 WireRequest::Gemm(r) => Ok(TrafficRequest::Gemm(r)),
                 WireRequest::Infer(r) => Ok(TrafficRequest::Infer(r)),
+                WireRequest::Session(r) => Ok(TrafficRequest::Session(r)),
                 WireRequest::Ping | WireRequest::Drain => Err(decode_err(format!(
                     "log line {}: control requests are never logged",
                     i + 1
@@ -840,18 +1004,36 @@ mod tests {
             requests_per_client: 3,
             mix: Mix::Mixed,
             seed: 11,
+            decode_tokens: 4,
         })
+    }
+
+    fn chat_log() -> Vec<TrafficRequest> {
+        full_log(&TrafficConfig {
+            clients: 2,
+            requests_per_client: 4,
+            mix: Mix::Chat,
+            seed: 23,
+            decode_tokens: 3,
+        })
+    }
+
+    fn to_wire(request: &TrafficRequest) -> WireRequest {
+        match request {
+            TrafficRequest::Gemm(r) => WireRequest::Gemm(r.clone()),
+            TrafficRequest::Infer(r) => WireRequest::Infer(r.clone()),
+            TrafficRequest::Session(r) => WireRequest::Session(r.clone()),
+        }
     }
 
     #[test]
     fn every_traffic_request_roundtrips_bitwise() {
-        // The traffic generator covers both kinds, every optional field
-        // combination it emits, and negative-capable code paths.
-        for request in mixed_log() {
-            let wire = match request {
-                TrafficRequest::Gemm(ref r) => WireRequest::Gemm(r.clone()),
-                TrafficRequest::Infer(ref r) => WireRequest::Infer(r.clone()),
-            };
+        // The traffic generators cover all three kinds, every optional
+        // field combination they emit, and negative-capable code paths.
+        let log: Vec<TrafficRequest> = mixed_log().into_iter().chain(chat_log()).collect();
+        assert!(log.iter().any(|r| matches!(r, TrafficRequest::Session(_))));
+        for request in log {
+            let wire = to_wire(&request);
             let encoded = encode_request(&wire);
             let decoded = decode_request(encoded.as_bytes()).unwrap();
             assert_eq!(decoded, wire);
@@ -861,12 +1043,24 @@ mod tests {
     }
 
     #[test]
+    fn decode_step_workloads_roundtrip_losslessly() {
+        // A step-marked workload (a mid-session decode step) carries its
+        // exact KV context on the wire via the optional 'context' field.
+        use dnn::Workload;
+        let step = Workload::decode_step(ModelConfig::opt_125m(), 2, 100);
+        let wire =
+            WireRequest::Session(engine::SessionRequest::new(step).with_method(Method::LoCaLut));
+        let decoded = decode_request(encode_request(&wire).as_bytes()).unwrap();
+        assert_eq!(decoded, wire);
+    }
+
+    #[test]
     fn optional_gemm_fields_roundtrip() {
         let base = mixed_log()
             .iter()
             .find_map(|t| match t {
                 TrafficRequest::Gemm(r) => Some(r.clone()),
-                TrafficRequest::Infer(_) => None,
+                _ => None,
             })
             .expect("mixed traffic contains a GEMM");
         let pinned = base
@@ -895,7 +1089,7 @@ mod tests {
         let engine = Engine::builder().threads(1).banks(2).build();
         let mut server_side = ServeRecorder::new();
         let mut client_side = ServeRecorder::new();
-        for request in mixed_log() {
+        for request in mixed_log().into_iter().chain(chat_log()) {
             let response = match request {
                 TrafficRequest::Gemm(r) => {
                     let result = engine.submit(&r);
@@ -907,12 +1101,19 @@ mod tests {
                     server_side.record_infer(&result);
                     infer_result_response(&result)
                 }
+                TrafficRequest::Session(r) => {
+                    let result = engine.infer_session(&r);
+                    server_side.record_session(&result);
+                    session_result_response(&result)
+                }
             };
             let decoded = decode_response(encode_response(&response).as_bytes()).unwrap();
             assert_eq!(decoded, response, "response DTO must roundtrip bitwise");
             record_response(&mut client_side, &decoded);
         }
-        assert_eq!(client_side.summary(), server_side.summary());
+        let summary = server_side.summary();
+        assert!(summary.session_requests > 0 && summary.decode_steps > 0);
+        assert_eq!(client_side.summary(), summary);
     }
 
     #[test]
@@ -943,16 +1144,10 @@ mod tests {
 
     #[test]
     fn request_log_replays_bitwise() {
-        let log = mixed_log();
+        let log: Vec<TrafficRequest> = mixed_log().into_iter().chain(chat_log()).collect();
         let text: String = log
             .iter()
-            .map(|r| {
-                let wire = match r {
-                    TrafficRequest::Gemm(g) => WireRequest::Gemm(g.clone()),
-                    TrafficRequest::Infer(i) => WireRequest::Infer(i.clone()),
-                };
-                encode_request(&wire) + "\n"
-            })
+            .map(|r| encode_request(&to_wire(r)) + "\n")
             .collect();
         let parsed = parse_request_log(&text).unwrap();
         let engine = Engine::builder().threads(1).banks(2).build();

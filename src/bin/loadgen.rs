@@ -14,10 +14,19 @@
 //!
 //! ```sh
 //! loadgen --clients 4 --requests 8 --mix mixed --seed 42 --threads 4
-//! loadgen --mode open --max-batch 16 --out LOADGEN.json
+//! loadgen --mix decode --decode-tokens 8 --threads 4 --verify-serial
+//! loadgen --mix chat --mode open --max-batch 16 --out LOADGEN.json
 //! loadgen --remote 127.0.0.1:4810 --out LOADGEN_remote.json --drain
 //! loadgen --remote 127.0.0.1:4810 --client-offset 2 --client-count 2
 //! ```
+//!
+//! The session-bearing mixes (`--mix decode`, `--mix chat`) generate
+//! decoder sessions served with continuous batching: each session is one
+//! prefill step plus up to `--decode-tokens` decode steps (lengths draw
+//! uniformly from `1..=decode_tokens`), and the summary grows TTFT and
+//! per-decode-step latency percentiles. The legacy mixes ignore
+//! `--decode-tokens` entirely — their seeded logs are byte-identical at
+//! any value.
 //!
 //! `--ranks R [--banks-per-rank B]` serves the workload on the ranked
 //! machine (the paper's server is `--ranks 32 --banks-per-rank 64`): the
@@ -117,7 +126,8 @@ impl Args {
     }
 }
 
-const USAGE: &str = "usage: loadgen [--clients N] [--requests N] [--mix gemm|infer|mixed] \
+const USAGE: &str = "usage: loadgen [--clients N] [--requests N] \
+[--mix gemm|infer|mixed|decode|chat] [--decode-tokens N] \
 [--seed S] [--threads N] [--engine-threads N] [--max-batch N] [--mode open|closed] \
 [--ranks N [--banks-per-rank N]] [--out FILE] [--keep-host] [--verify-serial] \
 [--remote HOST:PORT [--client-offset N] [--client-count N] [--drain]]";
@@ -129,6 +139,7 @@ fn parse_args() -> Result<Args, CliError> {
             requests_per_client: 8,
             mix: Mix::Mixed,
             seed: 42,
+            decode_tokens: 4,
         },
         threads: 4,
         engine_threads: 2,
@@ -150,6 +161,12 @@ fn parse_args() -> Result<Args, CliError> {
             "--clients" => args.traffic.clients = flags.positive("--clients")?,
             "--requests" => args.traffic.requests_per_client = flags.positive("--requests")?,
             "--mix" => args.traffic.mix = flags.parsed("--mix")?,
+            "--decode-tokens" => {
+                args.traffic.decode_tokens = flags
+                    .positive("--decode-tokens")?
+                    .try_into()
+                    .unwrap_or(u32::MAX);
+            }
             "--seed" => args.traffic.seed = flags.parsed("--seed")?,
             "--threads" => args.threads = flags.positive("--threads")?,
             "--engine-threads" => args.engine_threads = flags.positive("--engine-threads")?,
@@ -222,6 +239,15 @@ fn summary_json(args: &Args, summary: &ServeSummary) -> Vec<(&'static str, Json)
         ("mix", Json::Str(args.traffic.mix.name().to_owned())),
         ("seed", Json::UInt(u128::from(args.traffic.seed))),
     ];
+    // Only the session-bearing mixes consume the decode budget, so only
+    // they record it as part of the workload identity; legacy-mix JSON
+    // stays byte-for-byte what it was before sessions existed.
+    if matches!(args.traffic.mix, Mix::Decode | Mix::Chat) {
+        workload.push((
+            "decode_tokens",
+            Json::UInt(u128::from(args.traffic.decode_tokens)),
+        ));
+    }
     // The ranked topology rewrites the workload (bank overrides are
     // stripped), so it is part of the deterministic identity; flat runs
     // keep the pre-scale-out block byte-for-byte.
@@ -248,6 +274,11 @@ fn summary_json(args: &Args, summary: &ServeSummary) -> Vec<(&'static str, Json)
                     Json::UInt(u128::from(summary.infer_requests)),
                 ),
                 (
+                    "session_requests",
+                    Json::UInt(u128::from(summary.session_requests)),
+                ),
+                ("decode_steps", Json::UInt(u128::from(summary.decode_steps))),
+                (
                     "failed_requests",
                     Json::UInt(u128::from(summary.failed_requests)),
                 ),
@@ -266,9 +297,23 @@ fn summary_json(args: &Args, summary: &ServeSummary) -> Vec<(&'static str, Json)
                         ("total", Json::UInt(summary.latency.total)),
                     ]),
                 ),
+                ("ttft_femtos", digest_json(&summary.ttft)),
+                ("decode_step_femtos", digest_json(&summary.decode)),
             ]),
         ),
     ]
+}
+
+/// One latency digest as a JSON object (integer femtoseconds; all zeros
+/// when the run produced no samples of that kind).
+fn digest_json(digest: &engine::LatencyDigest) -> Json {
+    Json::object(vec![
+        ("p50", Json::UInt(digest.p50)),
+        ("p95", Json::UInt(digest.p95)),
+        ("p99", Json::UInt(digest.p99)),
+        ("max", Json::UInt(digest.max)),
+        ("total", Json::UInt(digest.total)),
+    ])
 }
 
 /// Host-dependent observables, attached only under `--keep-host` (they
@@ -307,10 +352,13 @@ fn print_summary_table(summary: &ServeSummary, wall_nanos: u128, extras: &[(Stri
     let mut table = bench::Table::new(&["metric", "value"]);
     let snap = summary.stats.snapshot();
     table.row(vec![
-        "requests (gemm + infer)".into(),
+        "requests (gemm + infer + session)".into(),
         format!(
-            "{} ({} + {})",
-            summary.requests, summary.gemm_requests, summary.infer_requests
+            "{} ({} + {} + {})",
+            summary.requests,
+            summary.gemm_requests,
+            summary.infer_requests,
+            summary.session_requests
         ),
     ]);
     table.row(vec!["failed".into(), summary.failed_requests.to_string()]);
@@ -331,6 +379,29 @@ fn print_summary_table(summary: &ServeSummary, wall_nanos: u128, extras: &[(Stri
         "throughput (req/simulated s)".into(),
         format!("{:.1}", summary.throughput_rps()),
     ]);
+    if summary.session_requests > 0 {
+        table.row(vec![
+            "TTFT p50/p95/p99 (us, simulated)".into(),
+            format!(
+                "{:.2} / {:.2} / {:.2}",
+                summary.ttft.p50 as f64 / 1e9,
+                summary.ttft.p95 as f64 / 1e9,
+                summary.ttft.p99 as f64 / 1e9
+            ),
+        ]);
+        table.row(vec![
+            format!(
+                "decode step p50/p95/p99 (us, {} steps)",
+                summary.decode_steps
+            ),
+            format!(
+                "{:.2} / {:.2} / {:.2}",
+                summary.decode.p50 as f64 / 1e9,
+                summary.decode.p95 as f64 / 1e9,
+                summary.decode.p99 as f64 / 1e9
+            ),
+        ]);
+    }
     table.row(vec![
         "energy (J)".into(),
         format!("{:.3e}", summary.energy_pj as f64 / 1e12),
@@ -484,6 +555,7 @@ fn drive_remote_client(
         .map(|r| match r {
             TrafficRequest::Gemm(g) => WireRequest::Gemm(g.clone()),
             TrafficRequest::Infer(i) => WireRequest::Infer(i.clone()),
+            TrafficRequest::Session(s) => WireRequest::Session(s.clone()),
         })
         .collect();
     let mut responses = Vec::with_capacity(requests.len());

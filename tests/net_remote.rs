@@ -167,6 +167,7 @@ fn split_client_processes_replay_bitwise_at_a_different_worker_count() {
         requests_per_client: 1,
         mix: Mix::Mixed,
         seed: 123,
+        decode_tokens: 4,
     };
     let workload = ["--clients", "4", "--requests", "1", "--seed", "123"];
 

@@ -275,6 +275,7 @@ fn request_log_replay_matches_summary_for_any_worker_count() {
             requests_per_client: 2,
             mix: engine::traffic::Mix::Mixed,
             seed: 77,
+            decode_tokens: 4,
         };
         std::thread::scope(|scope| {
             for client in 0..traffic.clients {
@@ -288,6 +289,9 @@ fn request_log_replay_matches_summary_for_any_worker_count() {
                             }
                             engine::traffic::TrafficRequest::Infer(r) => {
                                 client.infer(&r).expect("serves");
+                            }
+                            engine::traffic::TrafficRequest::Session(r) => {
+                                client.session(&r).expect("serves");
                             }
                         }
                     }
@@ -306,6 +310,43 @@ fn request_log_replay_matches_summary_for_any_worker_count() {
         );
         let _ = std::fs::remove_file(&log);
     }
+}
+
+#[test]
+fn session_over_tcp_matches_in_process_inference() {
+    // A decoder session served over loopback TCP (continuous batching on
+    // the scheduler side) must return the exact integers the in-process
+    // API computes, and its logged request line must replay to the same
+    // summary.
+    let log = std::env::temp_dir().join(format!("netserve-session-{}.jsonl", std::process::id()));
+    let net = NetConfig {
+        log_path: Some(log.clone()),
+        ..NetConfig::default()
+    };
+    let server = start(&serve_config(), &net);
+    let addr = server.local_addr();
+    let request = engine::SessionRequest::new(dnn::Workload::with_decode(
+        dnn::ModelConfig::opt_125m(),
+        2,
+        3,
+    ));
+    let mut client = NetClient::connect(addr).expect("connect");
+    let remote = client.session(&request).expect("serves");
+    let report: NetReport = server.join();
+
+    let reference = Engine::builder().threads(1).banks(2).build();
+    let local = reference.infer_session(&request).expect("feasible");
+    assert_eq!(remote.stats, local.stats);
+    assert_eq!(remote.energy_pj, local.energy_pj);
+    assert_eq!(remote.ttft_femtos, local.ttft_femtos);
+    assert_eq!(remote.decode_step_femtos, local.decode_step_femtos);
+    assert_eq!(report.serve.summary.session_requests, 1);
+    assert_eq!(report.serve.summary.decode_steps, 3);
+
+    let text = std::fs::read_to_string(&log).expect("request log exists");
+    let replayed = wire::parse_request_log(&text).expect("log parses");
+    assert_eq!(replay_serial(&reference, &replayed), report.serve.summary);
+    let _ = std::fs::remove_file(&log);
 }
 
 #[test]

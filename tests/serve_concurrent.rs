@@ -58,6 +58,7 @@ fn any_interleaving_matches_serial_replay_bitwise() {
         requests_per_client: 3,
         mix: Mix::Mixed,
         seed: 97,
+        decode_tokens: 4,
     };
     let engine = Arc::new(Engine::builder().threads(2).banks(4).build());
     let serial = replay_serial(&engine, &full_log(&traffic));
@@ -99,6 +100,7 @@ fn gemm_only_hammering_is_interleaving_invariant() {
         requests_per_client: 2,
         mix: Mix::Gemm,
         seed: 5,
+        decode_tokens: 4,
     };
     let engine = Arc::new(Engine::builder().threads(1).banks(2).build());
     let serial = replay_serial(&engine, &full_log(&traffic));
@@ -121,6 +123,7 @@ fn warm_cache_does_not_change_the_summary() {
         requests_per_client: 2,
         mix: Mix::Gemm,
         seed: 31,
+        decode_tokens: 4,
     };
     let engine = Arc::new(Engine::builder().threads(1).banks(2).build());
     let cold = replay_serial(&engine, &full_log(&traffic));
