@@ -195,6 +195,12 @@ pub fn registry() -> &'static [Scenario] {
             smoke: true,
             runner: serve_rank_scale_scenario,
         },
+        Scenario {
+            name: "cache_churn",
+            title: "LUT cache under a starved byte budget: format churn forces evict + rebuild",
+            smoke: true,
+            runner: cache_churn_scenario,
+        },
     ]
 }
 
@@ -601,6 +607,61 @@ fn serve_net_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
     }
 }
 
+/// The cache-lifecycle class: a format-churning GEMM stream against an
+/// engine whose LUT byte budget is deliberately too small for the working
+/// set, driven twice so evicted entries get re-requested and rebuilt. The
+/// outcome — merged ledger, energy, response-checksum fold — is identical
+/// to the same stream on an unbudgeted engine (eviction only ever moves
+/// host wall and counters, the subsystem's core contract), so the perf
+/// gate both pins the simulated cost and holds the evict + rebuild host
+/// path to the committed wall baseline. The body asserts the churn
+/// actually happened: evictions occurred, nothing failed.
+fn cache_churn_scenario(ctx: &ScenarioCtx) -> ScenarioOutcome {
+    // Distinct (wf, af) pairs key distinct LUT images; the budget below
+    // holds roughly one of them, so cycling the list keeps the ledger
+    // under continuous eviction pressure.
+    let pairs = [
+        (NumericFormat::Bipolar, NumericFormat::Int(3)),
+        (NumericFormat::Bipolar, NumericFormat::Int(2)),
+        (NumericFormat::Int(2), NumericFormat::Int(2)),
+    ];
+    let engine = Engine::builder()
+        .threads(ctx.threads)
+        .banks(2)
+        .cache_budget(192 * 1024)
+        .build();
+    let mut stats = Stats::default();
+    let mut energy_pj: u128 = 0;
+    let mut checksums = Vec::new();
+    for round in 0..2u64 {
+        for (index, (wf, af)) in pairs.iter().enumerate() {
+            let w = QMatrix::pseudo_random(48, 40, *wf, 31 + index as u64);
+            let a = QMatrix::pseudo_random(40, 12, *af, 32 + round);
+            let response = engine
+                .submit(&GemmRequest::new(w, a))
+                .expect("churn shapes are feasible");
+            stats = stats.merged(&response.stats);
+            energy_pj += response.energy_pj;
+            checksums.extend_from_slice(&response.checksum.to_le_bytes());
+        }
+    }
+    let cache = engine.lut_cache_stats();
+    assert!(
+        cache.evictions > 0,
+        "the starved budget must evict (got {cache:?})"
+    );
+    assert!(
+        cache.misses > pairs.len() as u64,
+        "revisiting an evicted key must rebuild, not hit (got {cache:?})"
+    );
+    assert_eq!(cache.failed_builds, 0, "no churn build may fail");
+    ScenarioOutcome {
+        stats,
+        energy_pj,
+        checksum: runtime::fnv1a_64(checksums),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -645,6 +706,7 @@ mod tests {
             "serve_decode",
             "serve_net",
             "serve_rank_scale",
+            "cache_churn",
         ] {
             let scenario = registry().iter().find(|s| s.name == name).unwrap();
             let one = scenario.run(&ScenarioCtx { threads: 1 });

@@ -8,13 +8,21 @@
 //! engine builds each image once and hands out `Arc` clones from then on,
 //! the software twin of the paper's one-time §V-A broadcast amortized
 //! across a whole serving session instead of a single launch.
+//!
+//! Since the cache-lifecycle subsystem ([`crate::cachelife`]) the map is
+//! no longer grow-only: an optional byte budget bounds residency with
+//! deterministic LRU eviction ([`crate::cachelife::lru`]), and entries
+//! can be restored from an on-disk image store
+//! ([`crate::cachelife::store`]) on engine construction. Neither moves a
+//! simulated number — see the module docs of [`crate::cachelife`] for
+//! the full determinism contract.
 
+use crate::cachelife::lru::{Found, LruLedger};
 use crate::lock_recover;
 use localut::kernels::SharedLuts;
 use localut::plan::Placement;
 use localut::LocaLutError;
 use quant::NumericFormat;
-use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard};
 
 /// The cache key: everything a [`SharedLuts`] build depends on, plus the
@@ -23,8 +31,7 @@ use std::sync::{Mutex, MutexGuard};
 /// The LUT *images* for buffer-resident and streaming kernels at equal
 /// `(wf, af, p)` are identical; the placement still participates in the
 /// key so cache statistics distinguish the two serving configurations and
-/// an eviction policy could treat the (much larger) streamed images
-/// separately.
+/// the eviction policy treats the two residencies separately.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LutKey {
     /// Weight format.
@@ -37,19 +44,39 @@ pub struct LutKey {
     pub placement: Placement,
 }
 
-/// Running counters of cache behavior (monotonic over the engine's life).
+/// Running counters of cache behavior (monotonic over the engine's life,
+/// except `entries`/`resident_bytes`, which track current residency).
+///
+/// All of these are **host-side observables**: they appear in
+/// [`crate::ServeReport`] and operator-facing output, never inside the
+/// deterministic [`crate::ServeSummary`] or on simulated metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Requests served from an already-built image.
+    /// Requests served from an already-requested resident image.
     pub hits: u64,
-    /// Requests that had to build the image.
+    /// Requests that saw their key for the first time in this process —
+    /// whether the image was then built (`misses - restored`) or already
+    /// resident from a disk restore (`restored`).
     pub misses: u64,
+    /// Resident images discarded by the byte-budget LRU policy.
+    pub evictions: u64,
+    /// Host bytes the resident images currently occupy (never exceeds a
+    /// configured budget).
+    pub resident_bytes: u64,
+    /// Lookups whose image build *failed* — neither a hit nor a miss, so
+    /// without this counter a failing configuration would be invisible in
+    /// the cache telemetry.
+    pub failed_builds: u64,
+    /// The subset of `misses` whose build was skipped because the image
+    /// was restored from disk (the warm-start win, counted).
+    pub restored: u64,
     /// Distinct keys currently resident.
     pub entries: usize,
 }
 
 impl CacheStats {
-    /// Total lookups (`hits + misses`).
+    /// Total completed lookups (`hits + misses`; failed builds are
+    /// counted separately in `failed_builds`).
     #[must_use]
     pub fn lookups(&self) -> u64 {
         self.hits + self.misses
@@ -58,19 +85,28 @@ impl CacheStats {
 
 /// How one request's LUT lookup resolved (recorded on responses whose
 /// method uses shared LUT images; LUT-free methods record nothing).
+///
+/// The outcome answers "was this shape requested before in this serving
+/// process?" — **not** "was a build skipped": the first request for a
+/// disk-restored key records a [`CacheOutcome::Miss`] (and bumps
+/// [`CacheStats::restored`] instead of paying the build), so responses
+/// stay bitwise identical between warm and cold engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOutcome {
-    /// The images were already resident.
+    /// The images were already resident from a previous request.
     Hit,
-    /// The images were built by this request (and are now resident).
+    /// This was the first request for the key; the images were built (or
+    /// adopted from a disk restore) and are now resident.
     Miss,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
-    map: HashMap<LutKey, SharedLuts>,
+    ledger: LruLedger,
     hits: u64,
     misses: u64,
+    failed_builds: u64,
+    restored: u64,
 }
 
 /// A thread-safe `(formats, p, placement) → SharedLuts` cache.
@@ -88,9 +124,19 @@ pub(crate) struct LutCache {
 }
 
 impl LutCache {
+    /// An empty cache with an optional resident-byte budget.
+    pub(crate) fn with_budget(budget: Option<u64>) -> Self {
+        LutCache {
+            inner: Mutex::new(Inner {
+                ledger: LruLedger::new(budget),
+                ..Inner::default()
+            }),
+        }
+    }
+
     /// Locks the cache via [`lock_recover`]: a serving worker that
     /// panicked while holding the lock can only have left fully-built
-    /// entries behind (the map is mutated exactly once per build, by
+    /// entries behind (the ledger is mutated exactly once per build, by
     /// inserting a complete [`SharedLuts`] *after* its build succeeded),
     /// so the cached state is valid and every other server thread keeps
     /// serving. Before this, one panicking worker turned every later
@@ -99,21 +145,58 @@ impl LutCache {
         lock_recover(&self.inner)
     }
 
-    /// Returns the shared images for `key`, building them on first use.
+    /// Returns the shared images for `key`, building them on first use
+    /// (unless a disk restore already staged them) and evicting back
+    /// under the byte budget afterwards.
     pub(crate) fn get_or_build(
         &self,
         key: LutKey,
     ) -> Result<(SharedLuts, CacheOutcome), LocaLutError> {
         let mut inner = self.lock_inner();
-        if let Some(luts) = inner.map.get(&key) {
-            let luts = luts.clone();
-            inner.hits += 1;
-            return Ok((luts, CacheOutcome::Hit));
+        if let Some((luts, found)) = inner.ledger.lookup(key) {
+            return Ok(match found {
+                Found::Touched => {
+                    inner.hits += 1;
+                    (luts, CacheOutcome::Hit)
+                }
+                // First request for a restored key: the build is skipped,
+                // but the response-visible outcome stays the cold
+                // engine's (a miss), preserving bitwise-identical
+                // responses across warm restarts.
+                Found::Restored => {
+                    inner.misses += 1;
+                    inner.restored += 1;
+                    (luts, CacheOutcome::Miss)
+                }
+            });
         }
-        let luts = SharedLuts::build(key.wf, key.af, key.p)?;
-        inner.map.insert(key, luts.clone());
+        let luts = match SharedLuts::build(key.wf, key.af, key.p) {
+            Ok(luts) => luts,
+            Err(e) => {
+                inner.failed_builds += 1;
+                return Err(e);
+            }
+        };
+        inner.ledger.insert_built(key, luts.clone());
         inner.misses += 1;
         Ok((luts, CacheOutcome::Miss))
+    }
+
+    /// Adopts disk-restored images in manifest order (untouched, evicted
+    /// before anything a request has used, skipped when over budget).
+    /// Returns how many entries were kept resident.
+    pub(crate) fn restore(&self, entries: Vec<(LutKey, SharedLuts)>) -> usize {
+        let mut inner = self.lock_inner();
+        entries
+            .into_iter()
+            .filter(|(key, luts)| inner.ledger.insert_restored(*key, luts.clone()))
+            .count()
+    }
+
+    /// Every resident image in the store's canonical order, for
+    /// persistence.
+    pub(crate) fn snapshot(&self) -> Vec<(LutKey, SharedLuts)> {
+        self.lock_inner().ledger.snapshot()
     }
 
     pub(crate) fn stats(&self) -> CacheStats {
@@ -121,7 +204,11 @@ impl LutCache {
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
-            entries: inner.map.len(),
+            evictions: inner.ledger.evictions(),
+            resident_bytes: inner.ledger.resident_bytes(),
+            failed_builds: inner.failed_builds,
+            restored: inner.restored,
+            entries: inner.ledger.len(),
         }
     }
 }
@@ -151,15 +238,13 @@ mod tests {
         assert_eq!((o1, o2), (CacheOutcome::Miss, CacheOutcome::Hit));
         // Same underlying canonical image, not a rebuild.
         assert!(std::ptr::eq(first.canonical(), second.canonical()));
+        let stats = cache.stats();
         assert_eq!(
-            cache.stats(),
-            CacheStats {
-                hits: 1,
-                misses: 1,
-                entries: 1
-            }
+            (stats.hits, stats.misses, stats.entries, stats.evictions),
+            (1, 1, 1, 0)
         );
-        assert_eq!(cache.stats().lookups(), 2);
+        assert_eq!(stats.resident_bytes, first.resident_bytes());
+        assert_eq!(stats.lookups(), 2);
     }
 
     #[test]
@@ -204,7 +289,7 @@ mod tests {
     }
 
     #[test]
-    fn failed_builds_are_not_cached() {
+    fn failed_builds_are_counted_but_not_cached() {
         let cache = LutCache::default();
         let bad = LutKey {
             wf: NumericFormat::Int(16),
@@ -213,7 +298,51 @@ mod tests {
             placement: Placement::Streaming,
         };
         assert!(cache.get_or_build(bad).is_err());
-        assert_eq!(cache.stats().entries, 0);
-        assert_eq!(cache.stats().lookups(), 0);
+        assert!(cache.get_or_build(bad).is_err());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        // A failed build is neither a hit nor a miss — it is its own
+        // counter, so the failing configuration stays visible.
+        assert_eq!(stats.lookups(), 0);
+        assert_eq!(stats.failed_builds, 2);
+    }
+
+    #[test]
+    fn eviction_under_budget_pressure_rebuilds_on_refetch() {
+        // Budget for exactly one p=2 image: the second key evicts the
+        // first, and refetching the first rebuilds it (a miss, not an
+        // error).
+        let probe = SharedLuts::build(NumericFormat::Int(2), NumericFormat::Int(3), 2).unwrap();
+        let cache = LutCache::with_budget(Some(probe.resident_bytes()));
+        let (first, _) = cache
+            .get_or_build(key(2, Placement::BufferResident))
+            .unwrap();
+        cache.get_or_build(key(2, Placement::Streaming)).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 1);
+        let (again, outcome) = cache
+            .get_or_build(key(2, Placement::BufferResident))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        // The rebuild is bitwise identical to the evicted image.
+        assert_eq!(first.canonical().entries(), again.canonical().entries());
+        assert_eq!(first.reorder().entries(), again.reorder().entries());
+        assert!(cache.stats().resident_bytes <= probe.resident_bytes());
+    }
+
+    #[test]
+    fn restored_entries_serve_first_request_as_miss_without_build() {
+        let cache = LutCache::default();
+        let k = key(2, Placement::BufferResident);
+        let image = SharedLuts::build(k.wf, k.af, k.p).unwrap();
+        assert_eq!(cache.restore(vec![(k, image)]), 1);
+        let (luts, outcome) = cache.get_or_build(k).unwrap();
+        // Cold-equivalent outcome, but the build was skipped.
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(cache.stats().restored, 1);
+        assert_eq!(cache.stats().misses, 1);
+        let (_, second) = cache.get_or_build(k).unwrap();
+        assert_eq!(second, CacheOutcome::Hit);
+        assert!(luts.resident_bytes() > 0);
     }
 }

@@ -1,0 +1,271 @@
+//! The byte-budgeted LRU ledger under the LUT cache.
+//!
+//! Single-threaded on purpose: [`crate::cache::LutCache`] owns the lock
+//! and the hit/miss bookkeeping; this module owns residency. Every entry
+//! carries the logical tick of its last use (a monotonic counter, not
+//! wall-clock, so eviction order is a pure function of the lookup
+//! sequence) and its resident byte size. Whenever the ledger grows past
+//! its budget, entries are evicted strictly in ascending last-use order
+//! until it fits — including, in the degenerate case, the entry that was
+//! just inserted (a single image larger than the whole budget is returned
+//! to its requester but never kept resident, so `resident_bytes ≤ budget`
+//! holds after *every* operation).
+//!
+//! Disk-restored entries are inserted *untouched* with ticks below every
+//! live lookup's: they are evicted before any entry a request has
+//! actually used, so budget pressure from a warm restore can never evict
+//! an entry a cold engine would have kept — the warm/cold bitwise
+//! contract of [`crate::cachelife`] depends on exactly this ordering.
+
+use crate::cache::LutKey;
+use localut::kernels::SharedLuts;
+use std::collections::HashMap;
+
+#[derive(Debug)]
+struct Entry {
+    luts: SharedLuts,
+    bytes: u64,
+    last_use: u64,
+    /// False until a lookup first returns this entry — i.e. still in the
+    /// "restored from disk, never requested" state.
+    touched: bool,
+}
+
+/// How a [`LruLedger::lookup`] resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Found {
+    /// Resident and previously requested: a true hit.
+    Touched,
+    /// Resident from a disk restore, requested for the first time now:
+    /// counts as a miss on the response surface, but skips the build.
+    Restored,
+}
+
+/// The budgeted `LutKey → SharedLuts` map with LRU eviction.
+#[derive(Debug, Default)]
+pub(crate) struct LruLedger {
+    map: HashMap<LutKey, Entry>,
+    budget: Option<u64>,
+    resident_bytes: u64,
+    tick: u64,
+    evictions: u64,
+}
+
+impl LruLedger {
+    pub(crate) fn new(budget: Option<u64>) -> Self {
+        LruLedger {
+            budget,
+            ..LruLedger::default()
+        }
+    }
+
+    /// Returns the resident image for `key`, stamping its last use.
+    pub(crate) fn lookup(&mut self, key: LutKey) -> Option<(SharedLuts, Found)> {
+        self.tick += 1;
+        let entry = self.map.get_mut(&key)?;
+        entry.last_use = self.tick;
+        let found = if entry.touched {
+            Found::Touched
+        } else {
+            entry.touched = true;
+            Found::Restored
+        };
+        Some((entry.luts.clone(), found))
+    }
+
+    /// Inserts a freshly built image as touched (its last use is now) and
+    /// evicts back under budget.
+    pub(crate) fn insert_built(&mut self, key: LutKey, luts: SharedLuts) {
+        self.tick += 1;
+        let bytes = luts.resident_bytes();
+        self.resident_bytes += bytes;
+        if let Some(old) = self.map.insert(
+            key,
+            Entry {
+                luts,
+                bytes,
+                last_use: self.tick,
+                touched: true,
+            },
+        ) {
+            self.resident_bytes -= old.bytes;
+        }
+        self.enforce_budget();
+    }
+
+    /// Inserts a disk-restored image as untouched, in restore order,
+    /// *without* consuming a lookup tick (restore ticks must stay below
+    /// every live lookup's). An entry that would push the ledger over
+    /// budget is skipped rather than admitted-then-evicted, so a warm
+    /// start never exceeds the budget and never counts phantom evictions.
+    /// Returns whether the entry was kept.
+    pub(crate) fn insert_restored(&mut self, key: LutKey, luts: SharedLuts) -> bool {
+        if self.map.contains_key(&key) {
+            return false;
+        }
+        let bytes = luts.resident_bytes();
+        if let Some(budget) = self.budget {
+            if self.resident_bytes + bytes > budget {
+                return false;
+            }
+        }
+        self.tick += 1;
+        self.resident_bytes += bytes;
+        self.map.insert(
+            key,
+            Entry {
+                luts,
+                bytes,
+                last_use: self.tick,
+                touched: false,
+            },
+        );
+        true
+    }
+
+    /// Evicts least-recently-used entries until the budget is respected.
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.budget else { return };
+        while self.resident_bytes > budget {
+            // Ticks are unique, so the minimum is unambiguous and the
+            // eviction order is deterministic for a given lookup sequence.
+            let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k)
+            else {
+                return;
+            };
+            let entry = self.map.remove(&victim).expect("victim key just seen");
+            self.resident_bytes -= entry.bytes;
+            self.evictions += 1;
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Every resident image, sorted by the store's canonical key encoding
+    /// so persistence output is byte-stable regardless of map iteration
+    /// order.
+    pub(crate) fn snapshot(&self) -> Vec<(LutKey, SharedLuts)> {
+        let mut entries: Vec<(LutKey, SharedLuts)> =
+            self.map.iter().map(|(k, e)| (*k, e.luts.clone())).collect();
+        entries.sort_by_key(|(k, _)| super::store::key_bytes(*k));
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localut::plan::Placement;
+    use quant::NumericFormat;
+
+    fn key(p: u32) -> LutKey {
+        LutKey {
+            wf: NumericFormat::Int(2),
+            af: NumericFormat::Int(3),
+            p,
+            placement: Placement::BufferResident,
+        }
+    }
+
+    fn luts(p: u32) -> SharedLuts {
+        SharedLuts::build(NumericFormat::Int(2), NumericFormat::Int(3), p).unwrap()
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let two = luts(2);
+        let three = luts(3);
+        // Budget fits both p=2 and p=3, but not a second p=3-sized entry
+        // on top.
+        let budget = two.resident_bytes() + three.resident_bytes();
+        let mut ledger = LruLedger::new(Some(budget));
+        ledger.insert_built(key(2), two);
+        ledger.insert_built(key(3), three.clone());
+        // Refresh p=2 so p=3 is now the LRU entry.
+        assert!(ledger.lookup(key(2)).is_some());
+        let streaming = LutKey {
+            placement: Placement::Streaming,
+            ..key(3)
+        };
+        ledger.insert_built(streaming, three);
+        assert_eq!(ledger.evictions(), 1);
+        assert!(ledger.lookup(key(2)).is_some(), "refreshed entry survives");
+        assert!(ledger.lookup(key(3)).is_none(), "LRU entry was evicted");
+        assert!(ledger.resident_bytes() <= budget);
+    }
+
+    #[test]
+    fn oversized_entry_is_returned_but_not_kept() {
+        let mut ledger = LruLedger::new(Some(1));
+        ledger.insert_built(key(2), luts(2));
+        assert_eq!(ledger.len(), 0);
+        assert_eq!(ledger.resident_bytes(), 0);
+        assert_eq!(ledger.evictions(), 1);
+    }
+
+    #[test]
+    fn restored_entries_evict_before_touched_ones() {
+        let two = luts(2);
+        let three = luts(3);
+        let budget = two.resident_bytes() + three.resident_bytes();
+        let mut ledger = LruLedger::new(Some(budget));
+        assert!(ledger.insert_restored(key(3), three.clone()));
+        // A build that needs the space evicts the untouched restore, not
+        // nothing, even though the restore was inserted "more recently"
+        // than any lookup.
+        ledger.insert_built(key(2), two);
+        let streaming = LutKey {
+            placement: Placement::Streaming,
+            ..key(3)
+        };
+        ledger.insert_built(streaming, three);
+        assert!(ledger.lookup(key(3)).is_none(), "restore evicted first");
+        assert!(ledger.lookup(key(2)).is_some());
+    }
+
+    #[test]
+    fn over_budget_restore_is_skipped_silently() {
+        let two = luts(2);
+        let mut ledger = LruLedger::new(Some(two.resident_bytes()));
+        assert!(ledger.insert_restored(key(2), two.clone()));
+        assert!(!ledger.insert_restored(
+            LutKey {
+                placement: Placement::Streaming,
+                ..key(2)
+            },
+            two
+        ));
+        assert_eq!(ledger.evictions(), 0);
+        assert_eq!(ledger.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let mut ledger = LruLedger::new(None);
+        ledger.insert_built(key(3), luts(3));
+        ledger.insert_built(key(2), luts(2));
+        let snapshot = ledger.snapshot();
+        assert_eq!(snapshot.len(), 2);
+        let keys: Vec<_> = snapshot
+            .iter()
+            .map(|(k, _)| super::super::store::key_bytes(*k))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

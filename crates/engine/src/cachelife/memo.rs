@@ -1,0 +1,224 @@
+//! Bounded memoization of §V-A planning decisions.
+//!
+//! Planning is deterministic — [`localut::plan::Planner::plan`] and
+//! [`localut::plan::Planner::plan_measured`] are pure functions of the
+//! GEMM dimensions,
+//! the operand formats, the slice budget, and the engine's fixed DPU cost
+//! model — so a memoized plan is bitwise equal to a recomputed one by
+//! construction, and memoization can only move host wall-clock. The memo
+//! key is `(dims, formats, k-slices, closed-form vs measured)`; the DPU
+//! profile and topology are engine-wide constants and one memo lives per
+//! engine, so they need no key bits.
+//!
+//! The map is bounded (LRU, [`PLAN_MEMO_CAP`] entries) because a serving
+//! process facing many-tenant shape churn must not grow without bound —
+//! the same production constraint that motivates the LUT cache's byte
+//! budget, applied to the (much smaller) plan records.
+
+use crate::lock_recover;
+use localut::plan::ExecutionPlan;
+use localut::{GemmDims, LocaLutError};
+use quant::NumericFormat;
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// Entry bound of the plan memo. Plans are a few dozen bytes, so this
+/// caps the memo in the tens of kilobytes while comfortably covering the
+/// distinct shapes a serving mix produces.
+pub const PLAN_MEMO_CAP: usize = 1024;
+
+/// Everything a §V-A planning decision depends on, given one engine's
+/// fixed DPU cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct PlanKey {
+    pub(crate) dims: GemmDims,
+    pub(crate) wf: NumericFormat,
+    pub(crate) af: NumericFormat,
+    /// `Some(k)` pins the slice budget; `None` searches over it.
+    pub(crate) k_slices: Option<u32>,
+    /// True for the measured-cost decode path
+    /// ([`localut::plan::Planner::plan_measured`]), false for the
+    /// closed-form path.
+    pub(crate) measured: bool,
+}
+
+/// Running counters of plan-memo behavior (host-side observability; never
+/// on the deterministic response surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Plans served from the memo.
+    pub hits: u64,
+    /// Plans computed (and memoized) on first sight of their key.
+    pub misses: u64,
+    /// Distinct keys currently memoized.
+    pub entries: usize,
+}
+
+impl MemoStats {
+    /// Total lookups (`hits + misses`).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<PlanKey, (ExecutionPlan, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// A thread-safe, bounded `(plan key) → ExecutionPlan` memo.
+#[derive(Debug, Default)]
+pub(crate) struct PlanMemo {
+    inner: Mutex<Inner>,
+}
+
+impl PlanMemo {
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        // Same poison policy as the LUT cache: the map is only ever
+        // mutated by inserting a complete plan, so recovered state is
+        // valid.
+        lock_recover(&self.inner)
+    }
+
+    /// Returns the memoized plan for `key`, computing and memoizing it on
+    /// first sight. Failed computations are returned as-is and memoize
+    /// nothing (the next lookup retries).
+    pub(crate) fn get_or_plan(
+        &self,
+        key: PlanKey,
+        compute: impl FnOnce() -> Result<ExecutionPlan, LocaLutError>,
+    ) -> Result<ExecutionPlan, LocaLutError> {
+        let mut inner = self.lock_inner();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((plan, last_use)) = inner.map.get_mut(&key) {
+            *last_use = tick;
+            let plan = plan.clone();
+            inner.hits += 1;
+            return Ok(plan);
+        }
+        // Compute under the lock, like the LUT cache's build: racing
+        // first lookups must not both plan, and recorded hit/miss
+        // counters must not depend on worker scheduling.
+        let plan = compute()?;
+        inner.misses += 1;
+        inner.map.insert(key, (plan.clone(), tick));
+        if inner.map.len() > PLAN_MEMO_CAP {
+            // Ticks are unique, so the LRU victim is unambiguous.
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, last_use))| *last_use)
+                .map(|(k, _)| *k)
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        Ok(plan)
+    }
+
+    pub(crate) fn stats(&self) -> MemoStats {
+        let inner = self.lock_inner();
+        MemoStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localut::plan::Placement;
+
+    fn plan(p: u32) -> ExecutionPlan {
+        ExecutionPlan {
+            placement: Placement::BufferResident,
+            p,
+            k_slices: 2,
+            predicted_seconds: 0.5,
+            wf: NumericFormat::Int(2),
+            af: NumericFormat::Int(3),
+        }
+    }
+
+    fn key(m: usize) -> PlanKey {
+        PlanKey {
+            dims: GemmDims { m, k: 8, n: 4 },
+            wf: NumericFormat::Int(2),
+            af: NumericFormat::Int(3),
+            k_slices: Some(2),
+            measured: false,
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits_without_recompute() {
+        let memo = PlanMemo::default();
+        let first = memo.get_or_plan(key(4), || Ok(plan(3))).unwrap();
+        let second = memo
+            .get_or_plan(key(4), || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!(first, second);
+        let stats = memo.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.lookups(), 2);
+    }
+
+    #[test]
+    fn failed_plans_are_not_memoized() {
+        let memo = PlanMemo::default();
+        assert!(memo
+            .get_or_plan(key(4), || Err(LocaLutError::InvalidPackingDegree(0)))
+            .is_err());
+        assert_eq!(memo.stats().entries, 0);
+        // The next lookup retries the computation.
+        assert!(memo.get_or_plan(key(4), || Ok(plan(3))).is_ok());
+        assert_eq!(memo.stats().misses, 1);
+    }
+
+    #[test]
+    fn memo_is_bounded_by_lru() {
+        let memo = PlanMemo::default();
+        for m in 0..PLAN_MEMO_CAP + 10 {
+            memo.get_or_plan(key(m + 1), || Ok(plan(3))).unwrap();
+        }
+        assert_eq!(memo.stats().entries, PLAN_MEMO_CAP);
+        // The oldest keys were evicted; the newest survive.
+        let newest = key(PLAN_MEMO_CAP + 10);
+        memo.get_or_plan(newest, || panic!("newest key must be memoized"))
+            .unwrap();
+        let oldest = key(1);
+        let mut recomputed = false;
+        memo.get_or_plan(oldest, || {
+            recomputed = true;
+            Ok(plan(3))
+        })
+        .unwrap();
+        assert!(recomputed, "oldest key must have been evicted");
+    }
+
+    #[test]
+    fn measured_and_closed_form_keys_are_distinct() {
+        let memo = PlanMemo::default();
+        memo.get_or_plan(key(4), || Ok(plan(3))).unwrap();
+        let measured = PlanKey {
+            measured: true,
+            k_slices: None,
+            ..key(4)
+        };
+        let mut computed = false;
+        memo.get_or_plan(measured, || {
+            computed = true;
+            Ok(plan(4))
+        })
+        .unwrap();
+        assert!(computed, "measured path must not alias the closed form");
+        assert_eq!(memo.stats().entries, 2);
+    }
+}

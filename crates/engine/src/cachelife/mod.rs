@@ -1,0 +1,43 @@
+//! The cache-lifecycle subsystem: byte-budget LRU eviction, on-disk LUT
+//! persistence, and planner memoization.
+//!
+//! The LUT cache (the crate-private `cache` module) started as a
+//! grow-only map — the
+//! software twin of the paper's one-time §V-A broadcast. A deployable
+//! serving process gets restarted, rescheduled, and multi-tenanted, so
+//! this module adds the lifecycle around that map:
+//!
+//! * `lru` (crate-private) — a byte-budgeted least-recently-used ledger.
+//!   Every entry's
+//!   resident size is derived from its image dimensions
+//!   ([`localut::kernels::SharedLuts::resident_bytes`]); when a configured
+//!   budget is exceeded the least-recently-used entries are evicted, in a
+//!   deterministic order, until the cache fits again.
+//! * [`store`] — dependency-free on-disk persistence (`std::fs` only): a
+//!   checksummed manifest plus one checksummed binary image file per
+//!   cache key, written on drain and restored on engine construction.
+//!   LUT images are pure functions of their key, so a restored image is
+//!   bitwise identical to a rebuilt one.
+//! * [`memo`] — a bounded memo of §V-A planning decisions
+//!   (`(dims, formats, k-slices, cost model) → ExecutionPlan`), so
+//!   repeated shapes skip re-planning on the hot path.
+//!
+//! ## The determinism contract
+//!
+//! Nothing in this module may move a simulated number. Eviction only
+//! discards host-resident images — a later request for an evicted key
+//! rebuilds the identical image and produces the identical response.
+//! Restore only skips host-side build wall-clock: a warm-from-disk engine
+//! reports the same per-request [`crate::CacheOutcome`] a cold engine
+//! would (the first request for a restored key still records a *miss*,
+//! because hit/miss answers "was this shape requested before in this
+//! serving process?" — the restore is visible in
+//! [`crate::CacheStats::restored`] and in the skipped build time, not on
+//! the response). Plan memoization returns clones of deterministic plans.
+//! What *is* allowed to differ between a warm and a cold run, or between
+//! budgeted and unbudgeted runs, are the host-side lifecycle counters
+//! ([`crate::CacheStats`], [`memo::MemoStats`]) and wall-clock.
+
+pub(crate) mod lru;
+pub mod memo;
+pub mod store;

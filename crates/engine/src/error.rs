@@ -7,6 +7,7 @@
 //! consumers match on one type, `?` works across every layer, and the
 //! original error stays reachable through [`std::error::Error::source`].
 
+use crate::cachelife::store::StoreError;
 use core::fmt;
 use localut::LocaLutError;
 use pim_sim::SimError;
@@ -42,6 +43,12 @@ pub enum EngineError {
     /// underlying [`NetError`] stays reachable through
     /// [`std::error::Error::source`].
     Net(NetError),
+    /// A cache-persistence failure ([`crate::cachelife::store`]):
+    /// writing the on-disk image store failed, or a warm restore found a
+    /// corrupt directory. Restores degrade to a cold build instead of
+    /// surfacing this per-request; it appears on explicit persistence
+    /// calls and via [`crate::Engine::cache_restore_error`].
+    Cache(StoreError),
 }
 
 /// Why a serving front-end declined to admit a request.
@@ -208,6 +215,7 @@ impl fmt::Display for EngineError {
             EngineError::Serve(msg) => write!(f, "serving error: {msg}"),
             EngineError::Rejected(r) => write!(f, "request rejected: {r}"),
             EngineError::Net(e) => write!(f, "network error: {e}"),
+            EngineError::Cache(e) => write!(f, "cache persistence error: {e}"),
         }
     }
 }
@@ -221,8 +229,15 @@ impl std::error::Error for EngineError {
             EngineError::Pq(e) => Some(e),
             EngineError::Rejected(r) => Some(r),
             EngineError::Net(e) => Some(e),
+            EngineError::Cache(e) => Some(e),
             EngineError::InvalidRequest(_) | EngineError::Serve(_) => None,
         }
+    }
+}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Cache(e)
     }
 }
 

@@ -62,6 +62,7 @@
 #![deny(missing_docs)]
 
 mod cache;
+pub mod cachelife;
 mod error;
 pub mod request;
 pub mod response;
@@ -70,6 +71,8 @@ pub mod sessions;
 pub mod traffic;
 
 pub use cache::{CacheOutcome, CacheStats, LutKey};
+pub use cachelife::memo::MemoStats;
+pub use cachelife::store::StoreError;
 pub use error::{EngineError, FrameError, NetError, Rejection};
 pub use request::{BatchGemmRequest, GemmRequest, InferenceRequest, PlanPin};
 pub use response::{picojoules, BatchGemmResponse, GemmResponse, InferenceResponse};
@@ -81,13 +84,15 @@ pub use sessions::{SessionPlans, SessionRequest, SessionResponse};
 pub use traffic::{Mix, TrafficConfig, TrafficRequest};
 
 use cache::LutCache;
+use cachelife::memo::{PlanKey, PlanMemo};
 use dnn::InferenceSim;
 use localut::kernels::{BankKernel, RcKernel, StreamingKernel};
 use localut::plan::{ExecutionPlan, Placement, Planner};
-use localut::{GemmConfig, GemmDims, Method};
+use localut::{GemmConfig, GemmDims, LocaLutError, Method};
 use pim_sim::{DpuConfig, EnergyModel, Profile, Stats, SystemProfile};
 use quant::{BitConfig, NumericFormat};
 use runtime::{ParallelExecutor, ShardPlan};
+use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// How an engine shards GEMM requests across the machine by default.
@@ -145,6 +150,8 @@ pub struct EngineBuilder {
     method: Method,
     bits: BitConfig,
     energy: EnergyModel,
+    cache_budget: Option<u64>,
+    cache_dir: Option<PathBuf>,
 }
 
 impl Default for EngineBuilder {
@@ -156,6 +163,8 @@ impl Default for EngineBuilder {
             method: Method::LoCaLut,
             bits: BitConfig { bw: 1, ba: 3 },
             energy: EnergyModel::upmem(),
+            cache_budget: None,
+            cache_dir: None,
         }
     }
 }
@@ -245,12 +254,49 @@ impl EngineBuilder {
         self
     }
 
-    /// Builds the engine (infallible: defaults are always valid and
-    /// request-dependent failures surface per request).
+    /// Byte budget for resident LUT images: when the cache grows past it,
+    /// least-recently-used images are evicted (deterministically; see
+    /// [`cachelife`]). `None` (the default) keeps the cache
+    /// unbounded. Eviction never changes a simulated metric — an evicted
+    /// key rebuilds its identical image on refetch.
+    #[must_use]
+    pub fn cache_budget(mut self, bytes: u64) -> Self {
+        self.cache_budget = Some(bytes);
+        self
+    }
+
+    /// Directory for on-disk LUT persistence: [`EngineBuilder::build`]
+    /// warm-restores any images a previous process saved there
+    /// ([`Engine::persist_cache`]), skipping their multi-hundred-
+    /// millisecond rebuilds. A missing directory is a cold start; a
+    /// corrupt one falls back to a cold start with the typed error kept
+    /// observable via [`Engine::cache_restore_error`].
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Builds the engine (infallible: defaults are always valid,
+    /// request-dependent failures surface per request, and a failed
+    /// warm restore degrades to a cold cache instead of failing the
+    /// build — the error stays readable via
+    /// [`Engine::cache_restore_error`]).
     #[must_use]
     pub fn build(self) -> Engine {
         let mut sim = InferenceSim::upmem_server();
         sim.dist.gemm = self.gemm.clone();
+        let cache = LutCache::with_budget(self.cache_budget);
+        let cache_restore_error = match &self.cache_dir {
+            Some(dir) => match cachelife::store::load(dir) {
+                Ok(entries) => {
+                    cache.restore(entries);
+                    None
+                }
+                Err(e) => Some(e),
+            },
+            None => None,
+        };
         Engine {
             pool: ParallelExecutor::with_config(self.threads, self.gemm.clone())
                 .with_system(sim.dist.system.clone()),
@@ -260,7 +306,10 @@ impl EngineBuilder {
             method: self.method,
             bits: self.bits,
             energy: self.energy,
-            cache: LutCache::default(),
+            cache,
+            cache_dir: self.cache_dir,
+            cache_restore_error,
+            plan_memo: PlanMemo::default(),
         }
     }
 }
@@ -282,6 +331,9 @@ pub struct Engine {
     bits: BitConfig,
     energy: EnergyModel,
     cache: LutCache,
+    cache_dir: Option<PathBuf>,
+    cache_restore_error: Option<StoreError>,
+    plan_memo: PlanMemo,
 }
 
 /// Locks a mutex, **recovering** the data from a poisoned lock instead of
@@ -368,6 +420,90 @@ impl Engine {
     #[must_use]
     pub fn lut_cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Running plan-memo counters.
+    #[must_use]
+    pub fn plan_memo_stats(&self) -> MemoStats {
+        self.plan_memo.stats()
+    }
+
+    /// The cache directory warm restores and [`Engine::persist_cache`]
+    /// use, when one was configured.
+    #[must_use]
+    pub fn cache_dir(&self) -> Option<&std::path::Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// The typed error of a failed warm restore, if construction fell
+    /// back to a cold cache (`None` after a clean restore or without a
+    /// cache directory).
+    #[must_use]
+    pub fn cache_restore_error(&self) -> Option<&StoreError> {
+        self.cache_restore_error.as_ref()
+    }
+
+    /// Persists every resident LUT image to the configured cache
+    /// directory (checksummed manifest + image files; see
+    /// [`cachelife::store`]), returning how many images were written. The
+    /// natural call site is a drain — `serve-daemon` and `loadgen` save
+    /// on exit so the next process warm-starts.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] when no cache directory was
+    /// configured; [`EngineError::Cache`] on a store failure.
+    pub fn persist_cache(&self) -> Result<usize, EngineError> {
+        let Some(dir) = &self.cache_dir else {
+            return Err(EngineError::InvalidRequest(
+                "persist_cache on an engine without a cache directory".to_owned(),
+            ));
+        };
+        let snapshot = self.cache.snapshot();
+        cachelife::store::save(dir, &snapshot)?;
+        Ok(snapshot.len())
+    }
+
+    /// Plans through the bounded memo: repeated shapes return a clone of
+    /// the memoized plan (bitwise equal to a recompute — planning is
+    /// deterministic) instead of re-running the §V-A search.
+    pub(crate) fn memo_plan(
+        &self,
+        dims: GemmDims,
+        wf: NumericFormat,
+        af: NumericFormat,
+        k_slices: Option<u32>,
+    ) -> Result<ExecutionPlan, LocaLutError> {
+        let key = PlanKey {
+            dims,
+            wf,
+            af,
+            k_slices,
+            measured: false,
+        };
+        self.plan_memo.get_or_plan(key, || {
+            Planner::new(self.gemm.dpu.clone()).plan(dims, wf, af, k_slices)
+        })
+    }
+
+    /// The measured-cost twin of [`Engine::memo_plan`] (the decode-phase
+    /// path of [`Engine::session_plans`]).
+    pub(crate) fn memo_plan_measured(
+        &self,
+        dims: GemmDims,
+        wf: NumericFormat,
+        af: NumericFormat,
+    ) -> Result<ExecutionPlan, LocaLutError> {
+        let key = PlanKey {
+            dims,
+            wf,
+            af,
+            k_slices: None,
+            measured: true,
+        };
+        self.plan_memo.get_or_plan(key, || {
+            Planner::new(self.gemm.dpu.clone()).plan_measured(dims, wf, af)
+        })
     }
 
     /// Opens a serving session over this engine.
@@ -487,7 +623,7 @@ impl Engine {
         bits: BitConfig,
         k_slices: Option<u32>,
     ) -> Result<ExecutionPlan, EngineError> {
-        Ok(Planner::new(self.gemm.dpu.clone()).plan(
+        Ok(self.memo_plan(
             dims,
             bits.weight_format(),
             bits.activation_format(),
@@ -629,9 +765,10 @@ impl Engine {
     }
 
     /// Builds the kernel `method` would use, sourcing shared LUT images
-    /// from the cache — [`BankKernel::build_with`] keeps the method
-    /// dispatch and planning identical to the serial path's
-    /// [`BankKernel::build`]; only the LUT source differs.
+    /// from the cache and §V-A plans from the memo —
+    /// [`BankKernel::build_planned`] keeps the method dispatch identical
+    /// to the serial path's [`BankKernel::build`]; only the LUT and plan
+    /// sources differ, and both are deterministic.
     fn bank_kernel(
         &self,
         method: Method,
@@ -640,8 +777,13 @@ impl Engine {
         dims: GemmDims,
     ) -> Result<(BankKernel, Option<CacheOutcome>), EngineError> {
         let mut recorded = None;
-        let bank =
-            BankKernel::build_with(&self.gemm, method, wf, af, dims, |wf, af, p, placement| {
+        let bank = BankKernel::build_planned(
+            &self.gemm,
+            method,
+            wf,
+            af,
+            dims,
+            |wf, af, p, placement| {
                 let (luts, outcome) = self.cache.get_or_build(LutKey {
                     wf,
                     af,
@@ -650,7 +792,9 @@ impl Engine {
                 })?;
                 recorded = Some(outcome);
                 Ok(luts)
-            })?;
+            },
+            |dims, wf, af, k_slices| self.memo_plan(dims, wf, af, k_slices),
+        )?;
         Ok((bank, recorded))
     }
 
@@ -835,14 +979,9 @@ mod tests {
         assert_eq!(f.profile, s.profile);
         assert_eq!(f.energy_pj, s.energy_pj);
         assert_eq!(f.checksum, s.checksum);
-        assert_eq!(
-            engine.lut_cache_stats(),
-            CacheStats {
-                hits: 1,
-                misses: 1,
-                entries: 1
-            }
-        );
+        let stats = engine.lut_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.resident_bytes > 0, "cached LUTs occupy bytes");
     }
 
     #[test]

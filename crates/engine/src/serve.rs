@@ -81,8 +81,9 @@ use crate::sessions::{SessionJob, SessionRequest, SessionResponse, StepOutcome};
 // every panic point (completed responses are recorded atomically, queue
 // entries are whole jobs), so a worker that panicked while holding a lock
 // must not wedge every other client.
+use crate::cachelife::memo::MemoStats;
 use crate::lock_recover as lock;
-use crate::{BatchGemmRequest, Engine, EngineError, Rejection};
+use crate::{BatchGemmRequest, CacheStats, Engine, EngineError, Rejection};
 use localut::Method;
 use pim_sim::Stats;
 use std::collections::VecDeque;
@@ -628,6 +629,12 @@ pub struct ServeReport {
     pub coalesced_requests: u64,
     /// Largest dynamic batch any dispatch coalesced.
     pub largest_batch: u64,
+    /// LUT cache lifecycle counters at the moment the report was taken.
+    /// Host-side only: eviction and warm restore move these without
+    /// touching any simulated number in [`ServeSummary`].
+    pub lut_cache: CacheStats,
+    /// Planner-memo counters at the moment the report was taken.
+    pub plan_memo: MemoStats,
 }
 
 #[derive(Debug, Default)]
@@ -655,6 +662,8 @@ impl Shared {
             dispatches: metrics.dispatches,
             coalesced_requests: metrics.coalesced_requests,
             largest_batch: metrics.largest_batch,
+            lut_cache: self.engine.lut_cache_stats(),
+            plan_memo: self.engine.plan_memo_stats(),
         }
     }
 }
@@ -780,6 +789,13 @@ impl Server {
     #[must_use]
     pub fn summary(&self) -> ServeSummary {
         lock(&self.shared.metrics).recorder.summary()
+    }
+
+    /// A point-in-time [`ServeReport`]: the deterministic summary plus
+    /// host-side scheduling and cache lifecycle observables so far.
+    #[must_use]
+    pub fn report(&self) -> ServeReport {
+        self.shared.report()
     }
 
     /// Closes admission, drains the queue, joins the workers, and returns

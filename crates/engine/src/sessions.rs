@@ -27,7 +27,7 @@
 //! response's `stats`, `merged` profile, and picojoule energy are
 //! bitwise identical to `engine.infer()` over
 //! `workload.session_steps()`. The scheduler executes one step per
-//! dispatch through the *same* [`SessionJob::advance`] state machine, so
+//! dispatch through the *same* `SessionJob::advance` state machine, so
 //! any interleaving, worker count, and arrival mode produces the same
 //! [`SessionResponse`] — and the same per-step femtosecond latencies —
 //! as the serial path.
@@ -60,7 +60,7 @@ use crate::{Engine, EngineError};
 use dnn::inference::InferenceReport;
 use dnn::layer::layer_gemms;
 use dnn::Workload;
-use localut::plan::{ExecutionPlan, Planner};
+use localut::plan::ExecutionPlan;
 use localut::tiling::TileGrid;
 use localut::{GemmDims, Method};
 use pim_sim::{Stats, SystemProfile};
@@ -301,7 +301,9 @@ impl Engine {
     /// Resolves the session's per-phase execution plans: the plan of the
     /// representative (largest) layer GEMM tile of each phase, sharded
     /// across the engine's full DPU fleet. Purely analytic — no LUT
-    /// image is built or cached; see [`Engine::warm_session`] for that.
+    /// image is built or cached (see [`Engine::warm_session`] for that),
+    /// though repeated shapes return memoized plans
+    /// ([`crate::cachelife::memo`]; bitwise equal to a recompute).
     ///
     /// # Errors
     ///
@@ -312,7 +314,6 @@ impl Engine {
         let (wf, af) = (bits.weight_format(), bits.activation_format());
         let model = &request.workload.model;
         let n_dpus = self.sim.dist.system.config().n_dpus();
-        let planner = Planner::new(self.gemm.dpu.clone());
         let tile = |tokens: usize| -> GemmDims {
             let dims = layer_gemms(model, tokens.max(1))
                 .into_iter()
@@ -324,8 +325,8 @@ impl Engine {
         let prefill_tile = tile(request.workload.batch * model.seq_len);
         let decode_tile = tile(request.workload.batch);
         Ok(SessionPlans {
-            prefill: planner.plan(prefill_tile, wf, af, Some(self.gemm.k_slices))?,
-            decode: planner.plan_measured(decode_tile, wf, af)?,
+            prefill: self.memo_plan(prefill_tile, wf, af, Some(self.gemm.k_slices))?,
+            decode: self.memo_plan_measured(decode_tile, wf, af)?,
         })
     }
 

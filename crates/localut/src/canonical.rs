@@ -98,10 +98,57 @@ impl<V: LutValue> CanonicalLut<V> {
         })
     }
 
+    /// Reassembles a LUT from previously materialized column-major
+    /// entries (a persisted image, a broadcast copy). The shape is
+    /// re-derived from `(wf, af, p)` exactly as [`CanonicalLut::build`]
+    /// derives it, so a reassembled LUT is structurally indistinguishable
+    /// from a fresh build — callers remain responsible for the entry
+    /// *values* (persistence layers checksum them).
+    ///
+    /// # Errors
+    ///
+    /// * [`LocaLutError::IndexSpaceTooWide`] /
+    ///   [`LocaLutError::InvalidPackingDegree`] as in `build`.
+    /// * [`LocaLutError::UnsupportedFormat`] when `entries.len()` does
+    ///   not match the `2^(bw·p) · C(2^ba + p − 1, p)` shape.
+    pub fn from_parts(
+        wf: NumericFormat,
+        af: NumericFormat,
+        p: u32,
+        entries: Vec<V>,
+    ) -> Result<Self, LocaLutError> {
+        check_index_width(wf.bits(), p)?;
+        check_index_width(af.bits(), p)?;
+        let rows = 1u64 << (u32::from(wf.bits()) * p);
+        let n_codes = u64::from(af.code_space());
+        let cols_u128 =
+            multiset::multiset_count(n_codes, p).ok_or(LocaLutError::InvalidPackingDegree(p))?;
+        if u128::from(rows) * cols_u128 != entries.len() as u128 {
+            return Err(LocaLutError::UnsupportedFormat(
+                "canonical LUT entry count does not match the (wf, af, p) shape",
+            ));
+        }
+        Ok(CanonicalLut {
+            wf,
+            af,
+            p,
+            rows,
+            cols: cols_u128 as u64,
+            entries,
+        })
+    }
+
     /// The packing degree.
     #[must_use]
     pub fn p(&self) -> u32 {
         self.p
+    }
+
+    /// The raw column-major entry storage (`entries[col * rows + row]`),
+    /// for persistence layers that serialize the image.
+    #[must_use]
+    pub fn entries(&self) -> &[V] {
+        &self.entries
     }
 
     /// Number of weight rows, `2^(bw·p)`.

@@ -40,7 +40,7 @@ pub use streaming::StreamingKernel;
 
 use crate::canonical::CanonicalLut;
 use crate::gemm::{GemmConfig, GemmDims, GemmResult, Method};
-use crate::plan::{Placement, Planner};
+use crate::plan::{ExecutionPlan, Placement, Planner};
 use crate::reorder::ReorderLut;
 use crate::LocaLutError;
 use pim_sim::{Category, Dpu, Profile};
@@ -194,6 +194,48 @@ impl SharedLuts {
         })
     }
 
+    /// Reassembles a shared pair from already-materialized images (a
+    /// persisted cache, a broadcast copy), validating that the two were
+    /// built for one `(wf, af, p)` configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`LocaLutError::UnsupportedFormat`] when the reordering LUT's
+    /// `(bits, p)` does not match the canonical LUT's weight format and
+    /// packing degree.
+    pub fn from_parts(
+        canonical: CanonicalLut<i32>,
+        reorder: ReorderLut,
+    ) -> Result<Self, LocaLutError> {
+        if reorder.bits() != canonical.weight_format().bits() || reorder.p() != canonical.p() {
+            return Err(LocaLutError::UnsupportedFormat(
+                "reordering LUT shape does not match the canonical LUT's (wf, p)",
+            ));
+        }
+        let (wf, af, p) = (
+            canonical.weight_format(),
+            canonical.activation_format(),
+            canonical.p(),
+        );
+        Ok(SharedLuts {
+            canonical: Arc::new(canonical),
+            reorder: Arc::new(reorder),
+            wf,
+            af,
+            p,
+        })
+    }
+
+    /// Host bytes the materialized images occupy (canonical `i32` entries
+    /// plus reordering `u64` entries) — the unit a byte-budgeted cache
+    /// accounts residency in. A pure function of the image dimensions, so
+    /// identical for a fresh build and a disk restore of the same key.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.canonical.entry_count() * std::mem::size_of::<i32>() as u64
+            + self.reorder.entry_count() * std::mem::size_of::<u64>() as u64
+    }
+
     /// The shared canonical LUT.
     #[must_use]
     pub fn canonical(&self) -> &CanonicalLut<i32> {
@@ -320,12 +362,48 @@ impl BankKernel {
         wf: NumericFormat,
         af: NumericFormat,
         dims: GemmDims,
+        luts_for: impl FnMut(
+            NumericFormat,
+            NumericFormat,
+            u32,
+            Placement,
+        ) -> Result<SharedLuts, LocaLutError>,
+    ) -> Result<Self, LocaLutError> {
+        Self::build_planned(cfg, method, wf, af, dims, luts_for, |dims, wf, af, k| {
+            Planner::new(cfg.dpu.clone()).plan(dims, wf, af, k)
+        })
+    }
+
+    /// [`BankKernel::build_with`] with the §V-A planning step injected as
+    /// well: where [`Method::LoCaLut`] needs an [`ExecutionPlan`],
+    /// `plan_for(dims, wf, af, k_slices)` is asked for it instead of
+    /// running [`Planner::plan`] directly. A serving layer substitutes a
+    /// memoized planner here; because planning is deterministic, a cached
+    /// plan must equal a recomputed one and the returned kernel is
+    /// identical to `build`'s.
+    ///
+    /// # Errors
+    ///
+    /// Format, budget, or planning errors, plus whatever `luts_for` or
+    /// `plan_for` report.
+    pub fn build_planned(
+        cfg: &GemmConfig,
+        method: Method,
+        wf: NumericFormat,
+        af: NumericFormat,
+        dims: GemmDims,
         mut luts_for: impl FnMut(
             NumericFormat,
             NumericFormat,
             u32,
             Placement,
         ) -> Result<SharedLuts, LocaLutError>,
+        plan_for: impl FnOnce(
+            GemmDims,
+            NumericFormat,
+            NumericFormat,
+            Option<u32>,
+        ) -> Result<ExecutionPlan, LocaLutError>,
     ) -> Result<Self, LocaLutError> {
         match method {
             Method::NaivePim => Ok(BankKernel::Naive(NaiveKernel::new(cfg.dpu.clone()), wf, af)),
@@ -338,8 +416,7 @@ impl BankKernel {
                 Ok(BankKernel::Rc(kernel, luts))
             }
             Method::LoCaLut => {
-                let planner = Planner::new(cfg.dpu.clone());
-                let plan = planner.plan(dims, wf, af, Some(cfg.k_slices))?;
+                let plan = plan_for(dims, wf, af, Some(cfg.k_slices))?;
                 let luts = luts_for(wf, af, plan.p, plan.placement)?;
                 match plan.kernel(&cfg.dpu)? {
                     crate::plan::PlannedKernel::Buffer(k) => Ok(BankKernel::Rc(k, luts)),

@@ -78,10 +78,47 @@ impl ReorderLut {
         })
     }
 
+    /// Reassembles a LUT from previously materialized column-major
+    /// entries (a persisted image). The shape is re-derived from
+    /// `(bits, p)` exactly as [`ReorderLut::build`] derives it; callers
+    /// remain responsible for the entry *values* (persistence layers
+    /// checksum them).
+    ///
+    /// # Errors
+    ///
+    /// * [`LocaLutError::IndexSpaceTooWide`] /
+    ///   [`LocaLutError::InvalidPackingDegree`] as in `build`.
+    /// * [`LocaLutError::UnsupportedFormat`] when `entries.len()` does
+    ///   not match the `2^(bits·p) · p!` shape.
+    pub fn from_parts(bits: u8, p: u32, entries: Vec<u64>) -> Result<Self, LocaLutError> {
+        check_index_width(bits, p)?;
+        let rows = 1u64 << (u32::from(bits) * p);
+        let cols = factorial(p).ok_or(LocaLutError::InvalidPackingDegree(p))?;
+        if u128::from(rows) * u128::from(cols) != entries.len() as u128 {
+            return Err(LocaLutError::UnsupportedFormat(
+                "reordering LUT entry count does not match the (bits, p) shape",
+            ));
+        }
+        Ok(ReorderLut {
+            bits,
+            p,
+            rows,
+            cols,
+            entries,
+        })
+    }
+
     /// The packing degree.
     #[must_use]
     pub fn p(&self) -> u32 {
         self.p
+    }
+
+    /// The raw column-major entry storage (`entries[perm_id * rows + row]`),
+    /// for persistence layers that serialize the image.
+    #[must_use]
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
     }
 
     /// Weight code bitwidth.

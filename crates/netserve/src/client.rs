@@ -15,7 +15,8 @@
 
 use crate::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
 use crate::wire::{
-    self, WireGemmResponse, WireInferResponse, WireRequest, WireResponse, WireSessionResponse,
+    self, WireCacheStats, WireGemmResponse, WireInferResponse, WireRequest, WireResponse,
+    WireSessionResponse,
 };
 use engine::{
     EngineError, GemmRequest, InferenceRequest, NetError, Rejection, ServeSummary, SessionRequest,
@@ -200,16 +201,18 @@ impl NetClient {
         }
     }
 
-    /// Asks the server to drain and returns its summary at that moment.
-    /// The server stops accepting, flushes every in-flight ticket, and
-    /// exits; this connection is closed afterwards.
+    /// Asks the server to drain and returns its summary at that moment,
+    /// plus the server's cache lifecycle counters when the peer sends
+    /// them (`None` from servers predating the field). The server stops
+    /// accepting, flushes every in-flight ticket, and exits; this
+    /// connection is closed afterwards.
     ///
     /// # Errors
     ///
     /// Transport/decode errors.
-    pub fn drain(&mut self) -> Result<ServeSummary, EngineError> {
+    pub fn drain(&mut self) -> Result<(ServeSummary, Option<WireCacheStats>), EngineError> {
         match self.call(&WireRequest::Drain)? {
-            WireResponse::Drained(summary) => Ok(*summary),
+            WireResponse::Drained { summary, cache } => Ok((*summary, cache)),
             other => Err(unexpected(other, "drain")),
         }
     }
@@ -223,7 +226,7 @@ fn unexpected(response: WireResponse, verb: &str) -> EngineError {
         WireResponse::Infer(_) => "infer",
         WireResponse::Session(_) => "session",
         WireResponse::Pong { .. } => "pong",
-        WireResponse::Drained(_) => "drained",
+        WireResponse::Drained { .. } => "drained",
     };
     NetError::Protocol(format!("unexpected response to '{verb}': {kind}")).into()
 }

@@ -41,4 +41,4 @@ pub mod wire;
 
 pub use client::NetClient;
 pub use server::{NetConfig, NetReport, NetServer};
-pub use wire::{WireGemmResponse, WireInferResponse, WireRequest, WireResponse};
+pub use wire::{WireCacheStats, WireGemmResponse, WireInferResponse, WireRequest, WireResponse};

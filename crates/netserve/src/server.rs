@@ -371,10 +371,14 @@ fn handle_conn(shared: &Arc<NetShared>, stream: TcpStream) {
                 // numbers come from NetServer::join/wait. The accept loop
                 // and every other reader see the flag within one poll.
                 shared.stop.store(true, Ordering::Relaxed);
-                let summary = shared.serve.summary();
-                let _ = tx.send(Reply::Now(Box::new(WireResponse::Drained(Box::new(
-                    summary,
-                )))));
+                let report = shared.serve.report();
+                let _ = tx.send(Reply::Now(Box::new(WireResponse::Drained {
+                    summary: Box::new(report.summary),
+                    cache: Some(wire::WireCacheStats {
+                        lut: report.lut_cache,
+                        memo: report.plan_memo,
+                    }),
+                })));
                 break;
             }
             request @ (WireRequest::Gemm(_) | WireRequest::Infer(_) | WireRequest::Session(_)) => {

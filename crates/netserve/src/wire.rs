@@ -25,8 +25,9 @@ use dnn::{DecodeStep, ModelConfig, Workload};
 use engine::serve::{gemm_latency_femtos, LatencyDigest};
 use engine::traffic::TrafficRequest;
 use engine::{
-    CacheOutcome, EngineError, GemmRequest, GemmResponse, InferenceRequest, InferenceResponse,
-    NetError, PlanPin, Rejection, ServeRecorder, ServeSummary, SessionRequest, SessionResponse,
+    CacheOutcome, CacheStats, EngineError, GemmRequest, GemmResponse, InferenceRequest,
+    InferenceResponse, MemoStats, NetError, PlanPin, Rejection, ServeRecorder, ServeSummary,
+    SessionRequest, SessionResponse,
 };
 use localut::plan::Placement;
 use localut::{GemmDims, Method};
@@ -194,7 +195,25 @@ pub enum WireResponse {
     },
     /// Answer to [`WireRequest::Drain`]: the summary at the moment the
     /// drain began (final numbers come from the server's own report).
-    Drained(Box<ServeSummary>),
+    Drained {
+        /// The deterministic summary snapshot.
+        summary: Box<ServeSummary>,
+        /// Host-side cache lifecycle counters at drain time. `None` when
+        /// the peer predates the field — decoding tolerates its absence
+        /// so old acks still parse.
+        cache: Option<WireCacheStats>,
+    },
+}
+
+/// Host-side cache lifecycle counters piggybacked on a drain ack. These
+/// are observability numbers (wall-clock class), never part of the
+/// deterministic [`ServeSummary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireCacheStats {
+    /// LUT cache counters ([`engine::Engine::lut_cache_stats`]).
+    pub lut: CacheStats,
+    /// Planner-memo counters ([`engine::Engine::plan_memo_stats`]).
+    pub memo: MemoStats,
 }
 
 /// Records a wire response into a client-side [`ServeRecorder`] exactly
@@ -214,7 +233,7 @@ pub fn record_response(recorder: &mut ServeRecorder, response: &WireResponse) {
             &s.decode_step_femtos,
         ),
         WireResponse::Error { .. } => recorder.record_failure(),
-        WireResponse::Rejected(_) | WireResponse::Pong { .. } | WireResponse::Drained(_) => {}
+        WireResponse::Rejected(_) | WireResponse::Pong { .. } | WireResponse::Drained { .. } => {}
     }
 }
 
@@ -270,6 +289,7 @@ fn error_kind(error: &EngineError) -> &'static str {
         EngineError::Serve(_) => "Serve",
         EngineError::Rejected(_) => "Rejected",
         EngineError::Net(_) => "Net",
+        EngineError::Cache(_) => "Cache",
     }
 }
 
@@ -363,6 +383,44 @@ pub fn summary_json(summary: &ServeSummary) -> Json {
         ("decode", digest_json(&summary.decode)),
         ("checksum", u(summary.checksum)),
     ])
+}
+
+/// The canonical JSON form of the cache counters piggybacked on a drain
+/// ack. Kept separate from [`summary_json`] so deterministic summary
+/// files never embed host-varying counters.
+#[must_use]
+pub fn cache_stats_json(cache: &WireCacheStats) -> Json {
+    Json::object(vec![
+        ("lut_hits", u(cache.lut.hits)),
+        ("lut_misses", u(cache.lut.misses)),
+        ("lut_evictions", u(cache.lut.evictions)),
+        ("lut_resident_bytes", u(cache.lut.resident_bytes)),
+        ("lut_failed_builds", u(cache.lut.failed_builds)),
+        ("lut_restored", u(cache.lut.restored)),
+        ("lut_entries", u(cache.lut.entries as u64)),
+        ("memo_hits", u(cache.memo.hits)),
+        ("memo_misses", u(cache.memo.misses)),
+        ("memo_entries", u(cache.memo.entries as u64)),
+    ])
+}
+
+fn cache_stats_from_json(value: &Json) -> Result<WireCacheStats, NetError> {
+    Ok(WireCacheStats {
+        lut: CacheStats {
+            hits: u64_field(value, "lut_hits")?,
+            misses: u64_field(value, "lut_misses")?,
+            evictions: u64_field(value, "lut_evictions")?,
+            resident_bytes: u64_field(value, "lut_resident_bytes")?,
+            failed_builds: u64_field(value, "lut_failed_builds")?,
+            restored: u64_field(value, "lut_restored")?,
+            entries: u64_field(value, "lut_entries")? as usize,
+        },
+        memo: MemoStats {
+            hits: u64_field(value, "memo_hits")?,
+            misses: u64_field(value, "memo_misses")?,
+            entries: u64_field(value, "memo_entries")? as usize,
+        },
+    })
 }
 
 fn workload_json(w: &Workload) -> Json {
@@ -545,9 +603,12 @@ fn response_json(response: &WireResponse) -> Json {
             pairs.push(("kind", Json::Str("pong".into())));
             pairs.push(("served", u(*served)));
         }
-        WireResponse::Drained(summary) => {
+        WireResponse::Drained { summary, cache } => {
             pairs.push(("kind", Json::Str("drained".into())));
             pairs.push(("summary", summary_json(summary)));
+            if let Some(cache) = cache {
+                pairs.push(("cache", cache_stats_json(cache)));
+            }
         }
     }
     Json::object(pairs)
@@ -956,9 +1017,13 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, NetError> {
         "pong" => Ok(WireResponse::Pong {
             served: u64_field(&value, "served")?,
         }),
-        "drained" => Ok(WireResponse::Drained(Box::new(summary_from_json(field(
-            &value, "summary",
-        )?)?))),
+        "drained" => Ok(WireResponse::Drained {
+            summary: Box::new(summary_from_json(field(&value, "summary")?)?),
+            cache: match value.get("cache") {
+                Some(cache) => Some(cache_stats_from_json(cache)?),
+                None => None,
+            },
+        }),
         other => Err(decode_err(format!("unknown response kind '{other}'"))),
     }
 }
@@ -1134,7 +1199,29 @@ mod tests {
                 kind: "Gemm".into(),
                 message: "dimension mismatch".into(),
             },
-            WireResponse::Drained(Box::new(summary)),
+            WireResponse::Drained {
+                summary: Box::new(summary.clone()),
+                cache: None,
+            },
+            WireResponse::Drained {
+                summary: Box::new(summary),
+                cache: Some(WireCacheStats {
+                    lut: CacheStats {
+                        hits: 3,
+                        misses: 2,
+                        evictions: 1,
+                        resident_bytes: 4096,
+                        failed_builds: 1,
+                        restored: 2,
+                        entries: 1,
+                    },
+                    memo: MemoStats {
+                        hits: 5,
+                        misses: 4,
+                        entries: 4,
+                    },
+                }),
+            },
         ];
         for case in cases {
             let decoded = decode_response(encode_response(&case).as_bytes()).unwrap();

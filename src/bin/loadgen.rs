@@ -72,6 +72,8 @@ struct Args {
     client_offset: usize,
     client_count: Option<usize>,
     drain: bool,
+    cache_dir: Option<String>,
+    cache_budget: Option<u64>,
 }
 
 impl Args {
@@ -114,22 +116,29 @@ impl Args {
     }
 
     /// An engine for this workload: flat by default, the ranked machine
-    /// under `--ranks`.
+    /// under `--ranks`, with the cache lifecycle knobs applied. Neither
+    /// knob moves a simulated number — a warm restore or an eviction
+    /// changes host wall and counters only.
     fn build_engine(&self, threads: usize) -> Engine {
-        let builder = Engine::builder().threads(threads);
-        match self.ranks {
-            Some(ranks) => builder
-                .ranks(ranks, self.banks_per_rank.unwrap_or(64))
-                .build(),
-            None => builder.build(),
+        let mut builder = Engine::builder().threads(threads);
+        if let Some(ranks) = self.ranks {
+            builder = builder.ranks(ranks, self.banks_per_rank.unwrap_or(64));
         }
+        if let Some(budget) = self.cache_budget {
+            builder = builder.cache_budget(budget);
+        }
+        if let Some(dir) = &self.cache_dir {
+            builder = builder.cache_dir(dir);
+        }
+        builder.build()
     }
 }
 
 const USAGE: &str = "usage: loadgen [--clients N] [--requests N] \
 [--mix gemm|infer|mixed|decode|chat] [--decode-tokens N] \
 [--seed S] [--threads N] [--engine-threads N] [--max-batch N] [--mode open|closed] \
-[--ranks N [--banks-per-rank N]] [--out FILE] [--keep-host] [--verify-serial] \
+[--ranks N [--banks-per-rank N]] [--cache-dir DIR] [--cache-budget BYTES] \
+[--out FILE] [--keep-host] [--verify-serial] \
 [--remote HOST:PORT [--client-offset N] [--client-count N] [--drain]]";
 
 fn parse_args() -> Result<Args, CliError> {
@@ -154,6 +163,8 @@ fn parse_args() -> Result<Args, CliError> {
         client_offset: 0,
         client_count: None,
         drain: false,
+        cache_dir: None,
+        cache_budget: None,
     };
     let mut flags = Flags::from_env(USAGE);
     while let Some(flag) = flags.next_flag()? {
@@ -190,6 +201,8 @@ fn parse_args() -> Result<Args, CliError> {
             "--client-offset" => args.client_offset = flags.parsed("--client-offset")?,
             "--client-count" => args.client_count = Some(flags.parsed("--client-count")?),
             "--drain" => args.drain = true,
+            "--cache-dir" => args.cache_dir = Some(flags.value("--cache-dir")?),
+            "--cache-budget" => args.cache_budget = Some(flags.positive("--cache-budget")? as u64),
             other => return Err(flags.unknown(other)),
         }
     }
@@ -211,6 +224,11 @@ fn parse_args() -> Result<Args, CliError> {
     }
     if args.client_count == Some(0) && !args.drain {
         return Err(flags.usage_error("--client-count 0 only makes sense with --drain"));
+    }
+    if args.remote.is_some() && (args.cache_dir.is_some() || args.cache_budget.is_some()) {
+        return Err(flags.usage_error(
+            "--cache-dir/--cache-budget configure the in-process engine; set them on serve-daemon for remote runs",
+        ));
     }
     if args.remote.is_some() && args.keep_host {
         return Err(flags.usage_error(
@@ -343,7 +361,61 @@ fn host_json(args: &Args, report: &ServeReport, wall_nanos: u128) -> Json {
             "largest_batch",
             Json::UInt(u128::from(report.largest_batch)),
         ),
+        (
+            "lut_cache",
+            Json::object(vec![
+                ("hits", Json::UInt(u128::from(report.lut_cache.hits))),
+                ("misses", Json::UInt(u128::from(report.lut_cache.misses))),
+                (
+                    "evictions",
+                    Json::UInt(u128::from(report.lut_cache.evictions)),
+                ),
+                (
+                    "resident_bytes",
+                    Json::UInt(u128::from(report.lut_cache.resident_bytes)),
+                ),
+                (
+                    "failed_builds",
+                    Json::UInt(u128::from(report.lut_cache.failed_builds)),
+                ),
+                (
+                    "restored",
+                    Json::UInt(u128::from(report.lut_cache.restored)),
+                ),
+                ("entries", Json::UInt(report.lut_cache.entries as u128)),
+            ]),
+        ),
+        (
+            "plan_memo",
+            Json::object(vec![
+                ("hits", Json::UInt(u128::from(report.plan_memo.hits))),
+                ("misses", Json::UInt(u128::from(report.plan_memo.misses))),
+                ("entries", Json::UInt(report.plan_memo.entries as u128)),
+            ]),
+        ),
     ])
+}
+
+/// The cache lifecycle lines both paths print below the table: local runs
+/// from the engine's own counters, remote drains from the wire snapshot.
+/// Deliberately outside the table's `extras` so nothing here ever drifts
+/// toward the deterministic JSON.
+fn print_cache_lines(lut: &engine::CacheStats, memo: &engine::MemoStats) {
+    println!(
+        "lut cache: {} hit(s), {} miss(es), {} eviction(s), {} failed build(s), {} restored; {} resident entr{} ({} B)",
+        lut.hits,
+        lut.misses,
+        lut.evictions,
+        lut.failed_builds,
+        lut.restored,
+        lut.entries,
+        if lut.entries == 1 { "y" } else { "ies" },
+        lut.resident_bytes
+    );
+    println!(
+        "plan memo: {} hit(s), {} miss(es), {} entries",
+        memo.hits, memo.misses, memo.entries
+    );
 }
 
 /// The shared result table; `extras` appends host-only rows the JSON
@@ -468,6 +540,17 @@ fn exit_by_failures(summary: &ServeSummary) -> ExitCode {
 
 fn run(args: &Args) -> Result<ExitCode, String> {
     let engine = Arc::new(args.build_engine(args.engine_threads));
+    if let Some(error) = engine.cache_restore_error() {
+        // A bad cache directory degrades to a cold start, never a refusal
+        // to serve — but the operator asked for warmth, so say why not.
+        eprintln!("warning: cache restore failed, starting cold: {error}");
+    } else if engine.lut_cache_stats().entries > 0 {
+        println!(
+            "warm start: restored {} LUT image(s) from {}",
+            engine.lut_cache_stats().entries,
+            args.cache_dir.as_deref().unwrap_or("?"),
+        );
+    }
     let server = Server::start(
         engine.clone(),
         &ServeConfig::builder()
@@ -507,12 +590,15 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             format!("{} / {}", report.dispatches, report.coalesced_requests),
         )],
     );
-    println!(
-        "lut cache: {} hit(s), {} miss(es)",
-        engine.lut_cache_stats().hits,
-        engine.lut_cache_stats().misses
-    );
+    print_cache_lines(&report.lut_cache, &report.plan_memo);
 
+    if args.cache_dir.is_some() {
+        let count = engine.persist_cache().map_err(|e| e.to_string())?;
+        println!(
+            "persisted {count} LUT image(s) to {}",
+            args.cache_dir.as_deref().unwrap_or("?")
+        );
+    }
     if args.verify_serial {
         verify_serial_replay(args, summary)?;
     }
@@ -641,11 +727,14 @@ fn run_remote(args: &Args, addr: &str) -> Result<ExitCode, String> {
 
     if args.drain {
         let mut client = NetClient::connect(addr).map_err(|e| e.to_string())?;
-        let server_summary = client.drain().map_err(|e| e.to_string())?;
+        let (server_summary, server_cache) = client.drain().map_err(|e| e.to_string())?;
         println!(
             "drained {addr}: server served {} request(s) total",
             server_summary.requests
         );
+        if let Some(cache) = server_cache {
+            print_cache_lines(&cache.lut, &cache.memo);
+        }
     }
     Ok(exit_by_failures(&summary))
 }

@@ -45,11 +45,14 @@ struct Args {
     log: Option<String>,
     out: Option<String>,
     port_file: Option<String>,
+    cache_dir: Option<String>,
+    cache_budget: Option<u64>,
 }
 
 const USAGE: &str = "usage: serve-daemon [--addr HOST:PORT] [--threads N] \
 [--engine-threads N] [--max-batch N] [--ranks N [--banks-per-rank N]] \
 [--queue-cap N] [--quota N] [--max-conns N] \
+[--cache-dir DIR] [--cache-budget BYTES] \
 [--log FILE] [--out FILE] [--port-file FILE]";
 
 fn parse_args() -> Result<Args, CliError> {
@@ -66,6 +69,8 @@ fn parse_args() -> Result<Args, CliError> {
         log: None,
         out: None,
         port_file: None,
+        cache_dir: None,
+        cache_budget: None,
     };
     let mut flags = Flags::from_env(USAGE);
     while let Some(flag) = flags.next_flag()? {
@@ -91,6 +96,8 @@ fn parse_args() -> Result<Args, CliError> {
             "--log" => args.log = Some(flags.value("--log")?),
             "--out" => args.out = Some(flags.value("--out")?),
             "--port-file" => args.port_file = Some(flags.value("--port-file")?),
+            "--cache-dir" => args.cache_dir = Some(flags.value("--cache-dir")?),
+            "--cache-budget" => args.cache_budget = Some(flags.positive("--cache-budget")? as u64),
             other => return Err(flags.unknown(other)),
         }
     }
@@ -120,15 +127,35 @@ fn run(args: &Args) -> Result<(), String> {
     // Requests that arrive without a bank override shard by the daemon's
     // topology — a loadgen driving ranked traffic must be started with
     // the same `--ranks`/`--banks-per-rank` pair.
-    let builder = Engine::builder().threads(args.engine_threads);
-    let engine = Arc::new(match args.ranks {
-        Some(ranks) => builder
-            .ranks(ranks, args.banks_per_rank.unwrap_or(64))
-            .build(),
-        None => builder.build(),
-    });
-    let server = NetServer::bind(engine, &serve_config, &net_config, args.addr.as_str())
-        .map_err(|e| e.to_string())?;
+    let mut builder = Engine::builder().threads(args.engine_threads);
+    if let Some(ranks) = args.ranks {
+        builder = builder.ranks(ranks, args.banks_per_rank.unwrap_or(64));
+    }
+    if let Some(budget) = args.cache_budget {
+        builder = builder.cache_budget(budget);
+    }
+    if let Some(dir) = &args.cache_dir {
+        builder = builder.cache_dir(dir);
+    }
+    let engine = Arc::new(builder.build());
+    if let Some(error) = engine.cache_restore_error() {
+        // A bad cache directory degrades to a cold start, never a refusal
+        // to serve — but the operator asked for warmth, so say why not.
+        eprintln!("warning: cache restore failed, starting cold: {error}");
+    } else if engine.lut_cache_stats().entries > 0 {
+        println!(
+            "serve-daemon: warm start — restored {} LUT image(s) from {}",
+            engine.lut_cache_stats().entries,
+            args.cache_dir.as_deref().unwrap_or("?"),
+        );
+    }
+    let server = NetServer::bind(
+        engine.clone(),
+        &serve_config,
+        &net_config,
+        args.addr.as_str(),
+    )
+    .map_err(|e| e.to_string())?;
     let addr = server.local_addr();
     if let Some(path) = &args.port_file {
         std::fs::write(path, addr.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -158,6 +185,34 @@ fn run(args: &Args) -> Result<(), String> {
         report.rejected_capacity,
         report.protocol_errors,
     );
+    let lut = report.serve.lut_cache;
+    let memo = report.serve.plan_memo;
+    println!(
+        "serve-daemon: lut cache {} hit(s), {} miss(es), {} eviction(s), {} failed build(s), \
+         {} restored; {} resident entr{} ({} B); plan memo {} hit(s), {} miss(es)",
+        lut.hits,
+        lut.misses,
+        lut.evictions,
+        lut.failed_builds,
+        lut.restored,
+        lut.entries,
+        if lut.entries == 1 { "y" } else { "ies" },
+        lut.resident_bytes,
+        memo.hits,
+        memo.misses,
+    );
+
+    // Save-on-drain: the next daemon pointed at this directory starts
+    // warm and answers its first requests without the ~734 ms cold LUT
+    // builds. Persisting is part of the requested drain contract, so a
+    // failure here is an error, not a warning.
+    if args.cache_dir.is_some() {
+        let count = engine.persist_cache().map_err(|e| e.to_string())?;
+        println!(
+            "serve-daemon: persisted {count} LUT image(s) to {}",
+            args.cache_dir.as_deref().unwrap_or("?")
+        );
+    }
 
     if let Some(path) = &args.out {
         let doc = Json::object(vec![

@@ -238,8 +238,11 @@ fn ping_reports_admissions_and_drain_stops_the_server() {
     assert_eq!(client.ping().expect("ping"), 0);
     client.gemm(&small_gemm()).expect("serves");
     assert_eq!(client.ping().expect("ping"), 1);
-    let summary = client.drain().expect("drain acknowledges");
+    let (summary, cache) = client.drain().expect("drain acknowledges");
     assert_eq!(summary.requests, 1);
+    let cache = cache.expect("drain acks carry cache counters");
+    assert_eq!(cache.lut.misses, 1, "one cold LUT build for one shape");
+    assert_eq!(cache.lut.evictions, 0);
     let report = server.wait();
     assert_eq!(report.serve.summary.requests, 1);
     assert!(
