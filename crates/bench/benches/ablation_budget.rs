@@ -62,8 +62,8 @@ fn main() {
         k: 768,
         n: 1,
     };
-    let naive = NaiveKernel::new(dpu.clone())
-        .cost(tile, wf, af)
+    let naive = NaiveKernel::new(dpu.clone(), wf, af)
+        .cost(tile)
         .total_seconds();
     let mut table = Table::new(&["p", "OP+LC (sw reorder)", "OP+LC+RC", "RC gain"]);
     for p in 1..=5u32 {

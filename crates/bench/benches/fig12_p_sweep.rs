@@ -27,8 +27,8 @@ fn main() {
         let dims = GemmDims { m, k: 768, n: 128 };
         let grid = TileGrid::choose(dims, 2048);
         let tile = grid.tile_dims(dims);
-        let naive = NaiveKernel::new(dpu.clone())
-            .cost(tile, wf, af)
+        let naive = NaiveKernel::new(dpu.clone(), wf, af)
+            .cost(tile)
             .total_seconds();
         println!("\n  M = {m} (per-DPU tile {tile})");
         let mut table = Table::new(&["p", "placement", "speedup", "capacity (B)"]);

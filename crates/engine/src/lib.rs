@@ -811,11 +811,11 @@ impl Engine {
             placement: pin.placement,
         })?;
         let bank = match pin.placement {
-            Placement::BufferResident => BankKernel::Rc(
+            Placement::BufferResident => BankKernel::with_shared_luts(
                 RcKernel::with_p(self.gemm.dpu.clone(), wf, af, pin.p)?,
                 luts,
             ),
-            Placement::Streaming => BankKernel::Streaming(
+            Placement::Streaming => BankKernel::with_shared_luts(
                 StreamingKernel::new(self.gemm.dpu.clone(), wf, af, pin.p, self.gemm.k_slices)?,
                 luts,
             ),

@@ -13,8 +13,8 @@
 //! the local buffer.
 
 use crate::multiset;
-use crate::packed::{check_index_width, unpack_index};
-use crate::value::{dot_codes, LutValue};
+use crate::packed::check_index_width;
+use crate::value::LutValue;
 use crate::LocaLutError;
 use quant::NumericFormat;
 
@@ -80,12 +80,30 @@ impl<V: LutValue> CanonicalLut<V> {
             });
         }
         let cols = cols_u128 as u64;
-        let mut entries = Vec::with_capacity(total as usize);
-        for col in 0..cols {
-            let a_codes = multiset::unrank(col, n_codes, p)?;
-            for row in 0..rows {
-                let w_codes = unpack_index(row, wf.bits(), p);
-                entries.push(dot_codes(wf, af, &w_codes, &a_codes));
+        // Decode tables hoisted out of the per-entry loop: a weight field
+        // has only `2^bw` codes and a column only `p` activation codes, so
+        // each entry reduces to `p` table lookups accumulated in the same
+        // order as [`dot_codes`] (bitwise-identical entries). Unpacking and
+        // re-decoding per entry would allocate and decode millions of times.
+        let wbits = wf.bits();
+        let wmask = (1u64 << wbits) - 1;
+        let wvals: Vec<V> = (0..(1u64 << wbits))
+            .map(|c| V::decode(wf, c as u32))
+            .collect();
+        let mut entries = vec![V::default(); total as usize];
+        let mut avals: Vec<V> = Vec::with_capacity(p as usize);
+        for (col, column) in entries.chunks_exact_mut(rows as usize).enumerate() {
+            let a_codes = multiset::unrank(col as u64, n_codes, p)?;
+            avals.clear();
+            avals.extend(a_codes.iter().map(|&a| V::decode(af, u32::from(a))));
+            for (row, entry) in column.iter_mut().enumerate() {
+                let row = row as u64;
+                let mut acc = V::default();
+                for (j, &av) in avals.iter().enumerate() {
+                    let wc = ((row >> (u32::from(wbits) * j as u32)) & wmask) as usize;
+                    acc += wvals[wc].mul(av);
+                }
+                *entry = acc;
             }
         }
         Ok(CanonicalLut {
@@ -220,8 +238,9 @@ impl<V: LutValue> CanonicalLut<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packed::{pack_index, OpPackedLut};
+    use crate::packed::{pack_index, unpack_index, OpPackedLut};
     use crate::perm::{apply, sort_permutation};
+    use crate::value::dot_codes;
 
     #[test]
     fn paper_fig4_example() {

@@ -1,7 +1,7 @@
 //! GEMM dimensions, the reference implementation, the method taxonomy of
 //! the evaluation (§VI-A), and the top-level dispatcher.
 
-use crate::kernels::{LcKernel, LtcKernel, NaiveKernel, OpKernel, RcKernel};
+use crate::kernels::{BankKernel, LcKernel, LtcKernel, NaiveKernel, OpKernel, RcKernel};
 use crate::plan::Planner;
 use crate::value::LutValue;
 use crate::LocaLutError;
@@ -203,6 +203,10 @@ impl GemmConfig {
     /// Runs `method` functionally on quantized operands, returning exact
     /// outputs and the simulated profile.
     ///
+    /// Construction and dispatch both go through [`BankKernel`]: the
+    /// method-to-kernel match lives in [`BankKernel::build`] and the
+    /// execution is one [`crate::kernels::LutKernel`] trait call.
+    ///
     /// # Errors
     ///
     /// Shape/format/budget errors from the kernel (see [`LocaLutError`]).
@@ -212,19 +216,8 @@ impl GemmConfig {
         w: &QMatrix,
         a: &QMatrix,
     ) -> Result<GemmResult, LocaLutError> {
-        match method {
-            Method::NaivePim => NaiveKernel::new(self.dpu.clone()).run(w, a),
-            Method::Ltc => LtcKernel::new(self.dpu.clone()).run(w, a),
-            Method::Op => OpKernel::auto(self.dpu.clone(), w.format(), a.format())?.run(w, a),
-            Method::OpLc => LcKernel::auto(self.dpu.clone(), w.format(), a.format())?.run(w, a),
-            Method::OpLcRc => RcKernel::auto(self.dpu.clone(), w.format(), a.format())?.run(w, a),
-            Method::LoCaLut => {
-                let dims = GemmDims::of(w, a)?;
-                let planner = Planner::new(self.dpu.clone());
-                let plan = planner.plan(dims, w.format(), a.format(), Some(self.k_slices))?;
-                plan.kernel(&self.dpu)?.run(w, a)
-            }
-        }
+        let dims = GemmDims::of(w, a)?;
+        BankKernel::build(self, method, w.format(), a.format(), dims)?.run(w, a)
     }
 
     /// Analytic cost twin of [`GemmConfig::run`]: the profile for `dims`
@@ -241,8 +234,8 @@ impl GemmConfig {
         af: NumericFormat,
     ) -> Result<Profile, LocaLutError> {
         match method {
-            Method::NaivePim => Ok(NaiveKernel::new(self.dpu.clone()).cost(dims, wf, af)),
-            Method::Ltc => Ok(LtcKernel::new(self.dpu.clone()).cost(dims, wf, af)),
+            Method::NaivePim => Ok(NaiveKernel::new(self.dpu.clone(), wf, af).cost(dims)),
+            Method::Ltc => Ok(LtcKernel::new(self.dpu.clone(), wf, af).cost(dims)),
             Method::Op => Ok(OpKernel::auto(self.dpu.clone(), wf, af)?.cost(dims)),
             Method::OpLc => Ok(LcKernel::auto(self.dpu.clone(), wf, af)?.cost(dims)),
             Method::OpLcRc => Ok(RcKernel::auto(self.dpu.clone(), wf, af)?.cost(dims)),

@@ -10,13 +10,14 @@
 
 use crate::canonical::CanonicalLut;
 use crate::capacity::{canonical_lut_bytes, max_p_canonical_only};
-use crate::gemm::{GemmDims, GemmResult};
+use crate::codes::{GroupScratch, PackedCodes};
+use crate::gemm::{GemmDims, GemmResult, Method};
 use crate::kernels::{
-    charge_operand_input, charge_output, group_codes, pad_code_for, require_integer,
-    weight_group_codes, MAX_MATERIALIZED_ENTRIES,
+    charge_operand_input, charge_output, pad_code_for, require_integer, LutKernel,
+    MAX_MATERIALIZED_ENTRIES, N_TILE,
 };
 use crate::packed::pack_index;
-use crate::perm::{apply, sort_permutation};
+use crate::perm::apply_into;
 use crate::LocaLutError;
 use pim_sim::{Category, Dpu, DpuConfig, Profile};
 use quant::{NumericFormat, QMatrix};
@@ -121,38 +122,67 @@ impl LcKernel {
         dpu.profile()
     }
 
-    /// Runs the GEMM through the canonical LUT with software reordering.
-    ///
-    /// # Errors
-    ///
-    /// Shape, padding, or budget errors.
-    pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+    /// Cheap operand checks shared by `run` and the trait dispatch.
+    fn validate_operands(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmDims, LocaLutError> {
         let dims = GemmDims::of(w, a)?;
         if w.format() != self.wf || a.format() != self.af {
             return Err(LocaLutError::UnsupportedFormat(
                 "operand formats differ from the kernel's configured formats",
             ));
         }
+        pad_code_for(self.af, dims.k, self.p as usize)?;
+        Ok(dims)
+    }
+
+    /// Runs the GEMM through the canonical LUT with software reordering.
+    ///
+    /// Blocked like the other arms: operands are bit-packed once, each
+    /// K-block resolves [`N_TILE`] activation columns (permutations into a
+    /// flat reused buffer, canonical column slices hoisted), and the M-pass
+    /// unpacks each weight group once and replays the per-column software
+    /// reorder — unpack/permute/repack, the exact sequence the cost model
+    /// charges — against the hoisted slices, allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Shape, padding, or budget errors.
+    pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+        let dims = self.validate_operands(w, a)?;
         let p = self.p as usize;
         let pad = pad_code_for(self.af, dims.k, p)?;
         let lut = CanonicalLut::<i32>::build(self.wf, self.af, self.p, MAX_MATERIALIZED_ENTRIES)?;
         let kblocks = dims.k.div_ceil(p);
 
+        let wpacked = PackedCodes::pack_weight_rows(w, p);
+        let apacked = PackedCodes::pack_activation_columns(a, p, pad);
+
         let mut values = vec![0i32; dims.m * dims.n];
-        for n in 0..dims.n {
-            for kb in 0..kblocks {
-                // Host side: sort the activation group, ship sorted codes +
-                // permutation.
-                let acodes = group_codes(a, kb, n, p, pad);
-                let perm = sort_permutation(&acodes);
-                let sorted = apply(&perm, &acodes);
-                let col = lut.column_of(&sorted)?;
+        let mut scratch = GroupScratch::new();
+        let mut perms: Vec<u8> = Vec::with_capacity(N_TILE * p);
+        let mut cols: Vec<&[i32]> = Vec::with_capacity(N_TILE);
+        let mut wcodes: Vec<u16> = Vec::new();
+        let mut reordered: Vec<u16> = Vec::new();
+        for kb in 0..kblocks {
+            for n0 in (0..dims.n).step_by(N_TILE) {
+                let n1 = dims.n.min(n0 + N_TILE);
+                // Host side, once per tile: sort each activation group,
+                // keep the permutation and the canonical column slice.
+                perms.clear();
+                cols.clear();
+                for n in n0..n1 {
+                    let group = scratch.resolve(&apacked, kb, n);
+                    perms.extend_from_slice(group.perm);
+                    cols.push(lut.column_slice(lut.column_of(group.sorted)?));
+                }
                 for m in 0..dims.m {
-                    // DPU side: software reorder of the weight codes.
-                    let wcodes = weight_group_codes(w, m, kb, p);
-                    let reordered = apply(&perm, &wcodes);
-                    let row = pack_index(&reordered, self.wf.bits());
-                    values[m * dims.n + n] += lut.lookup(row, col);
+                    // DPU side: unpack the weight group once, then software
+                    // reorder per tile column.
+                    wpacked.unpack_into(kb, m, &mut wcodes);
+                    let out = &mut values[m * dims.n + n0..m * dims.n + n1];
+                    for (dn, (acc, &col)) in out.iter_mut().zip(&cols).enumerate() {
+                        apply_into(&perms[dn * p..(dn + 1) * p], &wcodes, &mut reordered);
+                        *acc += col[pack_index(&reordered, self.wf.bits()) as usize];
+                    }
                 }
             }
         }
@@ -164,6 +194,28 @@ impl LcKernel {
             dims,
             profile: dpu.profile(),
         })
+    }
+}
+
+impl LutKernel for LcKernel {
+    fn method(&self) -> Method {
+        Method::OpLc
+    }
+
+    fn p(&self) -> u32 {
+        self.p
+    }
+
+    fn cost(&self, dims: GemmDims) -> Profile {
+        LcKernel::cost(self, dims)
+    }
+
+    fn validate(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmDims, LocaLutError> {
+        self.validate_operands(w, a)
+    }
+
+    fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+        LcKernel::run(self, w, a)
     }
 }
 
@@ -228,6 +280,27 @@ mod tests {
             NumericFormat::Int(2),
             NumericFormat::Int(2),
             3,
+        )
+        .unwrap();
+        let out = kernel.run(&w, &a).unwrap();
+        assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap());
+    }
+
+    #[test]
+    fn wide_n_crosses_tile_boundaries() {
+        // N beyond one N_TILE, with a ragged last tile, stays bit-exact.
+        let (w, a) = operands(
+            4,
+            9,
+            N_TILE * 2 + 1,
+            NumericFormat::Int(2),
+            NumericFormat::Int(2),
+        );
+        let kernel = LcKernel::with_p(
+            DpuConfig::upmem(),
+            NumericFormat::Int(2),
+            NumericFormat::Int(2),
+            4,
         )
         .unwrap();
         let out = kernel.run(&w, &a).unwrap();

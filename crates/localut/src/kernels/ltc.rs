@@ -8,8 +8,9 @@
 //! but costs one pass per weight bit and runtime table generation — the
 //! "low LUT packing degrees" the paper blames for LTC's PIM performance.
 
-use crate::gemm::{GemmDims, GemmResult};
-use crate::kernels::{charge_operand_input, charge_output, require_integer};
+use crate::codes::PackedCodes;
+use crate::gemm::{GemmDims, GemmResult, Method};
+use crate::kernels::{charge_operand_input, charge_output, require_integer, LutKernel, N_TILE};
 use crate::LocaLutError;
 use pim_sim::{Category, Dpu, DpuConfig, Profile};
 use quant::{NumericFormat, QMatrix};
@@ -18,13 +19,15 @@ use quant::{NumericFormat, QMatrix};
 #[derive(Debug, Clone)]
 pub struct LtcKernel {
     cfg: DpuConfig,
+    wf: NumericFormat,
+    af: NumericFormat,
 }
 
 impl LtcKernel {
-    /// Creates the kernel for a DPU configuration.
+    /// Creates the kernel for a DPU configuration and operand formats.
     #[must_use]
-    pub fn new(cfg: DpuConfig) -> Self {
-        LtcKernel { cfg }
+    pub fn new(cfg: DpuConfig, wf: NumericFormat, af: NumericFormat) -> Self {
+        LtcKernel { cfg, wf, af }
     }
 
     /// Number of bit-serial weight planes for a format (bipolar weights
@@ -36,11 +39,11 @@ impl LtcKernel {
         }
     }
 
-    fn charge(&self, dims: GemmDims, wf: NumericFormat, af: NumericFormat, dpu: &mut Dpu) {
+    fn charge(&self, dims: GemmDims, dpu: &mut Dpu) {
         let costs = &self.cfg.processor.costs;
         let g = u64::from(costs.ltc_group);
         let groups = (dims.k as u64).div_ceil(g) * dims.n as u64;
-        charge_operand_input(dpu, dims, wf.bits(), af.bits());
+        charge_operand_input(dpu, dims, self.wf.bits(), self.af.bits());
         // Runtime table generation: 2^g entries per activation group.
         let table_entries = groups * (1u64 << g);
         dpu.charge_instrs(
@@ -48,62 +51,98 @@ impl LtcKernel {
             Category::Compute,
         );
         // Bit-plane lookups: one per (weight row, group, plane).
-        let lookups = dims.m as u64 * groups * u64::from(Self::planes(wf));
+        let lookups = dims.m as u64 * groups * u64::from(Self::planes(self.wf));
         dpu.charge_instrs(lookups * u64::from(costs.ltc_lookup), Category::Compute);
         charge_output(dpu, dims);
     }
 
-    /// Analytic cost for the given dimensions and formats.
+    /// Analytic cost for the given dimensions.
     #[must_use]
-    pub fn cost(&self, dims: GemmDims, wf: NumericFormat, af: NumericFormat) -> Profile {
+    pub fn cost(&self, dims: GemmDims) -> Profile {
         let mut dpu = Dpu::new(self.cfg.clone());
-        self.charge(dims, wf, af, &mut dpu);
+        self.charge(dims, &mut dpu);
         dpu.profile()
+    }
+
+    /// Cheap operand checks shared by `run` and the trait dispatch.
+    fn validate_operands(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmDims, LocaLutError> {
+        require_integer(self.wf, self.af)?;
+        let dims = GemmDims::of(w, a)?;
+        if w.format() != self.wf || a.format() != self.af {
+            return Err(LocaLutError::UnsupportedFormat(
+                "operand formats differ from the kernel's configured formats",
+            ));
+        }
+        Ok(dims)
     }
 
     /// Runs the bit-serial GEMM and returns exact outputs + profile.
     ///
+    /// Blocked like the LUT arms: weight rows are bit-packed once at group
+    /// size `g` (one packed word per `(m, kb)` — the zero pad past `K`
+    /// keeps every plane index in range), and each K-block builds the
+    /// subset-sum tables for an [`N_TILE`]-wide column tile up front so one
+    /// plane-index extraction per `(m, plane)` serves the whole tile.
+    ///
     /// # Errors
     ///
-    /// Shape or format errors.
+    /// Shape or format errors, including a group size too wide to bit-pack
+    /// (`g · weight bits > 64`).
     pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
-        require_integer(w.format(), a.format())?;
-        let dims = GemmDims::of(w, a)?;
-        let (wf, af) = (w.format(), a.format());
+        let dims = self.validate_operands(w, a)?;
         let g = self.cfg.processor.costs.ltc_group as usize;
+        let bits = usize::from(self.wf.bits());
+        if bits * g > 64 {
+            return Err(LocaLutError::UnsupportedFormat(
+                "LTC group does not fit a packed 64-bit weight word",
+            ));
+        }
         let kblocks = dims.k.div_ceil(g);
-        let bw = u32::from(wf.bits());
+        let bw = u32::from(self.wf.bits());
+        let wpacked = PackedCodes::pack_weight_rows(w, g);
 
         let mut values = vec![0i32; dims.m * dims.n];
-        let mut table = vec![0i32; 1 << g];
-        for n in 0..dims.n {
-            for kb in 0..kblocks {
-                let glen = g.min(dims.k - kb * g);
-                // Runtime table: subset sums of the group's activations.
-                let mut group_sum = 0i32;
-                table[0] = 0;
-                for idx in 1usize..(1 << glen) {
-                    let lsb = idx.trailing_zeros() as usize;
-                    let av = af
-                        .decode_int(u32::from(a.code_at(kb * g + lsb, n)))
-                        .expect("integer format");
-                    table[idx] = table[idx ^ (1 << lsb)] + av;
-                }
-                for i in 0..glen {
-                    group_sum += af
-                        .decode_int(u32::from(a.code_at(kb * g + i, n)))
-                        .expect("integer format");
+        let mut tables: Vec<i32> = Vec::new();
+        let mut gsums: Vec<i32> = Vec::with_capacity(N_TILE);
+        for kb in 0..kblocks {
+            let glen = g.min(dims.k - kb * g);
+            let tsize = 1usize << glen;
+            let wcol = wpacked.group(kb);
+            for n0 in (0..dims.n).step_by(N_TILE) {
+                let n1 = dims.n.min(n0 + N_TILE);
+                // Runtime tables: subset sums of each tile column's group.
+                tables.clear();
+                tables.resize((n1 - n0) * tsize, 0);
+                gsums.clear();
+                for (dn, n) in (n0..n1).enumerate() {
+                    let table = &mut tables[dn * tsize..(dn + 1) * tsize];
+                    for idx in 1usize..tsize {
+                        let lsb = idx.trailing_zeros() as usize;
+                        let av = self
+                            .af
+                            .decode_int(u32::from(a.code_at(kb * g + lsb, n)))
+                            .expect("integer format");
+                        table[idx] = table[idx ^ (1 << lsb)] + av;
+                    }
+                    let mut group_sum = 0i32;
+                    for i in 0..glen {
+                        group_sum += self
+                            .af
+                            .decode_int(u32::from(a.code_at(kb * g + i, n)))
+                            .expect("integer format");
+                    }
+                    gsums.push(group_sum);
                 }
                 for m in 0..dims.m {
-                    let acc = &mut values[m * dims.n + n];
-                    match wf {
+                    let word = wcol[m];
+                    let out = &mut values[m * dims.n + n0..m * dims.n + n1];
+                    match self.wf {
                         NumericFormat::Bipolar => {
                             // w = 2c − 1: dot = 2·table[idx] − Σa.
-                            let mut idx = 0usize;
-                            for i in 0..glen {
-                                idx |= usize::from(w.code_at(m, kb * g + i) & 1) << i;
+                            let idx = (word as usize) & (tsize - 1);
+                            for (dn, acc) in out.iter_mut().enumerate() {
+                                *acc += 2 * tables[dn * tsize + idx] - gsums[dn];
                             }
-                            *acc += 2 * table[idx] - group_sum;
                         }
                         _ => {
                             // Two's complement: Σ_{b<bw−1} 2^b·plane_b −
@@ -111,15 +150,18 @@ impl LtcKernel {
                             for b in 0..bw {
                                 let mut idx = 0usize;
                                 for i in 0..glen {
-                                    let bit = (w.code_at(m, kb * g + i) >> b) & 1;
-                                    idx |= usize::from(bit) << i;
+                                    let bit = (word >> (bits * i + b as usize)) & 1;
+                                    idx |= (bit as usize) << i;
                                 }
-                                let scale = if b + 1 == bw && matches!(wf, NumericFormat::Int(_)) {
-                                    -(1i32 << b)
-                                } else {
-                                    1i32 << b
-                                };
-                                *acc += scale * table[idx];
+                                let scale =
+                                    if b + 1 == bw && matches!(self.wf, NumericFormat::Int(_)) {
+                                        -(1i32 << b)
+                                    } else {
+                                        1i32 << b
+                                    };
+                                for (dn, acc) in out.iter_mut().enumerate() {
+                                    *acc += scale * tables[dn * tsize + idx];
+                                }
                             }
                         }
                     }
@@ -128,12 +170,34 @@ impl LtcKernel {
         }
 
         let mut dpu = Dpu::new(self.cfg.clone());
-        self.charge(dims, wf, af, &mut dpu);
+        self.charge(dims, &mut dpu);
         Ok(GemmResult {
             values,
             dims,
             profile: dpu.profile(),
         })
+    }
+}
+
+impl LutKernel for LtcKernel {
+    fn method(&self) -> Method {
+        Method::Ltc
+    }
+
+    fn p(&self) -> u32 {
+        1
+    }
+
+    fn cost(&self, dims: GemmDims) -> Profile {
+        LtcKernel::cost(self, dims)
+    }
+
+    fn validate(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmDims, LocaLutError> {
+        self.validate_operands(w, a)
+    }
+
+    fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+        LtcKernel::run(self, w, a)
     }
 }
 
@@ -156,7 +220,7 @@ mod tests {
         let a = Quantizer::symmetric(af)
             .quantize_matrix(&adata, k, n)
             .unwrap();
-        let kernel = LtcKernel::new(DpuConfig::upmem());
+        let kernel = LtcKernel::new(DpuConfig::upmem(), wf, af);
         let out = kernel.run(&w, &a).unwrap();
         assert_eq!(
             out.values,
@@ -183,6 +247,17 @@ mod tests {
     }
 
     #[test]
+    fn wide_n_crosses_tile_boundaries() {
+        check_matches_reference(
+            NumericFormat::Int(3),
+            NumericFormat::Int(3),
+            3,
+            9,
+            N_TILE * 2 + 7,
+        );
+    }
+
+    #[test]
     fn run_profile_equals_cost() {
         let w = Quantizer::symmetric(NumericFormat::Int(2))
             .quantize_matrix(&[0.5; 24], 4, 6)
@@ -190,25 +265,35 @@ mod tests {
         let a = Quantizer::symmetric(NumericFormat::Int(3))
             .quantize_matrix(&[0.25; 12], 6, 2)
             .unwrap();
-        let kernel = LtcKernel::new(DpuConfig::upmem());
-        let out = kernel.run(&w, &a).unwrap();
-        assert_eq!(
-            out.profile,
-            kernel.cost(out.dims, NumericFormat::Int(2), NumericFormat::Int(3))
+        let kernel = LtcKernel::new(
+            DpuConfig::upmem(),
+            NumericFormat::Int(2),
+            NumericFormat::Int(3),
         );
+        let out = kernel.run(&w, &a).unwrap();
+        assert_eq!(out.profile, kernel.cost(out.dims));
     }
 
     #[test]
     fn cost_scales_with_weight_bits() {
         // Bit-serial: W4 needs ~4x the lookups of W1.
-        let kernel = LtcKernel::new(DpuConfig::upmem());
         let dims = GemmDims {
             m: 128,
             k: 128,
             n: 32,
         };
-        let w1 = kernel.cost(dims, NumericFormat::Bipolar, NumericFormat::Int(4));
-        let w4 = kernel.cost(dims, NumericFormat::Int(4), NumericFormat::Int(4));
+        let w1 = LtcKernel::new(
+            DpuConfig::upmem(),
+            NumericFormat::Bipolar,
+            NumericFormat::Int(4),
+        )
+        .cost(dims);
+        let w4 = LtcKernel::new(
+            DpuConfig::upmem(),
+            NumericFormat::Int(4),
+            NumericFormat::Int(4),
+        )
+        .cost(dims);
         let ratio = w4.seconds(Category::Compute) / w1.seconds(Category::Compute);
         assert!((3.0..4.5).contains(&ratio), "ratio {ratio}");
     }

@@ -17,13 +17,17 @@
 //! | [`RcKernel`]        | + reordering LUT               | "OP+LC+RC" (§IV-B) |
 //! | [`StreamingKernel`] | + LUT slice streaming          | "LoCaLUT" (§IV-C) |
 //!
-//! For bank-parallel execution, [`SharedLuts`] holds the canonical +
-//! reordering LUT images behind `Arc` so N workers share one read-only
-//! build, [`BankKernel`] is the method-erased construct-once kernel those
-//! workers clone, and [`par_run`] is the multi-threaded entry point
-//! (sharded across host threads; see the `runtime` crate for the full
-//! executor with per-bank profiles).
+//! All six arms implement one object-safe [`LutKernel`] trait — the single
+//! dispatch surface every layer above uses. [`BankKernel`] is the
+//! method-erased construct-once handle (an `Arc<dyn LutKernel>` plus the
+//! optional [`SharedLuts`] images) that bank-parallel workers clone;
+//! [`par_run`] is the multi-threaded entry point (sharded across host
+//! threads; see the `runtime` crate for the full executor with per-bank
+//! profiles). Method-to-kernel construction lives in one place
+//! ([`BankKernel::build`] and friends, in the `build` submodule) — there is
+//! deliberately no per-method `match` anywhere else in this module.
 
+mod build;
 mod lc;
 mod ltc;
 mod naive;
@@ -39,8 +43,8 @@ pub use rc::RcKernel;
 pub use streaming::StreamingKernel;
 
 use crate::canonical::CanonicalLut;
+use crate::codes::ActivationPanel;
 use crate::gemm::{GemmConfig, GemmDims, GemmResult, Method};
-use crate::plan::{ExecutionPlan, Placement, Planner};
 use crate::reorder::ReorderLut;
 use crate::LocaLutError;
 use pim_sim::{Category, Dpu, Profile};
@@ -51,6 +55,12 @@ use std::sync::Arc;
 /// host memory during functional runs. All UPMEM-budget-feasible LUTs fit
 /// comfortably (the largest, W1A3 at `p = 8`, is ~12 M entries).
 pub(crate) const MAX_MATERIALIZED_ENTRIES: u64 = 1 << 26;
+
+/// Width of the N-tile the blocked buffer-resident loops process per slice
+/// resolution batch: 16 consecutive output columns share the same 64-byte
+/// `i32` output cache line per row, and 16 resolved LUT column pairs stay
+/// far below the WRAM-budget-sized slices' footprint.
+pub const N_TILE: usize = 16;
 
 /// Ensures both operand formats decode to exact integers.
 pub(crate) fn require_integer(wf: NumericFormat, af: NumericFormat) -> Result<(), LocaLutError> {
@@ -66,59 +76,6 @@ pub(crate) fn require_integer(wf: NumericFormat, af: NumericFormat) -> Result<()
 /// a multiple of `p` (`None` for formats without a zero, e.g. bipolar).
 pub(crate) fn zero_code(af: NumericFormat) -> Option<u16> {
     af.encode_int(0).ok().map(|c| c as u16)
-}
-
-/// Extracts the `p` activation codes of group (`kb`, `n`), padding past `K`
-/// with `pad`.
-pub(crate) fn group_codes(a: &QMatrix, kb: usize, n: usize, p: usize, pad: u16) -> Vec<u16> {
-    (0..p)
-        .map(|i| {
-            let k = kb * p + i;
-            if k < a.rows() {
-                a.code_at(k, n)
-            } else {
-                pad
-            }
-        })
-        .collect()
-}
-
-/// Extracts the `p` weight codes of row `m` for K-block `kb`, padding past
-/// `K` with code 0 (the activation pad is zero-valued, so any weight code
-/// contributes nothing).
-pub(crate) fn weight_group_codes(w: &QMatrix, m: usize, kb: usize, p: usize) -> Vec<u16> {
-    (0..p)
-        .map(|i| {
-            let k = kb * p + i;
-            if k < w.cols() {
-                w.code_at(m, k)
-            } else {
-                0
-            }
-        })
-        .collect()
-}
-
-/// Precomputes the packed weight row index of **every** `(m, kb)` group in
-/// one pass: `out[m * kblocks + kb]` equals
-/// `pack_index(&weight_group_codes(w, m, kb, p), bits)`.
-///
-/// This is the LUT kernels' hot-path hoist: the packed weight row depends
-/// only on `(m, kb)`, yet the naive triple loop re-extracts and re-packs it
-/// for every activation column — `M · ⌈K/p⌉ · N` heap-allocated code groups
-/// where `M · ⌈K/p⌉` suffice. Packing here walks each weight row's code
-/// slice directly (no per-group `Vec`), and the zero weight pad past `K`
-/// falls out of the zero initialization.
-pub(crate) fn packed_weight_rows(w: &QMatrix, p: usize, bits: u8) -> Vec<u64> {
-    let kblocks = w.cols().div_ceil(p);
-    let mut packed = vec![0u64; w.rows() * kblocks];
-    for m in 0..w.rows() {
-        let row = &mut packed[m * kblocks..(m + 1) * kblocks];
-        for (k, &code) in w.row(m).iter().enumerate() {
-            row[k / p] |= u64::from(code) << (usize::from(bits) * (k % p));
-        }
-    }
-    packed
 }
 
 /// Resolves the zero pad code or errors when `K % p != 0` and none exists.
@@ -143,6 +100,133 @@ pub(crate) fn charge_operand_input(dpu: &mut Dpu, dims: GemmDims, bw: u8, ba: u8
 /// Charges the output writeback (WRAM → bank).
 pub(crate) fn charge_output(dpu: &mut Dpu, dims: GemmDims) {
     dpu.charge_dram_writeback(dims.output_bytes(), Category::OutputWriteback);
+}
+
+/// Validates that an [`ActivationPanel`]'s packed shape matches the
+/// operands a `run_with_panel` call is about to consume it with.
+pub(crate) fn check_panel(
+    panel: &ActivationPanel,
+    abits: u8,
+    p: usize,
+    kblocks: usize,
+    n: usize,
+) -> Result<(), LocaLutError> {
+    let packed = panel.packed();
+    if packed.bits() != abits
+        || packed.p() != p
+        || packed.groups() != kblocks
+        || packed.lanes() != n
+    {
+        return Err(LocaLutError::UnsupportedFormat(
+            "activation panel shape does not match the operands",
+        ));
+    }
+    Ok(())
+}
+
+/// The unified kernel interface every arm of the evaluation implements.
+///
+/// One GEMM kernel is four capabilities: identify itself
+/// ([`method`](LutKernel::method), [`p`](LutKernel::p)), price a shape
+/// ([`cost`](LutKernel::cost)), vet operands
+/// ([`validate`](LutKernel::validate)), and execute
+/// ([`run`](LutKernel::run) /
+/// [`run_with_luts`](LutKernel::run_with_luts)). The trait is object-safe:
+/// [`BankKernel`], `kernels::par_run`, the `runtime` executor, and the
+/// engine all dispatch through `dyn LutKernel`, so a new design point
+/// plugs in by implementing this trait — no dispatch site changes.
+///
+/// The functional/timed contract holds for every implementor:
+/// `run(w, a)?.profile == cost(GemmDims::of(w, a)?)` exactly, and
+/// `run_with_luts` is bit-identical to `run` in both values and profile.
+pub trait LutKernel: std::fmt::Debug + Send + Sync {
+    /// The evaluation method this kernel realizes.
+    fn method(&self) -> Method;
+
+    /// The packing degree (`1` for the LUT-free baselines, which consume
+    /// operands one code at a time).
+    fn p(&self) -> u32;
+
+    /// Analytic cost for the given dimensions — the profile
+    /// [`LutKernel::run`] charges for operands of the same shape.
+    fn cost(&self, dims: GemmDims) -> Profile;
+
+    /// Cheap operand checks (shape, formats, padding feasibility) shared
+    /// by `run` and `run_with_luts`, returning the dimensions on success.
+    ///
+    /// # Errors
+    ///
+    /// Shape, format, or padding errors.
+    fn validate(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmDims, LocaLutError>;
+
+    /// Runs the GEMM, building any LUT images locally.
+    ///
+    /// # Errors
+    ///
+    /// Shape, format, padding, or budget errors.
+    fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError>;
+
+    /// Runs the GEMM against prebuilt shared LUT images. Arms without
+    /// shared images (the baselines and the locally-built LUT arms)
+    /// ignore `luts` and run as [`LutKernel::run`].
+    ///
+    /// # Errors
+    ///
+    /// Shape, format, or padding errors, or
+    /// [`LocaLutError::UnsupportedFormat`] when `luts` was built for a
+    /// different `(wf, af, p)` than the kernel needs.
+    fn run_with_luts(
+        &self,
+        w: &QMatrix,
+        a: &QMatrix,
+        luts: &SharedLuts,
+    ) -> Result<GemmResult, LocaLutError> {
+        let _ = luts;
+        self.run(w, a)
+    }
+
+    /// Resolves the shard-invariant activation panel this kernel can share
+    /// across row-sharded banks, or `None` for arms without one (the
+    /// LUT-free baselines and the software-reorder arms). Panels decouple
+    /// the activation-side group resolution from the per-bank M-pass: a
+    /// bank-parallel executor resolves each activation column band once
+    /// and passes the panel to [`LutKernel::run_with_panel`] on every bank
+    /// in the band.
+    ///
+    /// # Errors
+    ///
+    /// Shape, format, or padding errors.
+    fn resolve_panel(
+        &self,
+        a: &QMatrix,
+        luts: &SharedLuts,
+    ) -> Result<Option<ActivationPanel>, LocaLutError> {
+        let _ = (a, luts);
+        Ok(None)
+    }
+
+    /// Runs against an activation panel previously resolved **from the
+    /// same activation operand** by [`LutKernel::resolve_panel`] — the
+    /// panel is trusted as `a`'s resolution (shapes are validated; values
+    /// are the caller's contract). Bitwise identical to
+    /// [`LutKernel::run_with_luts`] in values and profile. The default
+    /// ignores the panel and runs `run_with_luts`.
+    ///
+    /// # Errors
+    ///
+    /// As [`LutKernel::run_with_luts`], plus
+    /// [`LocaLutError::UnsupportedFormat`] when the panel's shape does not
+    /// match the operands.
+    fn run_with_panel(
+        &self,
+        w: &QMatrix,
+        a: &QMatrix,
+        luts: &SharedLuts,
+        panel: &ActivationPanel,
+    ) -> Result<GemmResult, LocaLutError> {
+        let _ = panel;
+        self.run_with_luts(w, a, luts)
+    }
 }
 
 /// A read-only canonical + reordering LUT pair shared across workers.
@@ -289,6 +373,13 @@ impl SharedLuts {
 /// and hands a clone to every worker, so all banks execute the identical
 /// plan against one [`SharedLuts`] image (clones only bump `Arc` counts).
 ///
+/// The handle is a `dyn` [`LutKernel`] plus the optional shared images the
+/// kernel runs against — [`BankKernel::run`] routes through
+/// [`LutKernel::run_with_luts`] when images are attached and
+/// [`LutKernel::run`] otherwise, and everything else delegates to the
+/// trait. Construction from a [`Method`] lives in [`BankKernel::build`] /
+/// [`BankKernel::build_with`] / [`BankKernel::build_planned`].
+///
 /// # Examples
 ///
 /// ```
@@ -305,138 +396,52 @@ impl SharedLuts {
 /// # Ok::<(), localut::LocaLutError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub enum BankKernel {
-    /// Conventional int-MAC PIM kernel (plus the operand formats its
-    /// analytic cost twin charges for).
-    Naive(NaiveKernel, NumericFormat, NumericFormat),
-    /// Bit-serial runtime-LUT kernel (plus the operand formats its
-    /// analytic cost twin charges for).
-    Ltc(LtcKernel, NumericFormat, NumericFormat),
-    /// Buffer-resident operation-packed LUT kernel.
-    Op(OpKernel),
-    /// Canonicalized LUT kernel with software reordering.
-    Lc(LcKernel),
-    /// Canonical + reordering LUT kernel with shared LUT images.
-    Rc(RcKernel, SharedLuts),
-    /// Slice-streaming LoCaLUT kernel with shared LUT images.
-    Streaming(StreamingKernel, SharedLuts),
+pub struct BankKernel {
+    kernel: Arc<dyn LutKernel>,
+    luts: Option<SharedLuts>,
 }
 
 impl BankKernel {
-    /// Constructs the kernel `method` would use for a GEMM of `dims`,
-    /// building shared LUT images once where the method uses them.
-    ///
-    /// For [`Method::LoCaLut`] the §V-A planner runs on the **full**
-    /// dimensions, so every bank of a sharded run executes the same
-    /// placement and packing degree the serial path would.
-    ///
-    /// # Errors
-    ///
-    /// Format, budget, or planning errors (see [`LocaLutError`]).
-    pub fn build(
-        cfg: &GemmConfig,
-        method: Method,
-        wf: NumericFormat,
-        af: NumericFormat,
-        dims: GemmDims,
-    ) -> Result<Self, LocaLutError> {
-        Self::build_with(cfg, method, wf, af, dims, |wf, af, p, _| {
-            SharedLuts::build(wf, af, p)
-        })
-    }
-
-    /// [`BankKernel::build`] with an injected LUT source: wherever the
-    /// method needs shared images, `luts_for(wf, af, p, placement)` is
-    /// asked for them instead of [`SharedLuts::build`]. This keeps the
-    /// method dispatch and planning in exactly one place while letting a
-    /// serving layer substitute a cache — the returned kernel is
-    /// otherwise identical to `build`'s.
-    ///
-    /// # Errors
-    ///
-    /// Format, budget, or planning errors, plus whatever `luts_for`
-    /// reports.
-    pub fn build_with(
-        cfg: &GemmConfig,
-        method: Method,
-        wf: NumericFormat,
-        af: NumericFormat,
-        dims: GemmDims,
-        luts_for: impl FnMut(
-            NumericFormat,
-            NumericFormat,
-            u32,
-            Placement,
-        ) -> Result<SharedLuts, LocaLutError>,
-    ) -> Result<Self, LocaLutError> {
-        Self::build_planned(cfg, method, wf, af, dims, luts_for, |dims, wf, af, k| {
-            Planner::new(cfg.dpu.clone()).plan(dims, wf, af, k)
-        })
-    }
-
-    /// [`BankKernel::build_with`] with the §V-A planning step injected as
-    /// well: where [`Method::LoCaLut`] needs an [`ExecutionPlan`],
-    /// `plan_for(dims, wf, af, k_slices)` is asked for it instead of
-    /// running [`Planner::plan`] directly. A serving layer substitutes a
-    /// memoized planner here; because planning is deterministic, a cached
-    /// plan must equal a recomputed one and the returned kernel is
-    /// identical to `build`'s.
-    ///
-    /// # Errors
-    ///
-    /// Format, budget, or planning errors, plus whatever `luts_for` or
-    /// `plan_for` report.
-    pub fn build_planned(
-        cfg: &GemmConfig,
-        method: Method,
-        wf: NumericFormat,
-        af: NumericFormat,
-        dims: GemmDims,
-        mut luts_for: impl FnMut(
-            NumericFormat,
-            NumericFormat,
-            u32,
-            Placement,
-        ) -> Result<SharedLuts, LocaLutError>,
-        plan_for: impl FnOnce(
-            GemmDims,
-            NumericFormat,
-            NumericFormat,
-            Option<u32>,
-        ) -> Result<ExecutionPlan, LocaLutError>,
-    ) -> Result<Self, LocaLutError> {
-        match method {
-            Method::NaivePim => Ok(BankKernel::Naive(NaiveKernel::new(cfg.dpu.clone()), wf, af)),
-            Method::Ltc => Ok(BankKernel::Ltc(LtcKernel::new(cfg.dpu.clone()), wf, af)),
-            Method::Op => Ok(BankKernel::Op(OpKernel::auto(cfg.dpu.clone(), wf, af)?)),
-            Method::OpLc => Ok(BankKernel::Lc(LcKernel::auto(cfg.dpu.clone(), wf, af)?)),
-            Method::OpLcRc => {
-                let kernel = RcKernel::auto(cfg.dpu.clone(), wf, af)?;
-                let luts = luts_for(wf, af, kernel.p(), Placement::BufferResident)?;
-                Ok(BankKernel::Rc(kernel, luts))
-            }
-            Method::LoCaLut => {
-                let plan = plan_for(dims, wf, af, Some(cfg.k_slices))?;
-                let luts = luts_for(wf, af, plan.p, plan.placement)?;
-                match plan.kernel(&cfg.dpu)? {
-                    crate::plan::PlannedKernel::Buffer(k) => Ok(BankKernel::Rc(k, luts)),
-                    crate::plan::PlannedKernel::Streaming(k) => Ok(BankKernel::Streaming(k, luts)),
-                }
-            }
+    /// Wraps a kernel with no shared LUT images attached; it builds
+    /// whatever images it needs locally on each run.
+    pub fn new(kernel: impl LutKernel + 'static) -> Self {
+        BankKernel {
+            kernel: Arc::new(kernel),
+            luts: None,
         }
+    }
+
+    /// Wraps a kernel together with prebuilt shared LUT images; every run
+    /// routes through [`LutKernel::run_with_luts`] against them.
+    pub fn with_shared_luts(kernel: impl LutKernel + 'static, luts: SharedLuts) -> Self {
+        BankKernel {
+            kernel: Arc::new(kernel),
+            luts: Some(luts),
+        }
+    }
+
+    /// The wrapped kernel, as the trait object every dispatch layer sees.
+    #[must_use]
+    pub fn kernel(&self) -> &dyn LutKernel {
+        self.kernel.as_ref()
+    }
+
+    /// The attached shared LUT images, if any.
+    #[must_use]
+    pub fn shared_luts(&self) -> Option<&SharedLuts> {
+        self.luts.as_ref()
     }
 
     /// The method this kernel realizes.
     #[must_use]
     pub fn method(&self) -> Method {
-        match self {
-            BankKernel::Naive(..) => Method::NaivePim,
-            BankKernel::Ltc(..) => Method::Ltc,
-            BankKernel::Op(_) => Method::Op,
-            BankKernel::Lc(_) => Method::OpLc,
-            BankKernel::Rc(..) => Method::OpLcRc,
-            BankKernel::Streaming(..) => Method::LoCaLut,
-        }
+        self.kernel.method()
+    }
+
+    /// The kernel's packing degree.
+    #[must_use]
+    pub fn p(&self) -> u32 {
+        self.kernel.p()
     }
 
     /// Runs the kernel on one operand tile, reusing the shared LUT images
@@ -446,13 +451,9 @@ impl BankKernel {
     ///
     /// Shape, format, or padding errors.
     pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
-        match self {
-            BankKernel::Naive(k, _, _) => k.run(w, a),
-            BankKernel::Ltc(k, _, _) => k.run(w, a),
-            BankKernel::Op(k) => k.run(w, a),
-            BankKernel::Lc(k) => k.run(w, a),
-            BankKernel::Rc(k, luts) => k.run_with_luts(w, a, luts),
-            BankKernel::Streaming(k, luts) => k.run_with_luts(w, a, luts),
+        match &self.luts {
+            Some(luts) => self.kernel.run_with_luts(w, a, luts),
+            None => self.kernel.run(w, a),
         }
     }
 
@@ -460,13 +461,40 @@ impl BankKernel {
     /// [`BankKernel::run`] charges for operands of the same shape).
     #[must_use]
     pub fn cost(&self, dims: GemmDims) -> Profile {
-        match self {
-            BankKernel::Naive(k, wf, af) => k.cost(dims, *wf, *af),
-            BankKernel::Ltc(k, wf, af) => k.cost(dims, *wf, *af),
-            BankKernel::Op(k) => k.cost(dims),
-            BankKernel::Lc(k) => k.cost(dims),
-            BankKernel::Rc(k, _) => k.cost(dims),
-            BankKernel::Streaming(k, _) => k.cost(dims),
+        self.kernel.cost(dims)
+    }
+
+    /// Resolves the activation panel the wrapped kernel shares across
+    /// row-sharded banks — `None` when no shared images are attached or
+    /// the kernel has no panel form.
+    ///
+    /// # Errors
+    ///
+    /// Shape, format, or padding errors.
+    pub fn resolve_panel(&self, a: &QMatrix) -> Result<Option<ActivationPanel>, LocaLutError> {
+        match &self.luts {
+            Some(luts) => self.kernel.resolve_panel(a, luts),
+            None => Ok(None),
+        }
+    }
+
+    /// Runs one tile against a panel resolved from the same activation
+    /// tile by [`BankKernel::resolve_panel`]; falls back to
+    /// [`BankKernel::run`] when `panel` is `None`. Bitwise identical to
+    /// `run` in values and profile.
+    ///
+    /// # Errors
+    ///
+    /// Shape, format, or padding errors.
+    pub fn run_panel(
+        &self,
+        w: &QMatrix,
+        a: &QMatrix,
+        panel: Option<&ActivationPanel>,
+    ) -> Result<GemmResult, LocaLutError> {
+        match (&self.luts, panel) {
+            (Some(luts), Some(panel)) => self.kernel.run_with_panel(w, a, luts, panel),
+            _ => self.run(w, a),
         }
     }
 }
@@ -583,33 +611,6 @@ mod tests {
     }
 
     #[test]
-    fn group_codes_pads_past_k() {
-        let a = Quantizer::symmetric(NumericFormat::Int(3))
-            .quantize_matrix(&[1.0, 2.0, 3.0, -1.0, -2.0, -3.0], 3, 2)
-            .unwrap();
-        let g = group_codes(&a, 1, 0, 2, 9);
-        assert_eq!(g[0], a.code_at(2, 0));
-        assert_eq!(g[1], 9); // padded
-    }
-
-    #[test]
-    fn packed_weight_rows_match_per_group_packing() {
-        use crate::packed::pack_index;
-        for (m, k, p, bits) in [(4usize, 11usize, 3usize, 2u8), (3, 12, 4, 1), (1, 5, 5, 3)] {
-            let w = QMatrix::pseudo_random(m, k, NumericFormat::Int(bits), 99);
-            let kblocks = k.div_ceil(p);
-            let packed = packed_weight_rows(&w, p, bits);
-            assert_eq!(packed.len(), m * kblocks);
-            for mm in 0..m {
-                for kb in 0..kblocks {
-                    let expect = pack_index(&weight_group_codes(&w, mm, kb, p), bits);
-                    assert_eq!(packed[mm * kblocks + kb], expect, "({mm}, {kb})");
-                }
-            }
-        }
-    }
-
-    #[test]
     fn require_integer_rejects_floats() {
         assert!(require_integer(NumericFormat::Int(2), NumericFormat::Int(3)).is_ok());
         assert!(require_integer(NumericFormat::Fp4, NumericFormat::Int(3)).is_err());
@@ -662,8 +663,53 @@ mod tests {
         .unwrap();
         let luts = SharedLuts::build(NumericFormat::Int(2), NumericFormat::Int(3), 3).unwrap();
         let shared = kernel.run_with_luts(&w, &a, &luts).unwrap();
-        let local = kernel.run(&w, &a).unwrap();
+        let local = LutKernel::run(&kernel, &w, &a).unwrap();
         assert_eq!(shared, local);
+    }
+
+    #[test]
+    fn bank_kernel_reports_method_and_p_for_every_arm() {
+        let (w, a) = operands(4, 12, 3);
+        let dims = GemmDims::of(&w, &a).unwrap();
+        let cfg = GemmConfig::upmem();
+        for method in Method::ALL {
+            let bank = BankKernel::build(&cfg, method, w.format(), a.format(), dims).unwrap();
+            // A LoCaLut plan that lands buffer-resident is realized by the
+            // RC arm and reports itself as such (same contract as before
+            // the trait unification).
+            if method == Method::LoCaLut {
+                assert!(matches!(bank.method(), Method::LoCaLut | Method::OpLcRc));
+            } else {
+                assert_eq!(bank.method(), method);
+            }
+            assert!(bank.p() >= 1, "{method}");
+            // LUT images are attached exactly where the method shares them.
+            assert_eq!(
+                bank.shared_luts().is_some(),
+                matches!(method, Method::OpLcRc | Method::LoCaLut),
+                "{method}"
+            );
+            let out = bank.run(&w, &a).unwrap();
+            assert_eq!(out.profile, bank.cost(dims), "{method}");
+        }
+    }
+
+    #[test]
+    fn trait_dispatch_matches_inherent_calls() {
+        let (w, a) = operands(5, 10, 2);
+        let kernel = RcKernel::with_p(
+            pim_sim::DpuConfig::upmem(),
+            NumericFormat::Int(2),
+            NumericFormat::Int(3),
+            2,
+        )
+        .unwrap();
+        let erased: &dyn LutKernel = &kernel;
+        assert_eq!(erased.method(), Method::OpLcRc);
+        assert_eq!(erased.p(), 2);
+        let dims = erased.validate(&w, &a).unwrap();
+        let out = erased.run(&w, &a).unwrap();
+        assert_eq!(out.profile, erased.cost(dims));
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! instruction sequence regardless of how few bits the operands carry —
 //! which is precisely the inefficiency LUT packing exploits.
 
-use crate::gemm::{reference_gemm, GemmDims, GemmResult};
-use crate::kernels::{charge_operand_input, charge_output, require_integer};
+use crate::gemm::{reference_gemm, GemmDims, GemmResult, Method};
+use crate::kernels::{charge_operand_input, charge_output, require_integer, LutKernel};
 use crate::LocaLutError;
 use pim_sim::{Category, Dpu, DpuConfig, Profile};
 use quant::{NumericFormat, QMatrix};
@@ -15,18 +15,20 @@ use quant::{NumericFormat, QMatrix};
 #[derive(Debug, Clone)]
 pub struct NaiveKernel {
     cfg: DpuConfig,
+    wf: NumericFormat,
+    af: NumericFormat,
 }
 
 impl NaiveKernel {
-    /// Creates the kernel for a DPU configuration.
+    /// Creates the kernel for a DPU configuration and operand formats.
     #[must_use]
-    pub fn new(cfg: DpuConfig) -> Self {
-        NaiveKernel { cfg }
+    pub fn new(cfg: DpuConfig, wf: NumericFormat, af: NumericFormat) -> Self {
+        NaiveKernel { cfg, wf, af }
     }
 
-    fn charge(&self, dims: GemmDims, wf: NumericFormat, af: NumericFormat, dpu: &mut Dpu) {
-        let bw = wf.bits();
-        let ba = af.bits();
+    fn charge(&self, dims: GemmDims, dpu: &mut Dpu) {
+        let bw = self.wf.bits();
+        let ba = self.af.bits();
         charge_operand_input(dpu, dims, bw, ba);
         let per_mac = self
             .cfg
@@ -37,12 +39,24 @@ impl NaiveKernel {
         charge_output(dpu, dims);
     }
 
-    /// Analytic cost for the given dimensions and formats.
+    /// Analytic cost for the given dimensions.
     #[must_use]
-    pub fn cost(&self, dims: GemmDims, wf: NumericFormat, af: NumericFormat) -> Profile {
+    pub fn cost(&self, dims: GemmDims) -> Profile {
         let mut dpu = Dpu::new(self.cfg.clone());
-        self.charge(dims, wf, af, &mut dpu);
+        self.charge(dims, &mut dpu);
         dpu.profile()
+    }
+
+    /// Cheap operand checks shared by `run` and the trait dispatch.
+    fn validate_operands(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmDims, LocaLutError> {
+        require_integer(self.wf, self.af)?;
+        let dims = GemmDims::of(w, a)?;
+        if w.format() != self.wf || a.format() != self.af {
+            return Err(LocaLutError::UnsupportedFormat(
+                "operand formats differ from the kernel's configured formats",
+            ));
+        }
+        Ok(dims)
     }
 
     /// Runs the GEMM (direct MACs) and returns exact outputs + profile.
@@ -51,16 +65,37 @@ impl NaiveKernel {
     ///
     /// Shape or format errors.
     pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
-        require_integer(w.format(), a.format())?;
-        let dims = GemmDims::of(w, a)?;
+        let dims = self.validate_operands(w, a)?;
         let values: Vec<i32> = reference_gemm(w, a)?;
         let mut dpu = Dpu::new(self.cfg.clone());
-        self.charge(dims, w.format(), a.format(), &mut dpu);
+        self.charge(dims, &mut dpu);
         Ok(GemmResult {
             values,
             dims,
             profile: dpu.profile(),
         })
+    }
+}
+
+impl LutKernel for NaiveKernel {
+    fn method(&self) -> Method {
+        Method::NaivePim
+    }
+
+    fn p(&self) -> u32 {
+        1
+    }
+
+    fn cost(&self, dims: GemmDims) -> Profile {
+        NaiveKernel::cost(self, dims)
+    }
+
+    fn validate(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmDims, LocaLutError> {
+        self.validate_operands(w, a)
+    }
+
+    fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+        NaiveKernel::run(self, w, a)
     }
 }
 
@@ -83,10 +118,14 @@ mod tests {
         (w, a)
     }
 
+    fn kernel_for(wf: NumericFormat, af: NumericFormat) -> NaiveKernel {
+        NaiveKernel::new(DpuConfig::upmem(), wf, af)
+    }
+
     #[test]
     fn run_matches_reference() {
         let (w, a) = operands();
-        let kernel = NaiveKernel::new(DpuConfig::upmem());
+        let kernel = kernel_for(NumericFormat::Int(4), NumericFormat::Int(4));
         let out = kernel.run(&w, &a).unwrap();
         assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap());
     }
@@ -94,34 +133,32 @@ mod tests {
     #[test]
     fn run_profile_equals_cost() {
         let (w, a) = operands();
-        let kernel = NaiveKernel::new(DpuConfig::upmem());
+        let kernel = kernel_for(NumericFormat::Int(4), NumericFormat::Int(4));
         let out = kernel.run(&w, &a).unwrap();
-        let cost = kernel.cost(out.dims, w.format(), a.format());
+        let cost = kernel.cost(out.dims);
         assert_eq!(out.profile, cost);
     }
 
     #[test]
     fn compute_dominates_large_gemm() {
-        let kernel = NaiveKernel::new(DpuConfig::upmem());
         let dims = GemmDims {
             m: 256,
             k: 256,
             n: 64,
         };
-        let p = kernel.cost(dims, NumericFormat::Bipolar, NumericFormat::Int(3));
+        let p = kernel_for(NumericFormat::Bipolar, NumericFormat::Int(3)).cost(dims);
         assert!(p.fraction(Category::Compute) > 0.8);
     }
 
     #[test]
     fn wide_operands_cost_more() {
-        let kernel = NaiveKernel::new(DpuConfig::upmem());
         let dims = GemmDims {
             m: 64,
             k: 64,
             n: 64,
         };
-        let narrow = kernel.cost(dims, NumericFormat::Int(4), NumericFormat::Int(4));
-        let wide = kernel.cost(dims, NumericFormat::Int(4), NumericFormat::Int(16));
+        let narrow = kernel_for(NumericFormat::Int(4), NumericFormat::Int(4)).cost(dims);
+        let wide = kernel_for(NumericFormat::Int(4), NumericFormat::Int(16)).cost(dims);
         assert!(wide.total_seconds() > narrow.total_seconds());
     }
 
@@ -129,7 +166,7 @@ mod tests {
     fn rejects_float_formats() {
         let w = QMatrix::from_codes(vec![0, 1], 1, 2, NumericFormat::Fp4, 1.0).unwrap();
         let a = QMatrix::from_codes(vec![0, 1], 2, 1, NumericFormat::Fp4, 1.0).unwrap();
-        let kernel = NaiveKernel::new(DpuConfig::upmem());
+        let kernel = kernel_for(NumericFormat::Fp4, NumericFormat::Fp4);
         assert!(matches!(
             kernel.run(&w, &a),
             Err(LocaLutError::UnsupportedFormat(_))

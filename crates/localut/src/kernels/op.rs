@@ -7,12 +7,13 @@
 //! W1A3 (§V-A).
 
 use crate::capacity::{max_p_op, op_lut_bytes};
-use crate::gemm::{GemmDims, GemmResult};
+use crate::codes::PackedCodes;
+use crate::gemm::{GemmDims, GemmResult, Method};
 use crate::kernels::{
-    charge_operand_input, charge_output, group_codes, pad_code_for, require_integer,
-    weight_group_codes, MAX_MATERIALIZED_ENTRIES,
+    charge_operand_input, charge_output, pad_code_for, require_integer, LutKernel,
+    MAX_MATERIALIZED_ENTRIES, N_TILE,
 };
-use crate::packed::{pack_index, OpPackedLut};
+use crate::packed::OpPackedLut;
 use crate::LocaLutError;
 use pim_sim::{Category, Dpu, DpuConfig, Profile};
 use quant::{NumericFormat, QMatrix};
@@ -112,33 +113,55 @@ impl OpKernel {
         dpu.profile()
     }
 
-    /// Runs the GEMM through the materialized packed LUT.
-    ///
-    /// # Errors
-    ///
-    /// Shape, padding, or budget errors.
-    pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+    /// Cheap operand checks shared by `run` and the trait dispatch.
+    fn validate_operands(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmDims, LocaLutError> {
         let dims = GemmDims::of(w, a)?;
         if w.format() != self.wf || a.format() != self.af {
             return Err(LocaLutError::UnsupportedFormat(
                 "operand formats differ from the kernel's configured formats",
             ));
         }
+        pad_code_for(self.af, dims.k, self.p as usize)?;
+        Ok(dims)
+    }
+
+    /// Runs the GEMM through the materialized packed LUT.
+    ///
+    /// Both operands are bit-packed into group-major [`PackedCodes`] once —
+    /// a packed word *is* an OP index — then each K-block walks `N`-tiles
+    /// of [`N_TILE`] columns with the LUT column slices hoisted, so the
+    /// M-pass is one contiguous packed-row scan with a single slice index
+    /// per lookup.
+    ///
+    /// # Errors
+    ///
+    /// Shape, padding, or budget errors.
+    pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+        let dims = self.validate_operands(w, a)?;
         let p = self.p as usize;
         let pad = pad_code_for(self.af, dims.k, p)?;
         let lut = OpPackedLut::<i32>::build(self.wf, self.af, self.p, MAX_MATERIALIZED_ENTRIES)?;
         let kblocks = dims.k.div_ceil(p);
 
+        let wpacked = PackedCodes::pack_weight_rows(w, p);
+        let apacked = PackedCodes::pack_activation_columns(a, p, pad);
+
         let mut values = vec![0i32; dims.m * dims.n];
-        for n in 0..dims.n {
-            for kb in 0..kblocks {
-                // Host-side packing: the activation column index.
-                let acodes = group_codes(a, kb, n, p, pad);
-                let col = pack_index(&acodes, self.af.bits());
+        let mut cols: Vec<&[i32]> = Vec::with_capacity(N_TILE);
+        for kb in 0..kblocks {
+            let wcol = wpacked.group(kb);
+            for n0 in (0..dims.n).step_by(N_TILE) {
+                let n1 = dims.n.min(n0 + N_TILE);
+                cols.clear();
+                for n in n0..n1 {
+                    cols.push(lut.column_slice(apacked.word(kb, n)));
+                }
                 for m in 0..dims.m {
-                    let wcodes = weight_group_codes(w, m, kb, p);
-                    let row = pack_index(&wcodes, self.wf.bits());
-                    values[m * dims.n + n] += lut.lookup(row, col);
+                    let row = wcol[m] as usize;
+                    let out = &mut values[m * dims.n + n0..m * dims.n + n1];
+                    for (acc, &col) in out.iter_mut().zip(&cols) {
+                        *acc += col[row];
+                    }
                 }
             }
         }
@@ -150,6 +173,28 @@ impl OpKernel {
             dims,
             profile: dpu.profile(),
         })
+    }
+}
+
+impl LutKernel for OpKernel {
+    fn method(&self) -> Method {
+        Method::Op
+    }
+
+    fn p(&self) -> u32 {
+        self.p
+    }
+
+    fn cost(&self, dims: GemmDims) -> Profile {
+        OpKernel::cost(self, dims)
+    }
+
+    fn validate(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmDims, LocaLutError> {
+        self.validate_operands(w, a)
+    }
+
+    fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+        OpKernel::run(self, w, a)
     }
 }
 
@@ -210,6 +255,27 @@ mod tests {
             DpuConfig::upmem(),
             NumericFormat::Int(2),
             NumericFormat::Int(3),
+            3,
+        )
+        .unwrap();
+        let out = kernel.run(&w, &a).unwrap();
+        assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap());
+    }
+
+    #[test]
+    fn wide_n_crosses_tile_boundaries() {
+        // N beyond one N_TILE, with a ragged last tile, stays bit-exact.
+        let (w, a) = operands(
+            5,
+            9,
+            N_TILE * 2 + 5,
+            NumericFormat::Int(2),
+            NumericFormat::Int(2),
+        );
+        let kernel = OpKernel::with_p(
+            DpuConfig::upmem(),
+            NumericFormat::Int(2),
+            NumericFormat::Int(2),
             3,
         )
         .unwrap();

@@ -8,12 +8,12 @@
 //! decision.
 
 use crate::capacity::{localut_bytes, max_p_localut};
-use crate::gemm::{GemmDims, GemmResult};
+use crate::codes::{ActivationPanel, PackedCodes};
+use crate::gemm::{GemmDims, GemmResult, Method};
 use crate::kernels::{
-    charge_operand_input, charge_output, group_codes, packed_weight_rows, pad_code_for,
-    require_integer, SharedLuts,
+    charge_operand_input, charge_output, check_panel, pad_code_for, require_integer, LutKernel,
+    SharedLuts, N_TILE,
 };
-use crate::perm::{lehmer_rank, sort_permutation};
 use crate::LocaLutError;
 use pim_sim::{Category, Dpu, DpuConfig, Profile};
 use quant::{NumericFormat, QMatrix};
@@ -120,13 +120,13 @@ impl RcKernel {
     /// Shape, padding, or budget errors.
     pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
         // Validate operands before paying for the LUT build.
-        self.validate(w, a)?;
+        self.validate_operands(w, a)?;
         let luts = SharedLuts::build(self.wf, self.af, self.p)?;
         self.run_with_luts(w, a, &luts)
     }
 
     /// Cheap operand checks shared by `run` and `run_with_luts`.
-    fn validate(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmDims, LocaLutError> {
+    fn validate_operands(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmDims, LocaLutError> {
         let dims = GemmDims::of(w, a)?;
         if w.format() != self.wf || a.format() != self.af {
             return Err(LocaLutError::UnsupportedFormat(
@@ -141,6 +141,13 @@ impl RcKernel {
     /// [`SharedLuts`]) — the entry point bank-parallel workers use so N
     /// banks share one read-only LUT build.
     ///
+    /// The inner loops are blocked: both operands are bit-packed into
+    /// group-major [`PackedCodes`] once, then each K-block resolves
+    /// [`N_TILE`] activation columns to their canonical/reordering column
+    /// slices (reused scratch, no per-group allocation) and one linear
+    /// M-pass gathers the whole tile — contiguous packed-weight reads,
+    /// contiguous output writes, and both LUT column slices hot in cache.
+    ///
     /// # Errors
     ///
     /// Shape or padding errors, or [`LocaLutError::UnsupportedFormat`] when
@@ -152,34 +159,70 @@ impl RcKernel {
         luts: &SharedLuts,
     ) -> Result<GemmResult, LocaLutError> {
         luts.check(self.wf, self.af, self.p)?;
-        let dims = self.validate(w, a)?;
+        let dims = self.validate_operands(w, a)?;
+        let pad = pad_code_for(self.af, dims.k, self.p as usize)?;
+        let panel = ActivationPanel::resolve(a, self.p as usize, pad, luts.canonical())?;
+        self.run_with_panel(w, a, luts, &panel)
+    }
+
+    /// Runs against a pre-resolved [`ActivationPanel`] (see
+    /// [`LutKernel::run_with_panel`]) — the path row-sharded banks take so
+    /// the activation-side group resolution happens once per column band
+    /// instead of once per bank.
+    ///
+    /// # Errors
+    ///
+    /// As [`RcKernel::run_with_luts`], plus
+    /// [`LocaLutError::UnsupportedFormat`] when the panel's shape does not
+    /// match the operands.
+    pub fn run_with_panel(
+        &self,
+        w: &QMatrix,
+        a: &QMatrix,
+        luts: &SharedLuts,
+        panel: &ActivationPanel,
+    ) -> Result<GemmResult, LocaLutError> {
+        luts.check(self.wf, self.af, self.p)?;
+        let dims = self.validate_operands(w, a)?;
         let p = self.p as usize;
         let pad = pad_code_for(self.af, dims.k, p)?;
         let canonical = luts.canonical();
         let reorder = luts.reorder();
         let kblocks = dims.k.div_ceil(p);
+        check_panel(panel, self.af.bits(), p, kblocks, dims.n)?;
+        debug_assert_eq!(
+            panel.packed(),
+            &PackedCodes::pack_activation_columns(a, p, pad),
+            "activation panel resolved from a different operand"
+        );
 
-        // Hot path: the packed weight row of group (m, kb) is independent
-        // of the activation column, so pack all M × ⌈K/p⌉ rows once up
-        // front instead of re-extracting them for every n.
-        let packed = packed_weight_rows(w, p, self.wf.bits());
+        // Pack the weight rows once: the packed row of group (m, kb) is
+        // reused across every output column.
+        let wpacked = PackedCodes::pack_weight_rows(w, p);
 
         let mut values = vec![0i32; dims.m * dims.n];
-        for n in 0..dims.n {
-            for kb in 0..kblocks {
-                let acodes = group_codes(a, kb, n, p, pad);
-                let perm = sort_permutation(&acodes);
-                let sorted: Vec<u16> = perm.iter().map(|&i| acodes[usize::from(i)]).collect();
-                let perm_id = lehmer_rank(&perm)?;
-                let col = canonical.column_of(&sorted)?;
-                // One bounds check per group (column base hoist) instead
-                // of two checked 2D lookups per element.
-                let canon_col = canonical.column_slice(col);
-                let reord_col = reorder.column_slice(perm_id);
+        let mut cols: Vec<(&[i32], &[u64])> = Vec::with_capacity(N_TILE);
+        for kb in 0..kblocks {
+            // Contiguous in m — the M-pass below is a linear scan.
+            let wcol = wpacked.group(kb);
+            for n0 in (0..dims.n).step_by(N_TILE) {
+                let n1 = dims.n.min(n0 + N_TILE);
+                // Hoist the tile's column pairs once per M-pass: one
+                // bounds check per group (column base hoist) instead of
+                // two checked 2D lookups per element.
+                cols.clear();
+                for n in n0..n1 {
+                    let (col, perm_id) = panel.pair(kb, n);
+                    cols.push((canonical.column_slice(col), reorder.column_slice(perm_id)));
+                }
                 for m in 0..dims.m {
-                    // One reordering lookup, one canonical lookup.
-                    let crow = reord_col[packed[m * kblocks + kb] as usize];
-                    values[m * dims.n + n] += canon_col[crow as usize];
+                    // One packed-row load, then one reordering lookup and
+                    // one canonical lookup per tile column.
+                    let row = wcol[m] as usize;
+                    let out = &mut values[m * dims.n + n0..m * dims.n + n1];
+                    for (acc, &(canon_col, reord_col)) in out.iter_mut().zip(&cols) {
+                        *acc += canon_col[reord_col[row] as usize];
+                    }
                 }
             }
         }
@@ -191,6 +234,58 @@ impl RcKernel {
             dims,
             profile: dpu.profile(),
         })
+    }
+}
+
+impl LutKernel for RcKernel {
+    fn method(&self) -> Method {
+        Method::OpLcRc
+    }
+
+    fn p(&self) -> u32 {
+        self.p
+    }
+
+    fn cost(&self, dims: GemmDims) -> Profile {
+        RcKernel::cost(self, dims)
+    }
+
+    fn validate(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmDims, LocaLutError> {
+        self.validate_operands(w, a)
+    }
+
+    fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+        RcKernel::run(self, w, a)
+    }
+
+    fn run_with_luts(
+        &self,
+        w: &QMatrix,
+        a: &QMatrix,
+        luts: &SharedLuts,
+    ) -> Result<GemmResult, LocaLutError> {
+        RcKernel::run_with_luts(self, w, a, luts)
+    }
+
+    fn resolve_panel(
+        &self,
+        a: &QMatrix,
+        luts: &SharedLuts,
+    ) -> Result<Option<ActivationPanel>, LocaLutError> {
+        luts.check(self.wf, self.af, self.p)?;
+        let p = self.p as usize;
+        let pad = pad_code_for(self.af, a.rows(), p)?;
+        Ok(Some(ActivationPanel::resolve(a, p, pad, luts.canonical())?))
+    }
+
+    fn run_with_panel(
+        &self,
+        w: &QMatrix,
+        a: &QMatrix,
+        luts: &SharedLuts,
+        panel: &ActivationPanel,
+    ) -> Result<GemmResult, LocaLutError> {
+        RcKernel::run_with_panel(self, w, a, luts, panel)
     }
 }
 
@@ -257,6 +352,27 @@ mod tests {
             NumericFormat::Int(2),
             NumericFormat::Int(3),
             4,
+        )
+        .unwrap();
+        let out = kernel.run(&w, &a).unwrap();
+        assert_eq!(out.values, reference_gemm::<i32>(&w, &a).unwrap());
+    }
+
+    #[test]
+    fn wide_n_crosses_tile_boundaries() {
+        // N beyond one N_TILE, with a ragged last tile, stays bit-exact.
+        let (w, a) = operands(
+            7,
+            10,
+            N_TILE * 2 + 3,
+            NumericFormat::Int(2),
+            NumericFormat::Int(3),
+        );
+        let kernel = RcKernel::with_p(
+            DpuConfig::upmem(),
+            NumericFormat::Int(2),
+            NumericFormat::Int(3),
+            5,
         )
         .unwrap();
         let out = kernel.run(&w, &a).unwrap();

@@ -9,11 +9,11 @@
 //! weight matrix streams once per `k` groups instead of once per group.
 
 use crate::capacity::{localut_bytes, slice_pair_bytes};
-use crate::gemm::{GemmDims, GemmResult};
+use crate::codes::{ActivationPanel, PackedCodes};
+use crate::gemm::{GemmDims, GemmResult, Method};
 use crate::kernels::{
-    charge_output, group_codes, packed_weight_rows, pad_code_for, require_integer, SharedLuts,
+    charge_output, check_panel, pad_code_for, require_integer, LutKernel, SharedLuts,
 };
-use crate::perm::{lehmer_rank, sort_permutation};
 use crate::LocaLutError;
 use pim_sim::{Category, Dpu, DpuConfig, Profile};
 use quant::{NumericFormat, QMatrix};
@@ -129,13 +129,13 @@ impl StreamingKernel {
     /// Shape, padding, or budget errors.
     pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
         // Validate operands before paying for the LUT build.
-        self.validate(w, a)?;
+        self.validate_operands(w, a)?;
         let luts = SharedLuts::build(self.wf, self.af, self.p)?;
         self.run_with_luts(w, a, &luts)
     }
 
     /// Cheap operand checks shared by `run` and `run_with_luts`.
-    fn validate(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmDims, LocaLutError> {
+    fn validate_operands(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmDims, LocaLutError> {
         let dims = GemmDims::of(w, a)?;
         if w.format() != self.wf || a.format() != self.af {
             return Err(LocaLutError::UnsupportedFormat(
@@ -150,6 +150,13 @@ impl StreamingKernel {
     /// [`SharedLuts`]) — the entry point bank-parallel workers use so N
     /// banks share one read-only LUT build.
     ///
+    /// The inner loops are blocked with the §IV-C co-residency width:
+    /// both operands are bit-packed into group-major [`PackedCodes`] once,
+    /// each K-block resolves `k` activation columns' slice pairs at a time
+    /// (reused scratch, no per-group allocation), and one linear M-pass
+    /// gathers the whole batch — contiguous packed-weight reads and
+    /// contiguous output writes.
+    ///
     /// # Errors
     ///
     /// Shape or padding errors, or [`LocaLutError::UnsupportedFormat`] when
@@ -161,50 +168,74 @@ impl StreamingKernel {
         luts: &SharedLuts,
     ) -> Result<GemmResult, LocaLutError> {
         luts.check(self.wf, self.af, self.p)?;
-        let dims = self.validate(w, a)?;
+        let dims = self.validate_operands(w, a)?;
+        let pad = pad_code_for(self.af, dims.k, self.p as usize)?;
+        let panel = ActivationPanel::resolve(a, self.p as usize, pad, luts.canonical())?;
+        self.run_with_panel(w, a, luts, &panel)
+    }
+
+    /// Runs against a pre-resolved [`ActivationPanel`] (see
+    /// [`LutKernel::run_with_panel`]) — the path row-sharded banks take so
+    /// the activation-side group resolution happens once per column band
+    /// instead of once per bank.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamingKernel::run_with_luts`], plus
+    /// [`LocaLutError::UnsupportedFormat`] when the panel's shape does not
+    /// match the operands.
+    pub fn run_with_panel(
+        &self,
+        w: &QMatrix,
+        a: &QMatrix,
+        luts: &SharedLuts,
+        panel: &ActivationPanel,
+    ) -> Result<GemmResult, LocaLutError> {
+        luts.check(self.wf, self.af, self.p)?;
+        let dims = self.validate_operands(w, a)?;
         let p = self.p as usize;
         let pad = pad_code_for(self.af, dims.k, p)?;
         let canonical = luts.canonical();
         let reorder = luts.reorder();
         let kblocks = dims.k.div_ceil(p);
         let kk = self.k_slices as usize;
+        check_panel(panel, self.af.bits(), p, kblocks, dims.n)?;
+        debug_assert_eq!(
+            panel.packed(),
+            &PackedCodes::pack_activation_columns(a, p, pad),
+            "activation panel resolved from a different operand"
+        );
 
-        // Hot path: pack every (m, kb) weight row once up front — the
-        // naive loop re-packed each row once per column batch (⌈N/k⌉
-        // times), with a heap-allocated code group per repack.
-        let packed = packed_weight_rows(w, p, self.wf.bits());
+        // Pack the weight rows once up front — the naive loop re-extracted
+        // and re-packed a heap-allocated code group per (group, column)
+        // visit.
+        let wpacked = PackedCodes::pack_weight_rows(w, p);
 
         let mut values = vec![0i32; dims.m * dims.n];
-        let mut slices: Vec<(usize, &[i32], &[u64])> = Vec::with_capacity(kk);
+        let mut slices: Vec<(&[i32], &[u64])> = Vec::with_capacity(kk);
         for kb in 0..kblocks {
+            // Contiguous in m — the M-pass below is a linear scan.
+            let wcol = wpacked.group(kb);
             // Process the N columns of this K-block in batches of k groups:
             // their slice pairs co-reside in WRAM while the weight block
             // streams once per batch.
             for n0 in (0..dims.n).step_by(kk) {
-                // "Stream" the slice pairs: resolve the column bases
-                // (functional model — the canonical/reorder structures are
-                // bank data, so borrowing is enough; the stream's cost is
-                // charged analytically).
+                let n1 = dims.n.min(n0 + kk);
+                // "Stream" the slice pairs: hoist the column bases from the
+                // panel's resolved pairs (functional model — the
+                // canonical/reorder structures are bank data, so borrowing
+                // is enough; the stream's cost is charged analytically).
                 slices.clear();
-                for n in n0..dims.n.min(n0 + kk) {
-                    let acodes = group_codes(a, kb, n, p, pad);
-                    let perm = sort_permutation(&acodes);
-                    let sorted: Vec<u16> = perm.iter().map(|&i| acodes[usize::from(i)]).collect();
-                    let perm_id = lehmer_rank(&perm)?;
-                    let col = canonical.column_of(&sorted)?;
-                    slices.push((
-                        n,
-                        canonical.column_slice(col),
-                        reorder.column_slice(perm_id),
-                    ));
+                for n in n0..n1 {
+                    let (col, perm_id) = panel.pair(kb, n);
+                    slices.push((canonical.column_slice(col), reorder.column_slice(perm_id)));
                 }
                 // One pass over the weight rows, reusing all k slices.
                 for m in 0..dims.m {
-                    let row = packed[m * kblocks + kb] as usize;
-                    let out = m * dims.n;
-                    for &(n, canon_slice, reord_slice) in &slices {
-                        let crow = reord_slice[row];
-                        values[out + n] += canon_slice[crow as usize];
+                    let row = wcol[m] as usize;
+                    let out = &mut values[m * dims.n + n0..m * dims.n + n1];
+                    for (acc, &(canon_slice, reord_slice)) in out.iter_mut().zip(&slices) {
+                        *acc += canon_slice[reord_slice[row] as usize];
                     }
                 }
             }
@@ -217,6 +248,58 @@ impl StreamingKernel {
             dims,
             profile: dpu.profile(),
         })
+    }
+}
+
+impl LutKernel for StreamingKernel {
+    fn method(&self) -> Method {
+        Method::LoCaLut
+    }
+
+    fn p(&self) -> u32 {
+        self.p
+    }
+
+    fn cost(&self, dims: GemmDims) -> Profile {
+        StreamingKernel::cost(self, dims)
+    }
+
+    fn validate(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmDims, LocaLutError> {
+        self.validate_operands(w, a)
+    }
+
+    fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
+        StreamingKernel::run(self, w, a)
+    }
+
+    fn run_with_luts(
+        &self,
+        w: &QMatrix,
+        a: &QMatrix,
+        luts: &SharedLuts,
+    ) -> Result<GemmResult, LocaLutError> {
+        StreamingKernel::run_with_luts(self, w, a, luts)
+    }
+
+    fn resolve_panel(
+        &self,
+        a: &QMatrix,
+        luts: &SharedLuts,
+    ) -> Result<Option<ActivationPanel>, LocaLutError> {
+        luts.check(self.wf, self.af, self.p)?;
+        let p = self.p as usize;
+        let pad = pad_code_for(self.af, a.rows(), p)?;
+        Ok(Some(ActivationPanel::resolve(a, p, pad, luts.canonical())?))
+    }
+
+    fn run_with_panel(
+        &self,
+        w: &QMatrix,
+        a: &QMatrix,
+        luts: &SharedLuts,
+        panel: &ActivationPanel,
+    ) -> Result<GemmResult, LocaLutError> {
+        StreamingKernel::run_with_panel(self, w, a, luts, panel)
     }
 }
 

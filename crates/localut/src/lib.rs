@@ -13,7 +13,9 @@
 //! * [`model`] — Eq. 2–6: `p*` selection and stream-vs-buffer choice (§IV-D).
 //! * [`kernels`] — the six GEMM kernels of the evaluation (Naive PIM, LTC,
 //!   OP, OP+LC, OP+LC+RC, full LoCaLUT), functional *and* timed on
-//!   [`pim_sim`].
+//!   [`pim_sim`], unified behind the [`kernels::LutKernel`] trait.
+//! * [`codes`] — group-major bit-packed operand code words and the reused
+//!   per-group scratch the blocked kernel loops run on.
 //! * [`plan`] — the automatic planner of §V-A.
 //! * [`tiling`] — bank-level data/context parallelism and host transfers.
 //!
@@ -42,6 +44,7 @@
 
 pub mod canonical;
 pub mod capacity;
+pub mod codes;
 pub mod elementwise;
 pub mod error;
 pub mod fgemm;

@@ -160,6 +160,20 @@ impl<V: LutValue> OpPackedLut<V> {
         assert!(row < self.rows && col < self.cols, "LUT index out of range");
         self.entries[(col * self.rows + row) as usize]
     }
+
+    /// One activation column as a contiguous slice, indexed by packed
+    /// weight row — the blocked OP loop hoists this per tile column so the
+    /// M-pass does a single bounds-checked slice index per lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `col` is out of range.
+    #[must_use]
+    pub fn column_slice(&self, col: u64) -> &[V] {
+        assert!(col < self.cols, "LUT column out of range");
+        let base = (col * self.rows) as usize;
+        &self.entries[base..base + self.rows as usize]
+    }
 }
 
 #[cfg(test)]

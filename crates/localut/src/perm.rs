@@ -26,9 +26,19 @@ pub fn factorial(n: u32) -> Option<u64> {
 /// (non-decreasing) activation vector.
 #[must_use]
 pub fn sort_permutation(codes: &[u16]) -> Vec<u8> {
-    let mut perm: Vec<u8> = (0..codes.len() as u8).collect();
-    perm.sort_by_key(|&i| (codes[usize::from(i)], i));
+    let mut perm = Vec::new();
+    sort_permutation_into(codes, &mut perm);
     perm
+}
+
+/// Allocation-free variant of [`sort_permutation`]: writes the stable
+/// sorting permutation into `perm` (cleared first, capacity reused). The
+/// blocked kernel loops call this once per group with a scratch buffer, so
+/// the hot path never allocates.
+pub fn sort_permutation_into(codes: &[u16], perm: &mut Vec<u8>) {
+    perm.clear();
+    perm.extend(0..codes.len() as u8);
+    perm.sort_by_key(|&i| (codes[usize::from(i)], i));
 }
 
 /// Applies a permutation: `out[i] = items[perm[i]]`.
@@ -39,8 +49,22 @@ pub fn sort_permutation(codes: &[u16]) -> Vec<u8> {
 /// out of bounds.
 #[must_use]
 pub fn apply<T: Copy>(perm: &[u8], items: &[T]) -> Vec<T> {
+    let mut out = Vec::new();
+    apply_into(perm, items, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`apply`]: writes `items` permuted by `perm`
+/// into `out` (cleared first, capacity reused).
+///
+/// # Panics
+///
+/// Panics when `perm` and `items` have different lengths or `perm` indexes
+/// out of bounds.
+pub fn apply_into<T: Copy>(perm: &[u8], items: &[T], out: &mut Vec<T>) {
     assert_eq!(perm.len(), items.len(), "permutation length mismatch");
-    perm.iter().map(|&i| items[usize::from(i)]).collect()
+    out.clear();
+    out.extend(perm.iter().map(|&i| items[usize::from(i)]));
 }
 
 /// Lehmer rank of a permutation of `0..p`, a dense id in `0..p!`.

@@ -3,12 +3,12 @@
 //! whether to use LUT slice streaming — then construct the kernel.
 
 use crate::capacity::{localut_bytes, max_p_localut, slice_pair_bytes};
-use crate::gemm::{GemmDims, GemmResult};
-use crate::kernels::{RcKernel, StreamingKernel};
+use crate::gemm::GemmDims;
+use crate::kernels::{LutKernel, RcKernel, StreamingKernel};
 use crate::model::PerfModel;
 use crate::LocaLutError;
 use pim_sim::{DpuConfig, Profile};
-use quant::{NumericFormat, QMatrix};
+use quant::NumericFormat;
 
 /// Where the planner placed the LUTs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,53 +45,24 @@ pub struct ExecutionPlan {
     pub af: NumericFormat,
 }
 
-/// A kernel constructed from a plan.
-#[derive(Debug, Clone)]
-pub enum PlannedKernel {
-    /// Buffer-resident OP+LC+RC kernel.
-    Buffer(RcKernel),
-    /// Slice-streaming kernel.
-    Streaming(StreamingKernel),
-}
-
-impl PlannedKernel {
-    /// Runs the planned kernel.
-    ///
-    /// # Errors
-    ///
-    /// Kernel execution errors.
-    pub fn run(&self, w: &QMatrix, a: &QMatrix) -> Result<GemmResult, LocaLutError> {
-        match self {
-            PlannedKernel::Buffer(k) => k.run(w, a),
-            PlannedKernel::Streaming(k) => k.run(w, a),
-        }
-    }
-
-    /// The kernel's analytic cost.
-    #[must_use]
-    pub fn cost(&self, dims: GemmDims) -> Profile {
-        match self {
-            PlannedKernel::Buffer(k) => k.cost(dims),
-            PlannedKernel::Streaming(k) => k.cost(dims),
-        }
-    }
-}
-
 impl ExecutionPlan {
-    /// Builds the kernel this plan describes.
+    /// Builds the kernel this plan describes, as a trait object: a
+    /// buffer-resident plan yields an [`RcKernel`], a streaming plan a
+    /// [`StreamingKernel`], and every caller dispatches through
+    /// [`LutKernel`] without matching on the placement again.
     ///
     /// # Errors
     ///
     /// Budget errors (should not occur for plans produced by [`Planner`]).
-    pub fn kernel(&self, cfg: &DpuConfig) -> Result<PlannedKernel, LocaLutError> {
+    pub fn kernel(&self, cfg: &DpuConfig) -> Result<Box<dyn LutKernel>, LocaLutError> {
         match self.placement {
-            Placement::BufferResident => Ok(PlannedKernel::Buffer(RcKernel::with_p(
+            Placement::BufferResident => Ok(Box::new(RcKernel::with_p(
                 cfg.clone(),
                 self.wf,
                 self.af,
                 self.p,
             )?)),
-            Placement::Streaming => Ok(PlannedKernel::Streaming(StreamingKernel::new(
+            Placement::Streaming => Ok(Box::new(StreamingKernel::new(
                 cfg.clone(),
                 self.wf,
                 self.af,
@@ -389,11 +360,12 @@ mod tests {
         let kernel = plan.kernel(&DpuConfig::upmem()).unwrap();
         let cost = kernel.cost(dims);
         assert!(cost.total_seconds() > 0.0);
-        match (plan.placement, &kernel) {
-            (Placement::BufferResident, PlannedKernel::Buffer(_))
-            | (Placement::Streaming, PlannedKernel::Streaming(_)) => {}
-            other => panic!("placement/kernel mismatch: {other:?}"),
-        }
+        assert_eq!(kernel.p(), plan.p);
+        let expected = match plan.placement {
+            Placement::BufferResident => crate::gemm::Method::OpLcRc,
+            Placement::Streaming => crate::gemm::Method::LoCaLut,
+        };
+        assert_eq!(kernel.method(), expected, "placement/kernel mismatch");
     }
 
     #[test]

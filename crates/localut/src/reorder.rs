@@ -7,8 +7,8 @@
 //! entry is the already-reordered packed weight row, ready to index the
 //! canonical LUT. It has `p!` columns and `2^(bw·p)` rows.
 
-use crate::packed::{check_index_width, pack_index, unpack_index};
-use crate::perm::{apply, factorial, lehmer_unrank};
+use crate::packed::check_index_width;
+use crate::perm::{factorial, lehmer_unrank};
 use crate::LocaLutError;
 
 /// A fully materialized reordering LUT.
@@ -60,13 +60,46 @@ impl ReorderLut {
                 budget: max_entries,
             });
         }
-        let mut entries = Vec::with_capacity(total as usize);
-        for perm_id in 0..cols {
-            let perm = lehmer_unrank(perm_id, p)?;
-            for row in 0..rows {
-                let codes = unpack_index(row, bits, p);
-                let reordered = apply(&perm, &codes);
-                entries.push(pack_index(&reordered, bits));
+        // Each column is a fixed shuffle of the row index's `p` bit-fields
+        // (`entry = Σ_j codes[perm[j]] << bits·j`). Going through
+        // unpack/apply/pack would allocate twice per entry — ~20 M
+        // allocations at `p = 8` — and dominate the host launch cost.
+        // Because the shuffle is independent per field, the contributions of
+        // the low `h` and high `p − h` input fields are precomputed into two
+        // small tables per column, reducing each entry to two lookups.
+        let bits_u = u32::from(bits);
+        let mask = (1u64 << bits) - 1;
+        let h = p / 2;
+        let lo_bits = bits_u * h;
+        let lo_rows = 1u64 << lo_bits;
+        let mut tlo = vec![0u64; lo_rows as usize];
+        let mut thi = vec![0u64; (rows >> lo_bits) as usize];
+        let mut dst_shift = vec![0u32; p as usize];
+        let mut entries = vec![0u64; total as usize];
+        for (perm_id, column) in entries.chunks_exact_mut(rows as usize).enumerate() {
+            let perm = lehmer_unrank(perm_id as u64, p)?;
+            // dst_shift[src] is where input field `src` lands in the output.
+            for (j, &src) in perm.iter().enumerate() {
+                dst_shift[usize::from(src)] = bits_u * j as u32;
+            }
+            for (v, t) in tlo.iter_mut().enumerate() {
+                let mut packed = 0u64;
+                for (src, &dst) in dst_shift[..h as usize].iter().enumerate() {
+                    packed |= ((v as u64 >> (bits_u * src as u32)) & mask) << dst;
+                }
+                *t = packed;
+            }
+            for (v, t) in thi.iter_mut().enumerate() {
+                let mut packed = 0u64;
+                for (src, &dst) in dst_shift[h as usize..].iter().enumerate() {
+                    packed |= ((v as u64 >> (bits_u * src as u32)) & mask) << dst;
+                }
+                *t = packed;
+            }
+            for (block, &base) in column.chunks_exact_mut(lo_rows as usize).zip(thi.iter()) {
+                for (entry, &lo) in block.iter_mut().zip(tlo.iter()) {
+                    *entry = base | lo;
+                }
             }
         }
         Ok(ReorderLut {
@@ -182,7 +215,8 @@ impl ReorderLut {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::perm::{lehmer_rank, sort_permutation};
+    use crate::packed::{pack_index, unpack_index};
+    use crate::perm::{apply, lehmer_rank, sort_permutation};
 
     #[test]
     fn shape_matches_formulas() {

@@ -6,7 +6,13 @@
 //! simulated state is shared between banks — while the expensive canonical
 //! and reordering LUT images are shared read-only through the
 //! [`BankKernel`]'s internal `Arc`s (one build, N readers, as the §V-A
-//! broadcast works on hardware).
+//! broadcast works on hardware). All kernel dispatch goes through the
+//! `localut::kernels::LutKernel` trait object the `BankKernel` wraps; the
+//! executor never matches on a method. Before fanning out, it resolves one
+//! `localut::codes::ActivationPanel` per activation column band through
+//! the trait's `resolve_panel` hook, so row-sharded banks of a band share
+//! the activation-side group resolution instead of each redoing it
+//! (bitwise-identical results, DESIGN.md §12).
 //!
 //! Scheduling is work stealing: each worker owns a deque seeded with a
 //! contiguous block of shard ids, drains it from the front, and — once
@@ -346,8 +352,19 @@ impl ParallelExecutor {
             })
             .collect();
 
+        // Resolve one activation panel per column band: every row shard in
+        // a band consumes the same activation columns, so the per-group
+        // canonicalization (unpack → sort → rank) runs once per band here
+        // instead of once per bank inside the kernel. Kernels without a
+        // panel form return `None` and run unchanged; results are bitwise
+        // identical either way.
+        let panels = col_bands
+            .iter()
+            .map(|(_, a_tile)| bank.resolve_panel(a_tile))
+            .collect::<Result<Vec<_>, _>>()?;
+
         let results = self.map(&shards, |&(_, row, col)| {
-            bank.run(&row_bands[row].1, &col_bands[col].1)
+            bank.run_panel(&row_bands[row].1, &col_bands[col].1, panels[col].as_ref())
         });
 
         // Deterministic merge, ascending shard id. The profile fold

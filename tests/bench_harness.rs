@@ -130,6 +130,23 @@ fn cheap_scenarios_match_the_committed_baseline() {
 }
 
 #[test]
+fn fig09_wide_metrics_are_pinned_bitwise() {
+    // The blocked-kernel refactor's contract: loop order, gather batching,
+    // and panel resolution may change host wall-clock only. The W1A3 wide
+    // fig. 9 shape is the tentpole scenario, so its deterministic metrics
+    // are pinned here as literals — any drift in the packed-code walk, the
+    // canonical/reorder gather, or the analytic charge model fails this
+    // test before the CI perf gate ever sees it.
+    let scenarios = select(RunProfile::Full, Some("fig09_gemm_wide"));
+    assert_eq!(scenarios.len(), 1, "fig09_gemm_wide is one full scenario");
+    let measured = run_scenarios(&scenarios, &ScenarioCtx { threads: 2 });
+    let row = &BenchReport::new("pin", "full", 2, &measured).scenarios[0];
+    assert_eq!(row.sim_femtos, 1_356_778_794_422_864);
+    assert_eq!(row.values_checksum, 581_077_194_180_245_941);
+    assert_eq!(row.instructions, 452_984_832);
+}
+
+#[test]
 fn verdict_thresholds_gate_the_way_ci_relies_on() {
     let measured = cheap_measured(1);
     let baseline = BenchReport::new("base", "smoke", 1, &measured);

@@ -8,7 +8,7 @@
 use localut::canonical::CanonicalLut;
 use localut::gemm::{reference_gemm, GemmConfig, GemmDims, Method};
 use localut::kernels::{
-    par_run, LcKernel, LtcKernel, NaiveKernel, OpKernel, RcKernel, StreamingKernel,
+    par_run, LcKernel, LtcKernel, NaiveKernel, OpKernel, RcKernel, SharedLuts, StreamingKernel,
 };
 use localut::multiset;
 use localut::packed::{pack_index, unpack_index};
@@ -45,9 +45,9 @@ proptest! {
         let reference: Vec<i32> = reference_gemm(&w, &a).unwrap();
         let cfg = DpuConfig::upmem();
 
-        let naive = NaiveKernel::new(cfg.clone()).run(&w, &a).unwrap();
+        let naive = NaiveKernel::new(cfg.clone(), wf, af).run(&w, &a).unwrap();
         prop_assert_eq!(&naive.values, &reference);
-        let ltc = LtcKernel::new(cfg.clone()).run(&w, &a).unwrap();
+        let ltc = LtcKernel::new(cfg.clone(), wf, af).run(&w, &a).unwrap();
         prop_assert_eq!(&ltc.values, &reference);
         let op = OpKernel::with_p(cfg.clone(), wf, af, p).unwrap().run(&w, &a).unwrap();
         prop_assert_eq!(&op.values, &reference);
@@ -58,6 +58,36 @@ proptest! {
         if let Ok(streaming) = StreamingKernel::new(cfg, wf, af, p, 2) {
             let s = streaming.run(&w, &a).unwrap();
             prop_assert_eq!(&s.values, &reference);
+        }
+    }
+
+    /// The blocked tile loops are bitwise-identical to the scalar
+    /// reference over ragged shapes — `n` is drawn past the tile width so
+    /// full tiles, partial last tiles, and sub-tile shapes all appear, and
+    /// the shared-LUT entry point (the path the bank-parallel executor
+    /// drives) is exercised directly alongside the self-building `run`.
+    #[test]
+    fn blocked_kernels_match_scalar_reference(
+        m in 1usize..24,
+        k in 1usize..40,
+        n in 1usize..40,
+        bw in 1u8..3,
+        ba in 2u8..4,
+        p in 1u32..6,
+        seed in 0u64..1000,
+    ) {
+        let wf = NumericFormat::default_int(bw);
+        let af = NumericFormat::Int(ba);
+        let w = qmatrix(m, k, wf, seed);
+        let a = qmatrix(k, n, af, seed.wrapping_add(3));
+        let reference: Vec<i32> = reference_gemm(&w, &a).unwrap();
+        let cfg = DpuConfig::upmem();
+
+        let luts = SharedLuts::build(wf, af, p).unwrap();
+        let rc = RcKernel::with_p(cfg.clone(), wf, af, p).unwrap();
+        prop_assert_eq!(&rc.run_with_luts(&w, &a, &luts).unwrap().values, &reference);
+        if let Ok(s) = StreamingKernel::new(cfg, wf, af, p, 2) {
+            prop_assert_eq!(&s.run_with_luts(&w, &a, &luts).unwrap().values, &reference);
         }
     }
 

@@ -157,35 +157,57 @@ fn chat_traffic_is_interleaving_invariant() {
 fn new_requests_are_admitted_between_decode_waves() {
     // The head-of-line test: one worker, one long session, then a GEMM
     // submitted while the session decodes. Under monolithic scheduling the
-    // GEMM would wait out all 64 decode steps; under continuous batching
-    // the worker runs one session step per dispatch, so the GEMM (queued
-    // behind only the *first* step) completes while the session is still
+    // GEMM would wait out every decode step; under continuous batching the
+    // worker runs one session step per dispatch, so the GEMM (queued
+    // behind only the next step) completes while the session is still
     // pending.
-    let engine = Arc::new(Engine::builder().threads(1).banks(2).build());
-    let server = Server::start(
-        engine,
-        &ServeConfig::builder()
-            .workers(1)
-            .max_batch(1)
-            .build()
-            .expect("valid"),
+    //
+    // The overlap itself is a host-scheduling outcome: on a busy (or
+    // single-CPU) machine the woken worker can burn through the whole
+    // session before this thread's GEMM enqueue wins the race into the
+    // queue. Such an attempt proves nothing either way, so it is retried
+    // on a fresh server; only a scheduler that head-of-line blocks on
+    // *every* attempt fails the test. The one-step-per-dispatch shape is
+    // deterministic and asserted on every attempt regardless.
+    const DECODE_TOKENS: u32 = 256;
+    for _attempt in 0..5 {
+        let engine = Arc::new(Engine::builder().threads(1).banks(2).build());
+        let server = Server::start(
+            engine,
+            &ServeConfig::builder()
+                .workers(1)
+                .max_batch(1)
+                .build()
+                .expect("valid"),
+        );
+        // Build the GEMM operands up front so the only work between the
+        // two submissions is the enqueue itself.
+        let gemm = GemmRequest::new(
+            QMatrix::pseudo_random(24, 20, NumericFormat::Bipolar, 7),
+            QMatrix::pseudo_random(20, 6, NumericFormat::Int(3), 8),
+        );
+        let session_ticket = server.submit_session(session(1, DECODE_TOKENS));
+        let gemm_ticket = server.submit_gemm(gemm);
+        gemm_ticket.wait().expect("gemm serves");
+        let overlapped = !session_ticket.is_ready();
+        let response = session_ticket.wait().expect("session completes");
+        assert_eq!(response.decode_step_femtos.len(), DECODE_TOKENS as usize);
+        let report = server.join();
+        assert_eq!(report.summary.failed_requests, 0);
+        assert_eq!(report.summary.requests, 2);
+        // Prefill + each decode step + the solo GEMM each dispatch
+        // separately — continuous batching's observable shape, which no
+        // interleaving can change.
+        assert_eq!(report.dispatches, u64::from(DECODE_TOKENS) + 2);
+        if overlapped {
+            return;
+        }
+    }
+    panic!(
+        "the queued GEMM never completed while the session was still \
+         pending: the scheduler is head-of-line blocking behind the \
+         whole generation"
     );
-    let session_ticket = server.submit_session(session(1, 64));
-    let gemm_ticket = server.submit_gemm(GemmRequest::new(
-        QMatrix::pseudo_random(24, 20, NumericFormat::Bipolar, 7),
-        QMatrix::pseudo_random(20, 6, NumericFormat::Int(3), 8),
-    ));
-    gemm_ticket.wait().expect("gemm serves");
-    assert!(
-        !session_ticket.is_ready(),
-        "a 65-step session cannot have finished before the queued GEMM \
-         unless the GEMM waited for the whole generation"
-    );
-    let response = session_ticket.wait().expect("session completes");
-    assert_eq!(response.decode_step_femtos.len(), 64);
-    let report = server.join();
-    assert_eq!(report.summary.failed_requests, 0);
-    assert_eq!(report.summary.requests, 2);
 }
 
 #[test]
